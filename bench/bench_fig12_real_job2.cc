@@ -1,0 +1,14 @@
+// Figure 12 (§5.4): Real Job 2 — extract delays -> sum delays per airplane,
+// both partitioned on the airplane attribute (perfect collocation
+// obtainable). ALBIC starts from an adversarial allocation and must discover
+// the collocation at runtime; COLA re-optimizes from scratch each period.
+
+#include "bench/real_job_common.h"
+
+int main() {
+  const int periods = albic::bench::EnvInt("ALBIC_BENCH_PERIODS", 90);
+  albic::bench::RealJobResult result =
+      albic::bench::RunRealJob(/*job=*/2, periods, /*cola_rate_scale=*/1.0);
+  albic::bench::PrintRealJobSeries("Figure 12", 2, result, periods);
+  return 0;
+}

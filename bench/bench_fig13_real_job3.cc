@@ -1,0 +1,14 @@
+// Figure 13 (§5.4): Real Job 3 — Real Job 2 plus a per-route delay operator
+// whose input must be re-partitioned, halving the obtainable collocation.
+// As in the paper, COLA runs at 50% input rate (its per-period re-planning
+// overhead would otherwise overwhelm the system).
+
+#include "bench/real_job_common.h"
+
+int main() {
+  const int periods = albic::bench::EnvInt("ALBIC_BENCH_PERIODS", 90);
+  albic::bench::RealJobResult result =
+      albic::bench::RunRealJob(/*job=*/3, periods, /*cola_rate_scale=*/0.5);
+  albic::bench::PrintRealJobSeries("Figure 13", 3, result, periods);
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 2: 20 nodes, 400 key groups, 10 operators.
+
+#include "bench/fig2_4_solver_quality.h"
+
+int main() {
+  albic::bench::RunSolverQuality({"Figure 2", 20, 400, 10});
+  return 0;
+}

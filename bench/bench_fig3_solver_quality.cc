@@ -1,0 +1,8 @@
+// Figure 3: 40 nodes, 800 key groups, 20 operators.
+
+#include "bench/fig2_4_solver_quality.h"
+
+int main() {
+  albic::bench::RunSolverQuality({"Figure 3", 40, 800, 20});
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 4: 60 nodes, 1200 key groups, 30 operators.
+
+#include "bench/fig2_4_solver_quality.h"
+
+int main() {
+  albic::bench::RunSolverQuality({"Figure 4", 60, 1200, 30});
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Figure 5 (§5.1): integrating horizontal scaling with load balancing.
+// 60-node cluster, 10 nodes marked for removal, maxMigrations = 20 per SPL.
+// Two starting conditions: 1 or 5 overloaded (100%) nodes. The integrated
+// MILP (which trades drain progress against urgent rebalancing inside one
+// optimization) is compared with the non-integrated baseline (drain first,
+// evenly, with the whole budget; balance only afterwards).
+//
+// Output (a): load distance after each period. Output (b): periods needed
+// to finish scale-in.
+
+#include <cstdio>
+#include <memory>
+
+#include "balance/milp_rebalancer.h"
+#include "balance/non_integrated.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "engine/migration.h"
+
+namespace albic {
+namespace {
+
+using bench::DistanceOf;
+using bench::SnapshotFrom;
+
+struct SeriesResult {
+  std::vector<double> distance;  // per period
+  int periods_to_scale_in = 0;
+};
+
+SeriesResult RunOne(bool integrated, int overloaded, int max_periods) {
+  workload::SyntheticOptions wopts;
+  wopts.nodes = 60;
+  wopts.key_groups = 1200;
+  wopts.operators = 30;
+  wopts.mean_node_load = 50.0;
+  wopts.seed = 4242 + overloaded;
+  workload::SyntheticScenario s = workload::BuildSyntheticScenario(wopts);
+  workload::OverloadNodes(&s, overloaded);
+  // Mark the last 10 nodes for removal.
+  for (engine::NodeId n = 50; n < 60; ++n) {
+    Status st = s.cluster.MarkForRemoval(n);
+    (void)st;
+  }
+
+  balance::MilpRebalancerOptions mopts;
+  mopts.mode = balance::MilpRebalancerOptions::Mode::kHeuristic;
+  mopts.time_budget_ms = 20;
+  std::unique_ptr<balance::Rebalancer> rebalancer;
+  if (integrated) {
+    rebalancer = std::make_unique<balance::MilpRebalancer>(mopts);
+  } else {
+    rebalancer = std::make_unique<balance::NonIntegratedRebalancer>(
+        std::make_unique<balance::MilpRebalancer>(mopts));
+  }
+
+  balance::RebalanceConstraints cons;
+  cons.max_migrations = 20;
+
+  SeriesResult result;
+  engine::SystemSnapshot snap = SnapshotFrom(s);
+  for (int period = 1; period <= max_periods; ++period) {
+    auto plan = rebalancer->ComputePlan(snap, cons);
+    if (!plan.ok()) break;
+    snap.assignment = plan->assignment;
+    // Refresh measured node loads for the next round.
+    snap.node_loads.assign(snap.node_loads.size(), 0.0);
+    for (engine::KeyGroupId g = 0; g < snap.assignment.num_groups(); ++g) {
+      snap.node_loads[snap.assignment.node_of(g)] += snap.group_loads[g];
+    }
+    result.distance.push_back(DistanceOf(snap, snap.assignment));
+    int remaining = 0;
+    for (engine::NodeId n = 50; n < 60; ++n) {
+      remaining += snap.assignment.count_on(n);
+    }
+    if (remaining == 0 && result.periods_to_scale_in == 0) {
+      result.periods_to_scale_in = period;
+    }
+  }
+  if (result.periods_to_scale_in == 0) {
+    result.periods_to_scale_in = max_periods;  // did not finish
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace albic
+
+int main() {
+  using albic::RunOne;
+  const int max_periods = albic::bench::EnvInt("ALBIC_BENCH_PERIODS", 16);
+  std::printf(
+      "Figure 5: integrating horizontal scaling with load balancing\n"
+      "60 nodes, 1200 key groups, 10 nodes marked for removal, "
+      "maxMigrations=20\n\n");
+
+  albic::SeriesResult int5 = RunOne(true, 5, max_periods);
+  albic::SeriesResult non5 = RunOne(false, 5, max_periods);
+  albic::SeriesResult int1 = RunOne(true, 1, max_periods);
+  albic::SeriesResult non1 = RunOne(false, 1, max_periods);
+
+  std::printf("(a) Load distance (%%) per period\n");
+  albic::TablePrinter table(
+      {"period", "INT(5OL)", "NON-INT(5OL)", "INT(1OL)", "NON-INT(1OL)"});
+  for (int p = 0; p < max_periods; ++p) {
+    auto at = [&](const albic::SeriesResult& r) {
+      return p < static_cast<int>(r.distance.size()) ? r.distance[p] : 0.0;
+    };
+    table.AddDoubleRow({static_cast<double>(p + 1), at(int5), at(non5),
+                        at(int1), at(non1)});
+  }
+  table.Print();
+
+  std::printf("\n(b) Periods (SPL) to complete scale-in\n");
+  albic::TablePrinter t2({"setup", "Integrated", "Non-Integrated"});
+  t2.AddRow({"5OL", albic::FormatDouble(int5.periods_to_scale_in, 0),
+             albic::FormatDouble(non5.periods_to_scale_in, 0)});
+  t2.AddRow({"1OL", albic::FormatDouble(int1.periods_to_scale_in, 0),
+             albic::FormatDouble(non1.periods_to_scale_in, 0)});
+  t2.Print();
+  return 0;
+}

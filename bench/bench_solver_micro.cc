@@ -1,0 +1,116 @@
+// Micro-benchmarks (google-benchmark) for the optimization substrates that
+// power Figs 2-4: the simplex LP solver, branch & bound, the multilevel
+// graph partitioner and the assignment local search.
+
+#include <benchmark/benchmark.h>
+
+#include "balance/local_search.h"
+#include "balance/milp_rebalancer.h"
+#include "common/rng.h"
+#include "graph/partitioner.h"
+#include "lp/simplex.h"
+#include "milp/branch_and_bound.h"
+#include "workload/synthetic.h"
+
+namespace albic {
+namespace {
+
+void BM_SimplexTransportation(benchmark::State& state) {
+  const int supplies = static_cast<int>(state.range(0));
+  const int demands = supplies + 2;
+  Rng rng(7);
+  lp::LpModel model;
+  std::vector<std::vector<int>> x(supplies);
+  std::vector<std::vector<double>> cost(supplies,
+                                        std::vector<double>(demands));
+  for (int i = 0; i < supplies; ++i) {
+    for (int j = 0; j < demands; ++j) {
+      cost[i][j] = rng.Uniform(1.0, 9.0);
+      x[i].push_back(model.AddVariable(0, lp::kInfinity, cost[i][j]));
+    }
+  }
+  for (int i = 0; i < supplies; ++i) {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < demands; ++j) row.push_back({x[i][j], 1.0});
+    model.AddConstraint(std::move(row), lp::Sense::kLe, 10.0 + i);
+  }
+  for (int j = 0; j < demands; ++j) {
+    std::vector<std::pair<int, double>> row;
+    for (int i = 0; i < supplies; ++i) row.push_back({x[i][j], 1.0});
+    model.AddConstraint(std::move(row), lp::Sense::kEq, 5.0);
+  }
+  for (auto _ : state) {
+    auto res = lp::SimplexSolver::Solve(model);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_SimplexTransportation)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BranchAndBoundKnapsack(benchmark::State& state) {
+  const int items = static_cast<int>(state.range(0));
+  Rng rng(3);
+  milp::MilpModel model;
+  model.set_objective_sense(lp::ObjSense::kMaximize);
+  std::vector<std::pair<int, double>> row;
+  for (int i = 0; i < items; ++i) {
+    int x = model.AddBinary(rng.Uniform(5.0, 20.0));
+    row.push_back({x, rng.Uniform(1.0, 8.0)});
+  }
+  model.AddConstraint(std::move(row), lp::Sense::kLe, items * 1.5);
+  for (auto _ : state) {
+    auto res = milp::BranchAndBoundSolver::Solve(model);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_BranchAndBoundKnapsack)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_GraphPartitioner(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<graph::Edge> edges;
+  for (int v = 0; v < n; ++v) {
+    for (int k = 0; k < 4; ++k) {
+      int u = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+      if (u != v) edges.push_back({v, u, 1.0 + rng.NextDouble()});
+    }
+  }
+  graph::Graph g = graph::Graph::FromEdges(n, edges);
+  graph::PartitionOptions opts;
+  opts.num_parts = 8;
+  for (auto _ : state) {
+    auto res = graph::PartitionGraph(g, opts);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_GraphPartitioner)->Arg(200)->Arg(800)->Arg(2000);
+
+void BM_LocalSearchRebalance(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  workload::SyntheticOptions wopts;
+  wopts.nodes = nodes;
+  wopts.key_groups = nodes * 20;
+  wopts.operators = std::max(1, nodes / 2);
+  wopts.varies = 50.0;
+  workload::SyntheticScenario s = workload::BuildSyntheticScenario(wopts);
+  engine::SystemSnapshot snap;
+  snap.topology = &s.topology;
+  snap.cluster = &s.cluster;
+  snap.assignment = s.assignment;
+  snap.group_loads = s.group_loads;
+  snap.migration_costs.assign(s.group_loads.size(), 1.0);
+  balance::RebalanceConstraints cons;
+  cons.max_migrations = 20;
+  for (auto _ : state) {
+    balance::LocalSearchOptions opts;
+    opts.time_budget_ms = 5.0;
+    auto res = balance::LocalSearchSolver::Solve(
+        snap, balance::ItemsFromGroups(snap), cons, opts);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_LocalSearchRebalance)->Arg(20)->Arg(40)->Arg(60);
+
+}  // namespace
+}  // namespace albic
+
+BENCHMARK_MAIN();

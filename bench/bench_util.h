@@ -1,0 +1,62 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction bench binaries.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/assignment.h"
+#include "engine/load_model.h"
+#include "engine/migration.h"
+#include "engine/snapshot.h"
+#include "workload/synthetic.h"
+
+namespace albic::bench {
+
+/// Integer knob from the environment (for scaling benches up/down).
+inline int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+
+inline double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : def;
+}
+
+/// Builds the controller snapshot for a synthetic solver scenario.
+inline engine::SystemSnapshot SnapshotFrom(
+    const workload::SyntheticScenario& s,
+    const engine::MigrationCostModel& mig = engine::MigrationCostModel()) {
+  engine::SystemSnapshot snap;
+  snap.topology = &s.topology;
+  snap.cluster = &s.cluster;
+  snap.assignment = s.assignment;
+  snap.group_loads = s.group_loads;
+  snap.migration_costs = engine::AllMigrationCosts(s.topology, mig);
+  snap.node_loads.assign(
+      static_cast<size_t>(s.cluster.num_nodes_total()), 0.0);
+  for (engine::KeyGroupId g = 0; g < s.assignment.num_groups(); ++g) {
+    const engine::NodeId n = s.assignment.node_of(g);
+    if (n != engine::kInvalidNode) {
+      snap.node_loads[n] += s.group_loads[g] / s.cluster.capacity(n);
+    }
+  }
+  return snap;
+}
+
+/// Load distance an assignment achieves under the snapshot's group loads.
+inline double DistanceOf(const engine::SystemSnapshot& snap,
+                         const engine::Assignment& assignment) {
+  std::vector<double> loads(snap.cluster->num_nodes_total(), 0.0);
+  for (engine::KeyGroupId g = 0; g < assignment.num_groups(); ++g) {
+    const engine::NodeId n = assignment.node_of(g);
+    if (n != engine::kInvalidNode) {
+      loads[n] += snap.group_loads[g] / snap.cluster->capacity(n);
+    }
+  }
+  return engine::LoadDistance(loads, *snap.cluster);
+}
+
+}  // namespace albic::bench

@@ -1,0 +1,88 @@
+#pragma once
+
+// Shared runner for the Real Job 2-4 figures (12-14): ALBIC vs COLA over
+// the Airline workload, reporting the paper's four per-period series.
+
+#include <cstdio>
+
+#include "bench/albic_cola_common.h"
+#include "common/table_printer.h"
+#include "workload/airline.h"
+
+namespace albic::bench {
+
+struct RealJobResult {
+  AlbicColaSeries albic;
+  AlbicColaSeries cola;
+};
+
+inline RealJobResult RunRealJob(int job, int periods, double cola_rate_scale,
+                                int max_migrations = 10) {
+  workload::AirlineOptions wopts;
+  wopts.job = job;
+  wopts.nodes = 20;
+  wopts.groups_per_node = 5;
+  wopts.seed = 12000 + job;
+
+  RealJobResult result;
+  {
+    workload::AirlineWorkload wl(wopts);
+    auto albic_opt = MakeAlbic(wopts.seed);
+    result.albic = RunAlbicColaDriver(
+        &wl, wl.topology(), wl.MakeCluster(),
+        wl.MakeAdversarialAssignment(), albic_opt.get(), periods,
+        max_migrations, wl.max_collocatable_fraction());
+  }
+  {
+    workload::AirlineOptions copts_w = wopts;
+    copts_w.rate_scale = cola_rate_scale;  // Fig 13 halves COLA's input
+    workload::AirlineWorkload wl(copts_w);
+    balance::ColaOptions copts;
+    copts.seed = wopts.seed ^ 0xc01a;
+    balance::ColaRebalancer cola(copts);
+    result.cola = RunAlbicColaDriver(
+        &wl, wl.topology(), wl.MakeCluster(),
+        wl.MakeAdversarialAssignment(), &cola, periods, max_migrations,
+        wl.max_collocatable_fraction());
+  }
+  return result;
+}
+
+inline void PrintRealJobSeries(const char* figure, int job,
+                               const RealJobResult& result, int periods) {
+  std::printf(
+      "%s: Real Job %d (Airline On-Time), 20 nodes\n"
+      "(collocation factor plotted raw, as in the paper: it saturates at "
+      "the job's obtainable share of traffic)\n\n",
+      figure, job);
+  TablePrinter table({"period", "Colloc(ALBIC)", "Colloc(COLA)",
+                      "LoadDist(ALBIC)", "LoadDist(COLA)",
+                      "LoadIdx(ALBIC)", "LoadIdx(COLA)", "Migr(ALBIC)",
+                      "Migr(COLA)"});
+  for (int p = 0; p < periods; ++p) {
+    table.AddDoubleRow(
+        {static_cast<double>(p), result.albic.raw_collocation[p],
+         result.cola.raw_collocation[p], result.albic.load_distance[p],
+         result.cola.load_distance[p], result.albic.load_index[p],
+         result.cola.load_index[p],
+         static_cast<double>(result.albic.migrations[p]),
+         static_cast<double>(result.cola.migrations[p])},
+        1);
+  }
+  table.Print();
+
+  double albic_migr = 0, cola_migr = 0;
+  for (int m : result.albic.migrations) albic_migr += m;
+  for (int m : result.cola.migrations) cola_migr += m;
+  std::printf(
+      "\nsummary: ALBIC final collocation %.1f%%, final load index %.1f%%, "
+      "mean distance %.2f, avg migrations/SPL %.1f\n"
+      "         COLA  final collocation %.1f%%, final load index %.1f%%, "
+      "mean distance %.2f, avg migrations/SPL %.1f\n",
+      result.albic.FinalCollocation(), result.albic.load_index.back(),
+      result.albic.MeanDistance(), albic_migr / periods,
+      result.cola.FinalCollocation(), result.cola.load_index.back(),
+      result.cola.MeanDistance(), cola_migr / periods);
+}
+
+}  // namespace albic::bench

@@ -1,0 +1,60 @@
+#include "balance/balance_item.h"
+
+#include <map>
+
+namespace albic::balance {
+
+std::vector<BalanceItem> ItemsFromGroups(const engine::SystemSnapshot& snap) {
+  std::vector<BalanceItem> items;
+  const int n = snap.topology->num_key_groups();
+  items.reserve(static_cast<size_t>(n));
+  for (engine::KeyGroupId g = 0; g < n; ++g) {
+    BalanceItem item;
+    item.groups = {g};
+    item.load = snap.group_loads[g];
+    if (!snap.group_secondary_loads.empty()) {
+      item.secondary_load = snap.group_secondary_loads[g];
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+double ItemMoveCost(const BalanceItem& item, engine::NodeId node,
+                    const engine::Assignment& current,
+                    const std::vector<double>& group_costs) {
+  double cost = 0.0;
+  for (engine::KeyGroupId g : item.groups) {
+    if (current.node_of(g) != node) cost += group_costs[g];
+  }
+  return cost;
+}
+
+int ItemMoveCount(const BalanceItem& item, engine::NodeId node,
+                  const engine::Assignment& current) {
+  int c = 0;
+  for (engine::KeyGroupId g : item.groups) {
+    if (current.node_of(g) != node) ++c;
+  }
+  return c;
+}
+
+engine::NodeId ItemHomeNode(const BalanceItem& item,
+                            const engine::Assignment& current,
+                            const std::vector<double>& group_loads) {
+  std::map<engine::NodeId, double> weight;
+  for (engine::KeyGroupId g : item.groups) {
+    weight[current.node_of(g)] += group_loads[g] + 1e-9;
+  }
+  engine::NodeId best = engine::kInvalidNode;
+  double best_w = -1.0;
+  for (const auto& [n, w] : weight) {
+    if (w > best_w) {
+      best_w = w;
+      best = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace albic::balance

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "engine/snapshot.h"
+#include "engine/types.h"
+
+namespace albic::balance {
+
+/// \brief The unit of placement seen by the MILP / local-search solvers.
+///
+/// For plain MILP balancing each item is a single key group; ALBIC builds
+/// multi-group items (its collocation partitions, §4.3.2 step 2), which are
+/// then migrated as indivisible units, and may pin items to nodes (step 3's
+/// added constraints).
+struct BalanceItem {
+  std::vector<engine::KeyGroupId> groups;
+  double load = 0.0;  ///< Sum of gLoad over the item's groups (%).
+  /// Sum of the item's secondary-resource load (multi-dimensional
+  /// extension, §4.3.1); 0 when untracked.
+  double secondary_load = 0.0;
+  /// If set, the solver must place the item on this node.
+  engine::NodeId pinned = engine::kInvalidNode;
+};
+
+/// \brief Builds one item per key group from a snapshot.
+std::vector<BalanceItem> ItemsFromGroups(const engine::SystemSnapshot& snap);
+
+/// \brief Migration cost of placing \p item on \p node given current
+/// positions and per-group costs: groups already on \p node are free.
+double ItemMoveCost(const BalanceItem& item, engine::NodeId node,
+                    const engine::Assignment& current,
+                    const std::vector<double>& group_costs);
+
+/// \brief Number of key groups that would migrate if \p item is placed on
+/// \p node.
+int ItemMoveCount(const BalanceItem& item, engine::NodeId node,
+                  const engine::Assignment& current);
+
+/// \brief The node currently holding the plurality of the item's load; used
+/// as the item's "current" position when its groups are scattered.
+engine::NodeId ItemHomeNode(const BalanceItem& item,
+                            const engine::Assignment& current,
+                            const std::vector<double>& group_loads);
+
+}  // namespace albic::balance

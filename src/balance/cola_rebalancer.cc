@@ -1,0 +1,112 @@
+#include "balance/cola_rebalancer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/partitioner.h"
+
+namespace albic::balance {
+
+namespace {
+using engine::KeyGroupId;
+using engine::NodeId;
+}  // namespace
+
+ColaRebalancer::ColaRebalancer(ColaOptions options) : options_(options) {}
+
+Result<RebalancePlan> ColaRebalancer::ComputePlan(
+    const engine::SystemSnapshot& snapshot,
+    const RebalanceConstraints& /*constraints*/) {
+  // COLA is a static optimizer: it ignores both the current allocation and
+  // the migration budget (the paper's Figs 12-13 lower the input rate for
+  // COLA because of exactly this).
+  if (snapshot.cluster == nullptr || snapshot.topology == nullptr) {
+    return Status::InvalidArgument("snapshot missing cluster or topology");
+  }
+  const std::vector<NodeId> retained = snapshot.cluster->retained_nodes();
+  if (retained.empty()) {
+    return Status::InvalidArgument("no retained nodes");
+  }
+  const int num_groups = snapshot.topology->num_key_groups();
+
+  // Key-group graph: vertices weighted by gLoad, edges by comm rate.
+  std::vector<graph::Edge> edges;
+  if (snapshot.comm != nullptr) {
+    for (KeyGroupId g = 0; g < snapshot.comm->num_groups(); ++g) {
+      for (const engine::CommMatrix::Entry& e : snapshot.comm->row(g)) {
+        if (e.rate > 0.0) edges.push_back({g, e.to, e.rate});
+      }
+    }
+  }
+  std::vector<double> vweights(snapshot.group_loads.begin(),
+                               snapshot.group_loads.end());
+  // The partitioner needs positive weights to balance on.
+  for (double& w : vweights) w = std::max(w, 1e-6);
+  graph::Graph kg_graph =
+      graph::Graph::FromEdges(num_groups, edges, std::move(vweights));
+
+  const double total_load =
+      std::accumulate(snapshot.group_loads.begin(),
+                      snapshot.group_loads.end(), 0.0);
+  const double mean = total_load / static_cast<double>(retained.size());
+
+  engine::Assignment best_assignment(num_groups);
+  double best_distance = std::numeric_limits<double>::infinity();
+
+  int parts = static_cast<int>(retained.size());
+  const int max_parts = std::max(num_groups, parts);
+  for (int round = 0; round < 16; ++round) {
+    graph::PartitionOptions popt;
+    popt.num_parts = parts;
+    popt.imbalance = options_.partition_imbalance;
+    popt.seed = options_.seed + invocation_ * 101 + round;
+    auto part_res = graph::PartitionGraph(kg_graph, popt);
+    if (!part_res.ok()) return part_res.status();
+
+    // LPT: heaviest part to the currently least-loaded node.
+    std::vector<int> order(parts);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return part_res->part_weights[a] > part_res->part_weights[b];
+    });
+    std::vector<double> node_load(snapshot.cluster->num_nodes_total(), 0.0);
+    std::vector<NodeId> part_node(parts);
+    for (int p : order) {
+      NodeId target = retained.front();
+      for (NodeId n : retained) {
+        if (node_load[n] < node_load[target]) target = n;
+      }
+      part_node[p] = target;
+      node_load[target] +=
+          part_res->part_weights[p] / snapshot.cluster->capacity(target);
+    }
+
+    engine::Assignment assignment(num_groups);
+    for (KeyGroupId g = 0; g < num_groups; ++g) {
+      assignment.set_node(g, part_node[part_res->assignment[g]]);
+    }
+    double distance = 0.0;
+    for (NodeId n : retained) {
+      distance = std::max(distance, std::fabs(node_load[n] - mean));
+    }
+    if (distance < best_distance) {
+      best_distance = distance;
+      best_assignment = assignment;
+    }
+    if (best_distance <= options_.target_load_distance) break;
+    const int next = std::max(
+        parts + 1, static_cast<int>(std::ceil(parts * options_.split_factor)));
+    if (parts >= max_parts) break;
+    parts = std::min(next, max_parts);
+  }
+  ++invocation_;
+
+  RebalancePlan plan;
+  plan.assignment = best_assignment;
+  plan.migrations = snapshot.assignment.DiffTo(best_assignment);
+  plan.predicted_load_distance = best_distance;
+  return plan;
+}
+
+}  // namespace albic::balance

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "balance/rebalancer.h"
+
+namespace albic::balance {
+
+/// \brief Options for the COLA baseline.
+struct ColaOptions {
+  /// COLA splits partitions until the allocation's load distance is below
+  /// this (the paper's "sufficient load balance").
+  double target_load_distance = 10.0;
+  /// Imbalance tolerance handed to the balanced graph partitioner.
+  double partition_imbalance = 0.05;
+  /// Split factor applied to the partition count when balance is
+  /// insufficient.
+  double split_factor = 1.5;
+  uint64_t seed = 42;
+};
+
+/// \brief COLA (Khandekar et al., Middleware'09; §2.1 of the paper): static
+/// allocation via balanced graph partitioning.
+///
+/// Builds the key-group graph (vertex weight = gLoad, edge weight =
+/// communication rate), partitions it into balanced parts with minimum
+/// weighted edge-cut, and maps parts to nodes longest-processing-time
+/// first. Starting from one part per node, the part count is increased until
+/// the resulting allocation is balanced enough. COLA optimizes from scratch
+/// and ignores the current allocation, so invoking it per adaptation period
+/// incurs massive migrations — exactly the behaviour Figs 12-14 show.
+class ColaRebalancer : public Rebalancer {
+ public:
+  explicit ColaRebalancer(ColaOptions options = ColaOptions());
+
+  Result<RebalancePlan> ComputePlan(
+      const engine::SystemSnapshot& snapshot,
+      const RebalanceConstraints& constraints) override;
+
+  std::string name() const override { return "cola"; }
+
+ private:
+  ColaOptions options_;
+  uint64_t invocation_ = 0;
+};
+
+}  // namespace albic::balance

@@ -1,0 +1,98 @@
+#include "balance/flux_rebalancer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace albic::balance {
+
+namespace {
+using engine::KeyGroupId;
+using engine::NodeId;
+}  // namespace
+
+Result<RebalancePlan> FluxRebalancer::ComputePlan(
+    const engine::SystemSnapshot& snapshot,
+    const RebalanceConstraints& constraints) {
+  if (snapshot.cluster == nullptr || snapshot.topology == nullptr) {
+    return Status::InvalidArgument("snapshot missing cluster or topology");
+  }
+  const std::vector<NodeId> nodes = snapshot.cluster->active_nodes();
+  if (nodes.size() < 2) {
+    RebalancePlan plan;
+    plan.assignment = snapshot.assignment;
+    return plan;
+  }
+
+  engine::Assignment assignment = snapshot.assignment;
+  std::vector<double> load(snapshot.cluster->num_nodes_total(), 0.0);
+  for (KeyGroupId g = 0; g < snapshot.topology->num_key_groups(); ++g) {
+    const NodeId n = assignment.node_of(g);
+    if (n != engine::kInvalidNode) {
+      load[n] += snapshot.group_loads[g] / snapshot.cluster->capacity(n);
+    }
+  }
+
+  int moved = 0;
+  double cost_used = 0.0;
+  auto budget_allows = [&](double cost) {
+    if (constraints.CountLimited()) {
+      return moved + 1 <= constraints.max_migrations;
+    }
+    return cost_used + cost <= constraints.max_migration_cost + 1e-12;
+  };
+
+  bool any_move = true;
+  while (any_move) {
+    any_move = false;
+    std::vector<NodeId> order = nodes;
+    std::sort(order.begin(), order.end(),
+              [&](NodeId a, NodeId b) { return load[a] > load[b]; });
+    const size_t pairs = order.size() / 2;
+    for (size_t k = 0; k < pairs; ++k) {
+      const NodeId src = order[k];
+      const NodeId dst = order[order.size() - 1 - k];
+      const double gap = load[src] - load[dst];
+      if (gap <= 1e-9) continue;
+      // Biggest suitable group: the largest whose move still decreases the
+      // pairwise imbalance (group load strictly below the gap).
+      KeyGroupId best = -1;
+      double best_load = 0.0;
+      for (KeyGroupId g = 0; g < assignment.num_groups(); ++g) {
+        if (assignment.node_of(g) != src) continue;
+        const double gl = snapshot.group_loads[g];
+        if (gl >= gap) continue;  // unsuitable: would overshoot
+        if (gl > best_load) {
+          best_load = gl;
+          best = g;
+        }
+      }
+      if (best < 0) continue;
+      const double cost = snapshot.migration_costs[best];
+      if (!budget_allows(cost)) continue;
+      assignment.set_node(best, dst);
+      load[src] -= best_load / snapshot.cluster->capacity(src);
+      load[dst] += best_load / snapshot.cluster->capacity(dst);
+      ++moved;
+      cost_used += cost;
+      any_move = true;
+    }
+  }
+
+  RebalancePlan plan;
+  plan.assignment = assignment;
+  plan.migrations = snapshot.assignment.DiffTo(assignment);
+  // Predicted distance with the paper's metric (mean over retained).
+  const std::vector<NodeId> retained = snapshot.cluster->retained_nodes();
+  double total = 0.0;
+  for (NodeId n : nodes) total += load[n];
+  const double mean =
+      retained.empty() ? 0.0 : total / static_cast<double>(retained.size());
+  for (NodeId n : retained) {
+    plan.predicted_load_distance =
+        std::max(plan.predicted_load_distance, std::fabs(load[n] - mean));
+  }
+  return plan;
+}
+
+}  // namespace albic::balance

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "balance/rebalancer.h"
+
+namespace albic::balance {
+
+/// \brief The Flux adaptive-partitioning baseline (Shah et al., ICDE'03; as
+/// summarized in §2.2 of the paper).
+///
+/// Each adaptation period: nodes are sorted by decreasing load; the biggest
+/// *suitable* key group on the most loaded node is moved to the least
+/// loaded node (suitable = the move decreases load variance, i.e. the group
+/// is smaller than the load gap); then the 2nd most loaded pairs with the
+/// 2nd least loaded, and so on, repeating sweeps until the migration budget
+/// is exhausted or no suitable move exists.
+///
+/// Flux has no notion of scale-in (nodes marked for removal) or collocation;
+/// it is the paper's pure load-balancing comparison point (Figs 2-4, 6-7).
+class FluxRebalancer : public Rebalancer {
+ public:
+  FluxRebalancer() = default;
+
+  Result<RebalancePlan> ComputePlan(
+      const engine::SystemSnapshot& snapshot,
+      const RebalanceConstraints& constraints) override;
+
+  std::string name() const override { return "flux"; }
+};
+
+}  // namespace albic::balance

@@ -1,0 +1,408 @@
+#include "balance/local_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace albic::balance {
+
+namespace {
+
+using engine::KeyGroupId;
+using engine::NodeId;
+
+constexpr double kEps = 1e-9;
+
+/// Mutable search state over items and nodes.
+class Search {
+ public:
+  Search(const engine::SystemSnapshot& snap,
+         const std::vector<BalanceItem>& items,
+         const RebalanceConstraints& constraints,
+         const LocalSearchOptions& options)
+      : snap_(snap),
+        items_(items),
+        constraints_(constraints),
+        rng_(options.seed),
+        deadline_(std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          options.time_budget_ms))),
+        kick_fraction_(options.kick_fraction) {
+    retained_ = snap.cluster->retained_nodes();
+    marked_ = snap.cluster->marked_nodes();
+    const int num_nodes = snap.cluster->num_nodes_total();
+    node_load_.assign(num_nodes, 0.0);
+    node_secondary_.assign(num_nodes, 0.0);
+    item_node_.assign(items.size(), engine::kInvalidNode);
+
+    // Initial placement: pinned items at their pin, everything else at its
+    // home node (falling back to the emptiest retained node if the home is
+    // gone).
+    for (size_t i = 0; i < items.size(); ++i) {
+      NodeId n = items[i].pinned != engine::kInvalidNode
+                     ? items[i].pinned
+                     : ItemHomeNode(items[i], snap.assignment,
+                                    snap.group_loads);
+      if (n == engine::kInvalidNode || !snap.cluster->is_active(n)) {
+        n = EmptiestRetained();
+      }
+      Place(static_cast<int>(i), n);
+    }
+  }
+
+  bool TimeLeft() const {
+    return std::chrono::steady_clock::now() < deadline_;
+  }
+
+  /// The paper's objective, lexicographically: minimize the load distance
+  /// d = max_{n in A} |load_n - mean| with mean = (1/|A|) sum over ALL of N
+  /// (Table 2), then the sum of squared deviations over A (a smooth stand-in
+  /// for maximizing du + dl). Draining B is NOT a separate goal: because B's
+  /// load inflates the mean while B is excluded from the deviations, the
+  /// optimum only exists with B empty (Lemma 2), so drain moves fall out of
+  /// d/ssq minimization — interleaved with urgent overload fixes, which is
+  /// precisely the "integrated" behaviour Fig 5 measures. Moves INTO marked
+  /// nodes are never generated (Lemma 1 holds structurally).
+  struct Objective {
+    double drain = 0.0;  ///< Residual load on B (reported, not optimized).
+    double distance = 0.0;
+    double ssq = 0.0;
+
+    bool BetterThan(const Objective& o) const {
+      if (distance < o.distance - kEps) return true;
+      if (distance > o.distance + kEps) return false;
+      return ssq < o.ssq - kEps;
+    }
+  };
+
+  Objective Evaluate() const {
+    Objective obj;
+    double total = 0.0;
+    for (NodeId n : retained_) total += node_load_[n];
+    for (NodeId n : marked_) {
+      total += node_load_[n];
+      obj.drain += node_load_[n];
+    }
+    const double mean = total / static_cast<double>(retained_.size());
+    for (NodeId n : retained_) {
+      const double dev = node_load_[n] - mean;
+      obj.distance = std::max(obj.distance, std::fabs(dev));
+      obj.ssq += dev * dev;
+    }
+    return obj;
+  }
+
+  // Applies the whole pipeline; returns the final solution.
+  LocalSearchSolution Run() {
+    Objective best_obj = Evaluate();
+    std::vector<NodeId> best_placement = item_node_;
+    double best_cost = used_cost_;
+    int best_count = used_count_;
+
+    bool first_pass = true;
+    while (first_pass || TimeLeft()) {
+      first_pass = false;
+      // Greedy single-move improvement to a local optimum.
+      while (ImproveOnce() && TimeLeft()) {
+      }
+      // Swap refinement (helps when the budget or granularity blocks single
+      // moves).
+      while (SwapOnce() && TimeLeft()) {
+        while (ImproveOnce() && TimeLeft()) {
+        }
+      }
+      Objective obj = Evaluate();
+      if (obj.BetterThan(best_obj)) {
+        best_obj = obj;
+        best_placement = item_node_;
+        best_cost = used_cost_;
+        best_count = used_count_;
+      } else {
+        // Restore the best known before kicking again.
+        Restore(best_placement);
+      }
+      if (!TimeLeft()) break;
+      Kick();
+    }
+
+    Restore(best_placement);
+    LocalSearchSolution out;
+    out.item_node = item_node_;
+    out.load_distance = best_obj.distance;
+    out.drain_load = best_obj.drain;
+    out.used_cost = best_cost;
+    out.used_count = best_count;
+    out.iterations = accepted_moves_;
+    return out;
+  }
+
+ private:
+  NodeId EmptiestRetained() const {
+    NodeId best = retained_.front();
+    for (NodeId n : retained_) {
+      if (node_load_[n] < node_load_[best]) best = n;
+    }
+    return best;
+  }
+
+  double LoadOn(NodeId n, double item_load) const {
+    return item_load / snap_.cluster->capacity(n);
+  }
+
+  // Initial placement (no budget accounting for items already home).
+  void Place(int item, NodeId n) {
+    item_node_[item] = n;
+    node_load_[n] += LoadOn(n, items_[item].load);
+    node_secondary_[n] += items_[item].secondary_load;
+    used_cost_ += ItemMoveCost(items_[item], n, snap_.assignment,
+                               snap_.migration_costs);
+    used_count_ += ItemMoveCount(items_[item], n, snap_.assignment);
+  }
+
+  bool BudgetAllows(double cost_delta, int count_delta) const {
+    if (constraints_.CountLimited()) {
+      return used_count_ + count_delta <= constraints_.max_migrations;
+    }
+    return used_cost_ + cost_delta <=
+           constraints_.max_migration_cost + kEps;
+  }
+
+  // Multi-dimensional extension (§4.3.1): a move may not push the target
+  // node's secondary-resource usage past the cap.
+  bool SecondaryAllows(int item, NodeId to) const {
+    if (!constraints_.SecondaryLimited()) return true;
+    return node_secondary_[to] + items_[item].secondary_load <=
+           constraints_.max_secondary_per_node + kEps;
+  }
+
+  // Moves item to node n, updating budget accounting.
+  void Apply(int item, NodeId n) {
+    const NodeId cur = item_node_[item];
+    if (cur == n) return;
+    node_load_[cur] -= LoadOn(cur, items_[item].load);
+    node_load_[n] += LoadOn(n, items_[item].load);
+    node_secondary_[cur] -= items_[item].secondary_load;
+    node_secondary_[n] += items_[item].secondary_load;
+    used_cost_ += ItemMoveCost(items_[item], n, snap_.assignment,
+                               snap_.migration_costs) -
+                  ItemMoveCost(items_[item], cur, snap_.assignment,
+                               snap_.migration_costs);
+    used_count_ += ItemMoveCount(items_[item], n, snap_.assignment) -
+                   ItemMoveCount(items_[item], cur, snap_.assignment);
+    item_node_[item] = n;
+    ++accepted_moves_;
+  }
+
+  void Restore(const std::vector<NodeId>& placement) {
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (item_node_[i] != placement[i]) Apply(static_cast<int>(i),
+                                               placement[i]);
+    }
+  }
+
+  struct MoveDelta {
+    double cost;
+    int count;
+  };
+  MoveDelta DeltaFor(int item, NodeId to) const {
+    const NodeId cur = item_node_[item];
+    return {ItemMoveCost(items_[item], to, snap_.assignment,
+                         snap_.migration_costs) -
+                ItemMoveCost(items_[item], cur, snap_.assignment,
+                             snap_.migration_costs),
+            ItemMoveCount(items_[item], to, snap_.assignment) -
+                ItemMoveCount(items_[item], cur, snap_.assignment)};
+  }
+
+  // Source nodes worth moving load away from: all of B (drain), plus the
+  // most loaded retained nodes.
+  std::vector<NodeId> SourceNodes() const {
+    std::vector<NodeId> sources = marked_;
+    std::vector<NodeId> by_load = retained_;
+    std::sort(by_load.begin(), by_load.end(), [&](NodeId a, NodeId b) {
+      return node_load_[a] > node_load_[b];
+    });
+    const size_t top = std::min<size_t>(4, by_load.size());
+    sources.insert(sources.end(), by_load.begin(), by_load.begin() + top);
+    return sources;
+  }
+
+  std::vector<NodeId> DestNodes() const {
+    std::vector<NodeId> by_load = retained_;
+    std::sort(by_load.begin(), by_load.end(), [&](NodeId a, NodeId b) {
+      return node_load_[a] < node_load_[b];
+    });
+    if (by_load.size() > 6) by_load.resize(6);
+    return by_load;
+  }
+
+  // One best-improvement single-item move. Returns true if a move was made.
+  bool ImproveOnce() {
+    const Objective base = Evaluate();
+    int best_item = -1;
+    NodeId best_to = engine::kInvalidNode;
+    Objective best_obj = base;
+
+    for (NodeId src : SourceNodes()) {
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (item_node_[i] != src) continue;
+        if (items_[i].pinned != engine::kInvalidNode) continue;
+        for (NodeId dst : DestNodes()) {
+          if (dst == src) continue;
+          if (!SecondaryAllows(static_cast<int>(i), dst)) continue;
+          MoveDelta delta = DeltaFor(static_cast<int>(i), dst);
+          if (!BudgetAllows(delta.cost, delta.count)) continue;
+          // Tentatively apply.
+          const NodeId cur = item_node_[i];
+          node_load_[cur] -= LoadOn(cur, items_[i].load);
+          node_load_[dst] += LoadOn(dst, items_[i].load);
+          Objective obj = Evaluate();
+          node_load_[dst] -= LoadOn(dst, items_[i].load);
+          node_load_[cur] += LoadOn(cur, items_[i].load);
+          if (obj.BetterThan(best_obj)) {
+            best_obj = obj;
+            best_item = static_cast<int>(i);
+            best_to = dst;
+          }
+        }
+      }
+    }
+    if (best_item < 0) return false;
+    Apply(best_item, best_to);
+    return true;
+  }
+
+  // One best-improvement swap between a loaded and an unloaded node.
+  bool SwapOnce() {
+    const Objective base = Evaluate();
+    std::vector<NodeId> by_load = retained_;
+    std::sort(by_load.begin(), by_load.end(), [&](NodeId a, NodeId b) {
+      return node_load_[a] > node_load_[b];
+    });
+    if (by_load.size() < 2) return false;
+
+    const size_t top = std::min<size_t>(2, by_load.size());
+    int best_a = -1, best_b = -1;
+    Objective best_obj = base;
+    for (size_t hi = 0; hi < top; ++hi) {
+      const NodeId src = by_load[hi];
+      for (size_t lo = 0; lo < top; ++lo) {
+        const NodeId dst = by_load[by_load.size() - 1 - lo];
+        if (src == dst) continue;
+        for (size_t a = 0; a < items_.size(); ++a) {
+          if (item_node_[a] != src ||
+              items_[a].pinned != engine::kInvalidNode) {
+            continue;
+          }
+          for (size_t b = 0; b < items_.size(); ++b) {
+            if (item_node_[b] != dst ||
+                items_[b].pinned != engine::kInvalidNode) {
+              continue;
+            }
+            MoveDelta da = DeltaFor(static_cast<int>(a), dst);
+            MoveDelta db = DeltaFor(static_cast<int>(b), src);
+            if (!BudgetAllows(da.cost + db.cost, da.count + db.count)) {
+              continue;
+            }
+            if (constraints_.SecondaryLimited()) {
+              const double sec_src = node_secondary_[src] -
+                                     items_[a].secondary_load +
+                                     items_[b].secondary_load;
+              const double sec_dst = node_secondary_[dst] -
+                                     items_[b].secondary_load +
+                                     items_[a].secondary_load;
+              if (sec_src > constraints_.max_secondary_per_node + kEps ||
+                  sec_dst > constraints_.max_secondary_per_node + kEps) {
+                continue;
+              }
+            }
+            // Tentative double apply.
+            node_load_[src] +=
+                LoadOn(src, items_[b].load - items_[a].load);
+            node_load_[dst] +=
+                LoadOn(dst, items_[a].load - items_[b].load);
+            Objective obj = Evaluate();
+            node_load_[src] -=
+                LoadOn(src, items_[b].load - items_[a].load);
+            node_load_[dst] -=
+                LoadOn(dst, items_[a].load - items_[b].load);
+            if (obj.BetterThan(best_obj)) {
+              best_obj = obj;
+              best_a = static_cast<int>(a);
+              best_b = static_cast<int>(b);
+            }
+          }
+        }
+      }
+    }
+    if (best_a < 0) return false;
+    const NodeId na = item_node_[best_a];
+    const NodeId nb = item_node_[best_b];
+    Apply(best_a, nb);
+    Apply(best_b, na);
+    return true;
+  }
+
+  // Perturbation: move a few random items to random retained nodes (budget
+  // permitting) to escape local optima; the caller keeps the best solution.
+  void Kick() {
+    const int kicks = std::max<int>(
+        1, static_cast<int>(kick_fraction_ * static_cast<double>(
+                                items_.size())));
+    for (int k = 0; k < kicks; ++k) {
+      const int item = static_cast<int>(rng_.Index(items_.size()));
+      if (items_[item].pinned != engine::kInvalidNode) continue;
+      const NodeId dst = retained_[rng_.Index(retained_.size())];
+      if (!SecondaryAllows(item, dst)) continue;
+      MoveDelta d = DeltaFor(item, dst);
+      if (!BudgetAllows(d.cost, d.count)) continue;
+      Apply(item, dst);
+    }
+  }
+
+  const engine::SystemSnapshot& snap_;
+  const std::vector<BalanceItem>& items_;
+  const RebalanceConstraints& constraints_;
+  Rng rng_;
+  std::chrono::steady_clock::time_point deadline_;
+  double kick_fraction_;
+
+  std::vector<NodeId> retained_;
+  std::vector<NodeId> marked_;
+  std::vector<double> node_load_;
+  std::vector<double> node_secondary_;
+  std::vector<NodeId> item_node_;
+  double used_cost_ = 0.0;
+  int used_count_ = 0;
+  int accepted_moves_ = 0;
+};
+
+}  // namespace
+
+Result<LocalSearchSolution> LocalSearchSolver::Solve(
+    const engine::SystemSnapshot& snapshot,
+    const std::vector<BalanceItem>& items,
+    const RebalanceConstraints& constraints,
+    const LocalSearchOptions& options) {
+  if (snapshot.cluster == nullptr || snapshot.topology == nullptr) {
+    return Status::InvalidArgument("snapshot missing cluster or topology");
+  }
+  if (snapshot.cluster->retained_nodes().empty()) {
+    return Status::InvalidArgument("no retained nodes to balance over");
+  }
+  for (const BalanceItem& item : items) {
+    if (item.pinned != engine::kInvalidNode &&
+        !snapshot.cluster->is_active(item.pinned)) {
+      return Status::InvalidArgument("item pinned to inactive node");
+    }
+  }
+  Search search(snapshot, items, constraints, options);
+  return search.Run();
+}
+
+}  // namespace albic::balance

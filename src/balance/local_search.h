@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "balance/balance_item.h"
+#include "balance/rebalancer.h"
+#include "common/result.h"
+
+namespace albic::balance {
+
+/// \brief Options for the anytime assignment local search.
+struct LocalSearchOptions {
+  /// Wall-clock budget. The search runs greedy improvement, then swap
+  /// refinement, then perturb-and-reoptimize rounds until the budget is
+  /// exhausted — solution quality improves monotonically with budget,
+  /// mirroring the paper's CPLEX quality-vs-time curves (Figs 2-4).
+  double time_budget_ms = 10.0;
+  uint64_t seed = 42;
+  /// Perturbation strength for the kick phase (fraction of items).
+  double kick_fraction = 0.02;
+};
+
+/// \brief Outcome of a local-search solve.
+struct LocalSearchSolution {
+  std::vector<engine::NodeId> item_node;  ///< Placement per item.
+  double load_distance = 0.0;  ///< max_{n in A} |load_n - mean|.
+  double drain_load = 0.0;     ///< Residual load on nodes marked for removal.
+  double used_cost = 0.0;      ///< Migration cost consumed.
+  int used_count = 0;          ///< Key groups migrated.
+  int iterations = 0;          ///< Accepted moves.
+};
+
+/// \brief Anytime local search for the integrated balancing objective.
+///
+/// Optimizes the paper's MILP objective lexicographically — first drain
+/// nodes marked for removal (Lemmas 1-2 guarantee the true MILP does the
+/// same), then minimize load distance, then the sum of squared deviations
+/// (a smooth stand-in for maximizing du + dl tightness) — subject to the
+/// migration budget. Items are atomic; pinned items are placed first and
+/// never moved (ALBIC's collocation constraints).
+class LocalSearchSolver {
+ public:
+  /// \brief Solves the placement problem. `snapshot` supplies the cluster,
+  /// the current assignment q and per-group migration costs.
+  static Result<LocalSearchSolution> Solve(
+      const engine::SystemSnapshot& snapshot,
+      const std::vector<BalanceItem>& items,
+      const RebalanceConstraints& constraints,
+      const LocalSearchOptions& options);
+};
+
+}  // namespace albic::balance

@@ -1,0 +1,76 @@
+#include "balance/non_integrated.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace albic::balance {
+
+namespace {
+using engine::KeyGroupId;
+using engine::NodeId;
+}  // namespace
+
+NonIntegratedRebalancer::NonIntegratedRebalancer(
+    std::unique_ptr<Rebalancer> delegate)
+    : delegate_(std::move(delegate)) {}
+
+Result<RebalancePlan> NonIntegratedRebalancer::ComputePlan(
+    const engine::SystemSnapshot& snapshot,
+    const RebalanceConstraints& constraints) {
+  const std::vector<NodeId> marked = snapshot.cluster->marked_nodes();
+  bool draining = false;
+  for (NodeId n : marked) {
+    if (snapshot.assignment.count_on(n) > 0) draining = true;
+  }
+  if (!draining) {
+    return delegate_->ComputePlan(snapshot, constraints);
+  }
+
+  // Drain phase: move groups off marked nodes round-robin over retained
+  // nodes (by even counts), up to the budget. No load awareness.
+  const std::vector<NodeId> retained = snapshot.cluster->retained_nodes();
+  if (retained.empty()) {
+    return Status::InvalidArgument("no retained nodes to drain into");
+  }
+  engine::Assignment assignment = snapshot.assignment;
+  int moved = 0;
+  double cost_used = 0.0;
+  size_t rr = 0;
+  for (NodeId src : marked) {
+    for (KeyGroupId g = 0; g < assignment.num_groups(); ++g) {
+      if (assignment.node_of(g) != src) continue;
+      if (constraints.CountLimited()) {
+        if (moved + 1 > constraints.max_migrations) break;
+      } else if (cost_used + snapshot.migration_costs[g] >
+                 constraints.max_migration_cost + 1e-12) {
+        continue;
+      }
+      assignment.set_node(g, retained[rr % retained.size()]);
+      ++rr;
+      ++moved;
+      cost_used += snapshot.migration_costs[g];
+    }
+  }
+
+  RebalancePlan plan;
+  plan.assignment = assignment;
+  plan.migrations = snapshot.assignment.DiffTo(assignment);
+  // Predicted distance from the snapshot's group loads.
+  std::vector<double> load(snapshot.cluster->num_nodes_total(), 0.0);
+  for (KeyGroupId g = 0; g < assignment.num_groups(); ++g) {
+    const NodeId n = assignment.node_of(g);
+    if (n != engine::kInvalidNode) {
+      load[n] += snapshot.group_loads[g] / snapshot.cluster->capacity(n);
+    }
+  }
+  double total = 0.0;
+  for (NodeId n : snapshot.cluster->active_nodes()) total += load[n];
+  const double mean = total / static_cast<double>(retained.size());
+  for (NodeId n : retained) {
+    plan.predicted_load_distance =
+        std::max(plan.predicted_load_distance, std::fabs(load[n] - mean));
+  }
+  return plan;
+}
+
+}  // namespace albic::balance

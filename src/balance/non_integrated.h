@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+
+#include "balance/rebalancer.h"
+
+namespace albic::balance {
+
+/// \brief The non-integrated scale-in baseline of §5.1 / Fig 5.
+///
+/// While nodes are marked for removal, the entire migration budget is spent
+/// draining them: key groups move from marked nodes to retained nodes in
+/// round-robin (even counts), with no load awareness. Only once every marked
+/// node is empty does the wrapped load balancer run. The integrated MILP, by
+/// contrast, prioritizes urgent migrations adaptively (it may fix an
+/// overloaded node before finishing the drain) — the difference Fig 5
+/// measures.
+class NonIntegratedRebalancer : public Rebalancer {
+ public:
+  /// \brief `delegate` handles pure load balancing once scale-in completes.
+  explicit NonIntegratedRebalancer(std::unique_ptr<Rebalancer> delegate);
+
+  Result<RebalancePlan> ComputePlan(
+      const engine::SystemSnapshot& snapshot,
+      const RebalanceConstraints& constraints) override;
+
+  std::string name() const override { return "non-integrated"; }
+
+ private:
+  std::unique_ptr<Rebalancer> delegate_;
+};
+
+}  // namespace albic::balance

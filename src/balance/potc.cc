@@ -1,0 +1,88 @@
+#include "balance/potc.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace albic::balance {
+
+namespace {
+using engine::NodeId;
+}  // namespace
+
+PotcModel::PotcModel(PotcOptions options) : options_(options) {}
+
+std::vector<double> PotcModel::ComputeNodeLoads(
+    const std::vector<PotcKey>& keys, const engine::Cluster& cluster,
+    int period) const {
+  const std::vector<NodeId> nodes = cluster.retained_nodes();
+  std::vector<double> load(cluster.num_nodes_total(), 0.0);
+  if (nodes.empty()) return load;
+
+  // Greedy two-choice placement, heaviest keys first (they dominate the
+  // imbalance, processing them first is PoTC's steady-state behaviour).
+  std::vector<const PotcKey*> order;
+  order.reserve(keys.size());
+  for (const PotcKey& k : keys) order.push_back(&k);
+  std::sort(order.begin(), order.end(),
+            [](const PotcKey* a, const PotcKey* b) { return a->rate > b->rate; });
+
+  const bool merge_period =
+      options_.merge_every_periods > 0 &&
+      period % options_.merge_every_periods == 0;
+
+  // Pass 1: two-choice routing of the per-tuple work (this is the part
+  // PoTC balances well).
+  for (const PotcKey* k : order) {
+    const NodeId n1 =
+        nodes[SeededHash(k->key, options_.seed_h1) % nodes.size()];
+    const NodeId n2 =
+        nodes[SeededHash(k->key, options_.seed_h2) % nodes.size()];
+    // Both candidates carry the key's split state, costing a continuous
+    // overhead even when no balancing is needed (§2.2).
+    const double overhead = options_.split_overhead * k->rate;
+    load[n1] += overhead * 0.5;
+    load[n2] += overhead * 0.5;
+    const NodeId target =
+        load[n1] / cluster.capacity(n1) <= load[n2] / cluster.capacity(n2)
+            ? n1
+            : n2;
+    load[target] += k->rate;
+  }
+  // Pass 2: the periodic merge of each key's two partial states runs at the
+  // key's h1 worker and cannot be split or re-routed (§2.2) — the router
+  // gets no chance to compensate, which is what breaks PoTC's balance when
+  // the amount of state to merge varies across keys (Fig 6).
+  if (merge_period) {
+    for (const PotcKey* k : order) {
+      const NodeId n1 =
+          nodes[SeededHash(k->key, options_.seed_h1) % nodes.size()];
+      load[n1] += options_.merge_cost_factor * k->rate * k->state_size;
+    }
+  }
+  for (NodeId n : nodes) load[n] /= cluster.capacity(n);
+  return load;
+}
+
+std::vector<PotcKey> SplitGroupsIntoKeys(
+    const std::vector<double>& group_loads, int keys_per_group,
+    double zipf_s, uint64_t seed) {
+  ZipfSampler zipf(static_cast<size_t>(keys_per_group), zipf_s);
+  std::vector<PotcKey> keys;
+  keys.reserve(group_loads.size() * static_cast<size_t>(keys_per_group));
+  for (size_t g = 0; g < group_loads.size(); ++g) {
+    for (int k = 0; k < keys_per_group; ++k) {
+      PotcKey key;
+      key.key = MixU64(seed ^ (static_cast<uint64_t>(g) << 20) ^
+                       static_cast<uint64_t>(k));
+      key.rate = group_loads[g] * zipf.Pmf(static_cast<size_t>(k));
+      key.state_size = 1.0 + 2.0 * zipf.Pmf(static_cast<size_t>(k)) *
+                                 keys_per_group;
+      keys.push_back(key);
+    }
+  }
+  return keys;
+}
+
+}  // namespace albic::balance

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/cluster.h"
+#include "engine/types.h"
+
+namespace albic::balance {
+
+/// \brief One routable key in the PoTC model: a fine-grained unit of work
+/// below key-group granularity, with its current processing rate and state
+/// size.
+struct PotcKey {
+  uint64_t key = 0;
+  double rate = 0.0;        ///< Work (load percent) this key contributes.
+  double state_size = 1.0;  ///< Relative state size (drives merge cost).
+};
+
+/// \brief Options for the "Power of Two Choices" baseline (Nasir et al.,
+/// ICDE'15; §2.2 of the paper).
+struct PotcOptions {
+  uint64_t seed_h1 = 0x5151;
+  uint64_t seed_h2 = 0xabab;
+  /// Continuous overhead factor: extra load per unit of key rate caused by
+  /// keeping each key's state split across two workers.
+  double split_overhead = 0.05;
+  /// Merge cost factor: load added by the periodic merge step, proportional
+  /// to the key's accumulated (split) state; charged to the h1 worker only —
+  /// the merge step cannot be balanced (§2.2).
+  double merge_cost_factor = 0.08;
+  /// How often the merge runs, in statistics periods (Real Job 1 merges its
+  /// 1-minute windows every period).
+  int merge_every_periods = 1;
+};
+
+/// \brief Simulates PoTC routing for one statistics period.
+///
+/// Each key may go to one of two candidate nodes (h1/h2 of the key over the
+/// retained nodes); keys are processed in decreasing rate order and each
+/// picks the currently less-loaded candidate. Split state incurs a
+/// continuous overhead, and on merge periods the merge cost lands on the h1
+/// node, which is what makes PoTC's load distance fluctuate (Fig 6).
+class PotcModel {
+ public:
+  explicit PotcModel(PotcOptions options = PotcOptions());
+
+  /// \brief Computes per-node loads (indexed by NodeId) for one period.
+  std::vector<double> ComputeNodeLoads(const std::vector<PotcKey>& keys,
+                                       const engine::Cluster& cluster,
+                                       int period) const;
+
+ private:
+  PotcOptions options_;
+};
+
+/// \brief Splits per-key-group loads into finer PoTC-routable keys: each
+/// group contributes `keys_per_group` keys whose rates follow a Zipf law
+/// within the group. The state size of a key tracks its rate (bigger keys
+/// accumulate more window state, so their merges cost more).
+std::vector<PotcKey> SplitGroupsIntoKeys(
+    const std::vector<double>& group_loads, int keys_per_group,
+    double zipf_s, uint64_t seed);
+
+}  // namespace albic::balance

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace albic {
+
+/// \brief FNV-1a 64-bit hash of a byte string.
+///
+/// Used for key -> key-group partitioning. Stable across platforms and
+/// process runs, which keeps experiments reproducible.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// \brief Finalizer from MurmurHash3; decorrelates integer keys.
+inline uint64_t MixU64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// \brief Hash of an integer key with a seed; used by PoTC's h1/h2 pair.
+inline uint64_t SeededHash(uint64_t key, uint64_t seed) {
+  return MixU64(key ^ (seed * 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace albic

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace albic {
+
+/// \brief Severity for log messages.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// \brief Process-wide logging configuration.
+///
+/// Messages below the active level are discarded without formatting cost
+/// (the macro checks the level before building the stream).
+class Logger {
+ public:
+  /// \brief Returns the process-wide minimum level (default: kWarn so tests
+  /// and benches stay quiet unless asked).
+  static LogLevel level();
+
+  /// \brief Sets the process-wide minimum level.
+  static void set_level(LogLevel level);
+
+  /// \brief Emits one formatted line to stderr.
+  static void Emit(LogLevel level, const char* file, int line,
+                   const std::string& msg);
+};
+
+namespace internal {
+
+/// \brief Stream collector used by the ALBIC_LOG macro.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { Logger::Emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// \brief Streams a log line at the given level, e.g.
+/// `ALBIC_LOG(kInfo) << "solved in " << ms << "ms";`
+#define ALBIC_LOG(level_suffix)                                      \
+  if (::albic::LogLevel::level_suffix < ::albic::Logger::level()) {  \
+  } else                                                             \
+    ::albic::internal::LogLine(::albic::LogLevel::level_suffix,      \
+                               __FILE__, __LINE__)
+
+}  // namespace albic

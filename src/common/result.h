@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace albic {
+
+/// \brief A value-or-Status, the Arrow `Result<T>` idiom.
+///
+/// Either holds a T (status().ok() is true) or a non-OK Status. Accessing
+/// the value of an errored Result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// \brief Constructs an OK result holding \p value.
+  Result(T value)  // NOLINT(google-explicit-constructor): by-design implicit
+      : value_(std::move(value)) {}
+
+  /// \brief Constructs an errored result from \p status (must be non-OK).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Returns the contained value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// \brief Returns the value or \p fallback if this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_ = Status::OK();
+  std::optional<T> value_;
+};
+
+/// \brief Assigns the value of a Result expression to `lhs`, or returns its
+/// error Status from the current function.
+#define ALBIC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define ALBIC_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define ALBIC_ASSIGN_OR_RETURN_NAME(a, b) ALBIC_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define ALBIC_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  ALBIC_ASSIGN_OR_RETURN_IMPL(                                                \
+      ALBIC_ASSIGN_OR_RETURN_NAME(_albic_result_, __COUNTER__), lhs, expr)
+
+}  // namespace albic

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace albic {
+
+/// \brief Simulated wall clock, in microseconds.
+///
+/// The engine advances this clock explicitly; nothing in the library sleeps
+/// or reads the host clock, so simulations of 90 SPL periods complete in
+/// milliseconds of real time and are fully deterministic.
+class SimClock {
+ public:
+  using Micros = int64_t;
+
+  SimClock() = default;
+
+  /// \brief Current simulated time in microseconds since simulation start.
+  Micros now() const { return now_us_; }
+
+  /// \brief Current simulated time in (fractional) seconds.
+  double now_seconds() const { return static_cast<double>(now_us_) / 1e6; }
+
+  /// \brief Advances the clock; \p delta_us must be non-negative.
+  void Advance(Micros delta_us) {
+    assert(delta_us >= 0);
+    now_us_ += delta_us;
+  }
+
+  /// \brief Advances the clock by (fractional) seconds.
+  void AdvanceSeconds(double s) {
+    Advance(static_cast<Micros>(s * 1e6));
+  }
+
+ private:
+  Micros now_us_ = 0;
+};
+
+}  // namespace albic

@@ -1,0 +1,58 @@
+#include "common/stats_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace albic {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double MaxAbsDeviation(const std::vector<double>& v) {
+  return MaxAbsDeviationFrom(v, Mean(v));
+}
+
+double MaxAbsDeviationFrom(const std::vector<double>& v, double mean) {
+  double d = 0.0;
+  for (double x : v) d = std::max(d, std::fabs(x - mean));
+  return d;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  if (p <= 0.0) return v.front();
+  if (p >= 100.0) return v.back();
+  double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  double frac = idx - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+}  // namespace albic

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace albic {
+
+/// \brief Arithmetic mean; 0 for an empty range.
+double Mean(const std::vector<double>& v);
+
+/// \brief Population variance; 0 for fewer than 2 elements.
+double Variance(const std::vector<double>& v);
+
+/// \brief Population standard deviation.
+double StdDev(const std::vector<double>& v);
+
+/// \brief max_i |v[i] - Mean(v)| — the paper's "load distance" metric (§4.3.1)
+/// when v holds per-node load percentages.
+double MaxAbsDeviation(const std::vector<double>& v);
+
+/// \brief max_i |v[i] - mean| against an externally supplied mean (the MILP
+/// uses the mean over the retained node set A while summing loads over all
+/// of N; see Table 2 of the paper).
+double MaxAbsDeviationFrom(const std::vector<double>& v, double mean);
+
+/// \brief Linear-interpolated percentile; p in [0, 100].
+double Percentile(std::vector<double> v, double p);
+
+/// \brief Exponentially-weighted moving average accumulator.
+class Ewma {
+ public:
+  /// \brief alpha in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  /// \brief Folds in one observation and returns the updated average.
+  double Add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+    return value_;
+  }
+
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// \brief Streaming min/max/mean/count accumulator.
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace albic

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace albic {
+
+/// \brief Error category for a Status.
+///
+/// Modeled after the Arrow/RocksDB convention: library functions that can
+/// fail return a Status (or Result<T>), never throw across the public API.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kInfeasible,    ///< Optimization model has no feasible solution.
+  kUnbounded,     ///< Optimization model is unbounded.
+  kTimedOut,      ///< Deadline expired before completion.
+  kCapacity,      ///< A resource limit (node capacity, budget) was exceeded.
+};
+
+/// \brief Returns a human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error outcome carrying a code and a message.
+///
+/// Cheap to copy in the OK case (no allocation). Use the factory functions
+/// (Status::OK(), Status::InvalidArgument(...)) rather than the constructor.
+class Status {
+ public:
+  Status() = default;
+
+  /// \brief Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Capacity(std::string msg) {
+    return Status(StatusCode::kCapacity, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// \brief Propagates a non-OK Status from the current function.
+#define ALBIC_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::albic::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace albic

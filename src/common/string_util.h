@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace albic {
+
+/// \brief Splits on a delimiter; empty fields are preserved.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// \brief Joins with a delimiter.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim);
+
+/// \brief printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Strips leading/trailing whitespace.
+std::string_view TrimString(std::string_view s);
+
+/// \brief True if s begins with prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace albic

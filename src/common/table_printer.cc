@@ -1,0 +1,66 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace albic {
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddDoubleRow(const std::vector<double>& row,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(FormatDouble(v, precision));
+  AddRow(std::move(cells));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  std::string rule(total, '-');
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::FILE* out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%s", c == 0 ? "" : ",", row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace albic

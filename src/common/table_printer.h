@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace albic {
+
+/// \brief Fixed-width text table writer used by the bench harnesses to print
+/// paper-figure series as aligned rows on stdout.
+class TablePrinter {
+ public:
+  /// \brief Column headers; widths auto-size to the widest cell.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// \brief Appends one row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Convenience: formats doubles with the given precision.
+  void AddDoubleRow(const std::vector<double>& row, int precision = 2);
+
+  /// \brief Renders the table (header, rule, rows) to \p out.
+  void Print(std::FILE* out = stdout) const;
+
+  /// \brief Renders as comma-separated values (for plotting scripts).
+  void PrintCsv(std::FILE* out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats a double with fixed precision (helper for bench output).
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace albic

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace albic {
+
+/// \brief Disjoint-set forest with union by rank and path compression.
+///
+/// Used by ALBIC step 2 to merge collocated key-group pairs into a minimum
+/// number of sets (§4.3.2 of the paper).
+class UnionFind {
+ public:
+  /// \brief Creates n singleton sets {0}, ..., {n-1}.
+  explicit UnionFind(size_t n) : parent_(n), rank_(n, 0), num_sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// \brief Returns the canonical representative of x's set.
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// \brief Merges the sets containing a and b; returns true if they were
+  /// previously distinct.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --num_sets_;
+    return true;
+  }
+
+  /// \brief True when a and b are in the same set.
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  /// \brief Number of disjoint sets remaining.
+  size_t num_sets() const { return num_sets_; }
+
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_sets_;
+};
+
+}  // namespace albic

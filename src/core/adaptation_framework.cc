@@ -1,0 +1,83 @@
+#include "core/adaptation_framework.h"
+
+#include "common/logging.h"
+
+namespace albic::core {
+
+namespace {
+using engine::NodeId;
+}  // namespace
+
+AdaptationFramework::AdaptationFramework(balance::Rebalancer* rebalancer,
+                                         scaling::ScalingPolicy* policy,
+                                         AdaptationOptions options)
+    : rebalancer_(rebalancer), policy_(policy), options_(options) {}
+
+engine::SystemSnapshot AdaptationFramework::BuildSnapshot(
+    const engine::Topology& topology, const engine::LoadModel& load_model,
+    const std::vector<double>& group_proc_loads, const engine::CommMatrix* comm,
+    const engine::Cluster& cluster, const engine::Assignment& assignment) const {
+  engine::SystemSnapshot snap;
+  snap.topology = &topology;
+  snap.cluster = &cluster;
+  snap.comm = comm;
+  snap.assignment = assignment;
+  snap.group_loads =
+      load_model.ComputeGroupLoads(topology, group_proc_loads, comm, assignment);
+  const engine::NodeLoads loads = load_model.ComputeNodeLoads(
+      topology, group_proc_loads, comm, assignment, cluster);
+  snap.node_loads = loads.bottleneck_loads();
+  snap.migration_costs =
+      engine::AllMigrationCosts(topology, options_.migration_model);
+  return snap;
+}
+
+Result<AdaptationRound> AdaptationFramework::RunRound(
+    const engine::Topology& topology, const engine::LoadModel& load_model,
+    const std::vector<double>& group_proc_loads, const engine::CommMatrix* comm,
+    engine::Cluster* cluster, engine::Assignment* assignment) {
+  AdaptationRound round;
+
+  // Lines 1-3: terminate drained nodes marked in previous rounds.
+  for (NodeId n : cluster->marked_nodes()) {
+    if (assignment->count_on(n) == 0) {
+      ALBIC_RETURN_NOT_OK(cluster->Terminate(n));
+      ++round.nodes_terminated;
+    }
+  }
+
+  // Line 4: potential allocation plan.
+  engine::SystemSnapshot snap = BuildSnapshot(
+      topology, load_model, group_proc_loads, comm, *cluster, *assignment);
+  ALBIC_ASSIGN_OR_RETURN(
+      round.plan, rebalancer_->ComputePlan(snap, options_.constraints));
+
+  // Line 5: scaling decision, informed by the potential plan.
+  if (policy_ != nullptr) {
+    round.scaling = policy_->Decide(snap, round.plan);
+    if (round.scaling.any()) {
+      for (int i = 0; i < round.scaling.add_nodes; ++i) {
+        cluster->AddNode();
+        ++round.nodes_added;
+      }
+      for (NodeId n : round.scaling.mark_for_removal) {
+        ALBIC_RETURN_NOT_OK(cluster->MarkForRemoval(n));
+        ++round.nodes_marked;
+      }
+      if (options_.replan_after_scaling) {
+        // Lines 6-7: recalculate the plan after scaling, integratively.
+        snap = BuildSnapshot(topology, load_model, group_proc_loads, comm,
+                             *cluster, *assignment);
+        ALBIC_ASSIGN_OR_RETURN(
+            round.plan, rebalancer_->ComputePlan(snap, options_.constraints));
+      }
+    }
+  }
+
+  // Line 8: apply the plan.
+  round.report = engine::ApplyMigrations(
+      round.plan.migrations, topology, options_.migration_model, assignment);
+  return round;
+}
+
+}  // namespace albic::core

@@ -1,0 +1,71 @@
+#pragma once
+
+#include "balance/rebalancer.h"
+#include "engine/load_model.h"
+#include "engine/migration.h"
+#include "engine/snapshot.h"
+#include "scaling/scaling_policy.h"
+
+namespace albic::core {
+
+/// \brief Configuration of the integrative adaptation framework.
+struct AdaptationOptions {
+  balance::RebalanceConstraints constraints;
+  engine::MigrationCostModel migration_model;
+  /// Algorithm 1 line 7: recompute the allocation after a scaling decision
+  /// so scaling, balancing and collocation are decided integratively.
+  /// Disabling this yields the non-integrated behaviour used in Fig 5.
+  bool replan_after_scaling = true;
+};
+
+/// \brief Result of one adaptation round.
+struct AdaptationRound {
+  balance::RebalancePlan plan;
+  engine::MigrationReport report;
+  scaling::ScalingDecision scaling;
+  int nodes_terminated = 0;
+  int nodes_added = 0;
+  int nodes_marked = 0;
+};
+
+/// \brief Algorithm 1: the integrative adaptation framework.
+///
+/// Each round: (1) terminate drained nodes that were marked for removal;
+/// (2) compute a potential allocation plan; (3) consult the scaling policy
+/// with that plan — rebalancing or collocation may fix an overload without
+/// scaling, and scale-in is skipped when the remaining nodes could not be
+/// balanced; (4) if scaling acted, recompute the plan integratively;
+/// (5) apply the plan's migrations under the per-round overhead budget.
+class AdaptationFramework {
+ public:
+  /// \brief Neither pointer is owned; \p policy may be null (no scaling).
+  AdaptationFramework(balance::Rebalancer* rebalancer,
+                      scaling::ScalingPolicy* policy,
+                      AdaptationOptions options);
+
+  /// \brief Runs one adaptation round, mutating the cluster (terminations,
+  /// additions, marks) and the assignment (migrations).
+  Result<AdaptationRound> RunRound(const engine::Topology& topology,
+                                   const engine::LoadModel& load_model,
+                                   const std::vector<double>& group_proc_loads,
+                                   const engine::CommMatrix* comm,
+                                   engine::Cluster* cluster,
+                                   engine::Assignment* assignment);
+
+  /// \brief Builds the controller's view of the system (§3, "Controller"):
+  /// loads, gLoads and migration costs under the given allocation.
+  engine::SystemSnapshot BuildSnapshot(
+      const engine::Topology& topology, const engine::LoadModel& load_model,
+      const std::vector<double>& group_proc_loads,
+      const engine::CommMatrix* comm, const engine::Cluster& cluster,
+      const engine::Assignment& assignment) const;
+
+  const AdaptationOptions& options() const { return options_; }
+
+ private:
+  balance::Rebalancer* rebalancer_;
+  scaling::ScalingPolicy* policy_;
+  AdaptationOptions options_;
+};
+
+}  // namespace albic::core

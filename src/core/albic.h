@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "balance/milp_rebalancer.h"
+#include "balance/rebalancer.h"
+#include "common/rng.h"
+
+namespace albic::core {
+
+/// \brief ALBIC tuning knobs, with Algorithm 2's defaults.
+struct AlbicOptions {
+  double max_load_distance = 10.0;   ///< maxLD.
+  double max_partition_load = 25.0;  ///< maxPL (initial).
+  double step_partition_load = 5.0;  ///< stepPL.
+  double score_factor = 1.5;         ///< sF.
+  /// Collocation pairs pinned per invocation. Algorithm 2 pins exactly one
+  /// (the default); raising this accelerates convergence for experiments
+  /// that sweep many configurations (an explicitly-documented deviation the
+  /// Fig 10/11 benches use).
+  int max_pairs_per_round = 1;
+  uint64_t seed = 42;
+  balance::MilpRebalancerOptions milp;
+};
+
+/// \brief ALBIC — Autonomic Load Balancing with Integrated Collocation
+/// (Algorithm 2, §4.3.2).
+///
+/// Per invocation:
+///  1. *Calculate scores*: key-group pairs whose traffic exceeds sF times
+///     the sender's average per downstream group are collocation candidates;
+///     already-collocated pairs go to colGrps, others to toBeColGrps.
+///  2. *Maintain collocation*: colGrps pairs are merged into minimal sets;
+///     sets too big to migrate (> maxMigrCost) or to balance (> maxPL) are
+///     split by balanced graph partitioning; each resulting partition
+///     migrates as an indivisible unit.
+///  3. *Improve collocation*: one random toBeColGrps pair with maximal
+///     traffic is pinned onto a node per the three cases of step 3.
+///  4. *Solve*: the constrained MILP is solved; if the resulting load
+///     distance exceeds maxLD, retry with maxPL reduced by stepPL; at
+///     maxPL <= 0 the pure MILP (no collocation) is solved.
+class Albic : public balance::Rebalancer {
+ public:
+  explicit Albic(AlbicOptions options = AlbicOptions());
+
+  Result<balance::RebalancePlan> ComputePlan(
+      const engine::SystemSnapshot& snapshot,
+      const balance::RebalanceConstraints& constraints) override;
+
+  std::string name() const override { return "albic"; }
+
+  /// \brief Collocation candidate pair (exposed for tests).
+  struct ScoredPair {
+    engine::KeyGroupId a = 0;
+    engine::KeyGroupId b = 0;
+    double rate = 0.0;
+  };
+
+  /// \brief Step 1 of Algorithm 2. Returns (colGrps, toBeColGrps).
+  static void CalculateScores(const engine::SystemSnapshot& snapshot,
+                              double score_factor,
+                              std::vector<ScoredPair>* collocated,
+                              std::vector<ScoredPair>* to_be_collocated);
+
+  /// \brief Step 2: merges collocated pairs into sets and splits oversized
+  /// ones into partitions (lists of key groups migrated as units).
+  std::vector<std::vector<engine::KeyGroupId>> MaintainCollocation(
+      const engine::SystemSnapshot& snapshot,
+      const std::vector<ScoredPair>& collocated,
+      const balance::RebalanceConstraints& constraints,
+      double max_partition_load);
+
+ private:
+  Result<balance::RebalancePlan> SolveOnce(
+      const engine::SystemSnapshot& snapshot,
+      const balance::RebalanceConstraints& constraints,
+      double max_partition_load);
+
+  AlbicOptions options_;
+  balance::MilpRebalancer milp_;
+  Rng rng_;
+};
+
+}  // namespace albic::core

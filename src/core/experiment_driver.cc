@@ -1,0 +1,72 @@
+#include "core/experiment_driver.h"
+
+#include <numeric>
+
+namespace albic::core {
+
+ExperimentDriver::ExperimentDriver(const engine::Topology* topology,
+                                   engine::Cluster* cluster,
+                                   engine::Assignment* assignment,
+                                   engine::WorkloadModel* workload,
+                                   AdaptationFramework* framework,
+                                   const engine::LoadModel* load_model,
+                                   DriverOptions options)
+    : topology_(topology),
+      cluster_(cluster),
+      assignment_(assignment),
+      workload_(workload),
+      framework_(framework),
+      load_model_(load_model),
+      options_(options),
+      stats_(options.baseline_periods) {}
+
+Result<engine::PeriodStats> ExperimentDriver::RunPeriod(int period) {
+  workload_->AdvancePeriod(period);
+  const std::vector<double>& proc = workload_->group_proc_loads();
+  const engine::CommMatrix* comm = workload_->comm();
+
+  AdaptationRound round;
+  if (period >= options_.warmup_periods) {
+    ALBIC_ASSIGN_OR_RETURN(
+        round,
+        framework_->RunRound(*topology_, *load_model_, proc, comm, cluster_,
+                             assignment_));
+  }
+
+  engine::PeriodStats ps;
+  ps.period = period;
+  const engine::Assignment& recorded = *assignment_;
+  const engine::NodeLoads loads = load_model_->ComputeNodeLoads(
+      *topology_, proc, comm, recorded, *cluster_);
+  const std::vector<double>& bl = loads.bottleneck_loads();
+  ps.load_distance = engine::LoadDistance(bl, *cluster_);
+  ps.mean_load = engine::MeanLoad(bl, *cluster_);
+  ps.total_load = std::accumulate(bl.begin(), bl.end(), 0.0);
+  // Charge migration overhead into the system load: the paused processing
+  // plus state (de)serialization consume capacity during this period.
+  if (options_.spl_seconds > 0.0) {
+    ps.total_load += options_.migration_overhead_factor *
+                     round.report.total_pause_seconds /
+                     options_.spl_seconds * 100.0;
+  }
+  if (comm != nullptr) {
+    ps.collocation_pct = engine::CollocationPercent(*comm, recorded);
+  }
+  ps.migrations = round.report.count;
+  ps.migration_cost = round.report.total_cost;
+  ps.migration_pause_seconds = round.report.total_pause_seconds;
+  ps.active_nodes = cluster_->num_active();
+  ps.marked_nodes = static_cast<int>(cluster_->marked_nodes().size());
+  stats_.Record(ps);
+  return ps;
+}
+
+Result<engine::StatsCollector> ExperimentDriver::Run() {
+  for (int p = 0; p < options_.periods; ++p) {
+    ALBIC_ASSIGN_OR_RETURN(engine::PeriodStats ps, RunPeriod(p));
+    (void)ps;
+  }
+  return stats_;
+}
+
+}  // namespace albic::core

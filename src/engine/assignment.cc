@@ -1,0 +1,32 @@
+#include "engine/assignment.h"
+
+#include <cassert>
+
+namespace albic::engine {
+
+std::vector<KeyGroupId> Assignment::groups_on(NodeId n) const {
+  std::vector<KeyGroupId> out;
+  for (KeyGroupId g = 0; g < num_groups(); ++g) {
+    if (node_of_[g] == n) out.push_back(g);
+  }
+  return out;
+}
+
+int Assignment::count_on(NodeId n) const {
+  int c = 0;
+  for (NodeId id : node_of_) c += id == n ? 1 : 0;
+  return c;
+}
+
+std::vector<Migration> Assignment::DiffTo(const Assignment& target) const {
+  assert(num_groups() == target.num_groups());
+  std::vector<Migration> out;
+  for (KeyGroupId g = 0; g < num_groups(); ++g) {
+    if (node_of_[g] != target.node_of_[g]) {
+      out.push_back({g, node_of_[g], target.node_of_[g]});
+    }
+  }
+  return out;
+}
+
+}  // namespace albic::engine

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "engine/types.h"
+
+namespace albic::engine {
+
+/// \brief One key-group migration (gk moves from `from` to `to`).
+struct Migration {
+  KeyGroupId group = 0;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+};
+
+/// \brief Maps every key group to the node that processes it (the paper's
+/// q/x matrices, flattened: exactly one node per group).
+class Assignment {
+ public:
+  Assignment() = default;
+  explicit Assignment(int num_groups) : node_of_(num_groups, kInvalidNode) {}
+
+  NodeId node_of(KeyGroupId g) const { return node_of_[g]; }
+  void set_node(KeyGroupId g, NodeId n) { node_of_[g] = n; }
+
+  int num_groups() const { return static_cast<int>(node_of_.size()); }
+
+  /// \brief Key groups currently on a node.
+  std::vector<KeyGroupId> groups_on(NodeId n) const;
+
+  /// \brief Number of key groups on a node.
+  int count_on(NodeId n) const;
+
+  /// \brief Migrations needed to transform *this into `target`.
+  std::vector<Migration> DiffTo(const Assignment& target) const;
+
+  bool operator==(const Assignment& other) const {
+    return node_of_ == other.node_of_;
+  }
+
+  const std::vector<NodeId>& raw() const { return node_of_; }
+
+ private:
+  std::vector<NodeId> node_of_;
+};
+
+}  // namespace albic::engine

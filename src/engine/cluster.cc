@@ -1,0 +1,73 @@
+#include "engine/cluster.h"
+
+namespace albic::engine {
+
+Cluster::Cluster(int n, double capacity) {
+  nodes_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) nodes_.push_back({capacity, true, false});
+}
+
+NodeId Cluster::AddNode(double capacity) {
+  nodes_.push_back({capacity, true, false});
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+Status Cluster::MarkForRemoval(NodeId id) {
+  if (id < 0 || id >= num_nodes_total() || !nodes_[id].active) {
+    return Status::InvalidArgument("cannot mark inactive or unknown node");
+  }
+  nodes_[id].marked_for_removal = true;
+  return Status::OK();
+}
+
+Status Cluster::UnmarkForRemoval(NodeId id) {
+  if (id < 0 || id >= num_nodes_total() || !nodes_[id].active) {
+    return Status::InvalidArgument("cannot unmark inactive or unknown node");
+  }
+  nodes_[id].marked_for_removal = false;
+  return Status::OK();
+}
+
+Status Cluster::Terminate(NodeId id) {
+  if (id < 0 || id >= num_nodes_total()) {
+    return Status::InvalidArgument("unknown node");
+  }
+  if (!nodes_[id].active) {
+    return Status::InvalidArgument("node already terminated");
+  }
+  nodes_[id].active = false;
+  nodes_[id].marked_for_removal = false;
+  return Status::OK();
+}
+
+int Cluster::num_active() const {
+  int n = 0;
+  for (const NodeInfo& node : nodes_) n += node.active ? 1 : 0;
+  return n;
+}
+
+std::vector<NodeId> Cluster::retained_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < num_nodes_total(); ++i) {
+    if (nodes_[i].active && !nodes_[i].marked_for_removal) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<NodeId> Cluster::marked_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < num_nodes_total(); ++i) {
+    if (nodes_[i].active && nodes_[i].marked_for_removal) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<NodeId> Cluster::active_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < num_nodes_total(); ++i) {
+    if (nodes_[i].active) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace albic::engine

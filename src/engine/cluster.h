@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "engine/types.h"
+
+namespace albic::engine {
+
+/// \brief One processing node. Nodes may be heterogeneous (§3): capacity is
+/// a relative speed factor (1.0 = reference m1.medium-class node).
+struct NodeInfo {
+  double capacity = 1.0;
+  bool active = true;               ///< False once terminated.
+  bool marked_for_removal = false;  ///< killi = 1 (§4.3.1, Table 1).
+};
+
+/// \brief The set of processing nodes, with horizontal-scaling bookkeeping.
+///
+/// The scaling algorithm marks nodes for removal (set B); the rebalancers
+/// drain them; Algorithm 1 terminates a marked node once it holds no key
+/// groups. Node ids are stable for the lifetime of the cluster (terminated
+/// nodes keep their id but become inactive).
+class Cluster {
+ public:
+  Cluster() = default;
+
+  /// \brief Creates a cluster with \p n identical nodes.
+  explicit Cluster(int n, double capacity = 1.0);
+
+  /// \brief Adds (scale-out) a node; returns its id.
+  NodeId AddNode(double capacity = 1.0);
+
+  /// \brief Marks a node for removal (scale-in intent). The node keeps
+  /// processing until drained.
+  Status MarkForRemoval(NodeId id);
+
+  /// \brief Clears a removal mark (scale-in cancelled).
+  Status UnmarkForRemoval(NodeId id);
+
+  /// \brief Terminates a node. Caller must ensure it holds no key groups.
+  Status Terminate(NodeId id);
+
+  int num_nodes_total() const { return static_cast<int>(nodes_.size()); }
+  /// \brief Number of active (not terminated) nodes, including marked ones.
+  int num_active() const;
+  /// \brief Active nodes NOT marked for removal (the paper's set A).
+  std::vector<NodeId> retained_nodes() const;
+  /// \brief Active nodes marked for removal (the paper's set B).
+  std::vector<NodeId> marked_nodes() const;
+  /// \brief All active nodes (A u B = N).
+  std::vector<NodeId> active_nodes() const;
+
+  bool is_active(NodeId id) const { return nodes_[id].active; }
+  bool is_marked(NodeId id) const { return nodes_[id].marked_for_removal; }
+  double capacity(NodeId id) const { return nodes_[id].capacity; }
+
+  const NodeInfo& node(NodeId id) const { return nodes_[id]; }
+
+ private:
+  std::vector<NodeInfo> nodes_;
+};
+
+}  // namespace albic::engine

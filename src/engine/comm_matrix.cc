@@ -1,0 +1,40 @@
+#include "engine/comm_matrix.h"
+
+namespace albic::engine {
+
+void CommMatrix::Add(KeyGroupId from, KeyGroupId to, double rate) {
+  for (Entry& e : rows_[from]) {
+    if (e.to == to) {
+      e.rate += rate;
+      return;
+    }
+  }
+  rows_[from].push_back({to, rate});
+}
+
+double CommMatrix::Rate(KeyGroupId from, KeyGroupId to) const {
+  for (const Entry& e : rows_[from]) {
+    if (e.to == to) return e.rate;
+  }
+  return 0.0;
+}
+
+double CommMatrix::TotalOut(KeyGroupId from) const {
+  double s = 0.0;
+  for (const Entry& e : rows_[from]) s += e.rate;
+  return s;
+}
+
+double CommMatrix::TotalTraffic() const {
+  double s = 0.0;
+  for (const auto& row : rows_) {
+    for (const Entry& e : row) s += e.rate;
+  }
+  return s;
+}
+
+void CommMatrix::Clear() {
+  for (auto& row : rows_) row.clear();
+}
+
+}  // namespace albic::engine

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "engine/types.h"
+
+namespace albic::engine {
+
+/// \brief Sparse key-group-to-key-group data-rate matrix: out(gi, gj) is the
+/// rate (tuples or bytes per second, the unit is the caller's) sent from gi
+/// to gj over the latest statistics period (§4.3.2, Table 3).
+class CommMatrix {
+ public:
+  CommMatrix() = default;
+  explicit CommMatrix(int num_groups) : rows_(num_groups) {}
+
+  struct Entry {
+    KeyGroupId to = 0;
+    double rate = 0.0;
+  };
+
+  int num_groups() const { return static_cast<int>(rows_.size()); }
+
+  /// \brief Adds to out(from, to).
+  void Add(KeyGroupId from, KeyGroupId to, double rate);
+
+  /// \brief Replaces all entries of `from`'s row.
+  void SetRow(KeyGroupId from, std::vector<Entry> entries) {
+    rows_[from] = std::move(entries);
+  }
+
+  /// \brief out(gi, gj); 0 when absent.
+  double Rate(KeyGroupId from, KeyGroupId to) const;
+
+  /// \brief Total output rate of gi: out(gi) in Table 3.
+  double TotalOut(KeyGroupId from) const;
+
+  /// \brief Sum of all rates in the matrix.
+  double TotalTraffic() const;
+
+  const std::vector<Entry>& row(KeyGroupId from) const { return rows_[from]; }
+
+  /// \brief Removes all entries.
+  void Clear();
+
+ private:
+  std::vector<std::vector<Entry>> rows_;
+};
+
+}  // namespace albic::engine

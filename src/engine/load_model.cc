@@ -1,0 +1,133 @@
+#include "engine/load_model.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/stats_util.h"
+
+namespace albic::engine {
+
+const char* ResourceToString(Resource r) {
+  switch (r) {
+    case Resource::kCpu:
+      return "cpu";
+    case Resource::kNetwork:
+      return "network";
+    case Resource::kMemory:
+      return "memory";
+  }
+  return "unknown";
+}
+
+NodeLoads LoadModel::ComputeNodeLoads(
+    const Topology& topology, const std::vector<double>& group_proc_loads,
+    const CommMatrix* comm, const Assignment& assignment,
+    const Cluster& cluster) const {
+  assert(static_cast<int>(group_proc_loads.size()) ==
+         topology.num_key_groups());
+  const int num_nodes = cluster.num_nodes_total();
+  NodeLoads loads;
+  loads.cpu.assign(num_nodes, 0.0);
+  loads.network.assign(num_nodes, 0.0);
+  loads.memory.assign(num_nodes, 0.0);
+
+  for (KeyGroupId g = 0; g < topology.num_key_groups(); ++g) {
+    const NodeId n = assignment.node_of(g);
+    if (n == kInvalidNode) continue;
+    loads.cpu[n] += group_proc_loads[g];
+    loads.memory[n] += cost_.memory_per_byte * topology.group_state_bytes(g);
+  }
+
+  if (comm != nullptr &&
+      (cost_.serde_cpu_per_rate > 0.0 || cost_.network_per_rate > 0.0)) {
+    for (KeyGroupId g = 0; g < comm->num_groups(); ++g) {
+      const NodeId src = assignment.node_of(g);
+      for (const CommMatrix::Entry& e : comm->row(g)) {
+        const NodeId dst = assignment.node_of(e.to);
+        if (src == dst || src == kInvalidNode || dst == kInvalidNode) continue;
+        loads.cpu[src] += cost_.serde_cpu_per_rate * e.rate;
+        loads.cpu[dst] += cost_.serde_cpu_per_rate * e.rate;
+        loads.network[src] += cost_.network_per_rate * e.rate;
+        loads.network[dst] += cost_.network_per_rate * e.rate;
+      }
+    }
+  }
+
+  // Normalize by heterogeneous node capacity (§3, "Heterogeneity").
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    const double cap = cluster.is_active(n) ? cluster.capacity(n) : 1.0;
+    loads.cpu[n] /= cap;
+    loads.network[n] /= cap;
+    loads.memory[n] /= cap;
+  }
+
+  // Bottleneck: the resource with the greatest total usage (§3).
+  double totals[3] = {0.0, 0.0, 0.0};
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    totals[0] += loads.cpu[n];
+    totals[1] += loads.network[n];
+    totals[2] += loads.memory[n];
+  }
+  int best = 0;
+  for (int r = 1; r < 3; ++r) {
+    if (totals[r] > totals[best]) best = r;
+  }
+  loads.bottleneck = static_cast<Resource>(best);
+  return loads;
+}
+
+std::vector<double> LoadModel::ComputeGroupLoads(
+    const Topology& topology, const std::vector<double>& group_proc_loads,
+    const CommMatrix* comm, const Assignment& assignment) const {
+  std::vector<double> out = group_proc_loads;
+  out.resize(static_cast<size_t>(topology.num_key_groups()), 0.0);
+  if (comm != nullptr && cost_.serde_cpu_per_rate > 0.0) {
+    for (KeyGroupId g = 0; g < comm->num_groups(); ++g) {
+      const NodeId src = assignment.node_of(g);
+      for (const CommMatrix::Entry& e : comm->row(g)) {
+        const NodeId dst = assignment.node_of(e.to);
+        if (src == dst) continue;
+        // Sender pays serialization, receiver pays deserialization: the
+        // group-level view attributes each to the respective group.
+        out[g] += cost_.serde_cpu_per_rate * e.rate;
+        out[e.to] += cost_.serde_cpu_per_rate * e.rate;
+      }
+    }
+  }
+  return out;
+}
+
+double MeanLoad(const std::vector<double>& node_loads,
+                const Cluster& cluster) {
+  const std::vector<NodeId> retained = cluster.retained_nodes();
+  if (retained.empty()) return 0.0;
+  double sum = 0.0;
+  for (NodeId n : cluster.active_nodes()) sum += node_loads[n];
+  return sum / static_cast<double>(retained.size());
+}
+
+double LoadDistance(const std::vector<double>& node_loads,
+                    const Cluster& cluster) {
+  const double mean = MeanLoad(node_loads, cluster);
+  double d = 0.0;
+  for (NodeId n : cluster.retained_nodes()) {
+    d = std::max(d, std::fabs(node_loads[n] - mean));
+  }
+  return d;
+}
+
+double CollocationPercent(const CommMatrix& comm,
+                          const Assignment& assignment) {
+  double total = 0.0, local = 0.0;
+  for (KeyGroupId g = 0; g < comm.num_groups(); ++g) {
+    const NodeId src = assignment.node_of(g);
+    for (const CommMatrix::Entry& e : comm.row(g)) {
+      total += e.rate;
+      if (assignment.node_of(e.to) == src) local += e.rate;
+    }
+  }
+  if (total <= 0.0) return 0.0;
+  return 100.0 * local / total;
+}
+
+}  // namespace albic::engine

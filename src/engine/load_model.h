@@ -1,0 +1,98 @@
+#pragma once
+
+#include <vector>
+
+#include "engine/assignment.h"
+#include "engine/cluster.h"
+#include "engine/comm_matrix.h"
+#include "engine/topology.h"
+#include "engine/types.h"
+
+namespace albic::engine {
+
+/// \brief Resources tracked by the statistics subsystem (§3).
+enum class Resource { kCpu = 0, kNetwork = 1, kMemory = 2 };
+
+const char* ResourceToString(Resource r);
+
+/// \brief Cost-model constants converting workload quantities into load.
+///
+/// Loads are expressed in "percent of a reference (capacity 1.0) node".
+/// Cross-node communication costs CPU at *both* endpoints (serialization at
+/// the sender, deserialization at the receiver) and network bandwidth at
+/// both — the effect ALBIC exploits by collocating chatty key groups (§1).
+struct CostModel {
+  /// CPU load percent per unit of remote traffic rate, charged to each
+  /// endpoint node of a cross-node stream edge.
+  double serde_cpu_per_rate = 0.0;
+  /// Network load percent per unit of remote traffic rate, each endpoint.
+  double network_per_rate = 0.0;
+  /// Memory load percent per byte of key-group state.
+  double memory_per_byte = 0.0;
+};
+
+/// \brief Per-node loads for all tracked resources plus the detected
+/// bottleneck resource (§3: the resource with the greatest total usage).
+struct NodeLoads {
+  std::vector<double> cpu;      ///< Indexed by NodeId; inactive nodes are 0.
+  std::vector<double> network;
+  std::vector<double> memory;
+  Resource bottleneck = Resource::kCpu;
+
+  const std::vector<double>& of(Resource r) const {
+    switch (r) {
+      case Resource::kCpu:
+        return cpu;
+      case Resource::kNetwork:
+        return network;
+      case Resource::kMemory:
+        return memory;
+    }
+    return cpu;
+  }
+  /// \brief Loads of the bottleneck resource — the paper's loadi.
+  const std::vector<double>& bottleneck_loads() const {
+    return of(bottleneck);
+  }
+};
+
+/// \brief Computes node and key-group loads from workload statistics, the
+/// communication matrix, and the current allocation.
+class LoadModel {
+ public:
+  explicit LoadModel(CostModel cost) : cost_(cost) {}
+
+  const CostModel& cost() const { return cost_; }
+
+  /// \brief Per-node loads. \p group_proc_loads holds each key group's
+  /// intrinsic processing load in percent-of-reference-node; \p comm may be
+  /// null when communication is not tracked.
+  NodeLoads ComputeNodeLoads(const Topology& topology,
+                             const std::vector<double>& group_proc_loads,
+                             const CommMatrix* comm,
+                             const Assignment& assignment,
+                             const Cluster& cluster) const;
+
+  /// \brief Per-key-group bottleneck loads (gLoadk): intrinsic processing
+  /// plus this group's serde share under the given allocation.
+  std::vector<double> ComputeGroupLoads(
+      const Topology& topology, const std::vector<double>& group_proc_loads,
+      const CommMatrix* comm, const Assignment& assignment) const;
+
+ private:
+  CostModel cost_;
+};
+
+/// \brief The paper's load-distance metric over the retained set A, with the
+/// mean taken as (1/|A|) * sum over ALL active nodes N (Table 2).
+double LoadDistance(const std::vector<double>& node_loads,
+                    const Cluster& cluster);
+
+/// \brief Mean load as the MILP defines it: (1/|A|) * sum over N.
+double MeanLoad(const std::vector<double>& node_loads, const Cluster& cluster);
+
+/// \brief Fraction (in percent) of total comm-matrix traffic whose endpoints
+/// are collocated on the same node.
+double CollocationPercent(const CommMatrix& comm, const Assignment& assignment);
+
+}  // namespace albic::engine

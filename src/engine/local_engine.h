@@ -1,0 +1,105 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/assignment.h"
+#include "engine/cluster.h"
+#include "engine/comm_matrix.h"
+#include "engine/operator.h"
+#include "engine/topology.h"
+#include "engine/tuple.h"
+
+namespace albic::engine {
+
+/// \brief Options of the tuple-at-a-time runtime.
+struct LocalEngineOptions {
+  /// Extra work units charged to BOTH endpoint nodes for every tuple that
+  /// crosses nodes (serialization at the sender, deserialization at the
+  /// receiver) — the overhead collocation eliminates (§1).
+  double serde_cost = 0.5;
+  /// Window cadence in event-time microseconds (0 disables windows).
+  int64_t window_every_us = 60LL * 1000 * 1000;
+};
+
+/// \brief Per-period measurements produced by the runtime; feeds the same
+/// statistics pipeline as the flow simulator.
+struct EnginePeriodStats {
+  std::vector<double> group_work;   ///< Work units per key group.
+  std::vector<double> node_work;    ///< Work units per node (incl. serde).
+  CommMatrix comm;                  ///< Tuples sent between key groups.
+  int64_t tuples_processed = 0;
+  int64_t tuples_buffered = 0;      ///< Held during migrations this period.
+  double migration_pause_us = 0.0;  ///< Summed migration pause time.
+};
+
+/// \brief A deterministic single-process PSPE runtime over simulated nodes.
+///
+/// Executes real operator code tuple-at-a-time, routes across the topology
+/// per the edges' partitioning patterns, accounts processing and
+/// serialization work per (simulated) node, and implements direct state
+/// migration (§3): upstreams redirect, new tuples buffer at the target, the
+/// state is serialized/deserialized, then buffered tuples drain.
+class LocalEngine {
+ public:
+  /// \brief Operator implementations are supplied per OperatorId; entries
+  /// may be null for source operators (they only inject).
+  LocalEngine(const Topology* topology, const Cluster* cluster,
+              Assignment initial, std::vector<StreamOperator*> operators,
+              LocalEngineOptions options = LocalEngineOptions());
+
+  /// \brief Injects one source tuple into \p source_op. Advances event time
+  /// and fires windows as needed. Processing cascades synchronously through
+  /// the DAG.
+  Status Inject(OperatorId source_op, const Tuple& tuple);
+
+  /// \brief Begins a direct state migration of a key group: subsequent
+  /// tuples for the group buffer at the target until Finish.
+  Status StartMigration(KeyGroupId group, NodeId to);
+
+  /// \brief Completes the migration: serialize -> move -> deserialize ->
+  /// drain the buffer. Returns the pause time modeled for the move (us).
+  Result<double> FinishMigration(KeyGroupId group);
+
+  /// \brief Convenience: start + finish in one step.
+  Status MigrateGroup(KeyGroupId group, NodeId to);
+
+  /// \brief Harvests and resets the current period's statistics.
+  EnginePeriodStats HarvestPeriod();
+
+  const Assignment& assignment() const { return assignment_; }
+  int64_t event_time() const { return event_time_us_; }
+
+  /// \brief Routes a key to an operator-local group index (hash routing).
+  static int RouteKey(uint64_t key, int num_groups);
+
+ private:
+  friend class GroupEmitter;
+
+  struct MigrationState {
+    bool active = false;
+    NodeId target = kInvalidNode;
+    std::deque<Tuple> buffer;
+  };
+
+  void Deliver(OperatorId op, int group_index, const Tuple& tuple);
+  void Route(OperatorId from_op, int from_group, const Tuple& tuple);
+  void MaybeFireWindows(int64_t new_time);
+
+  const Topology* topology_;
+  const Cluster* cluster_;
+  Assignment assignment_;
+  std::vector<StreamOperator*> operators_;
+  LocalEngineOptions options_;
+
+  std::vector<MigrationState> migrating_;  // per key group
+  EnginePeriodStats period_;
+  int64_t event_time_us_ = 0;
+  int64_t last_window_us_ = 0;
+  bool time_initialized_ = false;
+};
+
+}  // namespace albic::engine

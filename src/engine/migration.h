@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "engine/assignment.h"
+#include "engine/topology.h"
+#include "engine/types.h"
+
+namespace albic::engine {
+
+/// \brief Cost model for direct state migration (§3, "State Migration").
+///
+/// mck = alpha * |sigma_k| where |sigma_k| is the group's state size; alpha
+/// converts bytes into "time to serialize on a node with average load". The
+/// same constant family drives the pause-latency model used by Fig. 9
+/// (each migrated group's processing is paused for serialize + transfer +
+/// deserialize).
+struct MigrationCostModel {
+  /// Cost units per byte of state (mck = alpha * bytes).
+  double alpha_per_byte = 1.0 / (1 << 20);
+  /// Pause seconds per byte (default: ~2.5 s for a 1 MiB group, the average
+  /// per-group pause reported in §5.2.2).
+  double pause_seconds_per_byte = 2.5 / (1 << 20);
+};
+
+/// \brief Migration cost mck of one key group.
+double MigrationCost(const Topology& topology, KeyGroupId g,
+                     const MigrationCostModel& model);
+
+/// \brief Migration costs for all key groups.
+std::vector<double> AllMigrationCosts(const Topology& topology,
+                                      const MigrationCostModel& model);
+
+/// \brief Summary of applying one adaptation round's migrations.
+struct MigrationReport {
+  int count = 0;                   ///< Number of key groups moved.
+  double total_cost = 0.0;         ///< Sum of mck over moved groups.
+  double total_pause_seconds = 0.0;  ///< Summed per-group pause latency.
+};
+
+/// \brief Applies migrations to \p assignment and accounts their cost.
+MigrationReport ApplyMigrations(const std::vector<Migration>& migrations,
+                                const Topology& topology,
+                                const MigrationCostModel& model,
+                                Assignment* assignment);
+
+}  // namespace albic::engine

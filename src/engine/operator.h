@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/tuple.h"
+
+namespace albic::engine {
+
+/// \brief Sink for tuples an operator emits downstream.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(const Tuple& tuple) = 0;
+};
+
+/// \brief User-defined operator logic, parallelized over key groups.
+///
+/// The engine calls Process for every input tuple with the operator-local
+/// key-group index; all state must be kept per group (the paper's core
+/// execution-model assumption: groups are independently processable and
+/// migratable, §3). State (de)serialization implements direct state
+/// migration; the engine serializes at the source, clears, and
+/// deserializes at the target.
+class StreamOperator {
+ public:
+  virtual ~StreamOperator() = default;
+
+  /// \brief Processes one tuple belonging to key group \p group_index.
+  virtual void Process(const Tuple& tuple, int group_index, Emitter* out) = 0;
+
+  /// \brief Fired on window boundaries (e.g. the 1-minute TopK windows of
+  /// Real Job 1). Default: no window behaviour.
+  virtual void OnWindow(int group_index, Emitter* out) {
+    (void)group_index;
+    (void)out;
+  }
+
+  /// \brief Serializes the state of one key group (for migration).
+  virtual std::string SerializeGroupState(int group_index) const {
+    (void)group_index;
+    return {};
+  }
+
+  /// \brief Restores a key group's state from a serialized image.
+  virtual Status DeserializeGroupState(int group_index,
+                                       const std::string& data) {
+    (void)group_index;
+    (void)data;
+    return Status::OK();
+  }
+
+  /// \brief Drops a key group's state (after it has been serialized away).
+  virtual void ClearGroupState(int group_index) { (void)group_index; }
+};
+
+}  // namespace albic::engine

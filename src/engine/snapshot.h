@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "engine/assignment.h"
+#include "engine/cluster.h"
+#include "engine/comm_matrix.h"
+#include "engine/topology.h"
+
+namespace albic::engine {
+
+/// \brief Everything the controller / rebalancers see at the end of a
+/// statistics period: the system model plus the latest measured statistics
+/// (§3, "Statistics" and "Controller").
+struct SystemSnapshot {
+  const Topology* topology = nullptr;
+  const Cluster* cluster = nullptr;
+  /// Latest communication matrix; nullptr when not tracked (pure
+  /// load-balancing jobs exhibiting even full partitioning).
+  const CommMatrix* comm = nullptr;
+
+  Assignment assignment;               ///< Current allocation (q in Table 2).
+  std::vector<double> group_loads;     ///< gLoadk, bottleneck resource, %.
+  std::vector<double> node_loads;      ///< loadi by NodeId, %.
+  std::vector<double> migration_costs; ///< mck per key group.
+  /// Optional per-group load of a non-bottleneck resource (e.g. memory),
+  /// for the multi-dimensional extension of §4.3.1: when non-empty, the
+  /// rebalancers additionally cap each node's secondary usage
+  /// (RebalanceConstraints::max_secondary_per_node). Empty = untracked.
+  std::vector<double> group_secondary_loads;
+};
+
+}  // namespace albic::engine

@@ -1,0 +1,48 @@
+#include "engine/stats.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace albic::engine {
+
+void StatsCollector::Record(PeriodStats stats) {
+  series_.push_back(stats);
+}
+
+double StatsCollector::BaselineLoad() const {
+  const int n = std::min<int>(baseline_periods_, num_periods());
+  if (n == 0) return 0.0;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += series_[i].total_load;
+  return s / n;
+}
+
+double StatsCollector::LoadIndexAt(int idx) const {
+  assert(idx >= 0 && idx < num_periods());
+  const double base = BaselineLoad();
+  if (base <= 0.0) return 100.0;
+  return 100.0 * series_[idx].total_load / base;
+}
+
+int StatsCollector::CumulativeMigrations(int idx) const {
+  assert(idx >= 0 && idx < num_periods());
+  int c = 0;
+  for (int i = 0; i <= idx; ++i) c += series_[i].migrations;
+  return c;
+}
+
+double StatsCollector::CumulativePauseSeconds(int idx) const {
+  assert(idx >= 0 && idx < num_periods());
+  double s = 0.0;
+  for (int i = 0; i <= idx; ++i) s += series_[i].migration_pause_seconds;
+  return s;
+}
+
+double StatsCollector::MeanLoadDistance() const {
+  if (series_.empty()) return 0.0;
+  double s = 0.0;
+  for (const PeriodStats& p : series_) s += p.load_distance;
+  return s / static_cast<double>(series_.size());
+}
+
+}  // namespace albic::engine

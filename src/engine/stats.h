@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace albic::engine {
+
+/// \brief Metrics recorded for one statistics period (SPL).
+struct PeriodStats {
+  int period = 0;
+  double load_distance = 0.0;       ///< Paper's primary balance metric.
+  double mean_load = 0.0;           ///< Average load over retained nodes.
+  double total_load = 0.0;          ///< Sum of node loads (for load index).
+  double collocation_pct = 0.0;     ///< Local share of comm traffic, %.
+  int migrations = 0;               ///< Key groups moved this period.
+  double migration_cost = 0.0;      ///< Sum of mck this period.
+  double migration_pause_seconds = 0.0;
+  int active_nodes = 0;
+  int marked_nodes = 0;             ///< Nodes still draining (set B).
+};
+
+/// \brief Accumulates per-SPL statistics and derives the paper's metrics
+/// (load distance, load index, collocation factor, migration counts).
+///
+/// The load index (§5, "Metrics") is the current average system load divided
+/// by the average system load right after the initialization phase; the
+/// first `baseline_periods` recorded periods define that baseline.
+class StatsCollector {
+ public:
+  explicit StatsCollector(int baseline_periods = 1)
+      : baseline_periods_(baseline_periods) {}
+
+  void Record(PeriodStats stats);
+
+  const std::vector<PeriodStats>& series() const { return series_; }
+  int num_periods() const { return static_cast<int>(series_.size()); }
+
+  /// \brief Load index (%) at a recorded period; 100 for baseline periods.
+  double LoadIndexAt(int idx) const;
+
+  /// \brief Cumulative migration count up to and including a period.
+  int CumulativeMigrations(int idx) const;
+
+  /// \brief Cumulative migration pause latency (seconds) up to a period.
+  double CumulativePauseSeconds(int idx) const;
+
+  /// \brief Mean load distance over all recorded periods.
+  double MeanLoadDistance() const;
+
+ private:
+  double BaselineLoad() const;
+
+  int baseline_periods_;
+  std::vector<PeriodStats> series_;
+};
+
+}  // namespace albic::engine

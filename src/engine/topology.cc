@@ -1,0 +1,111 @@
+#include "engine/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace albic::engine {
+
+const char* PartitioningPatternToString(PartitioningPattern p) {
+  switch (p) {
+    case PartitioningPattern::kOneToOne:
+      return "one-to-one";
+    case PartitioningPattern::kPartialMerge:
+      return "partial-merge";
+    case PartitioningPattern::kPartialPartitioning:
+      return "partial-partitioning";
+    case PartitioningPattern::kFullPartitioning:
+      return "full-partitioning";
+  }
+  return "unknown";
+}
+
+OperatorId Topology::AddOperator(OperatorDef def) {
+  assert(def.num_key_groups > 0);
+  const OperatorId id = static_cast<OperatorId>(operators_.size());
+  first_group_.push_back(total_groups_);
+  for (int i = 0; i < def.num_key_groups; ++i) group_op_.push_back(id);
+  total_groups_ += def.num_key_groups;
+  operators_.push_back(std::move(def));
+  return id;
+}
+
+OperatorId Topology::AddOperator(std::string name, int num_key_groups,
+                                 double state_bytes_per_group,
+                                 bool is_source) {
+  OperatorDef def;
+  def.name = std::move(name);
+  def.num_key_groups = num_key_groups;
+  def.state_bytes_per_group = state_bytes_per_group;
+  def.is_source = is_source;
+  return AddOperator(std::move(def));
+}
+
+Status Topology::AddStream(OperatorId from, OperatorId to,
+                           PartitioningPattern p) {
+  if (from < 0 || from >= num_operators() || to < 0 || to >= num_operators()) {
+    return Status::InvalidArgument("stream references unknown operator");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-loop streams are not allowed");
+  }
+  if (WouldCreateCycle(from, to)) {
+    return Status::InvalidArgument("stream would create a cycle (topology "
+                                   "must be a DAG)");
+  }
+  edges_.push_back({from, to, p});
+  return Status::OK();
+}
+
+bool Topology::WouldCreateCycle(OperatorId from, OperatorId to) const {
+  // DFS from `to`; a path back to `from` means adding (from,to) closes a
+  // cycle.
+  std::vector<char> seen(operators_.size(), 0);
+  std::function<bool(OperatorId)> dfs = [&](OperatorId v) {
+    if (v == from) return true;
+    if (seen[v]) return false;
+    seen[v] = 1;
+    for (const StreamEdge& e : edges_) {
+      if (e.from == v && dfs(e.to)) return true;
+    }
+    return false;
+  };
+  return dfs(to);
+}
+
+std::vector<StreamEdge> Topology::downstream(OperatorId id) const {
+  std::vector<StreamEdge> out;
+  for (const StreamEdge& e : edges_) {
+    if (e.from == id) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<StreamEdge> Topology::upstream(OperatorId id) const {
+  std::vector<StreamEdge> out;
+  for (const StreamEdge& e : edges_) {
+    if (e.to == id) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<OperatorId> Topology::TopologicalOrder() const {
+  std::vector<int> indegree(operators_.size(), 0);
+  for (const StreamEdge& e : edges_) ++indegree[e.to];
+  std::vector<OperatorId> queue;
+  for (OperatorId i = 0; i < num_operators(); ++i) {
+    if (indegree[i] == 0) queue.push_back(i);
+  }
+  std::vector<OperatorId> order;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    OperatorId v = queue[head];
+    order.push_back(v);
+    for (const StreamEdge& e : edges_) {
+      if (e.from == v && --indegree[e.to] == 0) queue.push_back(e.to);
+    }
+  }
+  assert(order.size() == operators_.size() && "topology must be a DAG");
+  return order;
+}
+
+}  // namespace albic::engine

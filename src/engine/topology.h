@@ -1,0 +1,91 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/types.h"
+
+namespace albic::engine {
+
+/// \brief Static description of one operator in a job.
+struct OperatorDef {
+  std::string name;
+  /// Number of key groups the operator's input keys are partitioned into.
+  int num_key_groups = 1;
+  /// Modeled computation state per key group, in bytes (drives migration
+  /// cost mck = alpha * |sigma_k|, §4.3.1).
+  double state_bytes_per_group = 1 << 20;
+  /// Work units charged per tuple processed (used by the tuple runtime).
+  double cost_per_tuple = 1.0;
+  /// True for src operators (they produce the job's input).
+  bool is_source = false;
+};
+
+/// \brief One stream (edge) of the operator DAG.
+struct StreamEdge {
+  OperatorId from = 0;
+  OperatorId to = 0;
+  PartitioningPattern pattern = PartitioningPattern::kFullPartitioning;
+};
+
+/// \brief The job's operator network: a DAG of operators connected by
+/// streams (§3, "Query Model"), with each operator's input keys partitioned
+/// into key groups (§3, "Execution Model").
+///
+/// Key groups are numbered globally and contiguously per operator, so a
+/// KeyGroupId identifies both the operator and the group within it.
+class Topology {
+ public:
+  /// \brief Adds an operator; returns its id.
+  OperatorId AddOperator(OperatorDef def);
+
+  /// \brief Convenience overload.
+  OperatorId AddOperator(std::string name, int num_key_groups,
+                         double state_bytes_per_group = 1 << 20,
+                         bool is_source = false);
+
+  /// \brief Adds a stream edge. Fails on unknown operators, self-loops, or
+  /// edges that would create a cycle.
+  Status AddStream(OperatorId from, OperatorId to, PartitioningPattern p);
+
+  int num_operators() const { return static_cast<int>(operators_.size()); }
+  int num_key_groups() const { return total_groups_; }
+
+  const OperatorDef& op(OperatorId id) const { return operators_[id]; }
+
+  /// \brief First global key-group id of an operator.
+  KeyGroupId first_group(OperatorId id) const { return first_group_[id]; }
+
+  /// \brief Operator owning a global key-group id.
+  OperatorId group_operator(KeyGroupId g) const { return group_op_[g]; }
+
+  /// \brief Index of a group within its operator.
+  int group_index_in_operator(KeyGroupId g) const {
+    return g - first_group_[group_op_[g]];
+  }
+
+  /// \brief State size of a key group (bytes).
+  double group_state_bytes(KeyGroupId g) const {
+    return operators_[group_op_[g]].state_bytes_per_group;
+  }
+
+  const std::vector<StreamEdge>& edges() const { return edges_; }
+  std::vector<StreamEdge> downstream(OperatorId id) const;
+  std::vector<StreamEdge> upstream(OperatorId id) const;
+
+  /// \brief Operators in a topological order (sources first).
+  std::vector<OperatorId> TopologicalOrder() const;
+
+ private:
+  bool WouldCreateCycle(OperatorId from, OperatorId to) const;
+
+  std::vector<OperatorDef> operators_;
+  std::vector<StreamEdge> edges_;
+  std::vector<KeyGroupId> first_group_;
+  std::vector<OperatorId> group_op_;
+  int total_groups_ = 0;
+};
+
+}  // namespace albic::engine

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+namespace albic::engine {
+
+/// \brief One stream tuple <key, value, ts> (§3, "Data Model").
+///
+/// `key` partitions the operator's input; the value is split into a numeric
+/// field and an auxiliary key so the Real Job operators (delay sums, route
+/// aggregation, weather join) run without heap traffic on the hot path.
+/// Both are opaque to the engine itself.
+struct Tuple {
+  uint64_t key = 0;   ///< Partitioning key.
+  int64_t ts = 0;     ///< Event timestamp, microseconds.
+  double num = 0.0;   ///< Numeric payload (delay minutes, precipitation...).
+  uint64_t aux = 0;   ///< Secondary payload key (route id, station id...).
+};
+
+}  // namespace albic::engine

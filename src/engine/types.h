@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+namespace albic::engine {
+
+/// \brief Index of a processing node in the cluster.
+using NodeId = int32_t;
+/// \brief Index of an operator in the topology DAG.
+using OperatorId = int32_t;
+/// \brief Global index of a key group (across all operators).
+using KeyGroupId = int32_t;
+
+constexpr NodeId kInvalidNode = -1;
+
+/// \brief The four common partitioning patterns of §4.3.1 / Figure 1.
+enum class PartitioningPattern {
+  kOneToOne,             ///< Each instance feeds exactly one target instance.
+  kPartialMerge,         ///< Each instance feeds one downstream instance;
+                         ///< many sources may share a target.
+  kPartialPartitioning,  ///< Each instance feeds a subset of targets.
+  kFullPartitioning,     ///< Each instance feeds all targets.
+};
+
+const char* PartitioningPatternToString(PartitioningPattern p);
+
+}  // namespace albic::engine

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "engine/comm_matrix.h"
+
+namespace albic::engine {
+
+/// \brief Source of per-period workload statistics for the flow simulator.
+///
+/// A workload model plays the role of the job + dataset: each statistics
+/// period it produces every key group's intrinsic processing load (percent
+/// of a reference node) and, when relevant, the key-group communication
+/// matrix. Implementations live in workload/ (synthetic, Wikipedia-like,
+/// Airline, GSOD weather).
+class WorkloadModel {
+ public:
+  virtual ~WorkloadModel() = default;
+
+  /// \brief Generates the statistics of period \p period (0-based).
+  virtual void AdvancePeriod(int period) = 0;
+
+  /// \brief Intrinsic (location-independent) processing load per key group.
+  virtual const std::vector<double>& group_proc_loads() const = 0;
+
+  /// \brief Communication matrix; nullptr when the job has no collocation
+  /// opportunity worth tracking.
+  virtual const CommMatrix* comm() const = 0;
+
+  virtual int num_key_groups() const = 0;
+};
+
+}  // namespace albic::engine

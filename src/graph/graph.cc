@@ -1,0 +1,65 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace albic::graph {
+
+Graph Graph::FromEdges(int num_vertices, const std::vector<Edge>& edges,
+                       std::vector<double> vertex_weights) {
+  Graph g;
+  if (vertex_weights.empty()) {
+    vertex_weights.assign(static_cast<size_t>(num_vertices), 1.0);
+  }
+  assert(static_cast<int>(vertex_weights.size()) == num_vertices);
+
+  // Merge parallel edges: collect (min,max) keyed weights.
+  std::map<std::pair<int, int>, double> merged;
+  for (const Edge& e : edges) {
+    assert(e.u >= 0 && e.u < num_vertices && e.v >= 0 && e.v < num_vertices);
+    if (e.u == e.v) continue;
+    auto key = std::minmax(e.u, e.v);
+    merged[{key.first, key.second}] += e.weight;
+  }
+
+  std::vector<int64_t> degree(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const auto& [key, w] : merged) {
+    ++degree[key.first + 1];
+    ++degree[key.second + 1];
+  }
+  g.offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (int v = 0; v < num_vertices; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v + 1];
+  }
+  g.adj_.resize(static_cast<size_t>(g.offsets_[num_vertices]));
+  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [key, w] : merged) {
+    g.adj_[static_cast<size_t>(cursor[key.first]++)] = {key.second, w};
+    g.adj_[static_cast<size_t>(cursor[key.second]++)] = {key.first, w};
+  }
+
+  g.vertex_weights_ = std::move(vertex_weights);
+  g.incident_weight_.assign(static_cast<size_t>(num_vertices), 0.0);
+  for (int v = 0; v < num_vertices; ++v) {
+    double s = 0.0;
+    for (const auto& a : g.neighbors(v)) s += a.weight;
+    g.incident_weight_[v] = s;
+  }
+  g.total_vertex_weight_ = 0.0;
+  for (double w : g.vertex_weights_) g.total_vertex_weight_ += w;
+  return g;
+}
+
+double Graph::EdgeCut(const std::vector<int>& assignment) const {
+  assert(static_cast<int>(assignment.size()) == num_vertices());
+  double cut = 0.0;
+  for (int v = 0; v < num_vertices(); ++v) {
+    for (const auto& a : neighbors(v)) {
+      if (a.to > v && assignment[a.to] != assignment[v]) cut += a.weight;
+    }
+  }
+  return cut;
+}
+
+}  // namespace albic::graph

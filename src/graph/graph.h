@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace albic::graph {
+
+/// \brief One weighted undirected edge used when building a Graph.
+struct Edge {
+  int u = 0;
+  int v = 0;
+  double weight = 1.0;
+};
+
+/// \brief A neighbor entry in the CSR adjacency of a Graph.
+struct Adjacency {
+  int to = 0;
+  double weight = 0.0;
+};
+
+/// \brief Immutable undirected weighted graph in CSR form.
+///
+/// Vertices carry weights (used as load / migration cost by ALBIC and COLA);
+/// parallel edges are merged by summing weights; self-loops are dropped.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// \brief Builds a graph from an edge list. Vertex weights default to 1.
+  static Graph FromEdges(int num_vertices, const std::vector<Edge>& edges,
+                         std::vector<double> vertex_weights = {});
+
+  int num_vertices() const { return static_cast<int>(offsets_.size()) - 1; }
+  int64_t num_edges() const { return static_cast<int64_t>(adj_.size()) / 2; }
+
+  double vertex_weight(int v) const { return vertex_weights_[v]; }
+  double total_vertex_weight() const { return total_vertex_weight_; }
+
+  /// \brief Neighbors of v as a contiguous span.
+  std::span<const Adjacency> neighbors(int v) const {
+    return {adj_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  /// \brief Sum of edge weights incident to v.
+  double incident_weight(int v) const { return incident_weight_[v]; }
+
+  /// \brief Sum of weights of edges whose endpoints lie in different parts
+  /// of \p assignment (each undirected edge counted once).
+  double EdgeCut(const std::vector<int>& assignment) const;
+
+ private:
+  std::vector<int64_t> offsets_;
+  std::vector<Adjacency> adj_;
+  std::vector<double> vertex_weights_;
+  std::vector<double> incident_weight_;
+  double total_vertex_weight_ = 0.0;
+};
+
+}  // namespace albic::graph

@@ -1,0 +1,404 @@
+#include "graph/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace albic::graph {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Coarsening: heavy-edge matching.
+// ---------------------------------------------------------------------------
+
+// Matches vertices to their heaviest unmatched neighbor and contracts pairs.
+// map_out[v] = coarse vertex id. Returns the coarse graph.
+Graph CoarsenOnce(const Graph& g, double max_coarse_weight, Rng* rng,
+                  std::vector<int>* map_out) {
+  const int n = g.num_vertices();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  std::vector<int> match(n, -1);
+  for (int v : order) {
+    if (match[v] != -1) continue;
+    int best = -1;
+    double best_w = -1.0;
+    for (const auto& a : g.neighbors(v)) {
+      if (match[a.to] != -1 || a.to == v) continue;
+      if (g.vertex_weight(v) + g.vertex_weight(a.to) > max_coarse_weight) {
+        continue;
+      }
+      if (a.weight > best_w) {
+        best_w = a.weight;
+        best = a.to;
+      }
+    }
+    if (best >= 0) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;
+    }
+  }
+
+  map_out->assign(n, -1);
+  int coarse_n = 0;
+  for (int v = 0; v < n; ++v) {
+    if ((*map_out)[v] != -1) continue;
+    (*map_out)[v] = coarse_n;
+    if (match[v] != v) (*map_out)[match[v]] = coarse_n;
+    ++coarse_n;
+  }
+
+  std::vector<double> cw(coarse_n, 0.0);
+  for (int v = 0; v < n; ++v) cw[(*map_out)[v]] += g.vertex_weight(v);
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(g.num_edges()));
+  for (int v = 0; v < n; ++v) {
+    const int cv = (*map_out)[v];
+    for (const auto& a : g.neighbors(v)) {
+      const int cu = (*map_out)[a.to];
+      if (cu <= cv) continue;  // count each fine edge once
+      edges.push_back({cv, cu, a.weight});
+    }
+  }
+  return Graph::FromEdges(coarse_n, edges, std::move(cw));
+}
+
+// ---------------------------------------------------------------------------
+// Bisection refinement (Fiduccia-Mattheyses with rollback to best prefix).
+// ---------------------------------------------------------------------------
+
+struct FmContext {
+  const Graph& g;
+  std::vector<int>& side;
+  double max_w[2];
+  double w[2] = {0.0, 0.0};
+
+  FmContext(const Graph& graph, std::vector<int>& s, double max0, double max1)
+      : g(graph), side(s) {
+    max_w[0] = max0;
+    max_w[1] = max1;
+    for (int v = 0; v < g.num_vertices(); ++v) w[side[v]] += g.vertex_weight(v);
+  }
+
+  double Gain(int v) const {
+    double internal = 0.0, external = 0.0;
+    for (const auto& a : g.neighbors(v)) {
+      if (side[a.to] == side[v]) {
+        internal += a.weight;
+      } else {
+        external += a.weight;
+      }
+    }
+    return external - internal;
+  }
+};
+
+// One FM pass; returns true if the pass improved cut or balance.
+bool FmPass(FmContext* ctx, Rng* rng) {
+  const Graph& g = ctx->g;
+  const int n = g.num_vertices();
+  std::vector<double> gain(n);
+  std::vector<char> locked(n, 0);
+  for (int v = 0; v < n; ++v) gain[v] = ctx->Gain(v);
+
+  // Lazy max-heap of (gain, tiebreak, vertex).
+  using Entry = std::tuple<double, uint64_t, int>;
+  std::priority_queue<Entry> heap;
+  auto push = [&](int v) { heap.push({gain[v], rng->NextU64(), v}); };
+  for (int v = 0; v < n; ++v) push(v);
+
+  struct Move {
+    int v;
+    double cum_gain;
+    double imbalance;  // max overload after the move
+  };
+  std::vector<Move> moves;
+  moves.reserve(static_cast<size_t>(n));
+  double cum = 0.0;
+
+  auto overload = [&]() {
+    return std::max(ctx->w[0] - ctx->max_w[0], ctx->w[1] - ctx->max_w[1]);
+  };
+  const double start_overload = overload();
+
+  while (!heap.empty()) {
+    auto [gv, tie, v] = heap.top();
+    heap.pop();
+    if (locked[v] || gv != gain[v]) continue;  // stale entry
+    const int from = ctx->side[v];
+    const int to = 1 - from;
+    const double wv = g.vertex_weight(v);
+    // A move is admissible if it does not overload the target side, or if
+    // the source side is itself overloaded (rebalancing move).
+    const bool target_ok = ctx->w[to] + wv <= ctx->max_w[to];
+    const bool source_over = ctx->w[from] > ctx->max_w[from];
+    if (!target_ok && !source_over) continue;
+    if (ctx->w[from] - wv < 1e-12 && n > 1) continue;  // never empty a side
+
+    locked[v] = 1;
+    ctx->side[v] = to;
+    ctx->w[from] -= wv;
+    ctx->w[to] += wv;
+    cum += gain[v];
+    moves.push_back({v, cum, overload()});
+    for (const auto& a : g.neighbors(v)) {
+      if (locked[a.to]) continue;
+      gain[a.to] = ctx->Gain(a.to);
+      push(a.to);
+    }
+  }
+
+  if (moves.empty()) return false;
+
+  // Pick the best prefix: prefer feasibility (no overload), then max gain.
+  int best = -1;
+  double best_gain = 0.0;
+  double best_over = start_overload;
+  for (int i = 0; i < static_cast<int>(moves.size()); ++i) {
+    const double over = std::max(0.0, moves[i].imbalance);
+    const double base_over = std::max(0.0, best_over);
+    const bool better =
+        (over < base_over - 1e-12) ||
+        (std::fabs(over - base_over) <= 1e-12 &&
+         moves[i].cum_gain > best_gain + 1e-12);
+    if (better) {
+      best = i;
+      best_gain = moves[i].cum_gain;
+      best_over = moves[i].imbalance;
+    }
+  }
+  // Roll back everything after the best prefix.
+  for (int i = static_cast<int>(moves.size()) - 1; i > best; --i) {
+    const int v = moves[i].v;
+    const int cur = ctx->side[v];
+    ctx->side[v] = 1 - cur;
+    ctx->w[cur] -= g.vertex_weight(v);
+    ctx->w[1 - cur] += g.vertex_weight(v);
+  }
+  return best >= 0 && (best_gain > 1e-12 ||
+                       std::max(0.0, best_over) <
+                           std::max(0.0, start_overload) - 1e-12);
+}
+
+// Greedy graph-growing bisection: grow side 0 from a seed until it reaches
+// target0 weight; prefers frontier vertices with the strongest connection
+// into the grown region.
+std::vector<int> GreedyBisect(const Graph& g, double target0, Rng* rng) {
+  const int n = g.num_vertices();
+  std::vector<int> side(n, 1);
+  if (n == 0) return side;
+  std::vector<double> attach(n, 0.0);
+  std::vector<char> in0(n, 0);
+  double w0 = 0.0;
+  int grown = 0;
+
+  while (w0 < target0 && grown < n) {
+    // Pick the best unassigned vertex: max attachment; fresh seed if the
+    // frontier is empty (disconnected graphs).
+    int pick = -1;
+    double best = -1.0;
+    for (int v = 0; v < n; ++v) {
+      if (in0[v]) continue;
+      if (attach[v] > best) {
+        best = attach[v];
+        pick = v;
+      }
+    }
+    if (pick < 0) break;
+    if (best <= 0.0) {
+      // Random seed among unassigned to avoid pathological growth order.
+      std::vector<int> cand;
+      for (int v = 0; v < n; ++v) {
+        if (!in0[v]) cand.push_back(v);
+      }
+      pick = cand[rng->Index(cand.size())];
+    }
+    in0[pick] = 1;
+    side[pick] = 0;
+    w0 += g.vertex_weight(pick);
+    ++grown;
+    for (const auto& a : g.neighbors(pick)) attach[a.to] += a.weight;
+  }
+  return side;
+}
+
+// Multilevel bisection: side 0 receives ~frac0 of the total vertex weight.
+std::vector<int> MultilevelBisect(const Graph& g, double frac0,
+                                  const PartitionOptions& opts, Rng* rng) {
+  const double total = g.total_vertex_weight();
+  const double target0 = total * frac0;
+  const double target1 = total - target0;
+  const double max0 = target0 * (1.0 + opts.imbalance);
+  const double max1 = target1 * (1.0 + opts.imbalance);
+
+  // Build the coarsening hierarchy.
+  std::vector<Graph> graphs;
+  std::vector<std::vector<int>> maps;
+  graphs.push_back(g);
+  const int coarse_stop = std::max(opts.coarsen_target, 16);
+  const double max_coarse_weight =
+      std::max(total / 6.0, 2.0 * total / std::max(1, g.num_vertices()));
+  while (graphs.back().num_vertices() > coarse_stop) {
+    std::vector<int> map;
+    Graph coarse = CoarsenOnce(graphs.back(), max_coarse_weight, rng, &map);
+    if (coarse.num_vertices() >=
+        static_cast<int>(0.95 * graphs.back().num_vertices())) {
+      break;  // matching stalled (e.g. star graphs)
+    }
+    graphs.push_back(std::move(coarse));
+    maps.push_back(std::move(map));
+  }
+
+  // Initial partition on the coarsest level: a few greedy-growing attempts,
+  // keep the best after refinement.
+  const Graph& coarsest = graphs.back();
+  std::vector<int> best_side;
+  double best_cut = std::numeric_limits<double>::infinity();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::vector<int> side = GreedyBisect(coarsest, target0, rng);
+    FmContext ctx(coarsest, side, max0, max1);
+    for (int p = 0; p < opts.refine_passes; ++p) {
+      if (!FmPass(&ctx, rng)) break;
+    }
+    const double cut = coarsest.EdgeCut(side);
+    const double over = std::max({0.0, ctx.w[0] - max0, ctx.w[1] - max1});
+    const double score = cut + over * 1e6;  // heavily penalize imbalance
+    if (score < best_cut) {
+      best_cut = score;
+      best_side = std::move(side);
+    }
+  }
+
+  // Project back through the hierarchy, refining at each level.
+  std::vector<int> side = std::move(best_side);
+  for (int level = static_cast<int>(maps.size()) - 1; level >= 0; --level) {
+    const std::vector<int>& map = maps[level];
+    std::vector<int> fine(map.size());
+    for (size_t v = 0; v < map.size(); ++v) fine[v] = side[map[v]];
+    side = std::move(fine);
+    FmContext ctx(graphs[level], side, max0, max1);
+    for (int p = 0; p < opts.refine_passes; ++p) {
+      if (!FmPass(&ctx, rng)) break;
+    }
+  }
+  return side;
+}
+
+// Extracts the subgraph induced by `vertices` (global ids).
+Graph Subgraph(const Graph& g, const std::vector<int>& vertices,
+               std::vector<int>* global_ids) {
+  std::vector<int> local(g.num_vertices(), -1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    local[vertices[i]] = static_cast<int>(i);
+  }
+  std::vector<Edge> edges;
+  std::vector<double> weights(vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const int v = vertices[i];
+    weights[i] = g.vertex_weight(v);
+    for (const auto& a : g.neighbors(v)) {
+      const int lu = local[a.to];
+      if (lu < 0 || a.to <= v) continue;
+      edges.push_back({static_cast<int>(i), lu, a.weight});
+    }
+  }
+  *global_ids = vertices;
+  return Graph::FromEdges(static_cast<int>(vertices.size()), edges,
+                          std::move(weights));
+}
+
+// Recursive bisection into k parts starting at part id `first_part`.
+void RecursePartition(const Graph& g, const std::vector<int>& global_ids,
+                      int first_part, int k, const PartitionOptions& opts,
+                      Rng* rng, std::vector<int>* out) {
+  if (k <= 1 || g.num_vertices() == 0) {
+    for (int v : global_ids) (*out)[v] = first_part;
+    return;
+  }
+  const int k0 = k / 2;
+  const int k1 = k - k0;
+  const double frac0 = static_cast<double>(k0) / static_cast<double>(k);
+  std::vector<int> side = MultilevelBisect(g, frac0, opts, rng);
+
+  std::vector<int> v0, v1;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    (side[v] == 0 ? v0 : v1).push_back(v);
+  }
+  // Map local ids back to global before recursing.
+  auto to_global = [&](std::vector<int>* vs) {
+    for (int& v : *vs) v = global_ids[v];
+  };
+  std::vector<int> g0 = v0, g1 = v1;
+  to_global(&g0);
+  to_global(&g1);
+
+  std::vector<int> ids0, ids1;
+  Graph s0 = Subgraph(g, v0, &ids0);
+  Graph s1 = Subgraph(g, v1, &ids1);
+  RecursePartition(s0, g0, first_part, k0, opts, rng, out);
+  RecursePartition(s1, g1, first_part + k0, k1, opts, rng, out);
+}
+
+}  // namespace
+
+Result<PartitionResult> PartitionGraph(const Graph& graph,
+                                       const PartitionOptions& options) {
+  if (options.num_parts < 1) {
+    return Status::InvalidArgument("num_parts must be >= 1");
+  }
+  if (options.imbalance < 0.0) {
+    return Status::InvalidArgument("imbalance must be >= 0");
+  }
+  const int n = graph.num_vertices();
+  PartitionResult result;
+  result.assignment.assign(static_cast<size_t>(n), 0);
+  result.part_weights.assign(static_cast<size_t>(options.num_parts), 0.0);
+  if (n == 0) return result;
+
+  if (options.num_parts == 1) {
+    for (int v = 0; v < n; ++v) {
+      result.part_weights[0] += graph.vertex_weight(v);
+    }
+    return result;
+  }
+
+  Rng rng(options.seed);
+  if (options.num_parts >= n) {
+    // Degenerate: one vertex (or empty) per part.
+    for (int v = 0; v < n; ++v) result.assignment[v] = v;
+  } else {
+    // Recursive bisection compounds the per-level tolerance, so tighten it
+    // to the L-th root of the requested overall imbalance (L = tree depth).
+    PartitionOptions leveled = options;
+    const int levels = std::max(
+        1, static_cast<int>(std::ceil(std::log2(options.num_parts))));
+    leveled.imbalance =
+        std::pow(1.0 + options.imbalance, 1.0 / levels) - 1.0;
+    std::vector<int> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    std::vector<int> ids;
+    Graph root = Subgraph(graph, all, &ids);
+    RecursePartition(root, all, 0, leveled.num_parts, leveled, &rng,
+                     &result.assignment);
+  }
+
+  for (int v = 0; v < n; ++v) {
+    result.part_weights[result.assignment[v]] += graph.vertex_weight(v);
+  }
+  result.edge_cut = graph.EdgeCut(result.assignment);
+  return result;
+}
+
+}  // namespace albic::graph

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace albic::graph {
+
+/// \brief Options for balanced k-way partitioning.
+struct PartitionOptions {
+  int num_parts = 2;
+  /// Allowed relative overload of a part vs. its proportional target
+  /// (METIS "ubfactor"-style): max part weight = target * (1 + imbalance).
+  double imbalance = 0.10;
+  /// FM refinement passes per level.
+  int refine_passes = 6;
+  /// Stop coarsening when the graph has at most this many vertices (scaled
+  /// up to 8 * num_parts if smaller).
+  int coarsen_target = 96;
+  uint64_t seed = 42;
+};
+
+/// \brief Result of a partitioning run.
+struct PartitionResult {
+  std::vector<int> assignment;       ///< vertex -> part in [0, num_parts).
+  double edge_cut = 0.0;             ///< Total weight of cut edges.
+  std::vector<double> part_weights;  ///< Vertex weight per part.
+};
+
+/// \brief Multilevel balanced k-way graph partitioner (METIS substitute).
+///
+/// Pipeline per bisection: heavy-edge-matching coarsening, greedy graph
+/// growing on the coarsest graph, Fiduccia-Mattheyses refinement during
+/// uncoarsening; k-way is obtained by recursive bisection with proportional
+/// target weights. Used by ALBIC step 2 (splitting oversized collocation
+/// sets) and by the COLA baseline (whole-job partitioning).
+Result<PartitionResult> PartitionGraph(const Graph& graph,
+                                       const PartitionOptions& options);
+
+}  // namespace albic::graph

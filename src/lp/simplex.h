@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "lp/lp_model.h"
+
+namespace albic::lp {
+
+/// \brief Terminal state of a simplex solve.
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* SolveStatusToString(SolveStatus s);
+
+/// \brief Result of solving an LP.
+struct LpSolution {
+  SolveStatus status = SolveStatus::kOptimal;
+  double objective = 0.0;          ///< In the model's original sense.
+  std::vector<double> values;      ///< One value per model variable.
+  int iterations = 0;              ///< Total simplex pivots (both phases).
+};
+
+/// \brief Bounded-variable two-phase primal simplex over a dense tableau.
+///
+/// Supports arbitrary finite/infinite variable bounds (free variables — both
+/// bounds infinite — are rejected), <= / >= / = rows, and minimization or
+/// maximization. Anti-cycling via Bland's rule after a run of degenerate
+/// pivots. Suitable for the model sizes used by the exact MILP path (up to
+/// a few thousand columns); cluster-scale balancing uses the heuristic path
+/// in `milp/` instead (see DESIGN.md §4.2).
+class SimplexSolver {
+ public:
+  struct Options {
+    /// Feasibility / pricing tolerance.
+    double eps = 1e-7;
+    /// Minimum |pivot| accepted in the ratio test.
+    double pivot_tol = 1e-9;
+    /// Hard pivot cap across both phases (0 = 100*(m+n) default).
+    int max_iterations = 0;
+  };
+
+  /// \brief Solves the model; returns an error Status only for malformed
+  /// models (free variables, bad indices). Infeasible / unbounded outcomes
+  /// are reported in LpSolution::status.
+  static Result<LpSolution> Solve(const LpModel& model,
+                                  const Options& options);
+  static Result<LpSolution> Solve(const LpModel& model) {
+    return Solve(model, Options{});
+  }
+};
+
+}  // namespace albic::lp

@@ -1,0 +1,69 @@
+#include "ops/aggregate.h"
+
+#include "ops/serde_util.h"
+
+namespace albic::ops {
+
+SumByKeyOperator::SumByKeyOperator(int num_groups, GroupField field,
+                                   bool emit_updates)
+    : field_(field),
+      emit_updates_(emit_updates),
+      sums_(static_cast<size_t>(num_groups)) {}
+
+void SumByKeyOperator::Process(const engine::Tuple& tuple, int group_index,
+                               engine::Emitter* out) {
+  const uint64_t id = field_ == GroupField::kKey ? tuple.key : tuple.aux;
+  double& sum = sums_[group_index][id];
+  sum += tuple.num;
+  if (emit_updates_) {
+    engine::Tuple t = tuple;
+    t.num = sum;  // running aggregate
+    out->Emit(t);
+  }
+}
+
+double SumByKeyOperator::SumFor(int group_index, uint64_t id) const {
+  const auto& m = sums_[group_index];
+  auto it = m.find(id);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+double SumByKeyOperator::GroupTotal(int group_index) const {
+  double total = 0.0;
+  for (const auto& [id, sum] : sums_[group_index]) total += sum;
+  return total;
+}
+
+std::string SumByKeyOperator::SerializeGroupState(int group_index) const {
+  StateWriter w;
+  const auto& m = sums_[group_index];
+  w.PutU64(m.size());
+  for (const auto& [id, sum] : m) {
+    w.PutU64(id);
+    w.PutDouble(sum);
+  }
+  return w.Take();
+}
+
+Status SumByKeyOperator::DeserializeGroupState(int group_index,
+                                               const std::string& data) {
+  StateReader r(data);
+  uint64_t n = 0;
+  ALBIC_RETURN_NOT_OK(r.GetU64(&n));
+  auto& m = sums_[group_index];
+  m.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    double sum = 0.0;
+    ALBIC_RETURN_NOT_OK(r.GetU64(&id));
+    ALBIC_RETURN_NOT_OK(r.GetDouble(&sum));
+    m[id] = sum;
+  }
+  return Status::OK();
+}
+
+void SumByKeyOperator::ClearGroupState(int group_index) {
+  sums_[group_index].clear();
+}
+
+}  // namespace albic::ops

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace albic::ops {
+
+/// \brief Which tuple field a SumByKey operator groups on.
+enum class GroupField { kKey, kAux };
+
+/// \brief Running sum of `num` per grouping key: Real Job 2's
+/// SumDelayByPlane (grouped on key = airplane) and Real Job 3's RouteDelay
+/// (grouped on aux = route id), §5.4.
+///
+/// Every update emits the new running sum downstream (keyed like the input),
+/// which is what the store operators persist. Per-group state is the sum
+/// map.
+class SumByKeyOperator : public engine::StreamOperator {
+ public:
+  SumByKeyOperator(int num_groups, GroupField field,
+                   bool emit_updates = true);
+
+  void Process(const engine::Tuple& tuple, int group_index,
+               engine::Emitter* out) override;
+
+  std::string SerializeGroupState(int group_index) const override;
+  Status DeserializeGroupState(int group_index,
+                               const std::string& data) override;
+  void ClearGroupState(int group_index) override;
+
+  /// \brief Current sum for a grouping key (0 when unseen), for tests.
+  double SumFor(int group_index, uint64_t id) const;
+
+  /// \brief Total over all keys of a group.
+  double GroupTotal(int group_index) const;
+
+ private:
+  GroupField field_;
+  bool emit_updates_;
+  std::vector<std::unordered_map<uint64_t, double>> sums_;
+};
+
+}  // namespace albic::ops

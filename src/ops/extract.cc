@@ -1,0 +1,33 @@
+#include "ops/extract.h"
+
+#include "ops/serde_util.h"
+
+namespace albic::ops {
+
+DelayExtractOperator::DelayExtractOperator(int num_groups)
+    : extracted_(static_cast<size_t>(num_groups), 0) {}
+
+void DelayExtractOperator::Process(const engine::Tuple& tuple,
+                                   int group_index, engine::Emitter* out) {
+  if (tuple.num <= 0.0) return;  // on-time: nothing to extract
+  ++extracted_[group_index];
+  out->Emit(tuple);
+}
+
+std::string DelayExtractOperator::SerializeGroupState(int group_index) const {
+  StateWriter w;
+  w.PutI64(extracted_[group_index]);
+  return w.Take();
+}
+
+Status DelayExtractOperator::DeserializeGroupState(int group_index,
+                                                   const std::string& data) {
+  StateReader r(data);
+  return r.GetI64(&extracted_[group_index]);
+}
+
+void DelayExtractOperator::ClearGroupState(int group_index) {
+  extracted_[group_index] = 0;
+}
+
+}  // namespace albic::ops

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace albic::ops {
+
+/// \brief Real Job 2's first operator (§5.4): extracts delay information
+/// from raw flight records — on-time flights (zero delay) are dropped,
+/// delayed ones forwarded keyed by airplane. Keeps a per-group count of
+/// extracted records as migratable state.
+class DelayExtractOperator : public engine::StreamOperator {
+ public:
+  explicit DelayExtractOperator(int num_groups);
+
+  void Process(const engine::Tuple& tuple, int group_index,
+               engine::Emitter* out) override;
+
+  std::string SerializeGroupState(int group_index) const override;
+  Status DeserializeGroupState(int group_index,
+                               const std::string& data) override;
+  void ClearGroupState(int group_index) override;
+
+  int64_t extracted(int group_index) const { return extracted_[group_index]; }
+
+ private:
+  std::vector<int64_t> extracted_;
+};
+
+}  // namespace albic::ops

@@ -1,0 +1,57 @@
+#include "ops/geohash.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "ops/serde_util.h"
+
+namespace albic::ops {
+
+GeoHashOperator::GeoHashOperator(int num_groups, int grid_cells)
+    : grid_cells_(grid_cells),
+      counts_(static_cast<size_t>(num_groups), 0) {}
+
+uint64_t GeoHashOperator::CellFor(uint64_t key) const {
+  // Pseudo-location inside Denmark's bounding box (54.5-57.8N, 8-13E),
+  // derived from the key hash; bucketed into a sqrt(cells) x sqrt(cells)
+  // grid. The indirection mirrors an actual geohash computation while
+  // keeping the even-coverage assumption of §5.2.
+  const uint64_t h = MixU64(key ^ 0xD3A9B1ULL);
+  const uint64_t side =
+      static_cast<uint64_t>(std::sqrt(static_cast<double>(grid_cells_)));
+  const double lat = 54.5 + (h & 0xffffffff) / 4294967296.0 * (57.8 - 54.5);
+  const double lon =
+      8.0 + ((h >> 32) & 0xffffffff) / 4294967296.0 * (13.0 - 8.0);
+  const uint64_t row = static_cast<uint64_t>((lat - 54.5) / (57.8 - 54.5) *
+                                             static_cast<double>(side));
+  const uint64_t col = static_cast<uint64_t>((lon - 8.0) / (13.0 - 8.0) *
+                                             static_cast<double>(side));
+  return row * side + col;
+}
+
+void GeoHashOperator::Process(const engine::Tuple& tuple, int group_index,
+                              engine::Emitter* out) {
+  ++counts_[group_index];
+  engine::Tuple t = tuple;
+  t.aux = tuple.key;          // preserve the article id
+  t.key = CellFor(tuple.key);  // re-key by geohash cell
+  out->Emit(t);
+}
+
+std::string GeoHashOperator::SerializeGroupState(int group_index) const {
+  StateWriter w;
+  w.PutI64(counts_[group_index]);
+  return w.Take();
+}
+
+Status GeoHashOperator::DeserializeGroupState(int group_index,
+                                              const std::string& data) {
+  StateReader r(data);
+  return r.GetI64(&counts_[group_index]);
+}
+
+void GeoHashOperator::ClearGroupState(int group_index) {
+  counts_[group_index] = 0;
+}
+
+}  // namespace albic::ops

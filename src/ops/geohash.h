@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace albic::ops {
+
+/// \brief Real Job 1's first operator: computes a GeoHash per input tuple
+/// and re-keys the stream by it (§5.2).
+///
+/// The Wikipedia dataset has no location data, so — exactly like the paper —
+/// a completely even distribution of GeoHash values covering Denmark is
+/// assumed: the key is hashed to a pseudo-location in Denmark's bounding
+/// box and bucketed into a grid cell. Keeps a per-group tuple counter as
+/// (small) migratable state.
+class GeoHashOperator : public engine::StreamOperator {
+ public:
+  /// \param grid_cells number of distinct geohash cells (per axis ~ sqrt).
+  explicit GeoHashOperator(int num_groups, int grid_cells = 4096);
+
+  void Process(const engine::Tuple& tuple, int group_index,
+               engine::Emitter* out) override;
+
+  std::string SerializeGroupState(int group_index) const override;
+  Status DeserializeGroupState(int group_index,
+                               const std::string& data) override;
+  void ClearGroupState(int group_index) override;
+
+  /// \brief GeoHash cell id for a key (exposed for tests): deterministic,
+  /// evenly distributed over the Denmark grid.
+  uint64_t CellFor(uint64_t key) const;
+
+  int64_t processed(int group_index) const { return counts_[group_index]; }
+
+ private:
+  int grid_cells_;
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace albic::ops

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace albic::ops {
+
+/// \brief Real Job 4's join (§5.4): enriches per-route delay aggregates with
+/// the latest rainscore for the route and emits the "courier efficiency"
+/// contribution — delay summed into the rainscore's decade bucket.
+///
+/// The two input streams are distinguished by the `aux` convention used by
+/// the job builder: rainscore tuples carry decade values in [0, 100] in
+/// `num` and `aux == kRainMark`; route-delay tuples carry the route id in
+/// `key` and the delay in `num`. State per group: the latest decade per
+/// route, plus the per-decade delay sums.
+class RouteRainJoinOperator : public engine::StreamOperator {
+ public:
+  /// \brief Marker the job builder sets in `aux` for rainscore-side tuples.
+  static constexpr uint64_t kRainMark = 0xfeed5c0feULL;
+
+  explicit RouteRainJoinOperator(int num_groups);
+
+  void Process(const engine::Tuple& tuple, int group_index,
+               engine::Emitter* out) override;
+
+  std::string SerializeGroupState(int group_index) const override;
+  Status DeserializeGroupState(int group_index,
+                               const std::string& data) override;
+  void ClearGroupState(int group_index) override;
+
+  /// \brief Accumulated delay for a rain decade (0, 10, ..., 100).
+  double DelayForDecade(int group_index, int decade) const;
+
+ private:
+  std::vector<std::unordered_map<uint64_t, int>> route_decade_;
+  std::vector<std::unordered_map<int, double>> decade_delay_;
+};
+
+}  // namespace albic::ops

@@ -1,0 +1,61 @@
+#include "ops/rainscore.h"
+
+#include <algorithm>
+
+#include "ops/serde_util.h"
+
+namespace albic::ops {
+
+RainScoreOperator::RainScoreOperator(int num_groups)
+    : max_precip_(static_cast<size_t>(num_groups)) {}
+
+void RainScoreOperator::Process(const engine::Tuple& tuple, int group_index,
+                                engine::Emitter* out) {
+  double& max = max_precip_[group_index][tuple.key];
+  max = std::max(max, tuple.num);
+  const double score = max > 0.0 ? 100.0 * tuple.num / max : 0.0;
+  const int decade = std::clamp(static_cast<int>(score / 10.0) * 10, 0, 100);
+  engine::Tuple t = tuple;
+  t.num = static_cast<double>(decade);
+  out->Emit(t);
+}
+
+double RainScoreOperator::MaxFor(int group_index, uint64_t station) const {
+  const auto& m = max_precip_[group_index];
+  auto it = m.find(station);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+std::string RainScoreOperator::SerializeGroupState(int group_index) const {
+  StateWriter w;
+  const auto& m = max_precip_[group_index];
+  w.PutU64(m.size());
+  for (const auto& [station, max] : m) {
+    w.PutU64(station);
+    w.PutDouble(max);
+  }
+  return w.Take();
+}
+
+Status RainScoreOperator::DeserializeGroupState(int group_index,
+                                                const std::string& data) {
+  StateReader r(data);
+  uint64_t n = 0;
+  ALBIC_RETURN_NOT_OK(r.GetU64(&n));
+  auto& m = max_precip_[group_index];
+  m.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t station = 0;
+    double max = 0.0;
+    ALBIC_RETURN_NOT_OK(r.GetU64(&station));
+    ALBIC_RETURN_NOT_OK(r.GetDouble(&max));
+    m[station] = max;
+  }
+  return Status::OK();
+}
+
+void RainScoreOperator::ClearGroupState(int group_index) {
+  max_precip_[group_index].clear();
+}
+
+}  // namespace albic::ops

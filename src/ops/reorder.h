@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace albic::ops {
+
+/// \brief SUnion-style reordering buffer (§3, "Processing Order"): the
+/// engine processes tuples out of order; computations that need a strict
+/// order put this operator in front, which buffers tuples per key group and
+/// releases them in timestamp order once the watermark — the maximum seen
+/// timestamp minus the unorderedness bound — passes them.
+///
+/// Tuples arriving later than an already-released timestamp (beyond the
+/// bound) are forwarded immediately and counted, so downstream operators
+/// can decide how to treat stragglers.
+class ReorderBufferOperator : public engine::StreamOperator {
+ public:
+  /// \param bound_us the maximum tolerated unorderedness, in event-time us.
+  ReorderBufferOperator(int num_groups, int64_t bound_us);
+
+  void Process(const engine::Tuple& tuple, int group_index,
+               engine::Emitter* out) override;
+
+  /// \brief Force-drains a group's buffer in order (end of stream).
+  void Flush(int group_index, engine::Emitter* out);
+
+  std::string SerializeGroupState(int group_index) const override;
+  Status DeserializeGroupState(int group_index,
+                               const std::string& data) override;
+  void ClearGroupState(int group_index) override;
+
+  int64_t buffered(int group_index) const {
+    return static_cast<int64_t>(buffers_[group_index].size());
+  }
+  int64_t stragglers(int group_index) const {
+    return stragglers_[group_index];
+  }
+
+ private:
+  int64_t bound_us_;
+  /// Per group: ts-ordered buffer (multimap: duplicate timestamps are kept
+  /// in arrival order) plus the released watermark.
+  std::vector<std::multimap<int64_t, engine::Tuple>> buffers_;
+  std::vector<int64_t> watermark_;
+  std::vector<int64_t> stragglers_;
+};
+
+}  // namespace albic::ops

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/status.h"
+
+namespace albic::ops {
+
+/// \brief Minimal binary (de)serialization helpers for operator state.
+///
+/// Fixed-width little-endian encoding; the format is internal to each
+/// operator (state images only travel between instances of the same
+/// operator, so no cross-operator compatibility is needed).
+class StateWriter {
+ public:
+  void PutU64(uint64_t v) { Append(&v, sizeof(v)); }
+  void PutI64(int64_t v) { Append(&v, sizeof(v)); }
+  void PutDouble(double v) { Append(&v, sizeof(v)); }
+
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void Append(const void* p, size_t n) {
+    buf_.append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// \brief Cursor-based reader matching StateWriter.
+class StateReader {
+ public:
+  explicit StateReader(const std::string& data) : data_(data) {}
+
+  Status GetU64(uint64_t* v) { return Get(v, sizeof(*v)); }
+  Status GetI64(int64_t* v) { return Get(v, sizeof(*v)); }
+  Status GetDouble(double* v) { return Get(v, sizeof(*v)); }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Get(void* p, size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::OutOfRange("state image truncated");
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace albic::ops

@@ -1,0 +1,63 @@
+#include "ops/store.h"
+
+#include "ops/serde_util.h"
+
+namespace albic::ops {
+
+StoreSinkOperator::StoreSinkOperator(int num_groups)
+    : table_(static_cast<size_t>(num_groups)),
+      flushes_(static_cast<size_t>(num_groups), 0) {}
+
+void StoreSinkOperator::Process(const engine::Tuple& tuple, int group_index,
+                                engine::Emitter* out) {
+  (void)out;  // sink: no downstream
+  table_[group_index][tuple.key] = tuple.num;
+}
+
+void StoreSinkOperator::OnWindow(int group_index, engine::Emitter* out) {
+  (void)out;
+  // Periodic flush to the "database": modeled as a counter.
+  ++flushes_[group_index];
+}
+
+double StoreSinkOperator::ValueFor(int group_index, uint64_t key) const {
+  const auto& m = table_[group_index];
+  auto it = m.find(key);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+std::string StoreSinkOperator::SerializeGroupState(int group_index) const {
+  StateWriter w;
+  const auto& m = table_[group_index];
+  w.PutU64(m.size());
+  for (const auto& [key, value] : m) {
+    w.PutU64(key);
+    w.PutDouble(value);
+  }
+  w.PutI64(flushes_[group_index]);
+  return w.Take();
+}
+
+Status StoreSinkOperator::DeserializeGroupState(int group_index,
+                                                const std::string& data) {
+  StateReader r(data);
+  uint64_t n = 0;
+  ALBIC_RETURN_NOT_OK(r.GetU64(&n));
+  auto& m = table_[group_index];
+  m.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    double value = 0.0;
+    ALBIC_RETURN_NOT_OK(r.GetU64(&key));
+    ALBIC_RETURN_NOT_OK(r.GetDouble(&value));
+    m[key] = value;
+  }
+  return r.GetI64(&flushes_[group_index]);
+}
+
+void StoreSinkOperator::ClearGroupState(int group_index) {
+  table_[group_index].clear();
+  flushes_[group_index] = 0;
+}
+
+}  // namespace albic::ops

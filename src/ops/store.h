@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace albic::ops {
+
+/// \brief Sink operator standing in for "periodically writes results to a
+/// local relational database" (§5.4): upserts the latest value per key into
+/// an in-memory table and counts flushes on window boundaries.
+class StoreSinkOperator : public engine::StreamOperator {
+ public:
+  explicit StoreSinkOperator(int num_groups);
+
+  void Process(const engine::Tuple& tuple, int group_index,
+               engine::Emitter* out) override;
+  void OnWindow(int group_index, engine::Emitter* out) override;
+
+  std::string SerializeGroupState(int group_index) const override;
+  Status DeserializeGroupState(int group_index,
+                               const std::string& data) override;
+  void ClearGroupState(int group_index) override;
+
+  int64_t rows(int group_index) const {
+    return static_cast<int64_t>(table_[group_index].size());
+  }
+  int64_t flushes(int group_index) const { return flushes_[group_index]; }
+  double ValueFor(int group_index, uint64_t key) const;
+
+ private:
+  std::vector<std::unordered_map<uint64_t, double>> table_;
+  std::vector<int64_t> flushes_;
+};
+
+}  // namespace albic::ops

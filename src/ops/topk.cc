@@ -1,0 +1,102 @@
+#include "ops/topk.h"
+
+#include <algorithm>
+
+#include "ops/serde_util.h"
+
+namespace albic::ops {
+
+WindowedTopKOperator::WindowedTopKOperator(int num_groups, int k,
+                                           TopKCountMode mode)
+    : k_(k),
+      mode_(mode),
+      window_counts_(static_cast<size_t>(num_groups)),
+      last_top_(static_cast<size_t>(num_groups)) {}
+
+void WindowedTopKOperator::Process(const engine::Tuple& tuple,
+                                   int group_index, engine::Emitter* out) {
+  (void)out;  // TopK only emits on window boundaries.
+  // Track by the auxiliary id when present (article id preserved by the
+  // GeoHash operator); otherwise by the partition key itself.
+  const uint64_t id = tuple.aux != 0 ? tuple.aux : tuple.key;
+  const int64_t weight =
+      mode_ == TopKCountMode::kSumNum
+          ? std::max<int64_t>(1, static_cast<int64_t>(tuple.num))
+          : 1;
+  window_counts_[group_index][id] += weight;
+}
+
+void WindowedTopKOperator::OnWindow(int group_index, engine::Emitter* out) {
+  auto& counts = window_counts_[group_index];
+  if (counts.empty()) return;
+  std::vector<std::pair<uint64_t, int64_t>> entries(counts.begin(),
+                                                    counts.end());
+  const size_t keep = std::min<size_t>(static_cast<size_t>(k_),
+                                       entries.size());
+  std::partial_sort(entries.begin(), entries.begin() + keep, entries.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;  // deterministic ties
+                    });
+  entries.resize(keep);
+  for (const auto& [id, count] : entries) {
+    engine::Tuple t;
+    t.key = id;  // downstream (global TopK) partitions by the id
+    t.aux = id;
+    t.num = static_cast<double>(count);
+    out->Emit(t);
+  }
+  last_top_[group_index] = std::move(entries);
+  counts.clear();
+}
+
+std::string WindowedTopKOperator::SerializeGroupState(int group_index) const {
+  StateWriter w;
+  const auto& counts = window_counts_[group_index];
+  w.PutU64(counts.size());
+  for (const auto& [id, count] : counts) {
+    w.PutU64(id);
+    w.PutI64(count);
+  }
+  const auto& top = last_top_[group_index];
+  w.PutU64(top.size());
+  for (const auto& [id, count] : top) {
+    w.PutU64(id);
+    w.PutI64(count);
+  }
+  return w.Take();
+}
+
+Status WindowedTopKOperator::DeserializeGroupState(int group_index,
+                                                   const std::string& data) {
+  StateReader r(data);
+  uint64_t n = 0;
+  ALBIC_RETURN_NOT_OK(r.GetU64(&n));
+  auto& counts = window_counts_[group_index];
+  counts.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    int64_t count = 0;
+    ALBIC_RETURN_NOT_OK(r.GetU64(&id));
+    ALBIC_RETURN_NOT_OK(r.GetI64(&count));
+    counts[id] = count;
+  }
+  ALBIC_RETURN_NOT_OK(r.GetU64(&n));
+  auto& top = last_top_[group_index];
+  top.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    int64_t count = 0;
+    ALBIC_RETURN_NOT_OK(r.GetU64(&id));
+    ALBIC_RETURN_NOT_OK(r.GetI64(&count));
+    top.emplace_back(id, count);
+  }
+  return Status::OK();
+}
+
+void WindowedTopKOperator::ClearGroupState(int group_index) {
+  window_counts_[group_index].clear();
+  last_top_[group_index].clear();
+}
+
+}  // namespace albic::ops

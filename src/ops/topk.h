@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace albic::ops {
+
+/// \brief How a TopK accumulates weight per id.
+enum class TopKCountMode {
+  kOccurrences,  ///< +1 per tuple (counting raw events, e.g. edits).
+  kSumNum,       ///< += tuple.num (merging upstream TopK summaries).
+};
+
+/// \brief Windowed TopK: accumulates weight per tracked id within a window;
+/// on each window boundary, emits the K heaviest ids downstream and resets.
+///
+/// Plays both TopK roles of Real Job 1 (per-geohash TopK updated articles —
+/// kOccurrences — and the global TopK merging the per-cell summaries —
+/// kSumNum, §5.2); the emitted tuples carry the id in `aux`, the weight in
+/// `num`, and are keyed by the id so a downstream TopK can merge. Per-group
+/// state is the count map — real, sizeable, and exercised by the
+/// direct-migration round-trip.
+class WindowedTopKOperator : public engine::StreamOperator {
+ public:
+  WindowedTopKOperator(int num_groups, int k,
+                       TopKCountMode mode = TopKCountMode::kOccurrences);
+
+  /// Tracks tuple.aux when non-zero (aux == 0 is the "no auxiliary id"
+  /// sentinel), else the partition key — so real ids must be >= 1.
+  void Process(const engine::Tuple& tuple, int group_index,
+               engine::Emitter* out) override;
+  void OnWindow(int group_index, engine::Emitter* out) override;
+
+  std::string SerializeGroupState(int group_index) const override;
+  Status DeserializeGroupState(int group_index,
+                               const std::string& data) override;
+  void ClearGroupState(int group_index) override;
+
+  /// \brief Current (mid-window) counts of a group, for tests.
+  const std::unordered_map<uint64_t, int64_t>& counts(int group_index) const {
+    return window_counts_[group_index];
+  }
+
+  /// \brief TopK of the most recently closed window.
+  const std::vector<std::pair<uint64_t, int64_t>>& last_window_top(
+      int group_index) const {
+    return last_top_[group_index];
+  }
+
+ private:
+  int k_;
+  TopKCountMode mode_;
+  std::vector<std::unordered_map<uint64_t, int64_t>> window_counts_;
+  std::vector<std::vector<std::pair<uint64_t, int64_t>>> last_top_;
+};
+
+}  // namespace albic::ops

@@ -1,0 +1,225 @@
+#include "workload/airline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace albic::workload {
+
+namespace {
+using engine::KeyGroupId;
+using engine::NodeId;
+using engine::PartitioningPattern;
+
+/// Hashes Zipf mass over `groups` buckets: the per-group share of a keyed
+/// stream whose keys follow the given Zipf law.
+std::vector<double> GroupWeights(int groups, int keys, double zipf_s,
+                                 uint64_t seed) {
+  ZipfSampler zipf(static_cast<size_t>(keys), zipf_s);
+  Rng rng(seed);
+  std::vector<double> w(static_cast<size_t>(groups), 0.0);
+  for (size_t k = 0; k < zipf.size(); ++k) {
+    w[rng.Index(static_cast<size_t>(groups))] += zipf.Pmf(k);
+  }
+  return w;
+}
+
+}  // namespace
+
+AirlineWorkload::AirlineWorkload(AirlineOptions options)
+    : options_(options), weather_(WeatherOptions{2000, options.seed ^ 0x77}) {
+  assert(options_.job >= 2 && options_.job <= 4);
+  // Aggregate state tracks input volume: at reduced input rate (Fig 13 runs
+  // COLA at 50%), per-group state — and with it migration cost — shrinks
+  // proportionally.
+  options_.state_bytes_per_group *= options_.rate_scale;
+  const int g = groups();
+
+  extract_ = topology_.AddOperator("extract-delay", g,
+                                   options_.state_bytes_per_group);
+  sum_ = topology_.AddOperator("sum-delay-by-plane", g,
+                               options_.state_bytes_per_group);
+  // Both operators are parallelized on the airplane attribute: a true
+  // one-to-one pattern (§5.4).
+  Status st =
+      topology_.AddStream(extract_, sum_, PartitioningPattern::kOneToOne);
+  assert(st.ok());
+  if (options_.job >= 3) {
+    route_ = topology_.AddOperator("sum-delay-by-route", g,
+                                   options_.state_bytes_per_group);
+    // Routes re-partition the stream: full partitioning, no collocation.
+    st = topology_.AddStream(extract_, route_,
+                             PartitioningPattern::kFullPartitioning);
+    assert(st.ok());
+  }
+  if (options_.job >= 4) {
+    rainscore_ = topology_.AddOperator("rainscore", g,
+                                       options_.state_bytes_per_group);
+    join_ = topology_.AddOperator("join-route-rain", g,
+                                  options_.state_bytes_per_group);
+    store_join_ = topology_.AddOperator("store-efficiency", g,
+                                        options_.state_bytes_per_group / 4);
+    store_sum_ = topology_.AddOperator("store-delays", g,
+                                       options_.state_bytes_per_group / 4);
+    // Route-keyed route aggregate feeds the join one-to-one; the rainscore
+    // stream must be re-partitioned from stations to routes.
+    st = topology_.AddStream(route_, join_, PartitioningPattern::kOneToOne);
+    assert(st.ok());
+    st = topology_.AddStream(rainscore_, join_,
+                             PartitioningPattern::kFullPartitioning);
+    assert(st.ok());
+    st = topology_.AddStream(join_, store_join_,
+                             PartitioningPattern::kOneToOne);
+    assert(st.ok());
+    st = topology_.AddStream(sum_, store_sum_,
+                             PartitioningPattern::kOneToOne);
+    assert(st.ok());
+  }
+  (void)st;
+
+  plane_group_weight_ =
+      GroupWeights(g, g * 40, options_.plane_zipf, options_.seed ^ 0x11);
+  route_group_weight_ =
+      GroupWeights(g, g * 25, options_.route_zipf, options_.seed ^ 0x22);
+
+  loads_.assign(static_cast<size_t>(topology_.num_key_groups()), 0.0);
+  comm_ = engine::CommMatrix(topology_.num_key_groups());
+  AdvancePeriod(0);
+}
+
+void AirlineWorkload::AdvancePeriod(int period) {
+  Rng rng(options_.seed ^ (0xa1f0ULL + 6151ULL * static_cast<uint64_t>(period)));
+  const int g = groups();
+  const double rate = options_.flight_rate * options_.rate_scale *
+                      (1.0 + options_.fluctuation *
+                                 std::sin(2.0 * M_PI * period / 36.0) +
+                       rng.Uniform(-options_.fluctuation, options_.fluctuation));
+
+  const KeyGroupId ex0 = topology_.first_group(extract_);
+  const KeyGroupId sm0 = topology_.first_group(sum_);
+
+  // Edge rates (per upstream group). Work scale: 1 rate unit = 1 load unit
+  // of processing at the consumer; benches set the serde cost so remote
+  // traffic roughly doubles the system load at zero collocation (Fig 12's
+  // load index drops to ~50% under full collocation).
+  auto group_noise = [&]() { return 1.0 + rng.Uniform(-0.08, 0.08); };
+
+  comm_ = engine::CommMatrix(topology_.num_key_groups());
+  std::fill(loads_.begin(), loads_.end(), 0.0);
+
+  // Flights ingested by extract: per-group share of planes.
+  for (int i = 0; i < g; ++i) {
+    const double in_rate = rate * plane_group_weight_[i] * group_noise();
+    loads_[ex0 + i] = in_rate;                       // parse + extract work
+    comm_.Add(ex0 + i, sm0 + i, in_rate);            // one-to-one by plane
+    loads_[sm0 + i] += in_rate * 0.6;                // aggregate work
+  }
+
+  if (options_.job >= 3) {
+    const KeyGroupId rt0 = topology_.first_group(route_);
+    for (int i = 0; i < g; ++i) {
+      const double out = rate * plane_group_weight_[i];
+      std::vector<engine::CommMatrix::Entry> row = {{sm0 + i,
+                                                     comm_.Rate(ex0 + i,
+                                                                sm0 + i)}};
+      // Re-key to routes: traffic spreads per route popularity.
+      row.reserve(static_cast<size_t>(g) + 1);
+      for (int j = 0; j < g; ++j) {
+        row.push_back({rt0 + j, out * route_group_weight_[j]});
+      }
+      comm_.SetRow(ex0 + i, std::move(row));
+    }
+    for (int j = 0; j < g; ++j) {
+      loads_[rt0 + j] += rate * route_group_weight_[j] * 0.6 * group_noise();
+    }
+  }
+
+  if (options_.job >= 4) {
+    const KeyGroupId rt0 = topology_.first_group(route_);
+    const KeyGroupId rs0 = topology_.first_group(rainscore_);
+    const KeyGroupId jn0 = topology_.first_group(join_);
+    const KeyGroupId sj0 = topology_.first_group(store_join_);
+    const KeyGroupId ss0 = topology_.first_group(store_sum_);
+    const double weather_rate = 0.08 * rate;  // daily records, low volume
+    const double route_out = 0.35 * rate;     // per-route aggregates
+    const double join_out = 0.15 * rate;
+    const double sum_out = 0.15 * rate;
+    for (int i = 0; i < g; ++i) {
+      // Weather input arrives pre-partitioned by station; rainscore is
+      // station-keyed (its ingest work is charged directly).
+      loads_[rs0 + i] += weather_rate / g * group_noise();
+      // rainscore -> join: re-key stations to routes (full partitioning).
+      std::vector<engine::CommMatrix::Entry> row;
+      row.reserve(static_cast<size_t>(g));
+      for (int j = 0; j < g; ++j) {
+        row.push_back({jn0 + j, weather_rate / g * route_group_weight_[j]});
+      }
+      comm_.SetRow(rs0 + i, std::move(row));
+      // route -> join (one-to-one on route key).
+      comm_.Add(rt0 + i, jn0 + i, route_out * route_group_weight_[i]);
+      loads_[jn0 + i] += (route_out + weather_rate) *
+                         route_group_weight_[i] * 0.5 * group_noise();
+      // join -> store, sum -> store (one-to-one).
+      comm_.Add(jn0 + i, sj0 + i, join_out * route_group_weight_[i]);
+      loads_[sj0 + i] += join_out * route_group_weight_[i] * 0.3;
+      comm_.Add(sm0 + i, ss0 + i, sum_out * plane_group_weight_[i]);
+      loads_[ss0 + i] += sum_out * plane_group_weight_[i] * 0.3;
+    }
+  }
+
+  // Normalize total processing load so the cluster sits around 50% mean at
+  // rate_scale=1 (keeps figures comparable across jobs).
+  double total = 0.0;
+  for (double l : loads_) total += l;
+  const double target = 0.5 * 100.0 * options_.nodes * options_.rate_scale;
+  if (total > 0.0) {
+    const double f = target / total;
+    for (double& l : loads_) l *= f;
+  }
+}
+
+engine::Assignment AirlineWorkload::MakeAdversarialAssignment() const {
+  engine::Assignment assignment(topology_.num_key_groups());
+  // Same in-operator index -> different node for odd/even operators: every
+  // one-to-one partner pair (which always spans an even and an odd operator
+  // id in Jobs 2-4) starts split by a non-zero offset.
+  const int offset = std::max(1, options_.nodes / 2);
+  for (KeyGroupId k = 0; k < topology_.num_key_groups(); ++k) {
+    const engine::OperatorId op = topology_.group_operator(k);
+    const int idx = topology_.group_index_in_operator(k);
+    const NodeId n =
+        (idx + (op % 2) * offset + (op / 2)) % options_.nodes;
+    assignment.set_node(k, n);
+  }
+  return assignment;
+}
+
+double AirlineWorkload::max_collocatable_fraction() const {
+  double one_to_one = 0.0, total = 0.0;
+  const auto count_edge = [&](engine::OperatorId from, engine::OperatorId to,
+                              bool is_one_to_one) {
+    if (from < 0 || to < 0) return;
+    const KeyGroupId f0 = topology_.first_group(from);
+    const KeyGroupId t0 = topology_.first_group(to);
+    const int gf = topology_.op(from).num_key_groups;
+    const int gt = topology_.op(to).num_key_groups;
+    for (int i = 0; i < gf; ++i) {
+      for (const auto& e : comm_.row(f0 + i)) {
+        if (e.to < t0 || e.to >= t0 + gt) continue;
+        total += e.rate;
+        if (is_one_to_one) one_to_one += e.rate;
+      }
+    }
+  };
+  count_edge(extract_, sum_, true);
+  count_edge(extract_, route_, false);
+  count_edge(route_, join_, true);
+  count_edge(rainscore_, join_, false);
+  count_edge(join_, store_join_, true);
+  count_edge(sum_, store_sum_, true);
+  return total > 0.0 ? one_to_one / total : 0.0;
+}
+
+}  // namespace albic::workload

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/assignment.h"
+#include "engine/cluster.h"
+#include "engine/topology.h"
+#include "engine/workload_model.h"
+#include "workload/weather.h"
+
+namespace albic::workload {
+
+/// \brief Parameters of the Airline On-Time model (RITA / US DoT, 2004-2013)
+/// behind Real Jobs 2-4 (§5.4).
+struct AirlineOptions {
+  /// Which Real Job to build: 2 (extract -> per-plane sum), 3 (+ per-route
+  /// sum) or 4 (+ weather join, rainscore, stores).
+  int job = 2;
+  int nodes = 20;
+  /// Five key groups per operator per node (paper's configuration).
+  int groups_per_node = 5;
+  /// Aggregate flight traffic per period, in rate units.
+  double flight_rate = 1000.0;
+  /// Input rate multiplier (Fig 13 runs COLA at 0.5).
+  double rate_scale = 1.0;
+  /// Relative per-period fluctuation of the input rate.
+  double fluctuation = 0.05;
+  /// Zipf exponent of airplane popularity (how unevenly planes fly).
+  double plane_zipf = 0.35;
+  /// Zipf exponent of route popularity (routes are more skewed).
+  double route_zipf = 0.7;
+  double state_bytes_per_group = 1 << 20;
+  uint64_t seed = 42;
+};
+
+/// \brief WorkloadModel for Real Jobs 2-4 over the airline dataset model.
+///
+/// Job 2's two operators are both partitioned on the airplane attribute, so
+/// extract group i talks exclusively to sum group i: a perfect collocation
+/// exists (§5.4). Job 3 adds a route-keyed operator whose input must be
+/// re-partitioned, halving the obtainable collocation. Job 4 adds the
+/// weather join: rainscore per route joined with per-route delays, plus
+/// store operators, yielding ~60% obtainable collocation.
+class AirlineWorkload : public engine::WorkloadModel {
+ public:
+  explicit AirlineWorkload(AirlineOptions options);
+
+  void AdvancePeriod(int period) override;
+  const std::vector<double>& group_proc_loads() const override {
+    return loads_;
+  }
+  const engine::CommMatrix* comm() const override { return &comm_; }
+  int num_key_groups() const override { return topology_.num_key_groups(); }
+
+  const engine::Topology& topology() const { return topology_; }
+  engine::Cluster MakeCluster() const { return engine::Cluster(options_.nodes); }
+
+  /// \brief Initial allocation with minimal collocation: the endpoints of
+  /// every one-to-one pair start on different nodes, to test whether ALBIC
+  /// can discover the collocation at runtime (§5.4).
+  engine::Assignment MakeAdversarialAssignment() const;
+
+  /// \brief Share of total traffic on one-to-one edges (the obtainable
+  /// collocation the figures normalize against).
+  double max_collocatable_fraction() const;
+
+  engine::OperatorId extract_op() const { return extract_; }
+  engine::OperatorId sum_op() const { return sum_; }
+  engine::OperatorId route_op() const { return route_; }
+  engine::OperatorId rainscore_op() const { return rainscore_; }
+  engine::OperatorId join_op() const { return join_; }
+
+ private:
+  int groups() const { return options_.nodes * options_.groups_per_node; }
+
+  AirlineOptions options_;
+  WeatherModel weather_;
+  engine::Topology topology_;
+  engine::OperatorId extract_ = -1;
+  engine::OperatorId sum_ = -1;
+  engine::OperatorId route_ = -1;
+  engine::OperatorId rainscore_ = -1;
+  engine::OperatorId join_ = -1;
+  engine::OperatorId store_join_ = -1;
+  engine::OperatorId store_sum_ = -1;
+  engine::CommMatrix comm_;
+  std::vector<double> loads_;
+  std::vector<double> plane_group_weight_;  ///< Per-group share of flights.
+  std::vector<double> route_group_weight_;
+};
+
+}  // namespace albic::workload

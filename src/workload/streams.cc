@@ -1,0 +1,63 @@
+#include "workload/streams.h"
+
+namespace albic::workload {
+
+AirlineFlightStream::AirlineFlightStream(int planes, int airports,
+                                         uint64_t seed,
+                                         double rate_per_second)
+    : plane_dist_(static_cast<size_t>(planes), 0.35),
+      airport_dist_(static_cast<size_t>(airports), 0.9),
+      rng_(seed),
+      airports_(airports),
+      rate_(rate_per_second) {}
+
+engine::Tuple AirlineFlightStream::Next() {
+  engine::Tuple t;
+  t.key = static_cast<uint64_t>(plane_dist_.Sample(&rng_));
+  uint64_t orig = airport_dist_.Sample(&rng_);
+  uint64_t dest = airport_dist_.Sample(&rng_);
+  if (dest == orig) dest = (dest + 1) % static_cast<uint64_t>(airports_);
+  t.aux = orig * static_cast<uint64_t>(airports_) + dest;
+  // ~60% on time; delays are heavy-tailed minutes.
+  t.num = rng_.Bernoulli(0.6) ? 0.0 : rng_.Exponential(1.0 / 22.0);
+  now_us_ += static_cast<int64_t>(rng_.Exponential(rate_) * 1e6);
+  t.ts = now_us_;
+  return t;
+}
+
+WikipediaEditStream::WikipediaEditStream(int articles, uint64_t seed,
+                                         double rate_per_second)
+    : article_dist_(static_cast<size_t>(articles), 0.8),
+      rng_(seed),
+      rate_(rate_per_second) {}
+
+engine::Tuple WikipediaEditStream::Next() {
+  engine::Tuple t;
+  // Article ids are 1-based: aux==0 is the "no auxiliary id" sentinel used
+  // by the TopK operators, so id 0 must never denote a real article.
+  t.key = static_cast<uint64_t>(article_dist_.Sample(&rng_)) + 1;
+  t.aux = rng_.NextU64() % 100000;  // editor id
+  t.num = rng_.Exponential(1.0 / 4.0);  // revision size, KB
+  now_us_ += static_cast<int64_t>(rng_.Exponential(rate_) * 1e6);
+  t.ts = now_us_;
+  return t;
+}
+
+WeatherStream::WeatherStream(const WeatherModel* model, uint64_t seed)
+    : model_(model), rng_(seed) {}
+
+engine::Tuple WeatherStream::Next() {
+  engine::Tuple t;
+  t.key = static_cast<uint64_t>(next_station_);
+  t.num = model_->PrecipitationAt(next_station_, day_);
+  t.aux = static_cast<uint64_t>(model_->RainScoreDecade(next_station_, day_));
+  t.ts = static_cast<int64_t>(day_) * 24LL * 3600 * 1000000 +
+         next_station_;  // spread within the day
+  if (++next_station_ >= model_->num_stations()) {
+    next_station_ = 0;
+    ++day_;
+  }
+  return t;
+}
+
+}  // namespace albic::workload

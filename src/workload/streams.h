@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "engine/tuple.h"
+#include "workload/weather.h"
+
+namespace albic::workload {
+
+/// \brief Tuple-level flight event stream (Airline On-Time stand-in) for the
+/// LocalEngine examples and integration tests.
+///
+/// key = airplane id (Zipf popularity), aux = route id (origin * #airports +
+/// destination, both Zipf), num = departure delay in minutes (mixture of
+/// on-time and delayed flights), ts advances by an exponential interarrival.
+class AirlineFlightStream {
+ public:
+  AirlineFlightStream(int planes, int airports, uint64_t seed,
+                      double rate_per_second = 200.0);
+
+  engine::Tuple Next();
+
+  int num_airports() const { return airports_; }
+
+ private:
+  ZipfSampler plane_dist_;
+  ZipfSampler airport_dist_;
+  Rng rng_;
+  int airports_;
+  double rate_;
+  int64_t now_us_ = 0;
+};
+
+/// \brief Tuple-level Wikipedia edit stream: key = article id (Zipf),
+/// num = revision size in KB, aux = editor id.
+class WikipediaEditStream {
+ public:
+  WikipediaEditStream(int articles, uint64_t seed,
+                      double rate_per_second = 500.0);
+
+  engine::Tuple Next();
+
+ private:
+  ZipfSampler article_dist_;
+  Rng rng_;
+  double rate_;
+  int64_t now_us_ = 0;
+};
+
+/// \brief Tuple-level weather record stream over a WeatherModel: key =
+/// station id, num = precipitation, aux = rainscore decade, ts = day
+/// boundary. Stations report round-robin once per simulated day.
+class WeatherStream {
+ public:
+  explicit WeatherStream(const WeatherModel* model, uint64_t seed = 42);
+
+  engine::Tuple Next();
+
+ private:
+  const WeatherModel* model_;
+  Rng rng_;
+  int day_ = 0;
+  int next_station_ = 0;
+};
+
+}  // namespace albic::workload

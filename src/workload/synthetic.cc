@@ -1,0 +1,91 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace albic::workload {
+
+namespace {
+using engine::KeyGroupId;
+using engine::NodeId;
+}  // namespace
+
+SyntheticScenario BuildSyntheticScenario(const SyntheticOptions& options) {
+  assert(options.nodes > 0 && options.key_groups > 0 && options.operators > 0);
+  Rng rng(options.seed);
+  SyntheticScenario s;
+
+  // Operators evenly sized (paper: e.g. 10 operators x 40 groups = 400).
+  const int per_op = options.key_groups / options.operators;
+  int remaining = options.key_groups;
+  for (int o = 0; o < options.operators; ++o) {
+    const int groups = o + 1 == options.operators ? remaining : per_op;
+    remaining -= groups;
+    s.topology.AddOperator(StringFormat("op%d", o), groups,
+                           options.state_bytes_per_group);
+  }
+
+  s.cluster = engine::Cluster(options.nodes);
+
+  // Even allocation: node i takes every (i mod nodes)-th group.
+  s.assignment = engine::Assignment(options.key_groups);
+  for (KeyGroupId g = 0; g < options.key_groups; ++g) {
+    s.assignment.set_node(g, g % options.nodes);
+  }
+
+  // Initial per-group load: node mean divided evenly, +- noise.
+  const double groups_per_node =
+      static_cast<double>(options.key_groups) / options.nodes;
+  const double base = options.mean_node_load / groups_per_node;
+  s.group_loads.assign(static_cast<size_t>(options.key_groups), 0.0);
+  for (KeyGroupId g = 0; g < options.key_groups; ++g) {
+    const double noise =
+        rng.Uniform(-options.init_noise_pct, options.init_noise_pct) / 100.0;
+    s.group_loads[g] = base * (1.0 + noise);
+  }
+
+  // Shift 20% of the nodes by +-0.5 * varies, implemented by re-weighting a
+  // random subset of groups on each shifted node (§5.1).
+  if (options.varies > 0.0) {
+    std::vector<NodeId> nodes(options.nodes);
+    for (int i = 0; i < options.nodes; ++i) nodes[i] = i;
+    rng.Shuffle(&nodes);
+    int shifted = std::max(
+        2, static_cast<int>(options.shifted_node_fraction * options.nodes));
+    shifted = std::min(shifted, options.nodes);
+    shifted -= shifted % 2;  // half up, half down
+    for (int i = 0; i < shifted; ++i) {
+      const NodeId n = nodes[i];
+      const double delta_pct =
+          (i < shifted / 2 ? -0.5 : 0.5) * options.varies;
+      std::vector<KeyGroupId> groups = s.assignment.groups_on(n);
+      rng.Shuffle(&groups);
+      // Spread the shift over a random half of the node's groups.
+      const size_t affected = std::max<size_t>(1, groups.size() / 2);
+      const double per_group = delta_pct / static_cast<double>(affected);
+      for (size_t k = 0; k < affected; ++k) {
+        s.group_loads[groups[k]] =
+            std::max(0.0, s.group_loads[groups[k]] + per_group);
+      }
+    }
+  }
+  return s;
+}
+
+void OverloadNodes(SyntheticScenario* scenario, int num_overloaded) {
+  const int nodes = scenario->cluster.num_nodes_total();
+  num_overloaded = std::min(num_overloaded, nodes);
+  for (NodeId n = 0; n < num_overloaded; ++n) {
+    std::vector<KeyGroupId> groups = scenario->assignment.groups_on(n);
+    double current = 0.0;
+    for (KeyGroupId g : groups) current += scenario->group_loads[g];
+    if (current <= 0.0) continue;
+    const double factor = 100.0 / current;
+    for (KeyGroupId g : groups) scenario->group_loads[g] *= factor;
+  }
+}
+
+}  // namespace albic::workload

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/assignment.h"
+#include "engine/cluster.h"
+#include "engine/topology.h"
+
+namespace albic::workload {
+
+/// \brief Parameters of the §5.1 synthetic solver scenario (Figs 2-5).
+struct SyntheticOptions {
+  int nodes = 20;
+  int key_groups = 400;
+  int operators = 10;
+  /// Initial mean node load (percent).
+  double mean_node_load = 50.0;
+  /// Per-key-group initialization noise: loads adjusted by a percentage
+  /// drawn uniformly from [-init_noise_pct, +init_noise_pct] (paper: 5).
+  double init_noise_pct = 5.0;
+  /// The Figs 2-4 x-axis: 20% of nodes are shifted, half by
+  /// -0.5*varies, half by +0.5*varies (percentage points of node load).
+  double varies = 0.0;
+  /// Fraction of nodes whose load is shifted (paper: 0.2).
+  double shifted_node_fraction = 0.2;
+  /// State size per key group (drives migration costs).
+  double state_bytes_per_group = 1 << 20;
+  uint64_t seed = 42;
+};
+
+/// \brief A ready-to-solve synthetic scenario: topology, cluster, an even
+/// initial allocation and the per-key-group loads after perturbation.
+struct SyntheticScenario {
+  engine::Topology topology;
+  engine::Cluster cluster;
+  engine::Assignment assignment;
+  std::vector<double> group_loads;  ///< gLoadk (percent), post perturbation.
+};
+
+/// \brief Builds the §5.1 scenario: key groups spread evenly (same count per
+/// node), each group's load = node-mean / groups-per-node +- noise; then the
+/// `varies` shift is applied to a random 20% of the nodes by re-weighting a
+/// random subset of their groups.
+SyntheticScenario BuildSyntheticScenario(const SyntheticOptions& options);
+
+/// \brief Overloads specific nodes to exactly 100% (the 1OL / 5OL setups of
+/// Fig 5) by scaling their groups' loads.
+void OverloadNodes(SyntheticScenario* scenario, int num_overloaded);
+
+}  // namespace albic::workload

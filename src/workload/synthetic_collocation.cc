@@ -1,0 +1,125 @@
+#include "workload/synthetic_collocation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace albic::workload {
+
+namespace {
+using engine::KeyGroupId;
+using engine::NodeId;
+using engine::PartitioningPattern;
+}  // namespace
+
+SyntheticCollocationWorkload::SyntheticCollocationWorkload(
+    SyntheticCollocationOptions options)
+    : options_(options) {
+  assert(options_.operators % 2 == 0 && "operators are chained in pairs");
+  Rng rng(options_.seed);
+
+  // Operators in producer -> consumer pairs.
+  const int per_op = options_.key_groups / options_.operators;
+  std::vector<engine::OperatorId> ops;
+  for (int o = 0; o < options_.operators; ++o) {
+    ops.push_back(topology_.AddOperator(StringFormat("op%d", o), per_op,
+                                        options_.state_bytes_per_group));
+  }
+  for (int o = 0; o + 1 < options_.operators; o += 2) {
+    // The pattern annotation reflects the dominant behaviour; actual rates
+    // below decide collocatability per group.
+    Status st = topology_.AddStream(ops[o], ops[o + 1],
+                                    PartitioningPattern::kPartialPartitioning);
+    assert(st.ok());
+    (void)st;
+  }
+
+  // Communication: for each producer group, either 1-1 (all rate to the
+  // aligned consumer group) or spread evenly over all consumer groups.
+  comm_ = engine::CommMatrix(topology_.num_key_groups());
+  for (int o = 0; o + 1 < options_.operators; o += 2) {
+    const KeyGroupId src0 = topology_.first_group(ops[o]);
+    const KeyGroupId dst0 = topology_.first_group(ops[o + 1]);
+    for (int i = 0; i < per_op; ++i) {
+      const bool one_to_one =
+          rng.NextDouble() * 100.0 < options_.max_collocation_pct;
+      if (one_to_one) {
+        comm_.Add(src0 + i, dst0 + i, options_.rate_per_group);
+      } else {
+        const double share = options_.rate_per_group / per_op;
+        for (int j = 0; j < per_op; ++j) comm_.Add(src0 + i, dst0 + j, share);
+      }
+    }
+  }
+
+  // Base loads: even with +-noise, as in the plain synthetic scenario.
+  const double groups_per_node =
+      static_cast<double>(options_.key_groups) / options_.nodes;
+  const double base = options_.mean_node_load / groups_per_node;
+  base_loads_.assign(static_cast<size_t>(topology_.num_key_groups()), 0.0);
+  for (auto& l : base_loads_) {
+    l = base * (1.0 + rng.Uniform(-options_.init_noise_pct,
+                                  options_.init_noise_pct) /
+                          100.0);
+  }
+  current_loads_ = base_loads_;
+  period_seed_ = options_.seed ^ 0x9e3779b97f4a7c15ULL;
+}
+
+void SyntheticCollocationWorkload::AdvancePeriod(int period) {
+  // Fresh deterministic noise per period: 20% of nodes' groups shift within
+  // +-fluct_pct (§5.3).
+  Rng rng(period_seed_ + static_cast<uint64_t>(period) * 1315423911ULL);
+  current_loads_ = base_loads_;
+  if (options_.fluct_pct <= 0.0) return;
+  std::vector<int> nodes(options_.nodes);
+  for (int i = 0; i < options_.nodes; ++i) nodes[i] = i;
+  rng.Shuffle(&nodes);
+  const int shifted =
+      std::max(1, static_cast<int>(options_.shifted_node_fraction *
+                                   options_.nodes));
+  for (int i = 0; i < shifted; ++i) {
+    const double factor =
+        1.0 + rng.Uniform(-options_.fluct_pct, options_.fluct_pct) / 100.0;
+    // Interpret "node i's load changes" through its groups under the even
+    // initial spread (group g on node g % nodes).
+    for (KeyGroupId g = nodes[i]; g < topology_.num_key_groups();
+         g += options_.nodes) {
+      current_loads_[g] = std::max(0.0, current_loads_[g] * factor);
+    }
+  }
+}
+
+engine::Assignment SyntheticCollocationWorkload::MakeInitialAssignment()
+    const {
+  engine::Assignment assignment(topology_.num_key_groups());
+  // Even spread with every 1-1 pair split: producer group at idx % nodes,
+  // the aligned consumer group shifted by a non-zero offset. Both operators
+  // of a pair get the same base rotation (op / 2) so the offset survives.
+  const int offset = std::max(1, options_.nodes / 2);
+  for (KeyGroupId g = 0; g < topology_.num_key_groups(); ++g) {
+    const engine::OperatorId op = topology_.group_operator(g);
+    const int idx = topology_.group_index_in_operator(g);
+    const NodeId n =
+        (idx + (op % 2) * offset + (op / 2)) % options_.nodes;
+    assignment.set_node(g, n);
+  }
+  return assignment;
+}
+
+double SyntheticCollocationWorkload::max_collocatable_fraction() const {
+  // 1-1 rows have a single entry; spread rows have per_op entries.
+  double one_to_one = 0.0, total = 0.0;
+  for (KeyGroupId g = 0; g < topology_.num_key_groups(); ++g) {
+    const auto& row = comm_.row(g);
+    double row_total = 0.0;
+    for (const auto& e : row) row_total += e.rate;
+    total += row_total;
+    if (row.size() == 1) one_to_one += row_total;
+  }
+  return total > 0.0 ? one_to_one / total : 0.0;
+}
+
+}  // namespace albic::workload

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/assignment.h"
+#include "engine/cluster.h"
+#include "engine/topology.h"
+#include "engine/workload_model.h"
+
+namespace albic::workload {
+
+/// \brief Parameters of the §5.3 synthetic collocation scenario (Figs
+/// 10-11): operators are chained in pairs, and `max_collocation_pct` percent
+/// of the upstream key groups send ALL their output to exactly one
+/// downstream group (1-1 communication, fully collocatable); the rest spread
+/// evenly (full partitioning, effectively uncollocatable).
+struct SyntheticCollocationOptions {
+  int nodes = 40;
+  int key_groups = 800;
+  int operators = 20;
+  /// x% of key groups have 1-1 communication (the Fig 10 x-axis).
+  double max_collocation_pct = 50.0;
+  double mean_node_load = 50.0;
+  double init_noise_pct = 5.0;
+  /// Per-period load fluctuation: 20% of nodes adjusted by a percentage in
+  /// [-fluct_pct, +fluct_pct] (paper: 2).
+  double fluct_pct = 2.0;
+  double shifted_node_fraction = 0.2;
+  /// Traffic rate emitted by each upstream key group (arbitrary rate units;
+  /// the cost model converts to load).
+  double rate_per_group = 10.0;
+  double state_bytes_per_group = 1 << 20;
+  uint64_t seed = 42;
+};
+
+/// \brief WorkloadModel for Figs 10-11: static communication matrix, noisy
+/// per-period loads.
+class SyntheticCollocationWorkload : public engine::WorkloadModel {
+ public:
+  explicit SyntheticCollocationWorkload(SyntheticCollocationOptions options);
+
+  void AdvancePeriod(int period) override;
+  const std::vector<double>& group_proc_loads() const override {
+    return current_loads_;
+  }
+  const engine::CommMatrix* comm() const override { return &comm_; }
+  int num_key_groups() const override { return topology_.num_key_groups(); }
+
+  const engine::Topology& topology() const { return topology_; }
+  engine::Cluster MakeCluster() const {
+    return engine::Cluster(options_.nodes);
+  }
+
+  /// \brief Even initial allocation with minimal initial collocation: the
+  /// two endpoints of every 1-1 pair start on different nodes.
+  engine::Assignment MakeInitialAssignment() const;
+
+  /// \brief Share of total traffic that is collocatable (the normalization
+  /// constant for the figures' "collocation" axis).
+  double max_collocatable_fraction() const;
+
+ private:
+  SyntheticCollocationOptions options_;
+  engine::Topology topology_;
+  engine::CommMatrix comm_;
+  std::vector<double> base_loads_;
+  std::vector<double> current_loads_;
+  uint64_t period_seed_ = 0;
+};
+
+}  // namespace albic::workload

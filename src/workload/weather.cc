@@ -1,0 +1,51 @@
+#include "workload/weather.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace albic::workload {
+
+WeatherModel::WeatherModel(WeatherOptions options) : options_(options) {
+  Rng rng(options_.seed);
+  wetness_.resize(static_cast<size_t>(options_.stations));
+  historical_max_.resize(static_cast<size_t>(options_.stations));
+  for (int s = 0; s < options_.stations; ++s) {
+    wetness_[s] = rng.Uniform(0.2, 2.0);
+    // Historical maxima span dry to monsoon-class stations.
+    historical_max_[s] = wetness_[s] * rng.Uniform(30.0, 120.0);
+  }
+}
+
+double WeatherModel::PrecipitationAt(int station, int day) const {
+  // Seasonal wave + hash-derived daily noise; deterministic per
+  // (station, day) so replays agree.
+  const double season =
+      0.5 + 0.5 * std::sin(2.0 * M_PI * (day % 365) / 365.0 +
+                           static_cast<double>(station % 7));
+  const uint64_t h =
+      MixU64((static_cast<uint64_t>(station) << 20) ^
+             static_cast<uint64_t>(day));
+  const double noise = static_cast<double>(h % 10000) / 10000.0;
+  // Most days are dry-ish; occasional heavy rain.
+  double precip = 0.0;
+  if (noise > 0.55) {
+    precip = wetness_[station] * season * (noise - 0.55) * 80.0;
+  }
+  return std::min(precip, historical_max_[station]);
+}
+
+double WeatherModel::RainScore(int station, int day) const {
+  const double max = historical_max_[station];
+  if (max <= 0.0) return 0.0;
+  return 100.0 * PrecipitationAt(station, day) / max;
+}
+
+int WeatherModel::RainScoreDecade(int station, int day) const {
+  const int decade = static_cast<int>(RainScore(station, day) / 10.0) * 10;
+  return std::clamp(decade, 0, 100);
+}
+
+}  // namespace albic::workload

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace albic::workload {
+
+/// \brief Parameters of the GSOD-like weather model (the paper uses NOAA's
+/// Global Surface Summary of the Day, 2004-2013, several thousand stations).
+struct WeatherOptions {
+  int stations = 2000;
+  uint64_t seed = 42;
+};
+
+/// \brief Synthetic stand-in for the GSOD dataset: per-station daily mean
+/// precipitation with seasonal structure, plus the historical maximum used
+/// by Real Job 4's rainscore (precipitation as a percentage of the maximal
+/// historically measured value, bucketed in intervals of ten).
+class WeatherModel {
+ public:
+  explicit WeatherModel(WeatherOptions options);
+
+  int num_stations() const { return options_.stations; }
+
+  /// \brief Precipitation (mm) at a station on a (0-based) day.
+  double PrecipitationAt(int station, int day) const;
+
+  /// \brief Historical maximum precipitation of a station.
+  double HistoricalMax(int station) const { return historical_max_[station]; }
+
+  /// \brief Rainscore in [0, 100]: precipitation as a percentage of the
+  /// historical max (§5.4, Real Job 4).
+  double RainScore(int station, int day) const;
+
+  /// \brief Rainscore bucketed into intervals of ten: 0, 10, ..., 100.
+  int RainScoreDecade(int station, int day) const;
+
+ private:
+  WeatherOptions options_;
+  std::vector<double> wetness_;         ///< Per-station climate factor.
+  std::vector<double> historical_max_;
+};
+
+}  // namespace albic::workload

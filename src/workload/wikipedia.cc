@@ -1,0 +1,121 @@
+#include "workload/wikipedia.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace albic::workload {
+
+namespace {
+using engine::KeyGroupId;
+using engine::PartitioningPattern;
+}  // namespace
+
+WikipediaWorkload::WikipediaWorkload(WikipediaOptions options)
+    : options_(options) {
+  const int g = options_.groups_per_op;
+  geohash_ = topology_.AddOperator("geohash", g,
+                                   options_.state_bytes_per_group);
+  topk_ = topology_.AddOperator("topk-1min", g, options_.state_bytes_per_group);
+  global_ = topology_.AddOperator("global-topk-1min", g,
+                                  options_.state_bytes_per_group);
+  // GeoHash values are assumed evenly distributed over Denmark (§5.2), so
+  // both hops exhibit even full partitioning: no collocation opportunity.
+  Status st = topology_.AddStream(geohash_, topk_,
+                                  PartitioningPattern::kFullPartitioning);
+  assert(st.ok());
+  st = topology_.AddStream(topk_, global_,
+                           PartitioningPattern::kFullPartitioning);
+  assert(st.ok());
+  (void)st;
+
+  // Article popularity: Zipf mass hashed over TopK groups.
+  ZipfSampler zipf(static_cast<size_t>(g) * 50, options_.article_zipf);
+  Rng rng(options_.seed);
+  article_weights_.assign(static_cast<size_t>(g), 0.0);
+  for (size_t a = 0; a < zipf.size(); ++a) {
+    article_weights_[rng.Index(static_cast<size_t>(g))] += zipf.Pmf(a);
+  }
+
+  loads_.assign(static_cast<size_t>(topology_.num_key_groups()), 0.0);
+  comm_ = engine::CommMatrix(topology_.num_key_groups());
+  AdvancePeriod(0);
+}
+
+double WikipediaWorkload::RateFactor(int period) const {
+  // Diurnal wave plus deterministic per-period burst noise.
+  Rng rng(options_.seed ^ (0xabcd0000ULL + static_cast<uint64_t>(period)));
+  const double wave =
+      std::sin(2.0 * M_PI * static_cast<double>(period) / 24.0);
+  const double burst = rng.Bernoulli(0.08) ? rng.Uniform(0.1, 0.35) : 0.0;
+  return 1.0 + options_.fluctuation * 0.6 * wave + burst;
+}
+
+void WikipediaWorkload::AdvancePeriod(int period) {
+  Rng rng(options_.seed ^ (0x51edULL + 7919ULL * static_cast<uint64_t>(period)));
+  const int g = options_.groups_per_op;
+  const double rate = options_.total_load * RateFactor(period);
+
+  // Load split: geohash 45%, topk 45%, global 10%.
+  const double geohash_total = 0.45 * rate;
+  const double topk_total = 0.45 * rate;
+  const double global_total = 0.10 * rate;
+
+  const KeyGroupId gh0 = topology_.first_group(geohash_);
+  const KeyGroupId tk0 = topology_.first_group(topk_);
+  const KeyGroupId gl0 = topology_.first_group(global_);
+
+  // GeoHash: even +- noise (even distribution over Denmark).
+  for (int i = 0; i < g; ++i) {
+    loads_[gh0 + i] =
+        geohash_total / g * (1.0 + rng.Uniform(-0.10, 0.10));
+  }
+  // TopK: article popularity skew, plus time-varying merge work — the
+  // amount of state merged per window varies over time and node to node
+  // (§5.2.1), which is what defeats PoTC.
+  for (int i = 0; i < g; ++i) {
+    const double base = topk_total * article_weights_[i] *
+                        (1.0 + rng.Uniform(-0.10, 0.10));
+    const double merge = base * options_.merge_share *
+                         (0.5 + rng.Uniform(0.0, 1.0));
+    loads_[tk0 + i] = base + merge;
+  }
+  // Global TopK: light but skewed (merge of merges).
+  for (int i = 0; i < g; ++i) {
+    loads_[gl0 + i] = global_total / g *
+                      (0.4 + 1.2 * article_weights_[i] * g) *
+                      (1.0 + rng.Uniform(-0.15, 0.15));
+  }
+
+  // Communication: even full partitioning on both hops, with rates
+  // proportional to upstream work. Rows are bulk-set (10k entries per hop).
+  for (int i = 0; i < g; ++i) {
+    std::vector<engine::CommMatrix::Entry> row;
+    row.reserve(static_cast<size_t>(g));
+    const double out_rate = loads_[gh0 + i];
+    for (int j = 0; j < g; ++j) {
+      row.push_back({tk0 + j, out_rate * article_weights_[j]});
+    }
+    comm_.SetRow(gh0 + i, std::move(row));
+  }
+  for (int i = 0; i < g; ++i) {
+    std::vector<engine::CommMatrix::Entry> row;
+    row.reserve(static_cast<size_t>(g));
+    const double out_rate = loads_[tk0 + i] * 0.1;  // TopK emits summaries
+    for (int j = 0; j < g; ++j) {
+      row.push_back({gl0 + j, out_rate / g});
+    }
+    comm_.SetRow(tk0 + i, std::move(row));
+  }
+}
+
+engine::Assignment WikipediaWorkload::MakeInitialAssignment() const {
+  engine::Assignment assignment(topology_.num_key_groups());
+  for (KeyGroupId k = 0; k < topology_.num_key_groups(); ++k) {
+    assignment.set_node(k, k % options_.nodes);
+  }
+  return assignment;
+}
+
+}  // namespace albic::workload

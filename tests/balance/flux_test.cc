@@ -1,0 +1,116 @@
+#include "balance/flux_rebalancer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/load_model.h"
+
+namespace albic::balance {
+namespace {
+
+using engine::Assignment;
+using engine::Cluster;
+using engine::KeyGroupId;
+using engine::NodeId;
+using engine::SystemSnapshot;
+using engine::Topology;
+
+struct Fixture {
+  Topology topo;
+  Cluster cluster;
+  SystemSnapshot snap;
+
+  Fixture(int nodes, std::vector<double> loads, std::vector<NodeId> placement)
+      : cluster(nodes) {
+    topo.AddOperator("op", static_cast<int>(loads.size()), 1 << 20);
+    Assignment assign(static_cast<int>(loads.size()));
+    for (KeyGroupId g = 0; g < assign.num_groups(); ++g) {
+      assign.set_node(g, placement[static_cast<size_t>(g)]);
+    }
+    snap.topology = &topo;
+    snap.cluster = &cluster;
+    snap.assignment = assign;
+    snap.group_loads = std::move(loads);
+    snap.migration_costs.assign(snap.group_loads.size(), 1.0);
+  }
+};
+
+TEST(FluxTest, MovesBiggestSuitableGroupToLightestNode) {
+  // Node 0: groups of 8 and 3 (load 11); node 1: 2 (load 2). Gap 9: the
+  // biggest suitable (< 9) is 8.
+  Fixture f(2, {8, 3, 2}, {0, 0, 1});
+  FluxRebalancer flux;
+  RebalanceConstraints cons;
+  cons.max_migrations = 1;
+  auto plan = flux.ComputePlan(f.snap, cons);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->migrations.size(), 1u);
+  EXPECT_EQ(plan->migrations[0].group, 0);  // the 8-load group
+  EXPECT_EQ(plan->migrations[0].to, 1);
+}
+
+TEST(FluxTest, SkipsUnsuitablyLargeGroups) {
+  // Gap is 6; the only group on the heavy node weighs 10 > 6: no move.
+  Fixture f(2, {10, 4}, {0, 1});
+  FluxRebalancer flux;
+  RebalanceConstraints cons;
+  cons.max_migrations = 5;
+  auto plan = flux.ComputePlan(f.snap, cons);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->migrations.empty());
+}
+
+TEST(FluxTest, RespectsMigrationLimit) {
+  Fixture f(2, {5, 5, 5, 5, 5, 5}, {0, 0, 0, 0, 0, 0});
+  FluxRebalancer flux;
+  RebalanceConstraints cons;
+  cons.max_migrations = 2;
+  auto plan = flux.ComputePlan(f.snap, cons);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(plan->migrations.size(), 2u);
+}
+
+TEST(FluxTest, RespectsCostLimit) {
+  Fixture f(2, {5, 5, 5, 5}, {0, 0, 0, 0});
+  f.snap.migration_costs = {2.0, 2.0, 2.0, 2.0};
+  FluxRebalancer flux;
+  RebalanceConstraints cons;
+  cons.max_migration_cost = 4.0;
+  auto plan = flux.ComputePlan(f.snap, cons);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(plan->migrations.size(), 2u);
+}
+
+TEST(FluxTest, SingleNodeNoOp) {
+  Fixture f(1, {5, 5}, {0, 0});
+  FluxRebalancer flux;
+  auto plan = flux.ComputePlan(f.snap, RebalanceConstraints{});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->migrations.empty());
+}
+
+TEST(FluxTest, ImprovesButUsuallyWorseThanUnlimitedRebalance) {
+  // Random instance: Flux must not increase the load distance.
+  Rng rng(17);
+  std::vector<double> loads;
+  std::vector<NodeId> placement;
+  for (int g = 0; g < 60; ++g) {
+    loads.push_back(rng.Uniform(1.0, 9.0));
+    placement.push_back(static_cast<NodeId>(rng.Index(6)));
+  }
+  Fixture f(6, loads, placement);
+  // Distance before.
+  std::vector<double> node_loads(6, 0.0);
+  for (int g = 0; g < 60; ++g) node_loads[placement[g]] += loads[g];
+  const double before = engine::LoadDistance(node_loads, f.cluster);
+
+  FluxRebalancer flux;
+  RebalanceConstraints cons;
+  cons.max_migrations = 10;
+  auto plan = flux.ComputePlan(f.snap, cons);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(plan->predicted_load_distance, before + 1e-9);
+}
+
+}  // namespace
+}  // namespace albic::balance

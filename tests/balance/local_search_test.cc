@@ -1,0 +1,210 @@
+#include "balance/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "balance/balance_item.h"
+#include "common/rng.h"
+#include "engine/migration.h"
+
+namespace albic::balance {
+namespace {
+
+using engine::Assignment;
+using engine::Cluster;
+using engine::KeyGroupId;
+using engine::NodeId;
+using engine::SystemSnapshot;
+using engine::Topology;
+
+/// Builds a snapshot with `loads[g]` on an even round-robin assignment.
+struct Fixture {
+  Topology topo;
+  Cluster cluster;
+  SystemSnapshot snap;
+
+  Fixture(int nodes, std::vector<double> loads,
+          std::vector<NodeId> placement = {})
+      : cluster(nodes) {
+    topo.AddOperator("op", static_cast<int>(loads.size()), 1 << 20);
+    Assignment assign(static_cast<int>(loads.size()));
+    for (KeyGroupId g = 0; g < assign.num_groups(); ++g) {
+      assign.set_node(g, placement.empty()
+                             ? g % nodes
+                             : placement[static_cast<size_t>(g)]);
+    }
+    snap.topology = &topo;
+    snap.cluster = &cluster;
+    snap.assignment = assign;
+    snap.group_loads = std::move(loads);
+    snap.migration_costs.assign(snap.group_loads.size(), 1.0);
+    snap.node_loads.assign(static_cast<size_t>(nodes), 0.0);
+  }
+};
+
+LocalSearchSolution MustSolve(const Fixture& f,
+                              const RebalanceConstraints& cons,
+                              double budget_ms = 20.0) {
+  LocalSearchOptions opts;
+  opts.time_budget_ms = budget_ms;
+  opts.seed = 7;
+  auto res = LocalSearchSolver::Solve(f.snap, ItemsFromGroups(f.snap), cons,
+                                      opts);
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  return *res;
+}
+
+TEST(LocalSearchTest, BalancesObviousImbalance) {
+  // All load on node 0; plenty of budget: should spread to distance ~0.
+  Fixture f(4, {10, 10, 10, 10, 10, 10, 10, 10},
+            {0, 0, 0, 0, 0, 0, 0, 0});
+  RebalanceConstraints cons;
+  LocalSearchSolution sol = MustSolve(f, cons);
+  EXPECT_NEAR(sol.load_distance, 0.0, 1e-6);
+}
+
+TEST(LocalSearchTest, RespectsCountBudget) {
+  Fixture f(2, {10, 10, 10, 10}, {0, 0, 0, 0});
+  RebalanceConstraints cons;
+  cons.max_migrations = 1;
+  LocalSearchSolution sol = MustSolve(f, cons);
+  EXPECT_LE(sol.used_count, 1);
+  // One move of 10: loads 30/10, mean 20, d = 10.
+  EXPECT_NEAR(sol.load_distance, 10.0, 1e-6);
+}
+
+TEST(LocalSearchTest, RespectsCostBudget) {
+  Fixture f(2, {10, 10, 10, 10}, {0, 0, 0, 0});
+  f.snap.migration_costs = {5.0, 5.0, 5.0, 5.0};
+  RebalanceConstraints cons;
+  cons.max_migration_cost = 5.0;  // exactly one move affordable
+  LocalSearchSolution sol = MustSolve(f, cons);
+  EXPECT_LE(sol.used_cost, 5.0 + 1e-9);
+  EXPECT_NEAR(sol.load_distance, 10.0, 1e-6);
+}
+
+TEST(LocalSearchTest, ZeroBudgetKeepsAssignment) {
+  Fixture f(2, {10, 10, 20}, {0, 0, 1});
+  RebalanceConstraints cons;
+  cons.max_migrations = 0;
+  LocalSearchSolution sol = MustSolve(f, cons);
+  EXPECT_EQ(sol.used_count, 0);
+  for (size_t i = 0; i < sol.item_node.size(); ++i) {
+    EXPECT_EQ(sol.item_node[i],
+              f.snap.assignment.node_of(static_cast<KeyGroupId>(i)));
+  }
+}
+
+TEST(LocalSearchTest, DrainsMarkedNodesFirst) {
+  Fixture f(3, {10, 10, 10, 10, 10, 10});
+  ASSERT_TRUE(f.cluster.MarkForRemoval(2).ok());
+  RebalanceConstraints cons;
+  LocalSearchSolution sol = MustSolve(f, cons);
+  EXPECT_NEAR(sol.drain_load, 0.0, 1e-9);
+  for (NodeId n : sol.item_node) EXPECT_NE(n, 2);
+}
+
+TEST(LocalSearchTest, DrainPrioritizedUnderTightBudget) {
+  // Node 2 is marked and holds 2 groups; budget allows exactly 2 moves.
+  Fixture f(3, {10, 10, 10, 10, 10, 10});
+  ASSERT_TRUE(f.cluster.MarkForRemoval(2).ok());
+  RebalanceConstraints cons;
+  cons.max_migrations = 2;
+  LocalSearchSolution sol = MustSolve(f, cons);
+  EXPECT_NEAR(sol.drain_load, 0.0, 1e-9);  // both moves used on the drain
+}
+
+TEST(LocalSearchTest, PinnedItemsAreForcedAndImmovable) {
+  Fixture f(2, {10, 10, 10, 10}, {0, 0, 1, 1});
+  std::vector<BalanceItem> items = ItemsFromGroups(f.snap);
+  items[0].pinned = 1;  // force group 0 onto node 1
+  RebalanceConstraints cons;
+  LocalSearchOptions opts;
+  opts.time_budget_ms = 10.0;
+  auto res = LocalSearchSolver::Solve(f.snap, items, cons, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->item_node[0], 1);
+}
+
+TEST(LocalSearchTest, PinToInactiveNodeRejected) {
+  Fixture f(2, {10, 10});
+  ASSERT_TRUE(f.cluster.Terminate(1).ok());
+  std::vector<BalanceItem> items = ItemsFromGroups(f.snap);
+  items[0].pinned = 1;
+  auto res = LocalSearchSolver::Solve(f.snap, items, RebalanceConstraints{},
+                                      LocalSearchOptions{});
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(LocalSearchTest, HeterogeneousCapacityGetsProportionalLoad) {
+  // Node 1 has 3x the capacity: it should end with ~3x the raw load so that
+  // percentage loads match.
+  Topology topo;
+  topo.AddOperator("op", 8, 1 << 20);
+  Cluster cluster;
+  cluster.AddNode(1.0);
+  cluster.AddNode(3.0);
+  SystemSnapshot snap;
+  snap.topology = &topo;
+  snap.cluster = &cluster;
+  Assignment assign(8);
+  for (KeyGroupId g = 0; g < 8; ++g) assign.set_node(g, 0);
+  snap.assignment = assign;
+  snap.group_loads.assign(8, 10.0);
+  snap.migration_costs.assign(8, 1.0);
+  auto res = LocalSearchSolver::Solve(snap, ItemsFromGroups(snap),
+                                      RebalanceConstraints{},
+                                      LocalSearchOptions{});
+  ASSERT_TRUE(res.ok());
+  double raw[2] = {0, 0};
+  for (size_t i = 0; i < res->item_node.size(); ++i) {
+    raw[res->item_node[i]] += 10.0;
+  }
+  EXPECT_NEAR(raw[1] / 3.0, raw[0], 10.0 + 1e-9);  // within one group size
+}
+
+TEST(LocalSearchTest, MultiGroupItemsMoveAtomically) {
+  Fixture f(2, {10, 10, 10, 10}, {0, 0, 0, 0});
+  std::vector<BalanceItem> items;
+  BalanceItem pair;
+  pair.groups = {0, 1};
+  pair.load = 20.0;
+  items.push_back(pair);
+  BalanceItem a;
+  a.groups = {2};
+  a.load = 10.0;
+  items.push_back(a);
+  BalanceItem b;
+  b.groups = {3};
+  b.load = 10.0;
+  items.push_back(b);
+  auto res = LocalSearchSolver::Solve(f.snap, items, RebalanceConstraints{},
+                                      LocalSearchOptions{});
+  ASSERT_TRUE(res.ok());
+  // The pair's two groups stay together wherever it lands.
+  EXPECT_NEAR(res->load_distance, 0.0, 1e-6);
+}
+
+TEST(LocalSearchTest, ErrorsWithoutRetainedNodes) {
+  Fixture f(1, {10});
+  ASSERT_TRUE(f.cluster.MarkForRemoval(0).ok());
+  auto res = LocalSearchSolver::Solve(f.snap, ItemsFromGroups(f.snap),
+                                      RebalanceConstraints{},
+                                      LocalSearchOptions{});
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(LocalSearchTest, MoreBudgetNeverWorse) {
+  // Anytime property: 20ms solution is at least as good as 1ms (same seed).
+  std::vector<double> loads;
+  Rng rng(3);
+  for (int i = 0; i < 120; ++i) loads.push_back(rng.Uniform(1.0, 9.0));
+  Fixture f(10, loads);
+  RebalanceConstraints cons;
+  cons.max_migrations = 15;
+  LocalSearchSolution fast = MustSolve(f, cons, 1.0);
+  LocalSearchSolution slow = MustSolve(f, cons, 25.0);
+  EXPECT_LE(slow.load_distance, fast.load_distance + 1e-9);
+}
+
+}  // namespace
+}  // namespace albic::balance

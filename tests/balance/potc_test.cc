@@ -1,0 +1,98 @@
+#include "balance/potc.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/stats_util.h"
+
+namespace albic::balance {
+namespace {
+
+std::vector<PotcKey> UniformKeys(int n, double rate) {
+  std::vector<PotcKey> keys;
+  for (int i = 0; i < n; ++i) {
+    PotcKey k;
+    k.key = static_cast<uint64_t>(i) * 2654435761ULL;
+    k.rate = rate;
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+TEST(PotcTest, ConservesWorkPlusOverhead) {
+  engine::Cluster cluster(4);
+  PotcOptions opts;
+  opts.split_overhead = 0.1;
+  opts.merge_cost_factor = 0.0;
+  PotcModel model(opts);
+  std::vector<PotcKey> keys = UniformKeys(100, 1.0);
+  std::vector<double> loads = model.ComputeNodeLoads(keys, cluster, 1);
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  // 100 rate + 10% split overhead.
+  EXPECT_NEAR(total, 110.0, 1e-9);
+}
+
+TEST(PotcTest, TwoChoiceBalancesPrimaryWork) {
+  engine::Cluster cluster(4);
+  PotcOptions opts;
+  opts.split_overhead = 0.0;
+  opts.merge_cost_factor = 0.0;
+  PotcModel model(opts);
+  std::vector<PotcKey> keys = UniformKeys(400, 1.0);
+  std::vector<double> loads = model.ComputeNodeLoads(keys, cluster, 1);
+  // Greedy two-choice on 400 uniform keys over 4 nodes: near-even.
+  EXPECT_LT(MaxAbsDeviation(loads), 2.5);
+}
+
+TEST(PotcTest, MergePeriodsAddSkewedLoad) {
+  // The skew comes from hot keys: their (large) state merges land on a
+  // single h1 worker (§2.2: "the merge step cannot be balanced"). Use a
+  // Zipf-skewed key population, as the Wikipedia job produces.
+  engine::Cluster cluster(4);
+  PotcOptions opts;
+  opts.split_overhead = 0.0;
+  opts.merge_cost_factor = 0.5;
+  opts.merge_every_periods = 2;
+  PotcModel model(opts);
+  std::vector<PotcKey> keys =
+      SplitGroupsIntoKeys(std::vector<double>(10, 10.0), 10, 1.4, 99);
+  std::vector<double> merge_loads = model.ComputeNodeLoads(keys, cluster, 0);
+  std::vector<double> quiet_loads = model.ComputeNodeLoads(keys, cluster, 1);
+  const double merge_total =
+      std::accumulate(merge_loads.begin(), merge_loads.end(), 0.0);
+  const double quiet_total =
+      std::accumulate(quiet_loads.begin(), quiet_loads.end(), 0.0);
+  EXPECT_GT(merge_total, quiet_total);  // merge adds real work
+  // Merge work lands on h1 only: imbalance on merge periods is worse.
+  EXPECT_GT(MaxAbsDeviation(merge_loads), MaxAbsDeviation(quiet_loads));
+}
+
+TEST(PotcTest, DeterministicAcrossCalls) {
+  engine::Cluster cluster(3);
+  PotcModel model;
+  std::vector<PotcKey> keys = UniformKeys(50, 2.0);
+  EXPECT_EQ(model.ComputeNodeLoads(keys, cluster, 3),
+            model.ComputeNodeLoads(keys, cluster, 3));
+}
+
+TEST(PotcTest, RespectsMarkedNodes) {
+  engine::Cluster cluster(3);
+  ASSERT_TRUE(cluster.MarkForRemoval(2).ok());
+  PotcModel model;
+  std::vector<double> loads =
+      model.ComputeNodeLoads(UniformKeys(30, 1.0), cluster, 1);
+  EXPECT_DOUBLE_EQ(loads[2], 0.0);  // marked nodes receive nothing
+}
+
+TEST(PotcTest, SplitGroupsIntoKeysPreservesTotalRate) {
+  std::vector<double> group_loads = {10.0, 20.0, 5.0};
+  std::vector<PotcKey> keys = SplitGroupsIntoKeys(group_loads, 8, 1.0, 3);
+  EXPECT_EQ(keys.size(), 24u);
+  double total = 0.0;
+  for (const PotcKey& k : keys) total += k.rate;
+  EXPECT_NEAR(total, 35.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace albic::balance

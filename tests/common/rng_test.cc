@@ -1,0 +1,124 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace albic {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.NextU64() == b.NextU64() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInRangeAndCoversEndpoints) {
+  Rng rng(9);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    lo |= v == 3;
+    hi |= v == 7;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(100, 1.0);
+  double sum = 0;
+  for (size_t i = 0; i < z.size(); ++i) sum += z.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, RankZeroIsMostLikely) {
+  ZipfSampler z(100, 1.2);
+  EXPECT_GT(z.Pmf(0), z.Pmf(1));
+  EXPECT_GT(z.Pmf(1), z.Pmf(50));
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfSampler z(20, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(&rng)];
+  for (size_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, z.Pmf(r), 0.01);
+  }
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  ZipfSampler z(10, 0.0);
+  for (size_t i = 0; i < z.size(); ++i) EXPECT_NEAR(z.Pmf(i), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace albic

@@ -1,0 +1,70 @@
+#include "common/stats_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace albic {
+namespace {
+
+TEST(StatsUtilTest, MeanAndVariance) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(1.25));
+}
+
+TEST(StatsUtilTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(MaxAbsDeviation({}), 0.0);
+}
+
+TEST(StatsUtilTest, MaxAbsDeviationIsLoadDistance) {
+  // loads 40, 50, 60 -> mean 50 -> distance 10.
+  EXPECT_DOUBLE_EQ(MaxAbsDeviation({40, 50, 60}), 10.0);
+  // Asymmetric: underload dominates.
+  EXPECT_DOUBLE_EQ(MaxAbsDeviation({10, 55, 55}), 30.0);
+}
+
+TEST(StatsUtilTest, MaxAbsDeviationFromExternalMean) {
+  EXPECT_DOUBLE_EQ(MaxAbsDeviationFrom({40, 60}, 55.0), 15.0);
+}
+
+TEST(StatsUtilTest, Percentile) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(StatsUtilTest, EwmaConverges) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  e.Add(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  for (int i = 0; i < 50; ++i) e.Add(20.0);
+  EXPECT_NEAR(e.value(), 20.0, 1e-6);
+}
+
+TEST(StatsUtilTest, RunningStats) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  rs.Add(3.0);
+  rs.Add(1.0);
+  rs.Add(5.0);
+  EXPECT_EQ(rs.count(), 3u);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 9.0);
+}
+
+}  // namespace
+}  // namespace albic

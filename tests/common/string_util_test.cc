@@ -1,0 +1,46 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace albic {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(SplitString("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(StringFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StringFormat("%s", ""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimString("  hi  "), "hi");
+  EXPECT_EQ(TrimString("\t\nhi\r\n"), "hi");
+  EXPECT_EQ(TrimString(""), "");
+  EXPECT_EQ(TrimString("   "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("hello", "hello!"));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+}  // namespace
+}  // namespace albic

@@ -1,0 +1,58 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace albic {
+namespace {
+
+std::string Render(const TablePrinter& table, bool csv = false) {
+  std::FILE* f = std::tmpfile();
+  if (csv) {
+    table.PrintCsv(f);
+  } else {
+    table.Print(f);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::rewind(f);
+  std::string out(static_cast<size_t>(size), '\0');
+  size_t read = std::fread(out.data(), 1, out.size(), f);
+  out.resize(read);
+  std::fclose(f);
+  return out;
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string out = Render(t);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, DoubleRowsFormatted) {
+  TablePrinter t({"a", "b"});
+  t.AddDoubleRow(std::vector<double>{1.234, 5.0}, 1);
+  const std::string out = Render(t);
+  EXPECT_NE(out.find("1.2"), std::string::npos);
+  EXPECT_NE(out.find("5.0"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(Render(t, /*csv=*/true), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace albic

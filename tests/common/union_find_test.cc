@@ -1,0 +1,46 @@
+#include "common/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace albic {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) EXPECT_FALSE(uf.Connected(i, j));
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_EQ(uf.num_sets(), 4u);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_TRUE(uf.Union(1, 3));  // transitively merges {0,1} and {2,3}
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFindTest, ChainMergeYieldsOneSet) {
+  UnionFind uf(100);
+  for (size_t i = 0; i + 1 < 100; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_TRUE(uf.Connected(0, 99));
+}
+
+TEST(UnionFindTest, FindIsConsistentRepresentative) {
+  UnionFind uf(10);
+  uf.Union(1, 2);
+  uf.Union(2, 3);
+  const size_t root = uf.Find(1);
+  EXPECT_EQ(uf.Find(2), root);
+  EXPECT_EQ(uf.Find(3), root);
+}
+
+}  // namespace
+}  // namespace albic

@@ -1,0 +1,49 @@
+#include "engine/assignment.h"
+
+#include <gtest/gtest.h>
+
+namespace albic::engine {
+namespace {
+
+TEST(AssignmentTest, DefaultsToInvalid) {
+  Assignment a(3);
+  EXPECT_EQ(a.num_groups(), 3);
+  EXPECT_EQ(a.node_of(0), kInvalidNode);
+}
+
+TEST(AssignmentTest, SetAndQuery) {
+  Assignment a(5);
+  a.set_node(0, 1);
+  a.set_node(1, 1);
+  a.set_node(2, 0);
+  EXPECT_EQ(a.groups_on(1), (std::vector<KeyGroupId>{0, 1}));
+  EXPECT_EQ(a.count_on(1), 2);
+  EXPECT_EQ(a.count_on(0), 1);
+  EXPECT_EQ(a.count_on(7), 0);
+}
+
+TEST(AssignmentTest, DiffProducesExactMigrations) {
+  Assignment from(4), to(4);
+  for (KeyGroupId g = 0; g < 4; ++g) {
+    from.set_node(g, 0);
+    to.set_node(g, g % 2 == 0 ? 0 : 1);
+  }
+  std::vector<Migration> migs = from.DiffTo(to);
+  ASSERT_EQ(migs.size(), 2u);
+  EXPECT_EQ(migs[0].group, 1);
+  EXPECT_EQ(migs[0].from, 0);
+  EXPECT_EQ(migs[0].to, 1);
+  EXPECT_EQ(migs[1].group, 3);
+}
+
+TEST(AssignmentTest, DiffOfIdenticalIsEmpty) {
+  Assignment a(3);
+  a.set_node(0, 2);
+  EXPECT_TRUE(a.DiffTo(a).empty());
+  Assignment b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.DiffTo(b).empty());
+}
+
+}  // namespace
+}  // namespace albic::engine

@@ -1,0 +1,60 @@
+#include "engine/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace albic::engine {
+namespace {
+
+TEST(ClusterTest, ConstructionAndCapacity) {
+  Cluster c(3, 2.0);
+  EXPECT_EQ(c.num_nodes_total(), 3);
+  EXPECT_EQ(c.num_active(), 3);
+  EXPECT_DOUBLE_EQ(c.capacity(1), 2.0);
+  EXPECT_EQ(c.retained_nodes().size(), 3u);
+  EXPECT_TRUE(c.marked_nodes().empty());
+}
+
+TEST(ClusterTest, AddNodeScaleOut) {
+  Cluster c(2);
+  NodeId n = c.AddNode(1.5);
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(c.num_active(), 3);
+  EXPECT_DOUBLE_EQ(c.capacity(n), 1.5);
+}
+
+TEST(ClusterTest, MarkDrainsIntoSets) {
+  Cluster c(4);
+  ASSERT_TRUE(c.MarkForRemoval(1).ok());
+  ASSERT_TRUE(c.MarkForRemoval(3).ok());
+  EXPECT_EQ(c.retained_nodes(), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(c.marked_nodes(), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(c.active_nodes().size(), 4u);  // marked nodes still active
+  EXPECT_TRUE(c.is_marked(1));
+  ASSERT_TRUE(c.UnmarkForRemoval(1).ok());
+  EXPECT_FALSE(c.is_marked(1));
+}
+
+TEST(ClusterTest, TerminateRemovesFromActive) {
+  Cluster c(3);
+  ASSERT_TRUE(c.MarkForRemoval(2).ok());
+  ASSERT_TRUE(c.Terminate(2).ok());
+  EXPECT_FALSE(c.is_active(2));
+  EXPECT_FALSE(c.is_marked(2));
+  EXPECT_EQ(c.num_active(), 2);
+  EXPECT_EQ(c.active_nodes(), (std::vector<NodeId>{0, 1}));
+  // Ids remain stable: node 2 still addressable, just inactive.
+  EXPECT_EQ(c.num_nodes_total(), 3);
+}
+
+TEST(ClusterTest, ErrorsOnInvalidOperations) {
+  Cluster c(2);
+  EXPECT_FALSE(c.MarkForRemoval(5).ok());
+  EXPECT_FALSE(c.Terminate(-1).ok());
+  ASSERT_TRUE(c.Terminate(1).ok());
+  EXPECT_FALSE(c.Terminate(1).ok());       // double terminate
+  EXPECT_FALSE(c.MarkForRemoval(1).ok());  // mark dead node
+  EXPECT_FALSE(c.UnmarkForRemoval(1).ok());
+}
+
+}  // namespace
+}  // namespace albic::engine

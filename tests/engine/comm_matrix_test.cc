@@ -1,0 +1,45 @@
+#include "engine/comm_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace albic::engine {
+namespace {
+
+TEST(CommMatrixTest, AddAccumulates) {
+  CommMatrix m(3);
+  m.Add(0, 1, 2.0);
+  m.Add(0, 1, 3.0);
+  m.Add(0, 2, 1.0);
+  EXPECT_DOUBLE_EQ(m.Rate(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.Rate(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.Rate(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.TotalOut(0), 6.0);
+  EXPECT_DOUBLE_EQ(m.TotalTraffic(), 6.0);
+}
+
+TEST(CommMatrixTest, SetRowReplaces) {
+  CommMatrix m(2);
+  m.Add(0, 1, 9.0);
+  m.SetRow(0, {{1, 1.0}});
+  EXPECT_DOUBLE_EQ(m.Rate(0, 1), 1.0);
+}
+
+TEST(CommMatrixTest, ClearEmpties) {
+  CommMatrix m(2);
+  m.Add(0, 1, 1.0);
+  m.Add(1, 0, 2.0);
+  m.Clear();
+  EXPECT_DOUBLE_EQ(m.TotalTraffic(), 0.0);
+  EXPECT_EQ(m.num_groups(), 2);
+}
+
+TEST(CommMatrixTest, RowAccess) {
+  CommMatrix m(2);
+  m.Add(0, 1, 1.5);
+  ASSERT_EQ(m.row(0).size(), 1u);
+  EXPECT_EQ(m.row(0)[0].to, 1);
+  EXPECT_TRUE(m.row(1).empty());
+}
+
+}  // namespace
+}  // namespace albic::engine

@@ -1,0 +1,138 @@
+#include "engine/load_model.h"
+
+#include <gtest/gtest.h>
+
+namespace albic::engine {
+namespace {
+
+struct Fixture {
+  Topology topo;
+  Cluster cluster{2};
+  Assignment assign;
+
+  Fixture() {
+    topo.AddOperator("a", 2);
+    topo.AddOperator("b", 2);
+    EXPECT_TRUE(
+        topo.AddStream(0, 1, PartitioningPattern::kOneToOne).ok());
+    assign = Assignment(4);
+    // a0,b0 -> node 0; a1,b1 -> node 1.
+    assign.set_node(0, 0);
+    assign.set_node(1, 1);
+    assign.set_node(2, 0);
+    assign.set_node(3, 1);
+  }
+};
+
+TEST(LoadModelTest, ProcessingLoadsSumPerNode) {
+  Fixture f;
+  LoadModel model(CostModel{});
+  NodeLoads loads = model.ComputeNodeLoads(f.topo, {10, 20, 5, 15}, nullptr,
+                                           f.assign, f.cluster);
+  EXPECT_DOUBLE_EQ(loads.cpu[0], 15.0);
+  EXPECT_DOUBLE_EQ(loads.cpu[1], 35.0);
+  EXPECT_EQ(loads.bottleneck, Resource::kCpu);
+}
+
+TEST(LoadModelTest, SerdeChargedToBothEndpointsOnlyWhenRemote) {
+  Fixture f;
+  CostModel cost;
+  cost.serde_cpu_per_rate = 1.0;
+  cost.network_per_rate = 0.5;
+  LoadModel model(cost);
+  CommMatrix comm(4);
+  comm.Add(0, 2, 4.0);  // a0 -> b0: same node, free
+  comm.Add(1, 2, 6.0);  // a1 (node1) -> b0 (node0): remote
+  NodeLoads loads = model.ComputeNodeLoads(f.topo, {0, 0, 0, 0}, &comm,
+                                           f.assign, f.cluster);
+  EXPECT_DOUBLE_EQ(loads.cpu[0], 6.0);   // deserialization at receiver
+  EXPECT_DOUBLE_EQ(loads.cpu[1], 6.0);   // serialization at sender
+  EXPECT_DOUBLE_EQ(loads.network[0], 3.0);
+  EXPECT_DOUBLE_EQ(loads.network[1], 3.0);
+}
+
+TEST(LoadModelTest, CapacityNormalization) {
+  Topology topo;
+  topo.AddOperator("a", 2);
+  Cluster cluster;
+  cluster.AddNode(1.0);
+  cluster.AddNode(2.0);  // twice as fast
+  Assignment assign(2);
+  assign.set_node(0, 0);
+  assign.set_node(1, 1);
+  LoadModel model(CostModel{});
+  NodeLoads loads =
+      model.ComputeNodeLoads(topo, {30, 30}, nullptr, assign, cluster);
+  EXPECT_DOUBLE_EQ(loads.cpu[0], 30.0);
+  EXPECT_DOUBLE_EQ(loads.cpu[1], 15.0);  // same work, double capacity
+}
+
+TEST(LoadModelTest, BottleneckPicksGreatestTotalUsage) {
+  Fixture f;
+  CostModel cost;
+  cost.serde_cpu_per_rate = 0.01;
+  cost.network_per_rate = 10.0;  // network dominates
+  LoadModel model(cost);
+  CommMatrix comm(4);
+  comm.Add(0, 3, 5.0);  // remote
+  NodeLoads loads = model.ComputeNodeLoads(f.topo, {1, 1, 1, 1}, &comm,
+                                           f.assign, f.cluster);
+  EXPECT_EQ(loads.bottleneck, Resource::kNetwork);
+  EXPECT_GT(loads.bottleneck_loads()[0], 0.0);
+}
+
+TEST(LoadModelTest, MemoryResourceFromState) {
+  Fixture f;
+  CostModel cost;
+  cost.memory_per_byte = 1.0;  // absurd scale to force memory bottleneck
+  LoadModel model(cost);
+  NodeLoads loads = model.ComputeNodeLoads(f.topo, {1, 1, 1, 1}, nullptr,
+                                           f.assign, f.cluster);
+  EXPECT_EQ(loads.bottleneck, Resource::kMemory);
+  EXPECT_DOUBLE_EQ(loads.memory[0], 2.0 * (1 << 20));
+}
+
+TEST(LoadModelTest, GroupLoadsIncludeSerdeShares) {
+  Fixture f;
+  CostModel cost;
+  cost.serde_cpu_per_rate = 1.0;
+  LoadModel model(cost);
+  CommMatrix comm(4);
+  comm.Add(0, 2, 4.0);  // local: no serde
+  comm.Add(1, 2, 6.0);  // remote
+  std::vector<double> gl =
+      model.ComputeGroupLoads(f.topo, {10, 10, 10, 10}, &comm, f.assign);
+  EXPECT_DOUBLE_EQ(gl[0], 10.0);
+  EXPECT_DOUBLE_EQ(gl[1], 16.0);  // sender side
+  EXPECT_DOUBLE_EQ(gl[2], 16.0);  // receiver side
+  EXPECT_DOUBLE_EQ(gl[3], 10.0);
+}
+
+TEST(LoadModelTest, LoadDistanceUsesPaperMean) {
+  // Mean sums over ALL active nodes but divides by |A| (Table 2).
+  Cluster cluster(3);
+  ASSERT_TRUE(cluster.MarkForRemoval(2).ok());
+  // loads: A = {40, 60}, B = {20}. mean = 120 / 2 = 60.
+  std::vector<double> loads = {40, 60, 20};
+  EXPECT_DOUBLE_EQ(MeanLoad(loads, cluster), 60.0);
+  EXPECT_DOUBLE_EQ(LoadDistance(loads, cluster), 20.0);  // |40-60|
+}
+
+TEST(LoadModelTest, CollocationPercent) {
+  Fixture f;
+  CommMatrix comm(4);
+  comm.Add(0, 2, 30.0);  // local
+  comm.Add(1, 2, 10.0);  // remote
+  EXPECT_DOUBLE_EQ(CollocationPercent(comm, f.assign), 75.0);
+  CommMatrix empty(4);
+  EXPECT_DOUBLE_EQ(CollocationPercent(empty, f.assign), 0.0);
+}
+
+TEST(LoadModelTest, ResourceNames) {
+  EXPECT_STREQ(ResourceToString(Resource::kCpu), "cpu");
+  EXPECT_STREQ(ResourceToString(Resource::kNetwork), "network");
+  EXPECT_STREQ(ResourceToString(Resource::kMemory), "memory");
+}
+
+}  // namespace
+}  // namespace albic::engine

@@ -1,0 +1,48 @@
+#include "engine/migration.h"
+
+#include <gtest/gtest.h>
+
+namespace albic::engine {
+namespace {
+
+TEST(MigrationTest, CostIsAlphaTimesState) {
+  Topology topo;
+  topo.AddOperator("a", 2, /*state=*/2 << 20);
+  MigrationCostModel model;
+  model.alpha_per_byte = 1.0 / (1 << 20);
+  EXPECT_DOUBLE_EQ(MigrationCost(topo, 0, model), 2.0);
+  std::vector<double> all = AllMigrationCosts(topo, model);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[1], 2.0);
+}
+
+TEST(MigrationTest, ApplyMovesAndAccounts) {
+  Topology topo;
+  topo.AddOperator("a", 3, 1 << 20);
+  Assignment assign(3);
+  assign.set_node(0, 0);
+  assign.set_node(1, 0);
+  assign.set_node(2, 1);
+  MigrationCostModel model;
+  std::vector<Migration> migs = {{0, 0, 1}, {2, 1, 1}};  // second is a no-op
+  MigrationReport report = ApplyMigrations(migs, topo, model, &assign);
+  EXPECT_EQ(report.count, 1);
+  EXPECT_DOUBLE_EQ(report.total_cost, 1.0);
+  EXPECT_NEAR(report.total_pause_seconds, 2.5, 1e-9);
+  EXPECT_EQ(assign.node_of(0), 1);
+  EXPECT_EQ(assign.node_of(2), 1);
+}
+
+TEST(MigrationTest, PauseScalesWithStateSize) {
+  Topology topo;
+  topo.AddOperator("big", 1, 4.0 * (1 << 20));
+  Assignment assign(1);
+  assign.set_node(0, 0);
+  MigrationCostModel model;
+  MigrationReport report =
+      ApplyMigrations({{0, 0, 1}}, topo, model, &assign);
+  EXPECT_NEAR(report.total_pause_seconds, 10.0, 1e-9);  // 4 MiB * 2.5 s/MiB
+}
+
+}  // namespace
+}  // namespace albic::engine

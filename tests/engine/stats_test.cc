@@ -1,0 +1,56 @@
+#include "engine/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace albic::engine {
+namespace {
+
+PeriodStats Make(int period, double total_load, int migrations,
+                 double pause) {
+  PeriodStats p;
+  p.period = period;
+  p.total_load = total_load;
+  p.migrations = migrations;
+  p.migration_pause_seconds = pause;
+  return p;
+}
+
+TEST(StatsCollectorTest, LoadIndexRelativeToBaseline) {
+  StatsCollector stats(/*baseline_periods=*/2);
+  stats.Record(Make(0, 100, 0, 0));
+  stats.Record(Make(1, 120, 0, 0));  // baseline avg = 110
+  stats.Record(Make(2, 55, 0, 0));
+  EXPECT_DOUBLE_EQ(stats.LoadIndexAt(0), 100.0 / 110.0 * 100.0);
+  EXPECT_DOUBLE_EQ(stats.LoadIndexAt(2), 50.0);
+}
+
+TEST(StatsCollectorTest, LoadIndexWithZeroBaselineIs100) {
+  StatsCollector stats(1);
+  stats.Record(Make(0, 0, 0, 0));
+  EXPECT_DOUBLE_EQ(stats.LoadIndexAt(0), 100.0);
+}
+
+TEST(StatsCollectorTest, CumulativeCounters) {
+  StatsCollector stats(1);
+  stats.Record(Make(0, 1, 3, 1.0));
+  stats.Record(Make(1, 1, 5, 0.5));
+  stats.Record(Make(2, 1, 0, 0.0));
+  EXPECT_EQ(stats.CumulativeMigrations(0), 3);
+  EXPECT_EQ(stats.CumulativeMigrations(2), 8);
+  EXPECT_DOUBLE_EQ(stats.CumulativePauseSeconds(1), 1.5);
+}
+
+TEST(StatsCollectorTest, MeanLoadDistance) {
+  StatsCollector stats(1);
+  EXPECT_DOUBLE_EQ(stats.MeanLoadDistance(), 0.0);
+  PeriodStats a = Make(0, 1, 0, 0);
+  a.load_distance = 2.0;
+  PeriodStats b = Make(1, 1, 0, 0);
+  b.load_distance = 4.0;
+  stats.Record(a);
+  stats.Record(b);
+  EXPECT_DOUBLE_EQ(stats.MeanLoadDistance(), 3.0);
+}
+
+}  // namespace
+}  // namespace albic::engine

@@ -1,0 +1,94 @@
+#include "engine/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace albic::engine {
+namespace {
+
+Topology ThreeOpChain() {
+  Topology t;
+  t.AddOperator("src", 2, 1024, /*is_source=*/true);
+  t.AddOperator("mid", 3);
+  t.AddOperator("sink", 4);
+  EXPECT_TRUE(t.AddStream(0, 1, PartitioningPattern::kFullPartitioning).ok());
+  EXPECT_TRUE(t.AddStream(1, 2, PartitioningPattern::kOneToOne).ok());
+  return t;
+}
+
+TEST(TopologyTest, GlobalGroupNumbering) {
+  Topology t = ThreeOpChain();
+  EXPECT_EQ(t.num_operators(), 3);
+  EXPECT_EQ(t.num_key_groups(), 9);
+  EXPECT_EQ(t.first_group(0), 0);
+  EXPECT_EQ(t.first_group(1), 2);
+  EXPECT_EQ(t.first_group(2), 5);
+  EXPECT_EQ(t.group_operator(0), 0);
+  EXPECT_EQ(t.group_operator(4), 1);
+  EXPECT_EQ(t.group_operator(8), 2);
+  EXPECT_EQ(t.group_index_in_operator(4), 2);
+  EXPECT_EQ(t.group_index_in_operator(5), 0);
+}
+
+TEST(TopologyTest, GroupStateBytesFollowOperator) {
+  Topology t = ThreeOpChain();
+  EXPECT_DOUBLE_EQ(t.group_state_bytes(0), 1024.0);
+  EXPECT_DOUBLE_EQ(t.group_state_bytes(3), 1 << 20);
+}
+
+TEST(TopologyTest, RejectsBadStreams) {
+  Topology t = ThreeOpChain();
+  EXPECT_FALSE(t.AddStream(0, 7, PartitioningPattern::kOneToOne).ok());
+  EXPECT_FALSE(t.AddStream(-1, 1, PartitioningPattern::kOneToOne).ok());
+  EXPECT_FALSE(t.AddStream(1, 1, PartitioningPattern::kOneToOne).ok());
+}
+
+TEST(TopologyTest, RejectsCycles) {
+  Topology t = ThreeOpChain();
+  EXPECT_FALSE(t.AddStream(2, 0, PartitioningPattern::kOneToOne).ok());
+  EXPECT_FALSE(t.AddStream(1, 0, PartitioningPattern::kOneToOne).ok());
+  // A new parallel branch is fine (DAG, not tree).
+  EXPECT_TRUE(t.AddStream(0, 2, PartitioningPattern::kPartialMerge).ok());
+}
+
+TEST(TopologyTest, UpstreamDownstream) {
+  Topology t = ThreeOpChain();
+  EXPECT_EQ(t.downstream(0).size(), 1u);
+  EXPECT_EQ(t.downstream(0)[0].to, 1);
+  EXPECT_EQ(t.upstream(2).size(), 1u);
+  EXPECT_EQ(t.upstream(2)[0].from, 1);
+  EXPECT_TRUE(t.downstream(2).empty());
+  EXPECT_TRUE(t.upstream(0).empty());
+}
+
+TEST(TopologyTest, TopologicalOrder) {
+  Topology t;
+  t.AddOperator("a", 1);
+  t.AddOperator("b", 1);
+  t.AddOperator("c", 1);
+  t.AddOperator("d", 1);
+  ASSERT_TRUE(t.AddStream(2, 1, PartitioningPattern::kOneToOne).ok());
+  ASSERT_TRUE(t.AddStream(1, 0, PartitioningPattern::kOneToOne).ok());
+  ASSERT_TRUE(t.AddStream(2, 3, PartitioningPattern::kOneToOne).ok());
+  std::vector<OperatorId> order = t.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](OperatorId id) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == id) return i;
+    }
+    return size_t{99};
+  };
+  EXPECT_LT(pos(2), pos(1));
+  EXPECT_LT(pos(1), pos(0));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(TopologyTest, PatternNames) {
+  EXPECT_STREQ(PartitioningPatternToString(PartitioningPattern::kOneToOne),
+               "one-to-one");
+  EXPECT_STREQ(
+      PartitioningPatternToString(PartitioningPattern::kFullPartitioning),
+      "full-partitioning");
+}
+
+}  // namespace
+}  // namespace albic::engine

@@ -1,0 +1,56 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace albic::graph {
+namespace {
+
+TEST(GraphTest, BuildsCsrFromEdges) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 2.0}, {1, 2, 3.0}, {2, 3, 1.0}});
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+  EXPECT_DOUBLE_EQ(g.incident_weight(1), 5.0);
+  EXPECT_DOUBLE_EQ(g.total_vertex_weight(), 4.0);  // default weights 1
+}
+
+TEST(GraphTest, MergesParallelEdges) {
+  Graph g = Graph::FromEdges(2, {{0, 1, 2.0}, {1, 0, 3.0}, {0, 1, 1.0}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 6.0);
+}
+
+TEST(GraphTest, DropsSelfLoops) {
+  Graph g = Graph::FromEdges(2, {{0, 0, 5.0}, {0, 1, 1.0}});
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(GraphTest, VertexWeights) {
+  Graph g = Graph::FromEdges(3, {{0, 1, 1.0}}, {2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(g.vertex_weight(2), 4.0);
+  EXPECT_DOUBLE_EQ(g.total_vertex_weight(), 9.0);
+}
+
+TEST(GraphTest, EdgeCutCountsCrossEdgesOnce) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 2.0}, {1, 2, 3.0}, {2, 3, 1.0}});
+  // Parts {0,1} and {2,3}: only edge (1,2) crosses.
+  EXPECT_DOUBLE_EQ(g.EdgeCut({0, 0, 1, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(g.EdgeCut({0, 0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(g.EdgeCut({0, 1, 0, 1}), 6.0);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g = Graph::FromEdges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(GraphTest, IsolatedVertices) {
+  Graph g = Graph::FromEdges(3, {});
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_TRUE(g.neighbors(1).empty());
+  EXPECT_DOUBLE_EQ(g.incident_weight(0), 0.0);
+}
+
+}  // namespace
+}  // namespace albic::graph

@@ -1,0 +1,115 @@
+// Property tests for the multilevel partitioner over randomized graphs.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/partitioner.h"
+
+namespace albic::graph {
+namespace {
+
+class PartitionerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+Graph RandomGraph(uint64_t seed, int n, int avg_degree,
+                  bool weighted_vertices) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (int v = 0; v < n; ++v) {
+    for (int k = 0; k < avg_degree; ++k) {
+      int u = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+      if (u != v) edges.push_back({v, u, rng.Uniform(0.5, 3.0)});
+    }
+  }
+  std::vector<double> weights;
+  if (weighted_vertices) {
+    for (int v = 0; v < n; ++v) weights.push_back(rng.Uniform(0.5, 4.0));
+  }
+  return Graph::FromEdges(n, edges, std::move(weights));
+}
+
+TEST_P(PartitionerProperty, AssignmentsValidAndWeightsConserved) {
+  Graph g = RandomGraph(GetParam(), 150, 3, true);
+  for (int parts : {2, 3, 5, 8}) {
+    PartitionOptions opts;
+    opts.num_parts = parts;
+    opts.seed = GetParam();
+    auto res = PartitionGraph(g, opts);
+    ASSERT_TRUE(res.ok());
+    double total = 0.0;
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_GE(res->assignment[v], 0);
+      ASSERT_LT(res->assignment[v], parts);
+    }
+    for (double w : res->part_weights) total += w;
+    EXPECT_NEAR(total, g.total_vertex_weight(), 1e-9);
+    EXPECT_LE(res->edge_cut, g.EdgeCut(std::vector<int>(
+                  static_cast<size_t>(g.num_vertices()), 0)) +
+                  1e-9 + 2.0 * g.num_edges() * 3.0);
+  }
+}
+
+TEST_P(PartitionerProperty, CutNeverExceedsTotalEdgeWeight) {
+  Graph g = RandomGraph(GetParam() ^ 0x77, 120, 4, false);
+  double total_weight = 0.0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    total_weight += g.incident_weight(v);
+  }
+  total_weight /= 2.0;
+  PartitionOptions opts;
+  opts.num_parts = 6;
+  opts.seed = GetParam();
+  auto res = PartitionGraph(g, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(res->edge_cut, total_weight + 1e-9);
+  EXPECT_GE(res->edge_cut, 0.0);
+}
+
+TEST_P(PartitionerProperty, BalanceWithinToleranceOnUniformGraphs) {
+  Graph g = RandomGraph(GetParam() ^ 0xb0b, 256, 4, false);
+  PartitionOptions opts;
+  opts.num_parts = 4;
+  opts.imbalance = 0.1;
+  opts.seed = GetParam();
+  auto res = PartitionGraph(g, opts);
+  ASSERT_TRUE(res.ok());
+  const double target = g.total_vertex_weight() / 4.0;
+  for (double w : res->part_weights) {
+    EXPECT_LE(w, target * 1.25) << "part grossly overweight";
+    EXPECT_GE(w, target * 0.6) << "part grossly underweight";
+  }
+}
+
+TEST_P(PartitionerProperty, RingOfCliquesCutsBridgeEdges) {
+  // k cliques of 6 vertices connected in a ring by single light edges: a
+  // k-way partition should recover the cliques (cut ~ k bridges).
+  const int k = 4, size = 6;
+  std::vector<Edge> edges;
+  for (int c = 0; c < k; ++c) {
+    const int base = c * size;
+    for (int i = 0; i < size; ++i) {
+      for (int j = i + 1; j < size; ++j) {
+        edges.push_back({base + i, base + j, 8.0});
+      }
+    }
+    edges.push_back({base, ((c + 1) % k) * size, 1.0});
+  }
+  Graph g = Graph::FromEdges(k * size, edges);
+  PartitionOptions opts;
+  opts.num_parts = k;
+  opts.seed = GetParam();
+  auto res = PartitionGraph(g, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(res->edge_cut, 4.0 + 1e-9) << "cliques were split";
+  // Every clique stays whole.
+  for (int c = 0; c < k; ++c) {
+    for (int i = 1; i < size; ++i) {
+      EXPECT_EQ(res->assignment[c * size + i], res->assignment[c * size]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionerProperty,
+                         ::testing::Values(2, 11, 23, 47, 83));
+
+}  // namespace
+}  // namespace albic::graph

@@ -1,0 +1,169 @@
+#include "graph/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace albic::graph {
+namespace {
+
+PartitionResult MustPartition(const Graph& g, PartitionOptions opts) {
+  auto res = PartitionGraph(g, opts);
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  return *res;
+}
+
+TEST(PartitionerTest, RejectsBadOptions) {
+  Graph g = Graph::FromEdges(2, {{0, 1, 1.0}});
+  PartitionOptions opts;
+  opts.num_parts = 0;
+  EXPECT_FALSE(PartitionGraph(g, opts).ok());
+  opts.num_parts = 2;
+  opts.imbalance = -1.0;
+  EXPECT_FALSE(PartitionGraph(g, opts).ok());
+}
+
+TEST(PartitionerTest, SinglePartTrivial) {
+  Graph g = Graph::FromEdges(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  PartitionOptions opts;
+  opts.num_parts = 1;
+  PartitionResult r = MustPartition(g, opts);
+  EXPECT_EQ(r.assignment, (std::vector<int>{0, 0, 0}));
+  EXPECT_DOUBLE_EQ(r.edge_cut, 0.0);
+}
+
+TEST(PartitionerTest, TwoCliquesSplitCleanly) {
+  // Two K4 cliques joined by a single light edge: the obvious bisection cuts
+  // only that edge.
+  std::vector<Edge> edges;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      edges.push_back({i, j, 10.0});
+      edges.push_back({i + 4, j + 4, 10.0});
+    }
+  }
+  edges.push_back({0, 4, 1.0});
+  Graph g = Graph::FromEdges(8, edges);
+  PartitionOptions opts;
+  opts.num_parts = 2;
+  opts.seed = 7;
+  PartitionResult r = MustPartition(g, opts);
+  EXPECT_DOUBLE_EQ(r.edge_cut, 1.0);
+  EXPECT_DOUBLE_EQ(r.part_weights[0], 4.0);
+  EXPECT_DOUBLE_EQ(r.part_weights[1], 4.0);
+  // All clique members together.
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(r.assignment[i], r.assignment[0]);
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(r.assignment[i], r.assignment[4]);
+}
+
+TEST(PartitionerTest, BalanceRespectedOnPath) {
+  // A path of 32 unit vertices into 4 parts: each part should get ~8.
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < 32; ++i) edges.push_back({i, i + 1, 1.0});
+  Graph g = Graph::FromEdges(32, edges);
+  PartitionOptions opts;
+  opts.num_parts = 4;
+  opts.imbalance = 0.15;
+  PartitionResult r = MustPartition(g, opts);
+  for (double w : r.part_weights) {
+    EXPECT_GE(w, 5.0);
+    EXPECT_LE(w, 11.0);
+  }
+  // A path admits cuts of exactly 3; allow slack but demand quality.
+  EXPECT_LE(r.edge_cut, 6.0);
+}
+
+TEST(PartitionerTest, WeightedVerticesBalanceByWeight) {
+  // 6 vertices, one heavy: the heavy one should sit alone-ish.
+  std::vector<double> w = {10.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  std::vector<Edge> edges;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) edges.push_back({i, j, 1.0});
+  }
+  Graph g = Graph::FromEdges(6, edges, w);
+  PartitionOptions opts;
+  opts.num_parts = 2;
+  opts.imbalance = 0.35;
+  PartitionResult r = MustPartition(g, opts);
+  // Weight 15 total: targets 7.5/7.5. Heavy vertex (10) forces ~10 vs 5.
+  const int heavy_part = r.assignment[0];
+  double light_with_heavy = 0.0;
+  for (int i = 1; i < 6; ++i) {
+    if (r.assignment[i] == heavy_part) light_with_heavy += 1.0;
+  }
+  EXPECT_LE(light_with_heavy, 2.0);  // most light vertices on the other side
+}
+
+TEST(PartitionerTest, MorePartsThanVerticesDegenerates) {
+  Graph g = Graph::FromEdges(3, {{0, 1, 1.0}});
+  PartitionOptions opts;
+  opts.num_parts = 5;
+  PartitionResult r = MustPartition(g, opts);
+  // Each vertex in its own part, ids within range.
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_GE(r.assignment[v], 0);
+    EXPECT_LT(r.assignment[v], 5);
+  }
+  EXPECT_NE(r.assignment[0], r.assignment[1]);
+}
+
+TEST(PartitionerTest, DisconnectedGraphHandled) {
+  // Three disconnected triangles into 3 parts.
+  std::vector<Edge> edges;
+  for (int t = 0; t < 3; ++t) {
+    const int b = t * 3;
+    edges.push_back({b, b + 1, 5.0});
+    edges.push_back({b + 1, b + 2, 5.0});
+    edges.push_back({b, b + 2, 5.0});
+  }
+  Graph g = Graph::FromEdges(9, edges);
+  PartitionOptions opts;
+  opts.num_parts = 3;
+  opts.seed = 3;
+  PartitionResult r = MustPartition(g, opts);
+  EXPECT_DOUBLE_EQ(r.edge_cut, 0.0);  // triangles should stay whole
+}
+
+TEST(PartitionerTest, LargeRandomGraphAllPartsPopulatedAndBalanced) {
+  Rng rng(99);
+  std::vector<Edge> edges;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      int j = static_cast<int>(rng.Index(static_cast<size_t>(n)));
+      if (j != i) edges.push_back({i, j, 1.0 + rng.NextDouble()});
+    }
+  }
+  Graph g = Graph::FromEdges(n, edges);
+  PartitionOptions opts;
+  opts.num_parts = 8;
+  opts.imbalance = 0.2;
+  PartitionResult r = MustPartition(g, opts);
+  const double target = g.total_vertex_weight() / 8.0;
+  for (double w : r.part_weights) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, target * 1.5);  // generous, random graphs are hard
+  }
+  double recount = 0.0;
+  for (double w : r.part_weights) recount += w;
+  EXPECT_DOUBLE_EQ(recount, g.total_vertex_weight());
+}
+
+TEST(PartitionerTest, DeterministicForSameSeed) {
+  std::vector<Edge> edges;
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    edges.push_back({static_cast<int>(rng.Index(40)),
+                     static_cast<int>(rng.Index(40)), 1.0});
+  }
+  Graph g = Graph::FromEdges(40, edges);
+  PartitionOptions opts;
+  opts.num_parts = 4;
+  opts.seed = 11;
+  PartitionResult a = MustPartition(g, opts);
+  PartitionResult b = MustPartition(g, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+}  // namespace
+}  // namespace albic::graph

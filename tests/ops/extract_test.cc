@@ -1,0 +1,60 @@
+#include "ops/extract.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace albic::ops {
+namespace {
+
+class Capture : public engine::Emitter {
+ public:
+  void Emit(const engine::Tuple& t) override { tuples.push_back(t); }
+  std::vector<engine::Tuple> tuples;
+};
+
+TEST(ExtractTest, DropsOnTimeForwardsDelayed) {
+  DelayExtractOperator op(1);
+  Capture out;
+  engine::Tuple on_time;
+  on_time.key = 1;
+  on_time.num = 0.0;
+  op.Process(on_time, 0, &out);
+  EXPECT_TRUE(out.tuples.empty());
+  EXPECT_EQ(op.extracted(0), 0);
+
+  engine::Tuple late;
+  late.key = 2;
+  late.num = 35.0;
+  op.Process(late, 0, &out);
+  ASSERT_EQ(out.tuples.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.tuples[0].num, 35.0);
+  EXPECT_EQ(op.extracted(0), 1);
+}
+
+TEST(ExtractTest, GroupsIndependent) {
+  DelayExtractOperator op(2);
+  Capture out;
+  engine::Tuple late;
+  late.num = 5.0;
+  op.Process(late, 1, &out);
+  EXPECT_EQ(op.extracted(0), 0);
+  EXPECT_EQ(op.extracted(1), 1);
+}
+
+TEST(ExtractTest, StateRoundTrip) {
+  DelayExtractOperator op(1);
+  Capture out;
+  engine::Tuple late;
+  late.num = 5.0;
+  op.Process(late, 0, &out);
+  op.Process(late, 0, &out);
+  std::string state = op.SerializeGroupState(0);
+  op.ClearGroupState(0);
+  EXPECT_EQ(op.extracted(0), 0);
+  ASSERT_TRUE(op.DeserializeGroupState(0, state).ok());
+  EXPECT_EQ(op.extracted(0), 2);
+}
+
+}  // namespace
+}  // namespace albic::ops

@@ -1,0 +1,73 @@
+#include "ops/geohash.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace albic::ops {
+namespace {
+
+class Capture : public engine::Emitter {
+ public:
+  void Emit(const engine::Tuple& t) override { tuples.push_back(t); }
+  std::vector<engine::Tuple> tuples;
+};
+
+TEST(GeoHashTest, ReKeysByCellAndPreservesArticle) {
+  GeoHashOperator op(2, 1024);
+  Capture out;
+  engine::Tuple t;
+  t.key = 777;
+  t.num = 3.0;
+  op.Process(t, 0, &out);
+  ASSERT_EQ(out.tuples.size(), 1u);
+  EXPECT_EQ(out.tuples[0].key, op.CellFor(777));
+  EXPECT_EQ(out.tuples[0].aux, 777u);  // article id preserved
+  EXPECT_DOUBLE_EQ(out.tuples[0].num, 3.0);
+}
+
+TEST(GeoHashTest, CellsAreDeterministicAndInRange) {
+  GeoHashOperator op(1, 4096);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(op.CellFor(k), op.CellFor(k));
+    EXPECT_LT(op.CellFor(k), 4096u);
+  }
+}
+
+TEST(GeoHashTest, CellsRoughlyEvenOverDenmark) {
+  // The §5.2 assumption: an even distribution of geohash values.
+  GeoHashOperator op(1, 64);
+  std::map<uint64_t, int> counts;
+  for (uint64_t k = 0; k < 64000; ++k) ++counts[op.CellFor(k)];
+  EXPECT_GT(counts.size(), 55u);
+  for (const auto& [cell, c] : counts) {
+    EXPECT_GT(c, 500);
+    EXPECT_LT(c, 2000);
+  }
+}
+
+TEST(GeoHashTest, StateRoundTrip) {
+  GeoHashOperator op(2, 64);
+  Capture out;
+  engine::Tuple t;
+  t.key = 5;
+  op.Process(t, 1, &out);
+  op.Process(t, 1, &out);
+  EXPECT_EQ(op.processed(1), 2);
+  std::string state = op.SerializeGroupState(1);
+  op.ClearGroupState(1);
+  EXPECT_EQ(op.processed(1), 0);
+  ASSERT_TRUE(op.DeserializeGroupState(1, state).ok());
+  EXPECT_EQ(op.processed(1), 2);
+}
+
+TEST(GeoHashTest, DeserializeRejectsTruncated) {
+  GeoHashOperator op(1, 64);
+  EXPECT_FALSE(op.DeserializeGroupState(0, "xy").ok());
+}
+
+}  // namespace
+}  // namespace albic::ops

@@ -1,0 +1,65 @@
+#include "ops/rainscore.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace albic::ops {
+namespace {
+
+class Capture : public engine::Emitter {
+ public:
+  void Emit(const engine::Tuple& t) override { tuples.push_back(t); }
+  std::vector<engine::Tuple> tuples;
+};
+
+engine::Tuple Record(uint64_t station, double precip) {
+  engine::Tuple t;
+  t.key = station;
+  t.num = precip;
+  return t;
+}
+
+TEST(RainScoreTest, ScoreIsPercentOfRunningMaxInDecades) {
+  RainScoreOperator op(1);
+  Capture out;
+  op.Process(Record(1, 50.0), 0, &out);   // first: own max -> 100
+  op.Process(Record(1, 25.0), 0, &out);   // half of max -> 50
+  op.Process(Record(1, 13.0), 0, &out);   // 26% -> decade 20
+  ASSERT_EQ(out.tuples.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.tuples[0].num, 100.0);
+  EXPECT_DOUBLE_EQ(out.tuples[1].num, 50.0);
+  EXPECT_DOUBLE_EQ(out.tuples[2].num, 20.0);
+}
+
+TEST(RainScoreTest, MaxIsPerStation) {
+  RainScoreOperator op(1);
+  Capture out;
+  op.Process(Record(1, 100.0), 0, &out);
+  op.Process(Record(2, 10.0), 0, &out);
+  op.Process(Record(2, 5.0), 0, &out);  // 50% of station 2's max
+  EXPECT_DOUBLE_EQ(out.tuples[2].num, 50.0);
+  EXPECT_DOUBLE_EQ(op.MaxFor(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(op.MaxFor(0, 2), 10.0);
+}
+
+TEST(RainScoreTest, ZeroPrecipitationScoresZero) {
+  RainScoreOperator op(1);
+  Capture out;
+  op.Process(Record(3, 0.0), 0, &out);
+  EXPECT_DOUBLE_EQ(out.tuples[0].num, 0.0);
+}
+
+TEST(RainScoreTest, StateRoundTrip) {
+  RainScoreOperator op(1);
+  Capture out;
+  op.Process(Record(7, 42.0), 0, &out);
+  std::string state = op.SerializeGroupState(0);
+  op.ClearGroupState(0);
+  EXPECT_DOUBLE_EQ(op.MaxFor(0, 7), 0.0);
+  ASSERT_TRUE(op.DeserializeGroupState(0, state).ok());
+  EXPECT_DOUBLE_EQ(op.MaxFor(0, 7), 42.0);
+}
+
+}  // namespace
+}  // namespace albic::ops

@@ -1,0 +1,107 @@
+#include "ops/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace albic::ops {
+namespace {
+
+class Capture : public engine::Emitter {
+ public:
+  void Emit(const engine::Tuple& t) override { tuples.push_back(t); }
+  std::vector<engine::Tuple> tuples;
+};
+
+engine::Tuple At(int64_t ts, uint64_t key = 1) {
+  engine::Tuple t;
+  t.key = key;
+  t.ts = ts;
+  return t;
+}
+
+TEST(ReorderTest, ReordersWithinBound) {
+  ReorderBufferOperator op(1, /*bound_us=*/100);
+  Capture out;
+  op.Process(At(50), 0, &out);
+  op.Process(At(10), 0, &out);   // out of order but within bound
+  op.Process(At(30), 0, &out);
+  EXPECT_TRUE(out.tuples.empty());  // watermark = 50-100 < everything
+  op.Process(At(200), 0, &out);     // watermark -> 100: releases 10,30,50
+  ASSERT_EQ(out.tuples.size(), 3u);
+  EXPECT_EQ(out.tuples[0].ts, 10);
+  EXPECT_EQ(out.tuples[1].ts, 30);
+  EXPECT_EQ(out.tuples[2].ts, 50);
+}
+
+TEST(ReorderTest, StragglersForwardedImmediately) {
+  ReorderBufferOperator op(1, 100);
+  Capture out;
+  op.Process(At(500), 0, &out);  // watermark = 400
+  op.Process(At(100), 0, &out);  // beyond bound: straggler
+  ASSERT_EQ(out.tuples.size(), 1u);
+  EXPECT_EQ(out.tuples[0].ts, 100);
+  EXPECT_EQ(op.stragglers(0), 1);
+}
+
+TEST(ReorderTest, DuplicateTimestampsKeepAll) {
+  ReorderBufferOperator op(1, 10);
+  Capture out;
+  op.Process(At(5, 1), 0, &out);
+  op.Process(At(5, 2), 0, &out);
+  op.Process(At(100), 0, &out);
+  ASSERT_EQ(out.tuples.size(), 2u);  // both ts=5 tuples released
+  EXPECT_EQ(op.buffered(0), 1);      // the ts=100 tuple still held
+}
+
+TEST(ReorderTest, FlushDrainsInOrder) {
+  ReorderBufferOperator op(1, 1000);
+  Capture out;
+  op.Process(At(30), 0, &out);
+  op.Process(At(10), 0, &out);
+  op.Process(At(20), 0, &out);
+  EXPECT_TRUE(out.tuples.empty());
+  op.Flush(0, &out);
+  ASSERT_EQ(out.tuples.size(), 3u);
+  EXPECT_EQ(out.tuples[0].ts, 10);
+  EXPECT_EQ(out.tuples[2].ts, 30);
+  EXPECT_EQ(op.buffered(0), 0);
+}
+
+TEST(ReorderTest, GroupsIndependent) {
+  ReorderBufferOperator op(2, 100);
+  Capture out;
+  op.Process(At(1000), 0, &out);
+  op.Process(At(5), 1, &out);  // group 1's watermark untouched by group 0
+  EXPECT_EQ(op.stragglers(1), 0);
+  EXPECT_EQ(op.buffered(1), 1);
+}
+
+TEST(ReorderTest, StateRoundTripPreservesBufferAndWatermark) {
+  ReorderBufferOperator op(1, 100);
+  Capture out;
+  op.Process(At(500), 0, &out);
+  op.Process(At(450), 0, &out);
+  std::string state = op.SerializeGroupState(0);
+  op.ClearGroupState(0);
+  EXPECT_EQ(op.buffered(0), 0);
+  ASSERT_TRUE(op.DeserializeGroupState(0, state).ok());
+  EXPECT_EQ(op.buffered(0), 2);
+  // Watermark survived: a pre-watermark tuple is still a straggler.
+  op.Process(At(100), 0, &out);
+  EXPECT_EQ(op.stragglers(0), 1);
+}
+
+TEST(ReorderTest, InOrderStreamPassesThroughWithDelay) {
+  ReorderBufferOperator op(1, 50);
+  Capture out;
+  for (int64_t ts = 0; ts <= 300; ts += 25) op.Process(At(ts), 0, &out);
+  // Everything up to 300-50=250 released, in order.
+  ASSERT_EQ(out.tuples.size(), 11u);
+  for (size_t i = 1; i < out.tuples.size(); ++i) {
+    EXPECT_LT(out.tuples[i - 1].ts, out.tuples[i].ts);
+  }
+}
+
+}  // namespace
+}  // namespace albic::ops

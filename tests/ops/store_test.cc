@@ -1,0 +1,59 @@
+#include "ops/store.h"
+
+#include <gtest/gtest.h>
+
+namespace albic::ops {
+namespace {
+
+class Capture : public engine::Emitter {
+ public:
+  void Emit(const engine::Tuple& t) override { tuples.push_back(t); }
+  std::vector<engine::Tuple> tuples;
+};
+
+TEST(StoreTest, UpsertsLatestValue) {
+  StoreSinkOperator op(1);
+  Capture out;
+  engine::Tuple t;
+  t.key = 1;
+  t.num = 10.0;
+  op.Process(t, 0, &out);
+  t.num = 20.0;
+  op.Process(t, 0, &out);
+  EXPECT_TRUE(out.tuples.empty());  // sink never emits
+  EXPECT_EQ(op.rows(0), 1);
+  EXPECT_DOUBLE_EQ(op.ValueFor(0, 1), 20.0);
+}
+
+TEST(StoreTest, PeriodicFlushCounts) {
+  StoreSinkOperator op(1);
+  Capture out;
+  op.OnWindow(0, &out);
+  op.OnWindow(0, &out);
+  EXPECT_EQ(op.flushes(0), 2);
+}
+
+TEST(StoreTest, StateRoundTrip) {
+  StoreSinkOperator op(1);
+  Capture out;
+  engine::Tuple t;
+  t.key = 3;
+  t.num = 7.0;
+  op.Process(t, 0, &out);
+  op.OnWindow(0, &out);
+  std::string state = op.SerializeGroupState(0);
+  op.ClearGroupState(0);
+  EXPECT_EQ(op.rows(0), 0);
+  EXPECT_EQ(op.flushes(0), 0);
+  ASSERT_TRUE(op.DeserializeGroupState(0, state).ok());
+  EXPECT_DOUBLE_EQ(op.ValueFor(0, 3), 7.0);
+  EXPECT_EQ(op.flushes(0), 1);
+}
+
+TEST(StoreTest, UnseenKeyIsZero) {
+  StoreSinkOperator op(1);
+  EXPECT_DOUBLE_EQ(op.ValueFor(0, 42), 0.0);
+}
+
+}  // namespace
+}  // namespace albic::ops

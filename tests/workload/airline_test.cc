@@ -1,0 +1,85 @@
+#include "workload/airline.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "engine/load_model.h"
+
+namespace albic::workload {
+namespace {
+
+AirlineOptions Small(int job) {
+  AirlineOptions opts;
+  opts.job = job;
+  opts.nodes = 4;
+  opts.groups_per_node = 5;
+  opts.seed = 8;
+  return opts;
+}
+
+TEST(AirlineTest, Job2TopologyAndPerfectCollocatability) {
+  AirlineWorkload wl(Small(2));
+  EXPECT_EQ(wl.topology().num_operators(), 2);
+  EXPECT_EQ(wl.topology().num_key_groups(), 40);
+  // All traffic rides the one-to-one extract->sum edge: perfect collocation
+  // is obtainable (§5.4, Real Job 2).
+  EXPECT_NEAR(wl.max_collocatable_fraction(), 1.0, 1e-9);
+}
+
+TEST(AirlineTest, Job3HalvesObtainableCollocation) {
+  AirlineWorkload wl(Small(3));
+  EXPECT_EQ(wl.topology().num_operators(), 3);
+  EXPECT_NEAR(wl.max_collocatable_fraction(), 0.5, 0.05);
+}
+
+TEST(AirlineTest, Job4ObtainableCollocationNearCola61) {
+  AirlineWorkload wl(Small(4));
+  EXPECT_EQ(wl.topology().num_operators(), 7);
+  EXPECT_NEAR(wl.max_collocatable_fraction(), 0.61, 0.08);
+}
+
+TEST(AirlineTest, AdversarialAssignmentStartsUncollocated) {
+  AirlineWorkload wl(Small(2));
+  engine::Assignment assign = wl.MakeAdversarialAssignment();
+  EXPECT_LT(engine::CollocationPercent(*wl.comm(), assign), 10.0);
+}
+
+TEST(AirlineTest, TotalLoadNormalizedToTarget) {
+  AirlineWorkload wl(Small(4));
+  wl.AdvancePeriod(5);
+  const double total = std::accumulate(wl.group_proc_loads().begin(),
+                                       wl.group_proc_loads().end(), 0.0);
+  EXPECT_NEAR(total, 0.5 * 100.0 * 4, 1e-6);
+}
+
+TEST(AirlineTest, RateScaleHalvesLoad) {
+  AirlineOptions half = Small(2);
+  half.rate_scale = 0.5;
+  AirlineWorkload wl(half);
+  wl.AdvancePeriod(0);
+  const double total = std::accumulate(wl.group_proc_loads().begin(),
+                                       wl.group_proc_loads().end(), 0.0);
+  EXPECT_NEAR(total, 0.5 * 0.5 * 100.0 * 4, 1e-6);
+}
+
+TEST(AirlineTest, OneToOneEdgesAlignGroupIndices) {
+  AirlineWorkload wl(Small(2));
+  const engine::KeyGroupId ex0 = wl.topology().first_group(wl.extract_op());
+  const engine::KeyGroupId sm0 = wl.topology().first_group(wl.sum_op());
+  for (int i = 0; i < 40 / 2; ++i) {
+    const auto& row = wl.comm()->row(ex0 + i);
+    ASSERT_EQ(row.size(), 1u);
+    EXPECT_EQ(row[0].to, sm0 + i);
+  }
+}
+
+TEST(AirlineTest, DeterministicPerSeed) {
+  AirlineWorkload a(Small(3)), b(Small(3));
+  a.AdvancePeriod(2);
+  b.AdvancePeriod(2);
+  EXPECT_EQ(a.group_proc_loads(), b.group_proc_loads());
+}
+
+}  // namespace
+}  // namespace albic::workload

@@ -1,0 +1,70 @@
+#include "workload/streams.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace albic::workload {
+namespace {
+
+TEST(AirlineFlightStreamTest, TimestampsAdvanceAndFieldsInRange) {
+  AirlineFlightStream s(100, 20, 3);
+  int64_t last_ts = -1;
+  for (int i = 0; i < 2000; ++i) {
+    engine::Tuple t = s.Next();
+    EXPECT_GE(t.ts, last_ts);
+    last_ts = t.ts;
+    EXPECT_LT(t.key, 100u);
+    EXPECT_LT(t.aux, 400u);
+    EXPECT_GE(t.num, 0.0);
+    // Route never maps an airport to itself.
+    EXPECT_NE(t.aux / 20, t.aux % 20);
+  }
+}
+
+TEST(AirlineFlightStreamTest, DelaysMixOnTimeAndLate) {
+  AirlineFlightStream s(50, 10, 5);
+  int on_time = 0, late = 0;
+  for (int i = 0; i < 5000; ++i) {
+    s.Next().num == 0.0 ? ++on_time : ++late;
+  }
+  EXPECT_GT(on_time, 2000);
+  EXPECT_GT(late, 1000);
+}
+
+TEST(AirlineFlightStreamTest, PlanePopularityIsSkewed) {
+  AirlineFlightStream s(200, 10, 7);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[s.Next().key];
+  int max = 0;
+  for (const auto& [plane, c] : counts) max = std::max(max, c);
+  EXPECT_GT(max, 20000 / 200 * 2);  // top plane well above uniform share
+}
+
+TEST(WikipediaEditStreamTest, ArticleSkewAndPayloads) {
+  WikipediaEditStream s(1000, 11);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    engine::Tuple t = s.Next();
+    EXPECT_GE(t.key, 1u);  // 1-based: 0 is the no-aux sentinel
+    ++counts[t.key];
+    EXPECT_GT(t.num, 0.0);
+  }
+  EXPECT_GT(counts[1], 20000 / 1000 * 3);  // rank-0 article is hot
+}
+
+TEST(WeatherStreamTest, RoundRobinStationsDayByDay) {
+  WeatherModel model(WeatherOptions{5, 2});
+  WeatherStream s(&model);
+  for (int day = 0; day < 3; ++day) {
+    for (int st = 0; st < 5; ++st) {
+      engine::Tuple t = s.Next();
+      EXPECT_EQ(t.key, static_cast<uint64_t>(st));
+      EXPECT_DOUBLE_EQ(t.num, model.PrecipitationAt(st, day));
+      EXPECT_EQ(t.aux, static_cast<uint64_t>(model.RainScoreDecade(st, day)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace albic::workload

@@ -1,0 +1,68 @@
+#include "workload/synthetic_collocation.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/load_model.h"
+
+namespace albic::workload {
+namespace {
+
+SyntheticCollocationOptions Small(double max_col) {
+  SyntheticCollocationOptions opts;
+  opts.nodes = 4;
+  opts.key_groups = 80;
+  opts.operators = 4;
+  opts.max_collocation_pct = max_col;
+  opts.seed = 3;
+  return opts;
+}
+
+TEST(SyntheticCollocationTest, MaxCollocatableTracksKnob) {
+  for (double pct : {0.0, 30.0, 70.0, 100.0}) {
+    SyntheticCollocationWorkload wl(Small(pct));
+    EXPECT_NEAR(wl.max_collocatable_fraction() * 100.0, pct, 15.0)
+        << "knob " << pct;
+  }
+}
+
+TEST(SyntheticCollocationTest, AdversarialStartHasLowCollocation) {
+  SyntheticCollocationWorkload wl(Small(100.0));
+  engine::Assignment assign = wl.MakeInitialAssignment();
+  EXPECT_LT(engine::CollocationPercent(*wl.comm(), assign), 35.0);
+}
+
+TEST(SyntheticCollocationTest, PeriodNoiseIsBoundedAndDeterministic) {
+  SyntheticCollocationWorkload wl(Small(50.0));
+  wl.AdvancePeriod(0);
+  std::vector<double> first = wl.group_proc_loads();
+  wl.AdvancePeriod(1);
+  std::vector<double> second = wl.group_proc_loads();
+  EXPECT_NE(first, second);
+  wl.AdvancePeriod(0);
+  EXPECT_EQ(wl.group_proc_loads(), first);  // deterministic replay
+  // Noise bounded by fluct_pct.
+  for (size_t g = 0; g < first.size(); ++g) {
+    EXPECT_NEAR(second[g] / first[g], 1.0, 0.05);
+  }
+}
+
+TEST(SyntheticCollocationTest, CommMatrixRowShapes) {
+  SyntheticCollocationWorkload wl(Small(50.0));
+  int one_to_one = 0, spread = 0, empty = 0;
+  for (engine::KeyGroupId g = 0; g < wl.num_key_groups(); ++g) {
+    const auto& row = wl.comm()->row(g);
+    if (row.empty()) {
+      ++empty;
+    } else if (row.size() == 1) {
+      ++one_to_one;
+    } else {
+      ++spread;
+    }
+  }
+  EXPECT_GT(one_to_one, 0);
+  EXPECT_GT(spread, 0);
+  EXPECT_EQ(empty, 40);  // consumer operators emit nothing
+}
+
+}  // namespace
+}  // namespace albic::workload

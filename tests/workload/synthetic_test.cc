@@ -1,0 +1,92 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "engine/load_model.h"
+
+namespace albic::workload {
+namespace {
+
+TEST(SyntheticTest, EvenAllocationAndLoadScale) {
+  SyntheticOptions opts;
+  opts.nodes = 10;
+  opts.key_groups = 100;
+  opts.operators = 5;
+  opts.mean_node_load = 50.0;
+  opts.varies = 0.0;
+  SyntheticScenario s = BuildSyntheticScenario(opts);
+  EXPECT_EQ(s.topology.num_key_groups(), 100);
+  EXPECT_EQ(s.topology.num_operators(), 5);
+  // Every node holds exactly 10 groups.
+  for (engine::NodeId n = 0; n < 10; ++n) {
+    EXPECT_EQ(s.assignment.count_on(n), 10);
+  }
+  // Node loads near 50 (+-5% per group noise averages out).
+  for (engine::NodeId n = 0; n < 10; ++n) {
+    double load = 0.0;
+    for (engine::KeyGroupId g : s.assignment.groups_on(n)) {
+      load += s.group_loads[g];
+    }
+    EXPECT_NEAR(load, 50.0, 4.0);
+  }
+}
+
+TEST(SyntheticTest, VariesShiftsSomeNodesBothWays) {
+  SyntheticOptions opts;
+  opts.nodes = 20;
+  opts.key_groups = 400;
+  opts.operators = 10;
+  opts.varies = 40.0;
+  opts.seed = 9;
+  SyntheticScenario s = BuildSyntheticScenario(opts);
+  std::vector<double> node_loads(20, 0.0);
+  for (engine::KeyGroupId g = 0; g < 400; ++g) {
+    node_loads[s.assignment.node_of(g)] += s.group_loads[g];
+  }
+  const double max = *std::max_element(node_loads.begin(), node_loads.end());
+  const double min = *std::min_element(node_loads.begin(), node_loads.end());
+  // Half the shifted nodes go up by ~20, half down by ~20.
+  EXPECT_GT(max, 62.0);
+  EXPECT_LT(min, 38.0);
+  // Load distance of the perturbed scenario is substantial.
+  EXPECT_GT(engine::LoadDistance(node_loads, s.cluster), 10.0);
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  SyntheticOptions opts;
+  opts.varies = 30.0;
+  SyntheticScenario a = BuildSyntheticScenario(opts);
+  SyntheticScenario b = BuildSyntheticScenario(opts);
+  EXPECT_EQ(a.group_loads, b.group_loads);
+  opts.seed = 43;
+  SyntheticScenario c = BuildSyntheticScenario(opts);
+  EXPECT_NE(a.group_loads, c.group_loads);
+}
+
+TEST(SyntheticTest, OverloadNodesHitsExactly100) {
+  SyntheticOptions opts;
+  opts.nodes = 5;
+  opts.key_groups = 50;
+  opts.operators = 5;
+  SyntheticScenario s = BuildSyntheticScenario(opts);
+  OverloadNodes(&s, 2);
+  for (engine::NodeId n = 0; n < 2; ++n) {
+    double load = 0.0;
+    for (engine::KeyGroupId g : s.assignment.groups_on(n)) {
+      load += s.group_loads[g];
+    }
+    EXPECT_NEAR(load, 100.0, 1e-9);
+  }
+}
+
+TEST(SyntheticTest, LoadsNonNegative) {
+  SyntheticOptions opts;
+  opts.varies = 100.0;
+  SyntheticScenario s = BuildSyntheticScenario(opts);
+  for (double l : s.group_loads) EXPECT_GE(l, 0.0);
+}
+
+}  // namespace
+}  // namespace albic::workload

@@ -1,0 +1,65 @@
+#include "workload/weather.h"
+
+#include <gtest/gtest.h>
+
+namespace albic::workload {
+namespace {
+
+TEST(WeatherTest, PrecipitationWithinHistoricalMax) {
+  WeatherModel w(WeatherOptions{100, 4});
+  for (int s = 0; s < 100; ++s) {
+    for (int d = 0; d < 50; ++d) {
+      const double p = w.PrecipitationAt(s, d);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, w.HistoricalMax(s));
+    }
+  }
+}
+
+TEST(WeatherTest, RainScoreInRange) {
+  WeatherModel w(WeatherOptions{50, 4});
+  for (int s = 0; s < 50; ++s) {
+    for (int d = 0; d < 30; ++d) {
+      const double score = w.RainScore(s, d);
+      EXPECT_GE(score, 0.0);
+      EXPECT_LE(score, 100.0);
+      const int decade = w.RainScoreDecade(s, d);
+      EXPECT_EQ(decade % 10, 0);
+      EXPECT_GE(decade, 0);
+      EXPECT_LE(decade, 100);
+      EXPECT_EQ(decade, static_cast<int>(score / 10.0) * 10);
+    }
+  }
+}
+
+TEST(WeatherTest, SomeRainSomeDry) {
+  WeatherModel w(WeatherOptions{200, 4});
+  int wet = 0, dry = 0;
+  for (int s = 0; s < 200; ++s) {
+    for (int d = 0; d < 20; ++d) {
+      w.PrecipitationAt(s, d) > 0.0 ? ++wet : ++dry;
+    }
+  }
+  EXPECT_GT(wet, 200);
+  EXPECT_GT(dry, 200);
+}
+
+TEST(WeatherTest, DeterministicReplay) {
+  WeatherModel a(WeatherOptions{30, 7});
+  WeatherModel b(WeatherOptions{30, 7});
+  for (int s = 0; s < 30; ++s) {
+    EXPECT_DOUBLE_EQ(a.PrecipitationAt(s, 11), b.PrecipitationAt(s, 11));
+  }
+}
+
+TEST(WeatherTest, SeasonalStructurePresent) {
+  WeatherModel w(WeatherOptions{1, 4});
+  // Average precipitation differs between opposite halves of the year.
+  double h1 = 0, h2 = 0;
+  for (int d = 0; d < 120; ++d) h1 += w.PrecipitationAt(0, d);
+  for (int d = 182; d < 302; ++d) h2 += w.PrecipitationAt(0, d);
+  EXPECT_NE(h1, h2);
+}
+
+}  // namespace
+}  // namespace albic::workload

@@ -1,0 +1,87 @@
+#include "workload/wikipedia.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "engine/load_model.h"
+
+namespace albic::workload {
+namespace {
+
+WikipediaOptions Small() {
+  WikipediaOptions opts;
+  opts.nodes = 4;
+  opts.groups_per_op = 20;
+  opts.total_load = 200.0;
+  opts.seed = 2;
+  return opts;
+}
+
+TEST(WikipediaTest, TopologyIsRealJob1) {
+  WikipediaWorkload wl(Small());
+  EXPECT_EQ(wl.topology().num_operators(), 3);
+  EXPECT_EQ(wl.topology().num_key_groups(), 60);
+  EXPECT_EQ(wl.topology().op(wl.geohash_op()).name, "geohash");
+  EXPECT_EQ(wl.topology().edges().size(), 2u);
+}
+
+TEST(WikipediaTest, RatesFluctuateAcrossPeriods) {
+  WikipediaWorkload wl(Small());
+  double lo = 1e18, hi = -1e18;
+  for (int p = 0; p < 48; ++p) {
+    const double f = wl.RateFactor(p);
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+  }
+  EXPECT_LT(lo, 0.95);
+  EXPECT_GT(hi, 1.1);
+}
+
+TEST(WikipediaTest, LoadsTrackRateFactor) {
+  // The ratio of total load between two periods follows the rate factor
+  // ratio (absolute totals also include time-varying merge work, so only
+  // the ratio is a stable property).
+  WikipediaWorkload wl(Small());
+  wl.AdvancePeriod(3);
+  const double total3 = std::accumulate(wl.group_proc_loads().begin(),
+                                        wl.group_proc_loads().end(), 0.0);
+  wl.AdvancePeriod(9);
+  const double total9 = std::accumulate(wl.group_proc_loads().begin(),
+                                        wl.group_proc_loads().end(), 0.0);
+  const double expected = wl.RateFactor(3) / wl.RateFactor(9);
+  EXPECT_NEAR(total3 / total9, expected, 0.30 * expected);
+}
+
+TEST(WikipediaTest, FullPartitioningMeansLowCollocationOpportunity) {
+  // The even full-partitioning job: any assignment's local fraction is near
+  // 1/nodes — the ~5% result of §5.4.
+  WikipediaWorkload wl(Small());
+  engine::Assignment assign = wl.MakeInitialAssignment();
+  const double pct = engine::CollocationPercent(*wl.comm(), assign);
+  EXPECT_LT(pct, 40.0);
+  EXPECT_GT(pct, 5.0);  // 4 nodes -> ~25%
+}
+
+TEST(WikipediaTest, TopKLoadSkewedByArticlePopularity) {
+  WikipediaWorkload wl(Small());
+  wl.AdvancePeriod(1);
+  const auto& loads = wl.group_proc_loads();
+  const engine::KeyGroupId tk0 = wl.topology().first_group(wl.topk_op());
+  double min = 1e18, max = -1e18;
+  for (int i = 0; i < 20; ++i) {
+    min = std::min(min, loads[tk0 + i]);
+    max = std::max(max, loads[tk0 + i]);
+  }
+  EXPECT_GT(max, 2.0 * min);  // Zipf-driven skew
+}
+
+TEST(WikipediaTest, DeterministicPerSeedAndPeriod) {
+  WikipediaWorkload a(Small()), b(Small());
+  a.AdvancePeriod(7);
+  b.AdvancePeriod(7);
+  EXPECT_EQ(a.group_proc_loads(), b.group_proc_loads());
+}
+
+}  // namespace
+}  // namespace albic::workload
