@@ -1,0 +1,160 @@
+// Engine-throughput microbench: the Real Job 1 wiki top-k pipeline
+// (GeoHash -> per-cell windowed TopK -> global TopK) driven through the
+// tuple-at-a-time path and the batched path. Verifies that both process the
+// same number of tuples and reports tuples/second plus the batched speedup.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "engine/local_engine.h"
+#include "ops/geohash.h"
+#include "ops/topk.h"
+#include "workload/streams.h"
+
+namespace albic {
+namespace {
+
+constexpr int kNodes = 6;
+constexpr int kGroups = 18;
+
+struct RunResult {
+  double tuples_per_sec = 0.0;
+  int64_t tuples_processed = 0;
+};
+
+RunResult RunOne(const engine::LocalEngineOptions& opts,
+                 const std::vector<engine::Tuple>& stream) {
+  engine::Topology topo;
+  topo.AddOperator("geohash", kGroups, 1 << 16);
+  topo.AddOperator("topk-1min", kGroups, 1 << 18);
+  topo.AddOperator("global-topk", kGroups, 1 << 16);
+  if (!topo.AddStream(0, 1, engine::PartitioningPattern::kFullPartitioning)
+           .ok() ||
+      !topo.AddStream(1, 2, engine::PartitioningPattern::kFullPartitioning)
+           .ok()) {
+    return {};
+  }
+  engine::Cluster cluster(kNodes);
+  engine::Assignment assign(topo.num_key_groups());
+  for (engine::KeyGroupId g = 0; g < topo.num_key_groups(); ++g) {
+    assign.set_node(g, g % kNodes);
+  }
+  ops::GeoHashOperator geohash(kGroups, 1024);
+  ops::WindowedTopKOperator topk(kGroups, 32);
+  ops::WindowedTopKOperator global(kGroups, 32, ops::TopKCountMode::kSumNum);
+  engine::LocalEngine eng(&topo, &cluster, assign,
+                          {&geohash, &topk, &global}, opts);
+
+  // The stream is pre-generated so the timed section measures the engine,
+  // not the Zipf sampler (which otherwise dominates the loop). The
+  // tuple-at-a-time path ingests per tuple — that is the path under test —
+  // while the batched path ingests in chunks, as a chunked source would.
+  const auto start = std::chrono::steady_clock::now();
+  if (opts.mode == engine::ExecutionMode::kBatched) {
+    (void)eng.InjectBatch(0, stream.data(), stream.size());
+  } else {
+    for (const engine::Tuple& t : stream) {
+      (void)eng.Inject(0, t);
+    }
+  }
+  eng.Flush();
+  const auto stop = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+          .count();
+
+  RunResult result;
+  engine::EnginePeriodStats stats = eng.HarvestPeriod();
+  result.tuples_processed = stats.tuples_processed;
+  result.tuples_per_sec =
+      secs > 0 ? static_cast<double>(stream.size()) / secs : 0.0;
+  return result;
+}
+
+std::vector<engine::Tuple> MakeStream(int tuples, int articles) {
+  workload::WikipediaEditStream edits(articles, /*seed=*/7,
+                                      /*rate_per_second=*/2000.0);
+  std::vector<engine::Tuple> stream;
+  stream.reserve(static_cast<size_t>(tuples));
+  for (int i = 0; i < tuples; ++i) stream.push_back(edits.Next());
+  return stream;
+}
+
+}  // namespace
+}  // namespace albic
+
+int main() {
+  using albic::bench::BenchJson;
+  using albic::bench::EnvInt;
+  const int tuples = std::max(1, EnvInt("ALBIC_BENCH_TUPLES", 1500000));
+  const int workers = EnvInt("ALBIC_BENCH_WORKERS", 4);
+  const int batch = EnvInt("ALBIC_BENCH_BATCH", 8192);
+  // Distinct articles in the stream; matches examples/wiki_topk_job.cpp.
+  const int articles = EnvInt("ALBIC_BENCH_ARTICLES", 20000);
+
+  const int reps = EnvInt("ALBIC_BENCH_REPS", 5);
+  std::printf(
+      "Engine throughput: wiki top-k pipeline, %d tuples, %d articles, "
+      "best of %d runs\n\n",
+      tuples, articles, reps);
+  const std::vector<albic::engine::Tuple> stream =
+      albic::MakeStream(tuples, articles);
+
+  // Each mode runs `reps` times; the best run counts (standard microbench
+  // practice to shed scheduler noise on shared machines).
+  auto best_of = [&](const albic::engine::LocalEngineOptions& opts) {
+    albic::RunResult best;
+    for (int r = 0; r < reps; ++r) {
+      albic::RunResult result = albic::RunOne(opts, stream);
+      if (result.tuples_per_sec > best.tuples_per_sec) best = result;
+    }
+    return best;
+  };
+
+  albic::engine::LocalEngineOptions legacy;
+  albic::RunResult r_legacy = best_of(legacy);
+
+  albic::engine::LocalEngineOptions batched1;
+  batched1.mode = albic::engine::ExecutionMode::kBatched;
+  batched1.num_workers = 1;
+  if (batch > 0) batched1.max_batch_tuples = batch;
+  albic::RunResult r_batched1 = best_of(batched1);
+
+  albic::engine::LocalEngineOptions batchedN = batched1;
+  batchedN.num_workers = workers;
+  albic::RunResult r_batchedN = best_of(batchedN);
+
+  albic::TablePrinter table({"mode", "tuples/s", "speedup"});
+  const double base = r_legacy.tuples_per_sec;
+  table.AddRow({"tuple-at-a-time", albic::FormatDouble(base, 0), "1.0"});
+  table.AddRow({"batched (1 worker)",
+                albic::FormatDouble(r_batched1.tuples_per_sec, 0),
+                albic::FormatDouble(r_batched1.tuples_per_sec / base, 2)});
+  char label[64];
+  std::snprintf(label, sizeof(label), "batched (%d workers)", workers);
+  table.AddRow({label, albic::FormatDouble(r_batchedN.tuples_per_sec, 0),
+                albic::FormatDouble(r_batchedN.tuples_per_sec / base, 2)});
+  table.Print();
+
+  if (r_legacy.tuples_processed != r_batched1.tuples_processed ||
+      r_legacy.tuples_processed != r_batchedN.tuples_processed) {
+    std::fprintf(stderr, "FAIL: modes processed different tuple counts\n");
+    return 1;
+  }
+  std::printf("\nall modes processed %lld tuples (incl. downstream hops)\n",
+              static_cast<long long>(r_legacy.tuples_processed));
+
+  BenchJson("engine_throughput", "tuple_at_a_time", base, "tuples/s");
+  BenchJson("engine_throughput", "batched_1worker", r_batched1.tuples_per_sec,
+            "tuples/s");
+  BenchJson("engine_throughput", "batched_nworker", r_batchedN.tuples_per_sec,
+            "tuples/s");
+  BenchJson("engine_throughput", "batched_speedup",
+            r_batched1.tuples_per_sec / base, "x");
+  return 0;
+}

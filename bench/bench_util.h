@@ -2,6 +2,7 @@
 
 // Shared helpers for the figure-reproduction bench binaries.
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -23,6 +24,16 @@ inline int EnvInt(const char* name, int def) {
 inline double EnvDouble(const char* name, double def) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::atof(v) : def;
+}
+
+/// Emits one machine-readable result line; scripts/run_benches.sh collects
+/// these into BENCH_<name>.json so the perf trajectory is trackable across
+/// PRs.
+inline void BenchJson(const char* bench, const char* metric, double value,
+                      const char* unit) {
+  std::printf("BENCH_JSON {\"bench\":\"%s\",\"metric\":\"%s\",\"value\":%.6g,"
+              "\"unit\":\"%s\"}\n",
+              bench, metric, value, unit);
 }
 
 /// Builds the controller snapshot for a synthetic solver scenario.

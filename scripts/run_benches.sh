@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the bench binaries and collects their BENCH_JSON result lines into
+# per-bench JSON files, so the perf trajectory is trackable across PRs.
+#
+# Usage: scripts/run_benches.sh [build-dir] [output-dir]
+#   build-dir   defaults to ./build (must already be configured & built,
+#               e.g. `cmake -B build -S . && cmake --build build --target benches`)
+#   output-dir  defaults to <build-dir>/bench_results
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-${BUILD_DIR}/bench_results}"
+
+# Benches that emit BENCH_JSON lines; extend as more get instrumented.
+BENCHES=(
+  bench_engine_throughput
+  bench_fig5_integrated_scaling
+)
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "error: ${BUILD_DIR}/bench not found — build the 'benches' target first" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+
+for bench in "${BENCHES[@]}"; do
+  bin="${BUILD_DIR}/bench/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "skip: ${bench} (not built)" >&2
+    continue
+  fi
+  echo "=== ${bench}"
+  log="${OUT_DIR}/${bench}.log"
+  "${bin}" | tee "${log}"
+  out="${OUT_DIR}/BENCH_${bench#bench_}.json"
+  # sed -n exits 0 even with no matches (grep would trip pipefail when a
+  # bench emits no BENCH_JSON lines yet).
+  lines="$(sed -n 's/^BENCH_JSON //p' "${log}" | paste -sd "," -)"
+  printf '[\n%s\n]\n' "${lines}" >"${out}"
+  echo "wrote ${out}"
+done

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace albic {
+
+/// \brief Open-addressing hash map from uint64 keys to a small value type,
+/// tuned for the per-key-group state of hot stream operators (counts, sums,
+/// last-seen values).
+///
+/// Linear probing over a power-of-two slot array; no per-entry allocation
+/// (std::unordered_map pays a node allocation and a pointer chase per
+/// access, which dominates operator time on the engine's hot path). There is
+/// no erase — operator state resets wholesale (window boundaries, state
+/// migration), which clear() handles while keeping capacity.
+///
+/// Key 0 is stored in a dedicated side slot, so the full key range is valid.
+template <typename V>
+class FlatMap64 {
+ public:
+  using value_type = std::pair<uint64_t, V>;
+
+  FlatMap64() = default;
+
+  /// \brief Returns the value slot for \p key, inserting a
+  /// value-initialized entry if absent. References are invalidated by the
+  /// next insertion.
+  V& operator[](uint64_t key) {
+    if (key == 0) {
+      if (!zero_used_) {
+        zero_used_ = true;
+        zero_val_ = V();
+        ++size_;
+      }
+      return zero_val_;
+    }
+    if (slots_.empty()) Grow();
+    size_t i = MixU64(key) & mask_;
+    for (;;) {
+      if (slots_[i].first == key) return slots_[i].second;
+      if (slots_[i].first == 0) {
+        // Only an actual insertion may rehash, so references stay valid
+        // across lookups of existing keys.
+        if ((size_ + 1) * 4 > slots_.size() * 3) {
+          Grow();
+          return InsertNew(key);
+        }
+        slots_[i].first = key;
+        slots_[i].second = V();
+        ++size_;
+        return slots_[i].second;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// \brief Pointer to the value of \p key, or nullptr when absent.
+  const V* find(uint64_t key) const {
+    if (key == 0) return zero_used_ ? &zero_val_ : nullptr;
+    if (slots_.empty()) return nullptr;
+    size_t i = MixU64(key) & mask_;
+    for (;;) {
+      if (slots_[i].first == key) return &slots_[i].second;
+      if (slots_[i].first == 0) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// \brief Value of \p key; a default-constructed V when absent.
+  V at(uint64_t key) const {
+    const V* p = find(key);
+    return p != nullptr ? *p : V();
+  }
+
+  size_t count(uint64_t key) const { return find(key) != nullptr ? 1 : 0; }
+
+  /// \brief Hints the CPU to load \p key's home slot. Batch processors call
+  /// this a few tuples ahead so the probe below overlaps the memory
+  /// latency — the lookahead trick tuple-at-a-time execution cannot play.
+  void prefetch(uint64_t key) const {
+    if (!slots_.empty()) {
+      __builtin_prefetch(&slots_[MixU64(key) & mask_]);
+    }
+  }
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  /// \brief Removes all entries, keeping the slot array's capacity.
+  void clear() {
+    for (value_type& s : slots_) {
+      s.first = 0;
+      s.second = V();
+    }
+    zero_used_ = false;
+    zero_val_ = V();
+    size_ = 0;
+  }
+
+  /// Forward iterator yielding (key, value) pairs; the zero-key entry, when
+  /// present, comes first. Dereferences by value.
+  class const_iterator {
+   public:
+    const_iterator(const FlatMap64* map, size_t pos) : map_(map), pos_(pos) {}
+
+    value_type operator*() const {
+      if (pos_ == kZeroPos) return {0, map_->zero_val_};
+      return map_->slots_[pos_];
+    }
+    const_iterator& operator++() {
+      pos_ = map_->NextOccupied(pos_ == kZeroPos ? 0 : pos_ + 1);
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return pos_ == o.pos_; }
+    bool operator!=(const const_iterator& o) const { return pos_ != o.pos_; }
+
+   private:
+    const FlatMap64* map_;
+    size_t pos_;
+  };
+
+  const_iterator begin() const {
+    if (zero_used_) return const_iterator(this, kZeroPos);
+    return const_iterator(this, NextOccupied(0));
+  }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+ private:
+  static constexpr size_t kZeroPos = static_cast<size_t>(-1);
+
+  size_t NextOccupied(size_t from) const {
+    while (from < slots_.size() && slots_[from].first == 0) ++from;
+    return from;
+  }
+
+  /// Inserts a key known to be absent (post-rehash re-probe).
+  V& InsertNew(uint64_t key) {
+    size_t i = MixU64(key) & mask_;
+    while (slots_[i].first != 0) i = (i + 1) & mask_;
+    slots_[i].first = key;
+    slots_[i].second = V();
+    ++size_;
+    return slots_[i].second;
+  }
+
+  void Grow() {
+    std::vector<value_type> old;
+    old.swap(slots_);
+    const size_t cap = old.empty() ? 16 : old.size() * 2;
+    slots_.assign(cap, value_type{0, V()});
+    mask_ = cap - 1;
+    for (const value_type& s : old) {
+      if (s.first == 0) continue;
+      size_t i = MixU64(s.first) & mask_;
+      while (slots_[i].first != 0) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<value_type> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  bool zero_used_ = false;
+  V zero_val_{};
+};
+
+}  // namespace albic

@@ -1,0 +1,122 @@
+#include "core/controller_loop.h"
+
+#include "engine/load_model.h"
+
+namespace albic::core {
+
+ControllerLoop::ControllerLoop(engine::LocalEngine* engine,
+                               AdaptationFramework* framework,
+                               const engine::LoadModel* load_model,
+                               const engine::Topology* topology,
+                               engine::Cluster* cluster,
+                               ControllerLoopOptions options)
+    : engine_(engine),
+      framework_(framework),
+      load_model_(load_model),
+      topology_(topology),
+      cluster_(cluster),
+      options_(options) {}
+
+Status ControllerLoop::MaybeRunRounds(int64_t ts) {
+  if (options_.period_every_us <= 0) return Status::OK();
+  if (!period_initialized_) {
+    // Anchor the period origin at the first event, like the engine's
+    // windows, so replayed real timestamps do not trigger catch-up rounds.
+    period_start_us_ = ts;
+    period_initialized_ = true;
+    return Status::OK();
+  }
+  while (ts - period_start_us_ >= options_.period_every_us) {
+    period_start_us_ += options_.period_every_us;
+    ALBIC_RETURN_NOT_OK(RunRoundNow().status());
+  }
+  return Status::OK();
+}
+
+Status ControllerLoop::Ingest(engine::OperatorId source_op,
+                              const engine::Tuple& tuple) {
+  ALBIC_RETURN_NOT_OK(MaybeRunRounds(tuple.ts));
+  return engine_->Inject(source_op, tuple);
+}
+
+Status ControllerLoop::IngestBatch(engine::OperatorId source_op,
+                                   const engine::Tuple* tuples, size_t count) {
+  size_t start = 0;
+  if (options_.period_every_us <= 0) {
+    return engine_->InjectBatch(source_op, tuples, count);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const int64_t ts = tuples[i].ts;
+    const bool boundary =
+        !period_initialized_ ||
+        (ts - period_start_us_ >= options_.period_every_us);
+    if (boundary) {
+      if (i > start) {
+        ALBIC_RETURN_NOT_OK(
+            engine_->InjectBatch(source_op, tuples + start, i - start));
+        start = i;
+      }
+      ALBIC_RETURN_NOT_OK(MaybeRunRounds(ts));
+    }
+  }
+  if (count > start) {
+    ALBIC_RETURN_NOT_OK(
+        engine_->InjectBatch(source_op, tuples + start, count - start));
+  }
+  return Status::OK();
+}
+
+Result<ControllerRound> ControllerLoop::RunRoundNow() {
+  // Measure: complete in-flight work and harvest the period.
+  engine_->Flush();
+  engine::EnginePeriodStats stats = engine_->HarvestPeriod();
+
+  // Convert measured work units into percent-of-reference-node loads.
+  std::vector<double> group_loads(stats.group_work.size(), 0.0);
+  const double scale = 100.0 / options_.node_capacity_work_units;
+  for (size_t g = 0; g < stats.group_work.size(); ++g) {
+    group_loads[g] = stats.group_work[g] * scale;
+  }
+  const engine::CommMatrix* comm = options_.use_comm ? &stats.comm : nullptr;
+
+  // Decide: one integrative adaptation round (Algorithm 1).
+  engine::Assignment planned = engine_->assignment();
+  ALBIC_ASSIGN_OR_RETURN(
+      AdaptationRound adaptation,
+      framework_->RunRound(*topology_, *load_model_, group_loads, comm,
+                           cluster_, &planned));
+
+  // Act: apply the plan's migrations to the live engine. Each one buffers
+  // tuples in flight for the group and drains them at the target.
+  ControllerRound round;
+  for (const engine::Migration& m : adaptation.plan.migrations) {
+    ++round.migrations_planned;
+    if (!engine_->StartMigration(m.group, m.to).ok()) continue;
+    Result<double> pause = engine_->FinishMigration(m.group);
+    if (pause.ok()) {
+      ++round.migrations_applied;
+      round.migration_pause_us += *pause;  // measured, from the real state
+    }
+  }
+
+  round.period = static_cast<int>(history_.size());
+  round.tuples_processed = stats.tuples_processed;
+  round.tuples_buffered = stats.tuples_buffered;
+  round.nodes_added = adaptation.nodes_added;
+  round.nodes_terminated = adaptation.nodes_terminated;
+  round.nodes_marked = adaptation.nodes_marked;
+  round.active_nodes = cluster_->num_active();
+  round.marked_nodes = static_cast<int>(cluster_->marked_nodes().size());
+
+  // Post-round measured view: same period loads under the new allocation.
+  const engine::NodeLoads loads = load_model_->ComputeNodeLoads(
+      *topology_, group_loads, comm, engine_->assignment(), *cluster_);
+  round.mean_load = engine::MeanLoad(loads.bottleneck_loads(), *cluster_);
+  round.load_distance =
+      engine::LoadDistance(loads.bottleneck_loads(), *cluster_);
+
+  history_.push_back(round);
+  return round;
+}
+
+}  // namespace albic::core

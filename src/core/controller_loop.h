@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/adaptation_framework.h"
+#include "engine/local_engine.h"
+
+namespace albic::core {
+
+/// \brief Configuration of the online control loop.
+struct ControllerLoopOptions {
+  /// Statistics-period length (SPL) in event-time microseconds; every
+  /// boundary crossing triggers one adaptation round. 0 disables automatic
+  /// rounds — the driver paces them explicitly via RunRoundNow (experiment
+  /// harnesses that inject per period).
+  int64_t period_every_us = 60LL * 1000 * 1000;
+  /// Work units a capacity-1.0 node can execute per period at 100% load;
+  /// converts the engine's measured work units into the
+  /// percent-of-reference-node loads the rebalancers expect.
+  double node_capacity_work_units = 1000.0;
+  /// Feed the measured communication matrix into the snapshot (enables
+  /// collocation-aware planning); disable for pure load-balancing jobs.
+  bool use_comm = true;
+};
+
+/// \brief Compact record of one adaptation round driven by the controller.
+struct ControllerRound {
+  int period = 0;
+  int64_t tuples_processed = 0;
+  int64_t tuples_buffered = 0;
+  double migration_pause_us = 0.0;  ///< Pause incurred by this round's moves.
+  int migrations_planned = 0;
+  int migrations_applied = 0;
+  int nodes_added = 0;
+  int nodes_terminated = 0;
+  int nodes_marked = 0;
+  int active_nodes = 0;        ///< Cluster state after the round.
+  int marked_nodes = 0;        ///< Ditto (drain still in progress).
+  double mean_load = 0.0;      ///< Measured, after this round's migrations.
+  double load_distance = 0.0;  ///< Ditto.
+};
+
+/// \brief The online control loop (§3, "Controller"): turns Algorithm 1
+/// from a library function into a running system.
+///
+/// Tuples stream in through Ingest; at every statistics-period boundary the
+/// loop harvests the engine's measured EnginePeriodStats, converts them
+/// into the controller's SystemSnapshot inputs (group loads in percent of a
+/// reference node, plus the measured communication matrix), runs one
+/// integrative adaptation round (scaling + rebalancing + collocation), and
+/// applies the planned migrations to the live engine via direct state
+/// migration — each move buffers in-flight tuples for the group and drains
+/// them at the target, so adaptation never loses or reorders data.
+///
+/// No caller-supplied load vectors anywhere: the loop closes the
+/// measure -> decide -> act cycle on real measurements.
+class ControllerLoop {
+ public:
+  /// \brief None of the pointers are owned. \p cluster must be the cluster
+  /// the engine runs on (scaling decisions mutate it).
+  ControllerLoop(engine::LocalEngine* engine, AdaptationFramework* framework,
+                 const engine::LoadModel* load_model,
+                 const engine::Topology* topology, engine::Cluster* cluster,
+                 ControllerLoopOptions options = ControllerLoopOptions());
+
+  /// \brief Injects one source tuple, first running adaptation rounds for
+  /// any period boundaries the tuple's event time has passed.
+  Status Ingest(engine::OperatorId source_op, const engine::Tuple& tuple);
+
+  /// \brief Bulk Ingest (chunked sources); boundaries are honoured inside
+  /// the chunk.
+  Status IngestBatch(engine::OperatorId source_op,
+                     const engine::Tuple* tuples, size_t count);
+
+  /// \brief Runs one adaptation round immediately (e.g. at end of stream).
+  Result<ControllerRound> RunRoundNow();
+
+  int rounds_run() const { return static_cast<int>(history_.size()); }
+  const std::vector<ControllerRound>& history() const { return history_; }
+  const ControllerLoopOptions& options() const { return options_; }
+
+ private:
+  Status MaybeRunRounds(int64_t ts);
+
+  engine::LocalEngine* engine_;
+  AdaptationFramework* framework_;
+  const engine::LoadModel* load_model_;
+  const engine::Topology* topology_;
+  engine::Cluster* cluster_;
+  ControllerLoopOptions options_;
+
+  std::vector<ControllerRound> history_;
+  int64_t period_start_us_ = 0;
+  bool period_initialized_ = false;
+};
+
+}  // namespace albic::core

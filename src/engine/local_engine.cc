@@ -1,10 +1,33 @@
 #include "engine/local_engine.h"
 
 #include <cassert>
+#include <utility>
 
 #include "common/hash.h"
 
 namespace albic::engine {
+
+namespace {
+
+/// Grows a per-node stats vector when the cluster scaled out mid-period.
+void EnsureNodeSlot(std::vector<double>* v, NodeId node) {
+  if (node >= 0 && static_cast<size_t>(node) >= v->size()) {
+    v->resize(static_cast<size_t>(node) + 1, 0.0);
+  }
+}
+
+/// Emitter used by ProcessBatch: stages emitted tuples so the whole output
+/// of a batch is routed in one pass.
+class BatchEmitter : public Emitter {
+ public:
+  explicit BatchEmitter(TupleBatch* staged) : staged_(staged) {}
+  void Emit(const Tuple& tuple) override { staged_->push_back(tuple); }
+
+ private:
+  TupleBatch* staged_;
+};
+
+}  // namespace
 
 /// Emitter bound to the producing (operator, group); forwards into the
 /// engine's router. Namespace-scope so LocalEngine's friend declaration
@@ -22,8 +45,34 @@ class GroupEmitter : public Emitter {
   int group_;
 };
 
+/// Emitter that scatters emitted tuples straight into the context's
+/// per-destination-group route buckets — the fast path for operators with a
+/// single partitioning downstream edge, which skips the intermediate
+/// emission staging entirely.
+class LocalEngine::ScatterEmitter : public Emitter {
+ public:
+  ScatterEmitter(WorkerContext* ctx, int down_groups)
+      : ctx_(ctx), down_groups_(down_groups) {}
+
+  void Emit(const Tuple& tuple) override {
+    const int target = RouteKey(tuple.key, down_groups_);
+    std::vector<Tuple>& bucket = ctx_->buckets[target];
+    if (bucket.empty()) ctx_->touched.push_back(target);
+    bucket.push_back(tuple);
+  }
+
+ private:
+  WorkerContext* ctx_;
+  int down_groups_;
+};
+
 int LocalEngine::RouteKey(uint64_t key, int num_groups) {
-  return static_cast<int>(MixU64(key) % static_cast<uint64_t>(num_groups));
+  // Lemire multiply-shift reduction: maps the mixed hash uniformly onto
+  // [0, num_groups) without the 64-bit division a modulo would cost on the
+  // per-tuple hot path.
+  return static_cast<int>((static_cast<unsigned __int128>(MixU64(key)) *
+                           static_cast<uint64_t>(num_groups)) >>
+                          64);
 }
 
 LocalEngine::LocalEngine(const Topology* topology, const Cluster* cluster,
@@ -37,12 +86,44 @@ LocalEngine::LocalEngine(const Topology* topology, const Cluster* cluster,
       options_(options),
       migrating_(static_cast<size_t>(topology->num_key_groups())) {
   assert(static_cast<int>(operators_.size()) == topology_->num_operators());
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.max_batch_tuples < 1) options_.max_batch_tuples = 1;
   period_.group_work.assign(
       static_cast<size_t>(topology_->num_key_groups()), 0.0);
   period_.node_work.assign(
       static_cast<size_t>(cluster_->num_nodes_total()), 0.0);
   period_.comm = CommMatrix(topology_->num_key_groups());
+  if (options_.mode == ExecutionMode::kBatched) {
+    downstream_.reserve(static_cast<size_t>(topology_->num_operators()));
+    for (OperatorId op = 0; op < topology_->num_operators(); ++op) {
+      downstream_.push_back(topology_->downstream(op));
+    }
+    ingress_slot_.assign(static_cast<size_t>(topology_->num_key_groups()), -1);
+    mailboxes_.resize(static_cast<size_t>(cluster_->num_nodes_total()));
+    coordinator_.stats = &period_;
+    coordinator_.direct = true;
+    coordinator_.open_slot.assign(
+        static_cast<size_t>(topology_->num_key_groups()), -1);
+    if (options_.num_workers > 1) {
+      pool_ = std::make_unique<WorkerPool>(options_.num_workers);
+      worker_ctx_.resize(static_cast<size_t>(options_.num_workers));
+      for (WorkerContext& ctx : worker_ctx_) {
+        ctx.local.group_work.assign(
+            static_cast<size_t>(topology_->num_key_groups()), 0.0);
+        ctx.local.comm = CommMatrix(topology_->num_key_groups());
+        ctx.stats = &ctx.local;
+        ctx.direct = false;
+        ctx.open_slot.assign(
+            static_cast<size_t>(topology_->num_key_groups()), -1);
+      }
+    }
+  }
 }
+
+// ---------------------------------------------------------------------------
+// Legacy tuple-at-a-time path. Kept byte-for-byte equivalent to the original
+// synchronous runtime so existing tests and benches remain valid.
+// ---------------------------------------------------------------------------
 
 void LocalEngine::MaybeFireWindows(int64_t new_time) {
   if (options_.window_every_us <= 0) return;
@@ -70,6 +151,28 @@ Status LocalEngine::Inject(OperatorId source_op, const Tuple& tuple) {
   if (source_op < 0 || source_op >= topology_->num_operators()) {
     return Status::InvalidArgument("unknown source operator");
   }
+  if (options_.mode == ExecutionMode::kBatched) {
+    if (tuple.ts >= event_time_us_) {
+      if (WindowBoundaryCrossed(tuple.ts)) MaybeFireWindowsBatched(tuple.ts);
+      event_time_us_ = tuple.ts;
+    }
+    const int group =
+        RouteKey(tuple.key, topology_->op(source_op).num_key_groups);
+    if (operators_[source_op] == nullptr) {
+      // Null source operators fan out uncharged; their tuples stage in
+      // ingress_ and are routed in bulk at the next drain.
+      StageIngress(source_op, group, tuple);
+    } else {
+      // Real source operators deliver like any other hop: append straight
+      // into the open batch in the owning node's mailbox.
+      const KeyGroupId g = topology_->first_group(source_op) + group;
+      AppendRouted(&coordinator_, assignment_.node_of(g), source_op, group, g,
+                   &tuple, 1);
+      ++staged_tuples_;
+    }
+    if (staged_tuples_ >= options_.max_batch_tuples) DrainAll();
+    return Status::OK();
+  }
   if (tuple.ts >= event_time_us_) {
     MaybeFireWindows(tuple.ts);
     event_time_us_ = tuple.ts;
@@ -87,6 +190,71 @@ Status LocalEngine::Inject(OperatorId source_op, const Tuple& tuple) {
   return Status::OK();
 }
 
+void LocalEngine::FlushInjectScatter(OperatorId source_op) {
+  // Delivers the inject-side scatter buckets straight to the source
+  // operator (work is charged at delivery, like any other hop) — a move,
+  // not a copy; downstream emissions land in the mailboxes for DrainAll.
+  // Only real source operators scatter here; null sources stage in
+  // ingress_.
+  for (const int group : inject_touched_) {
+    std::vector<Tuple>& bucket = inject_buckets_[group];
+    TupleBatch batch(std::move(bucket));
+    DeliverBatch(&coordinator_, source_op, group, batch);
+    bucket = std::move(batch.mutable_tuples());
+    bucket.clear();
+  }
+  inject_touched_.clear();
+}
+
+Status LocalEngine::InjectBatch(OperatorId source_op, const Tuple* tuples,
+                                size_t count) {
+  if (source_op < 0 || source_op >= topology_->num_operators()) {
+    return Status::InvalidArgument("unknown source operator");
+  }
+  if (options_.mode != ExecutionMode::kBatched) {
+    for (size_t i = 0; i < count; ++i) {
+      ALBIC_RETURN_NOT_OK(Inject(source_op, tuples[i]));
+    }
+    return Status::OK();
+  }
+  const int src_groups = topology_->op(source_op).num_key_groups;
+  const bool null_source = operators_[source_op] == nullptr;
+  if (static_cast<int>(inject_buckets_.size()) < src_groups) {
+    inject_buckets_.resize(static_cast<size_t>(src_groups));
+  }
+  // Single-tuple Injects may have staged batches in the mailboxes; drain
+  // them first so mixing the two ingestion APIs keeps per-group order.
+  if (staged_tuples_ > 0) DrainAll();
+  for (size_t i = 0; i < count; ++i) {
+    const Tuple& t = tuples[i];
+    if (t.ts >= event_time_us_) {
+      if (WindowBoundaryCrossed(t.ts)) {
+        // The scattered prefix belongs to the closing window: deliver it
+        // before the boundary fires.
+        FlushInjectScatter(source_op);
+        MaybeFireWindowsBatched(t.ts);
+      }
+      event_time_us_ = t.ts;
+    }
+    const int group = RouteKey(t.key, src_groups);
+    if (null_source) {
+      // Uncharged fan-out sources stage in ingress_, as in Inject.
+      StageIngress(source_op, group, t);
+    } else {
+      std::vector<Tuple>& bucket = inject_buckets_[group];
+      if (bucket.empty()) inject_touched_.push_back(group);
+      bucket.push_back(t);
+      ++staged_tuples_;
+    }
+    if (staged_tuples_ >= options_.max_batch_tuples) {
+      FlushInjectScatter(source_op);
+      DrainAll();
+    }
+  }
+  FlushInjectScatter(source_op);
+  return Status::OK();
+}
+
 void LocalEngine::Deliver(OperatorId op, int group_index, const Tuple& tuple) {
   const KeyGroupId g = topology_->first_group(op) + group_index;
   MigrationState& mig = migrating_[g];
@@ -100,6 +268,7 @@ void LocalEngine::Deliver(OperatorId op, int group_index, const Tuple& tuple) {
   const NodeId node = assignment_.node_of(g);
   const double cost = topology_->op(op).cost_per_tuple;
   period_.group_work[g] += cost;
+  EnsureNodeSlot(&period_.node_work, node);
   if (node != kInvalidNode) period_.node_work[node] += cost;
   ++period_.tuples_processed;
   if (operators_[op] != nullptr) {
@@ -136,12 +305,344 @@ void LocalEngine::Route(OperatorId from_op, int from_group,
     if (src_node != dst_node && src_node != kInvalidNode &&
         dst_node != kInvalidNode) {
       // Serialization at the sender, deserialization at the receiver.
+      EnsureNodeSlot(&period_.node_work, src_node);
+      EnsureNodeSlot(&period_.node_work, dst_node);
       period_.node_work[src_node] += options_.serde_cost;
       period_.node_work[dst_node] += options_.serde_cost;
     }
     Deliver(e.to, target, tuple);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Batched path.
+// ---------------------------------------------------------------------------
+
+void LocalEngine::StageIngress(OperatorId op, int group_index,
+                               const Tuple& tuple) {
+  const KeyGroupId g = topology_->first_group(op) + group_index;
+  int32_t slot = ingress_slot_[g];
+  if (slot < 0 ||
+      static_cast<int>(ingress_[slot].batch.size()) >=
+          options_.max_batch_tuples) {
+    if (slot < 0) ingress_used_.push_back(g);
+    slot = static_cast<int32_t>(ingress_.size());
+    ingress_slot_[g] = slot;
+    ingress_.push_back(
+        PendingBatch{op, group_index, TupleBatch(AcquireVec(&coordinator_))});
+  }
+  ingress_[slot].batch.push_back(tuple);
+  ++staged_tuples_;
+}
+
+void LocalEngine::Flush() {
+  if (options_.mode == ExecutionMode::kBatched) DrainAll();
+}
+
+std::vector<Tuple> LocalEngine::AcquireVec(WorkerContext* ctx) {
+  if (ctx->vec_pool.empty()) return {};
+  std::vector<Tuple> v = std::move(ctx->vec_pool.back());
+  ctx->vec_pool.pop_back();
+  v.clear();
+  return v;
+}
+
+void LocalEngine::ReleaseVec(WorkerContext* ctx, std::vector<Tuple>&& vec) {
+  if (ctx->vec_pool.size() < 256) ctx->vec_pool.push_back(std::move(vec));
+}
+
+void LocalEngine::EnqueueMailbox(int mailbox, OperatorId op, int group_index,
+                                 std::vector<Tuple>&& tuples) {
+  if (mailbox < 0) mailbox = 0;  // unassigned groups park on mailbox 0
+  if (static_cast<size_t>(mailbox) >= mailboxes_.size()) {
+    mailboxes_.resize(static_cast<size_t>(mailbox) + 1);
+  }
+  mailboxes_[mailbox].push_back(
+      PendingBatch{op, group_index, TupleBatch(std::move(tuples))});
+}
+
+void LocalEngine::AppendRouted(WorkerContext* ctx, NodeId node, OperatorId op,
+                               int group_index, KeyGroupId dst_global,
+                               const Tuple* data, size_t count) {
+  const int mailbox = node < 0 ? 0 : node;
+  // Look up the batch currently open for this destination group. Entries
+  // are validated (bounds + op/group/mailbox match), so a stale slot from a
+  // previous wave simply misses and a fresh batch is opened.
+  int32_t& slot = ctx->open_slot[dst_global];
+  if (ctx->direct) {
+    if (static_cast<size_t>(mailbox) >= mailboxes_.size()) {
+      mailboxes_.resize(static_cast<size_t>(mailbox) + 1);
+    }
+    std::vector<PendingBatch>& box = mailboxes_[mailbox];
+    if (slot >= 0 && static_cast<size_t>(slot) < box.size() &&
+        box[slot].op == op && box[slot].group_index == group_index &&
+        static_cast<int>(box[slot].batch.size()) < options_.max_batch_tuples) {
+      std::vector<Tuple>& dst = box[slot].batch.mutable_tuples();
+      dst.insert(dst.end(), data, data + count);
+      return;
+    }
+    slot = static_cast<int32_t>(box.size());
+    box.push_back(PendingBatch{op, group_index, TupleBatch(AcquireVec(ctx))});
+    std::vector<Tuple>& dst = box.back().batch.mutable_tuples();
+    dst.insert(dst.end(), data, data + count);
+    return;
+  }
+  std::vector<std::pair<int, PendingBatch>>& out = ctx->outbox;
+  if (slot >= 0 && static_cast<size_t>(slot) < out.size() &&
+      out[slot].first == mailbox && out[slot].second.op == op &&
+      out[slot].second.group_index == group_index &&
+      static_cast<int>(out[slot].second.batch.size()) <
+          options_.max_batch_tuples) {
+    std::vector<Tuple>& dst = out[slot].second.batch.mutable_tuples();
+    dst.insert(dst.end(), data, data + count);
+    return;
+  }
+  slot = static_cast<int32_t>(out.size());
+  out.emplace_back(mailbox,
+                   PendingBatch{op, group_index, TupleBatch(AcquireVec(ctx))});
+  std::vector<Tuple>& dst = out.back().second.batch.mutable_tuples();
+  dst.insert(dst.end(), data, data + count);
+}
+
+void LocalEngine::SendRouted(WorkerContext* ctx, OperatorId to_op,
+                             int target_group, KeyGroupId src_global,
+                             NodeId src_node, const Tuple* data,
+                             size_t count) {
+  const KeyGroupId dst_global = topology_->first_group(to_op) + target_group;
+  const double n = static_cast<double>(count);
+  ctx->stats->comm.Add(src_global, dst_global, n);
+  const NodeId dst_node = assignment_.node_of(dst_global);
+  if (src_node != dst_node && src_node != kInvalidNode &&
+      dst_node != kInvalidNode) {
+    EnsureNodeSlot(&ctx->stats->node_work, src_node);
+    EnsureNodeSlot(&ctx->stats->node_work, dst_node);
+    ctx->stats->node_work[src_node] += options_.serde_cost * n;
+    ctx->stats->node_work[dst_node] += options_.serde_cost * n;
+  }
+  AppendRouted(ctx, dst_node, to_op, target_group, dst_global, data, count);
+}
+
+void LocalEngine::FlushBuckets(WorkerContext* ctx, OperatorId to_op,
+                               KeyGroupId src_global, NodeId src_node) {
+  for (const int target : ctx->touched) {
+    std::vector<Tuple>& bucket = ctx->buckets[target];
+    SendRouted(ctx, to_op, target, src_global, src_node, bucket.data(),
+               bucket.size());
+    bucket.clear();
+  }
+  ctx->touched.clear();
+}
+
+void LocalEngine::RouteBatch(WorkerContext* ctx, OperatorId from_op,
+                             int from_group, const TupleBatch& batch) {
+  if (batch.empty()) return;
+  const KeyGroupId src_global = topology_->first_group(from_op) + from_group;
+  const NodeId src_node = assignment_.node_of(src_global);
+  for (const StreamEdge& e : downstream_[from_op]) {
+    const int down_groups = topology_->op(e.to).num_key_groups;
+    switch (e.pattern) {
+      case PartitioningPattern::kOneToOne:
+      case PartitioningPattern::kPartialMerge: {
+        const int target = from_group % down_groups;
+        SendRouted(ctx, e.to, target, src_global, src_node,
+                   batch.tuples().data(), batch.size());
+        break;
+      }
+      case PartitioningPattern::kPartialPartitioning:
+      case PartitioningPattern::kFullPartitioning:
+      default: {
+        // Bucket the batch by destination group, then send each bucket in
+        // one go: comm/serde accounting and mailbox pushes amortize over
+        // the bucket instead of costing per tuple. Buckets keep their
+        // capacity across batches.
+        if (static_cast<int>(ctx->buckets.size()) < down_groups) {
+          ctx->buckets.resize(static_cast<size_t>(down_groups));
+        }
+        for (const Tuple& t : batch) {
+          const int target = RouteKey(t.key, down_groups);
+          if (ctx->buckets[target].empty()) ctx->touched.push_back(target);
+          ctx->buckets[target].push_back(t);
+        }
+        FlushBuckets(ctx, e.to, src_global, src_node);
+        break;
+      }
+    }
+  }
+}
+
+void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
+                               int group_index, const TupleBatch& batch) {
+  if (batch.empty()) return;
+  const KeyGroupId g = topology_->first_group(op) + group_index;
+  MigrationState& mig = migrating_[g];
+  if (mig.active) {
+    // Tuples that arrive while the group migrates buffer in order at the
+    // target (§3, "State Migration"); FinishMigration drains them.
+    std::lock_guard<std::mutex> lock(migration_buffer_mu_);
+    for (const Tuple& t : batch) mig.buffer.push_back(t);
+    ctx->stats->tuples_buffered += static_cast<int64_t>(batch.size());
+    return;
+  }
+  const NodeId node = assignment_.node_of(g);
+  const double cost = topology_->op(op).cost_per_tuple;
+  const double n = static_cast<double>(batch.size());
+  ctx->stats->group_work[g] += cost * n;
+  EnsureNodeSlot(&ctx->stats->node_work, node);
+  if (node != kInvalidNode) ctx->stats->node_work[node] += cost * n;
+  ctx->stats->tuples_processed += static_cast<int64_t>(batch.size());
+  if (operators_[op] != nullptr) {
+    const std::vector<StreamEdge>& down = downstream_[op];
+    if (down.size() == 1 &&
+        (down[0].pattern == PartitioningPattern::kPartialPartitioning ||
+         down[0].pattern == PartitioningPattern::kFullPartitioning)) {
+      // Single partitioning edge: emitted tuples scatter straight into the
+      // route buckets, skipping the intermediate staging pass.
+      const int down_groups = topology_->op(down[0].to).num_key_groups;
+      if (static_cast<int>(ctx->buckets.size()) < down_groups) {
+        ctx->buckets.resize(static_cast<size_t>(down_groups));
+      }
+      ScatterEmitter emitter(ctx, down_groups);
+      operators_[op]->ProcessBatch(batch, group_index, &emitter);
+      FlushBuckets(ctx, down[0].to, g, node);
+      return;
+    }
+    ctx->emitted.clear();
+    BatchEmitter emitter(&ctx->emitted);
+    operators_[op]->ProcessBatch(batch, group_index, &emitter);
+    RouteBatch(ctx, op, group_index, ctx->emitted);
+  } else {
+    RouteBatch(ctx, op, group_index, batch);
+  }
+}
+
+void LocalEngine::RunWave(std::vector<std::vector<PendingBatch>>* wave) {
+  if (options_.num_workers == 1) {
+    for (std::vector<PendingBatch>& box : *wave) {
+      for (PendingBatch& pb : box) {
+        DeliverBatch(&coordinator_, pb.op, pb.group_index, pb.batch);
+        ReleaseVec(&coordinator_, std::move(pb.batch.mutable_tuples()));
+      }
+    }
+    return;
+  }
+  const int workers = options_.num_workers;
+  pool_->Run([&](int w) {
+    WorkerContext& ctx = worker_ctx_[static_cast<size_t>(w)];
+    for (size_t node = 0; node < wave->size(); ++node) {
+      if (static_cast<int>(node % static_cast<size_t>(workers)) != w) continue;
+      for (PendingBatch& pb : (*wave)[node]) {
+        DeliverBatch(&ctx, pb.op, pb.group_index, pb.batch);
+        ReleaseVec(&ctx, std::move(pb.batch.mutable_tuples()));
+      }
+    }
+  });
+  // Merge outboxes on the coordinator, in worker order: deterministic for a
+  // fixed worker count, and no locking on the shared mailboxes.
+  for (WorkerContext& ctx : worker_ctx_) {
+    for (std::pair<int, PendingBatch>& item : ctx.outbox) {
+      EnqueueMailbox(item.first, item.second.op, item.second.group_index,
+                     std::move(item.second.batch.mutable_tuples()));
+    }
+    ctx.outbox.clear();
+  }
+}
+
+void LocalEngine::DrainAll() {
+  std::vector<std::vector<PendingBatch>> wave;
+  for (;;) {
+    staged_tuples_ = 0;
+    if (!ingress_.empty()) {
+      // Fan staged null-source batches out through the router (uncharged,
+      // as in legacy Inject).
+      std::vector<PendingBatch> ingress;
+      ingress.swap(ingress_);
+      for (const KeyGroupId g : ingress_used_) ingress_slot_[g] = -1;
+      ingress_used_.clear();
+      for (PendingBatch& pb : ingress) {
+        RouteBatch(&coordinator_, pb.op, pb.group_index, pb.batch);
+        ReleaseVec(&coordinator_, std::move(pb.batch.mutable_tuples()));
+      }
+    }
+    bool any = false;
+    for (const std::vector<PendingBatch>& box : mailboxes_) {
+      if (!box.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) break;
+    // Per-node swap so the mailbox vectors' capacity circulates between the
+    // wave buffer and the live mailboxes instead of being reallocated.
+    if (wave.size() < mailboxes_.size()) wave.resize(mailboxes_.size());
+    for (size_t n = 0; n < mailboxes_.size(); ++n) {
+      wave[n].clear();
+      wave[n].swap(mailboxes_[n]);
+    }
+    RunWave(&wave);
+  }
+  // Fold the workers' period contributions into the engine's stats.
+  for (WorkerContext& ctx : worker_ctx_) MergeStats(&period_, &ctx.local);
+}
+
+void LocalEngine::MergeStats(EnginePeriodStats* into,
+                             EnginePeriodStats* from) {
+  for (size_t g = 0; g < from->group_work.size(); ++g) {
+    into->group_work[g] += from->group_work[g];
+    from->group_work[g] = 0.0;
+  }
+  if (into->node_work.size() < from->node_work.size()) {
+    into->node_work.resize(from->node_work.size(), 0.0);
+  }
+  for (size_t n = 0; n < from->node_work.size(); ++n) {
+    into->node_work[n] += from->node_work[n];
+    from->node_work[n] = 0.0;
+  }
+  for (KeyGroupId g = 0; g < from->comm.num_groups(); ++g) {
+    for (const CommMatrix::Entry& e : from->comm.row(g)) {
+      into->comm.Add(g, e.to, e.rate);
+    }
+  }
+  from->comm.Clear();
+  into->tuples_processed += from->tuples_processed;
+  into->tuples_buffered += from->tuples_buffered;
+  into->migration_pause_us += from->migration_pause_us;
+  from->tuples_processed = 0;
+  from->tuples_buffered = 0;
+  from->migration_pause_us = 0.0;
+}
+
+void LocalEngine::MaybeFireWindowsBatched(int64_t new_time) {
+  if (options_.window_every_us <= 0) return;
+  if (!time_initialized_) {
+    last_window_us_ = new_time;
+    time_initialized_ = true;
+    return;
+  }
+  if (new_time - last_window_us_ < options_.window_every_us) return;
+  // Complete all in-flight work before closing the window, so its contents
+  // match what the synchronous path would have processed by now.
+  DrainAll();
+  while (new_time - last_window_us_ >= options_.window_every_us) {
+    last_window_us_ += options_.window_every_us;
+    for (OperatorId op : topology_->TopologicalOrder()) {
+      if (operators_[op] == nullptr) continue;
+      const int n = topology_->op(op).num_key_groups;
+      for (int gi = 0; gi < n; ++gi) {
+        coordinator_.emitted.clear();
+        BatchEmitter emitter(&coordinator_.emitted);
+        operators_[op]->OnWindow(gi, &emitter);
+        RouteBatch(&coordinator_, op, gi, coordinator_.emitted);
+      }
+      // Cascade fully before the next operator's same-boundary window
+      // closes (the topological-order guarantee the jobs rely on).
+      DrainAll();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Migration and statistics (shared by both modes).
+// ---------------------------------------------------------------------------
 
 Status LocalEngine::StartMigration(KeyGroupId group, NodeId to) {
   if (group < 0 || group >= topology_->num_key_groups()) {
@@ -191,8 +692,18 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
   // Drain buffered tuples at the new node.
   std::deque<Tuple> buffered;
   buffered.swap(mig.buffer);
-  for (const Tuple& t : buffered) {
-    Deliver(op, local, t);
+  if (options_.mode == ExecutionMode::kBatched) {
+    if (!buffered.empty()) {
+      TupleBatch batch;
+      batch.reserve(buffered.size());
+      for (const Tuple& t : buffered) batch.push_back(t);
+      DeliverBatch(&coordinator_, op, local, batch);
+    }
+    DrainAll();
+  } else {
+    for (const Tuple& t : buffered) {
+      Deliver(op, local, t);
+    }
   }
   return pause_us;
 }
@@ -203,6 +714,7 @@ Status LocalEngine::MigrateGroup(KeyGroupId group, NodeId to) {
 }
 
 EnginePeriodStats LocalEngine::HarvestPeriod() {
+  if (options_.mode == ExecutionMode::kBatched) DrainAll();
   EnginePeriodStats out = std::move(period_);
   period_ = EnginePeriodStats();
   period_.group_work.assign(

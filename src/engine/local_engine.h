@@ -1,21 +1,36 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "engine/assignment.h"
+#include "engine/batch.h"
 #include "engine/cluster.h"
 #include "engine/comm_matrix.h"
 #include "engine/operator.h"
 #include "engine/topology.h"
 #include "engine/tuple.h"
+#include "engine/worker_pool.h"
 
 namespace albic::engine {
 
-/// \brief Options of the tuple-at-a-time runtime.
+/// \brief How the runtime executes operator code.
+enum class ExecutionMode {
+  /// Legacy path: every injected tuple cascades synchronously through the
+  /// whole DAG before the next one. Deterministic, simple, slow.
+  kTupleAtATime,
+  /// Routed tuples are staged into per-(simulated-)node mailboxes and
+  /// drained in TupleBatch units by a worker pool. num_workers = 1 runs the
+  /// same wave schedule inline on the calling thread.
+  kBatched,
+};
+
+/// \brief Options of the local runtime.
 struct LocalEngineOptions {
   /// Extra work units charged to BOTH endpoint nodes for every tuple that
   /// crosses nodes (serialization at the sender, deserialization at the
@@ -23,6 +38,16 @@ struct LocalEngineOptions {
   double serde_cost = 0.5;
   /// Window cadence in event-time microseconds (0 disables windows).
   int64_t window_every_us = 60LL * 1000 * 1000;
+  ExecutionMode mode = ExecutionMode::kTupleAtATime;
+  /// Worker threads draining node mailboxes (batched mode only). Worker w
+  /// owns the mailboxes of nodes with id % num_workers == w; 1 means no
+  /// threads are spawned and execution is deterministic.
+  int num_workers = 1;
+  /// Injected tuples buffered before the pipeline is drained (batched mode
+  /// only); also caps the size of one TupleBatch. Larger batches amortize
+  /// routing and statistics work further at the cost of staging memory
+  /// (32 bytes/tuple) and coarser drain granularity.
+  int max_batch_tuples = 4096;
 };
 
 /// \brief Per-period measurements produced by the runtime; feeds the same
@@ -38,11 +63,28 @@ struct EnginePeriodStats {
 
 /// \brief A deterministic single-process PSPE runtime over simulated nodes.
 ///
-/// Executes real operator code tuple-at-a-time, routes across the topology
-/// per the edges' partitioning patterns, accounts processing and
-/// serialization work per (simulated) node, and implements direct state
-/// migration (§3): upstreams redirect, new tuples buffer at the target, the
-/// state is serialized/deserialized, then buffered tuples drain.
+/// Executes real operator code, routes across the topology per the edges'
+/// partitioning patterns, accounts processing and serialization work per
+/// (simulated) node, and implements direct state migration (§3): upstreams
+/// redirect, new tuples buffer at the target, the state is
+/// serialized/deserialized, then buffered tuples drain.
+///
+/// Two execution modes (LocalEngineOptions::mode):
+///  - kTupleAtATime: the original synchronous cascade, unchanged.
+///  - kBatched: injected tuples stage into per-(operator, key-group)
+///    TupleBatches; a drain processes them in waves — each wave takes the
+///    current node mailboxes, delivers their batches (ProcessBatch), and
+///    routes the emitted tuples into next-wave mailboxes. With
+///    num_workers > 1 the nodes of a wave are split across a worker pool;
+///    per-worker stats and outboxes are merged at the wave barrier in
+///    worker order, so results are deterministic for a fixed worker count.
+///    Tuple order is preserved per (source group -> destination group)
+///    stream, the guarantee key-group parallelism gives (§3).
+///
+/// Migrations and cluster changes must be performed from the driving thread
+/// between injections; a migration started while batches are in flight
+/// simply buffers every tuple later delivered to the group, preserving
+/// arrival order, and FinishMigration drains the buffer before new input.
 class LocalEngine {
  public:
   /// \brief Operator implementations are supplied per OperatorId; entries
@@ -52,9 +94,22 @@ class LocalEngine {
               LocalEngineOptions options = LocalEngineOptions());
 
   /// \brief Injects one source tuple into \p source_op. Advances event time
-  /// and fires windows as needed. Processing cascades synchronously through
-  /// the DAG.
+  /// and fires windows as needed. In tuple-at-a-time mode processing
+  /// cascades synchronously; in batched mode the tuple is staged and the
+  /// pipeline drains once max_batch_tuples accumulated (or on Flush /
+  /// window boundaries / HarvestPeriod).
   Status Inject(OperatorId source_op, const Tuple& tuple);
+
+  /// \brief Bulk injection: semantically identical to calling Inject for
+  /// every tuple in order, but the batched runtime scatters the whole chunk
+  /// to its source groups in one pass (sources hand the engine chunks, so
+  /// per-call overhead is a tuple-at-a-time artifact). In tuple-at-a-time
+  /// mode this simply loops Inject.
+  Status InjectBatch(OperatorId source_op, const Tuple* tuples, size_t count);
+
+  /// \brief Drains all staged and in-flight batches (no-op in
+  /// tuple-at-a-time mode, where nothing is ever in flight).
+  void Flush();
 
   /// \brief Begins a direct state migration of a key group: subsequent
   /// tuples for the group buffer at the target until Finish.
@@ -67,17 +122,20 @@ class LocalEngine {
   /// \brief Convenience: start + finish in one step.
   Status MigrateGroup(KeyGroupId group, NodeId to);
 
-  /// \brief Harvests and resets the current period's statistics.
+  /// \brief Harvests and resets the current period's statistics. Flushes
+  /// in-flight batches first so the period is complete.
   EnginePeriodStats HarvestPeriod();
 
   const Assignment& assignment() const { return assignment_; }
   int64_t event_time() const { return event_time_us_; }
+  const LocalEngineOptions& options() const { return options_; }
 
   /// \brief Routes a key to an operator-local group index (hash routing).
   static int RouteKey(uint64_t key, int num_groups);
 
  private:
   friend class GroupEmitter;
+  class ScatterEmitter;
 
   struct MigrationState {
     bool active = false;
@@ -85,9 +143,70 @@ class LocalEngine {
     std::deque<Tuple> buffer;
   };
 
+  /// One staged unit of work: a batch bound for (op, group).
+  struct PendingBatch {
+    OperatorId op = 0;
+    int group_index = 0;
+    TupleBatch batch;
+  };
+
+  /// Per-worker execution state. The coordinator context writes directly
+  /// into period_ / mailboxes_; pool workers accumulate locally and are
+  /// merged at the wave barrier.
+  struct WorkerContext {
+    EnginePeriodStats* stats = nullptr;
+    EnginePeriodStats local;
+    bool direct = false;  ///< Enqueue straight into the engine's mailboxes.
+    std::vector<std::pair<int, PendingBatch>> outbox;  ///< (mailbox, batch)
+    std::vector<std::vector<Tuple>> buckets;  ///< Route scratch per dst group.
+    std::vector<int> touched;                 ///< Buckets in use.
+    TupleBatch emitted;                       ///< ProcessBatch staging.
+    /// Free-list of tuple vectors: batches consumed by this worker return
+    /// here and their capacity is reused, keeping the hot path allocation
+    /// free once warmed up.
+    std::vector<std::vector<Tuple>> vec_pool;
+    /// Global group -> index of the batch currently open for appends in
+    /// this context's staging area (mailboxes_ when direct, outbox
+    /// otherwise). Validated before use, so stale entries self-heal; lets
+    /// routed tuples coalesce across all source batches of a wave.
+    std::vector<int32_t> open_slot;
+  };
+
+  // --- legacy tuple-at-a-time path (unchanged behaviour) ---
   void Deliver(OperatorId op, int group_index, const Tuple& tuple);
   void Route(OperatorId from_op, int from_group, const Tuple& tuple);
   void MaybeFireWindows(int64_t new_time);
+
+  // --- batched path ---
+  void StageIngress(OperatorId op, int group_index, const Tuple& tuple);
+  void FlushInjectScatter(OperatorId source_op);
+  void DrainAll();
+  void RunWave(std::vector<std::vector<PendingBatch>>* wave);
+  void DeliverBatch(WorkerContext* ctx, OperatorId op, int group_index,
+                    const TupleBatch& batch);
+  void RouteBatch(WorkerContext* ctx, OperatorId from_op, int from_group,
+                  const TupleBatch& batch);
+  void SendRouted(WorkerContext* ctx, OperatorId to_op, int target_group,
+                  KeyGroupId src_global, NodeId src_node, const Tuple* data,
+                  size_t count);
+  void FlushBuckets(WorkerContext* ctx, OperatorId to_op, KeyGroupId src_global,
+                    NodeId src_node);
+  void AppendRouted(WorkerContext* ctx, NodeId node, OperatorId op,
+                    int group_index, KeyGroupId dst_global, const Tuple* data,
+                    size_t count);
+  void EnqueueMailbox(int mailbox, OperatorId op, int group_index,
+                      std::vector<Tuple>&& tuples);
+  std::vector<Tuple> AcquireVec(WorkerContext* ctx);
+  static void ReleaseVec(WorkerContext* ctx, std::vector<Tuple>&& vec);
+  void MaybeFireWindowsBatched(int64_t new_time);
+  /// True when \p ts requires the out-of-line window machinery (boundary
+  /// crossed, or origin not yet initialized).
+  bool WindowBoundaryCrossed(int64_t ts) const {
+    return options_.window_every_us > 0 &&
+           (!time_initialized_ ||
+            ts - last_window_us_ >= options_.window_every_us);
+  }
+  static void MergeStats(EnginePeriodStats* into, EnginePeriodStats* from);
 
   const Topology* topology_;
   const Cluster* cluster_;
@@ -100,6 +219,22 @@ class LocalEngine {
   int64_t event_time_us_ = 0;
   int64_t last_window_us_ = 0;
   bool time_initialized_ = false;
+
+  // Batched-mode state.
+  std::vector<std::vector<StreamEdge>> downstream_;  ///< Edges per operator.
+  std::vector<PendingBatch> ingress_;        ///< Staged injected tuples.
+  std::vector<int32_t> ingress_slot_;        ///< Global group -> ingress_ idx.
+  std::vector<KeyGroupId> ingress_used_;     ///< Groups with a live slot.
+  /// InjectBatch scatter scratch — separate from the contexts' route
+  /// buckets because flushing delivers inline, which scatters again.
+  std::vector<std::vector<Tuple>> inject_buckets_;
+  std::vector<int> inject_touched_;
+  std::vector<std::vector<PendingBatch>> mailboxes_;  ///< Per node.
+  int64_t staged_tuples_ = 0;  ///< Injected since the last drain.
+  WorkerContext coordinator_;
+  std::vector<WorkerContext> worker_ctx_;  ///< Pool workers (multi-worker).
+  std::unique_ptr<WorkerPool> pool_;
+  std::mutex migration_buffer_mu_;  ///< Guards MigrationState::buffer pushes.
 };
 
 }  // namespace albic::engine

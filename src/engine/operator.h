@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "engine/batch.h"
 #include "engine/tuple.h"
 
 namespace albic::engine {
@@ -28,6 +29,19 @@ class StreamOperator {
 
   /// \brief Processes one tuple belonging to key group \p group_index.
   virtual void Process(const Tuple& tuple, int group_index, Emitter* out) = 0;
+
+  /// \brief Processes a batch of tuples, all belonging to key group
+  /// \p group_index, in order. The batched runtime calls this instead of
+  /// Process; hot operators override it to hoist per-tuple work (group-state
+  /// lookups, mode branches) out of the loop. The default is semantically
+  /// identical to tuple-at-a-time delivery. Under a multi-worker engine,
+  /// batches for different groups may be processed concurrently, so
+  /// implementations must keep all mutable state per group (already the
+  /// migration contract above).
+  virtual void ProcessBatch(const TupleBatch& batch, int group_index,
+                            Emitter* out) {
+    for (const Tuple& tuple : batch) Process(tuple, group_index, out);
+  }
 
   /// \brief Fired on window boundaries (e.g. the 1-minute TopK windows of
   /// Real Job 1). Default: no window behaviour.

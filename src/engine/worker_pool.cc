@@ -1,0 +1,61 @@
+#include "engine/worker_pool.h"
+
+namespace albic::engine {
+
+WorkerPool::WorkerPool(int num_workers)
+    : num_workers_(num_workers < 1 ? 1 : num_workers) {
+  threads_.reserve(static_cast<size_t>(num_workers_ - 1));
+  for (int w = 1; w < num_workers_; ++w) {
+    threads_.emplace_back([this, w] { ThreadLoop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::ThreadLoop(int worker_index) {
+  int64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || generation_ > seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::Run(const std::function<void(int)>& fn) {
+  if (num_workers_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    outstanding_ = num_workers_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace albic::engine

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace albic::engine {
+
+/// \brief A minimal persistent fork-join pool for the batched runtime's
+/// drain waves.
+///
+/// Run(fn) invokes fn(w) once for every worker index w in [0, num_workers)
+/// and returns when all invocations finished. Worker 0 runs on the calling
+/// thread, so a 1-worker pool spawns no threads at all and Run degenerates
+/// to a plain call — the deterministic single-threaded mode.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int num_workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// \brief Runs fn(w) for each worker index; blocks until all complete.
+  /// Not reentrant.
+  void Run(const std::function<void(int)>& fn);
+
+ private:
+  void ThreadLoop(int worker_index);
+
+  const int num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  int64_t generation_ = 0;
+  int outstanding_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace albic::engine

@@ -22,10 +22,29 @@ void SumByKeyOperator::Process(const engine::Tuple& tuple, int group_index,
   }
 }
 
+void SumByKeyOperator::ProcessBatch(const engine::TupleBatch& batch,
+                                    int group_index, engine::Emitter* out) {
+  // Hoist the group-state lookup and the field/emit branches out of the loop.
+  auto& sums = sums_[group_index];
+  const bool by_key = field_ == GroupField::kKey;
+  if (emit_updates_) {
+    for (const engine::Tuple& tuple : batch) {
+      double& sum = sums[by_key ? tuple.key : tuple.aux];
+      sum += tuple.num;
+      engine::Tuple t = tuple;
+      t.num = sum;  // running aggregate
+      out->Emit(t);
+    }
+  } else {
+    for (const engine::Tuple& tuple : batch) {
+      sums[by_key ? tuple.key : tuple.aux] += tuple.num;
+    }
+  }
+}
+
 double SumByKeyOperator::SumFor(int group_index, uint64_t id) const {
-  const auto& m = sums_[group_index];
-  auto it = m.find(id);
-  return it == m.end() ? 0.0 : it->second;
+  const double* sum = sums_[group_index].find(id);
+  return sum != nullptr ? *sum : 0.0;
 }
 
 double SumByKeyOperator::GroupTotal(int group_index) const {

@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map64.h"
 #include "engine/operator.h"
 
 namespace albic::ops {
@@ -25,6 +25,8 @@ class SumByKeyOperator : public engine::StreamOperator {
 
   void Process(const engine::Tuple& tuple, int group_index,
                engine::Emitter* out) override;
+  void ProcessBatch(const engine::TupleBatch& batch, int group_index,
+                    engine::Emitter* out) override;
 
   std::string SerializeGroupState(int group_index) const override;
   Status DeserializeGroupState(int group_index,
@@ -40,7 +42,7 @@ class SumByKeyOperator : public engine::StreamOperator {
  private:
   GroupField field_;
   bool emit_updates_;
-  std::vector<std::unordered_map<uint64_t, double>> sums_;
+  std::vector<FlatMap64<double>> sums_;
 };
 
 }  // namespace albic::ops

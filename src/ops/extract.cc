@@ -14,6 +14,19 @@ void DelayExtractOperator::Process(const engine::Tuple& tuple,
   out->Emit(tuple);
 }
 
+void DelayExtractOperator::ProcessBatch(const engine::TupleBatch& batch,
+                                        int group_index,
+                                        engine::Emitter* out) {
+  // Accumulate the count locally; one group-state store per batch.
+  int64_t extracted = 0;
+  for (const engine::Tuple& tuple : batch) {
+    if (tuple.num <= 0.0) continue;  // on-time: nothing to extract
+    ++extracted;
+    out->Emit(tuple);
+  }
+  extracted_[group_index] += extracted;
+}
+
 std::string DelayExtractOperator::SerializeGroupState(int group_index) const {
   StateWriter w;
   w.PutI64(extracted_[group_index]);

@@ -17,6 +17,8 @@ class DelayExtractOperator : public engine::StreamOperator {
 
   void Process(const engine::Tuple& tuple, int group_index,
                engine::Emitter* out) override;
+  void ProcessBatch(const engine::TupleBatch& batch, int group_index,
+                    engine::Emitter* out) override;
 
   std::string SerializeGroupState(int group_index) const override;
   Status DeserializeGroupState(int group_index,

@@ -9,23 +9,20 @@ namespace albic::ops {
 
 GeoHashOperator::GeoHashOperator(int num_groups, int grid_cells)
     : grid_cells_(grid_cells),
+      grid_side_(
+          static_cast<uint64_t>(std::sqrt(static_cast<double>(grid_cells)))),
       counts_(static_cast<size_t>(num_groups), 0) {}
 
 uint64_t GeoHashOperator::CellFor(uint64_t key) const {
   // Pseudo-location inside Denmark's bounding box (54.5-57.8N, 8-13E),
   // derived from the key hash; bucketed into a sqrt(cells) x sqrt(cells)
-  // grid. The indirection mirrors an actual geohash computation while
-  // keeping the even-coverage assumption of §5.2.
+  // grid. The low/high hash words are the normalized latitude/longitude
+  // offsets within the box, so the fixed-point bucketing below is the
+  // (lat, lon) -> grid-cell computation without per-tuple floating point.
   const uint64_t h = MixU64(key ^ 0xD3A9B1ULL);
-  const uint64_t side =
-      static_cast<uint64_t>(std::sqrt(static_cast<double>(grid_cells_)));
-  const double lat = 54.5 + (h & 0xffffffff) / 4294967296.0 * (57.8 - 54.5);
-  const double lon =
-      8.0 + ((h >> 32) & 0xffffffff) / 4294967296.0 * (13.0 - 8.0);
-  const uint64_t row = static_cast<uint64_t>((lat - 54.5) / (57.8 - 54.5) *
-                                             static_cast<double>(side));
-  const uint64_t col = static_cast<uint64_t>((lon - 8.0) / (13.0 - 8.0) *
-                                             static_cast<double>(side));
+  const uint64_t side = grid_side_;
+  const uint64_t row = ((h & 0xffffffff) * side) >> 32;
+  const uint64_t col = (((h >> 32) & 0xffffffff) * side) >> 32;
   return row * side + col;
 }
 
@@ -36,6 +33,18 @@ void GeoHashOperator::Process(const engine::Tuple& tuple, int group_index,
   t.aux = tuple.key;          // preserve the article id
   t.key = CellFor(tuple.key);  // re-key by geohash cell
   out->Emit(t);
+}
+
+void GeoHashOperator::ProcessBatch(const engine::TupleBatch& batch,
+                                   int group_index, engine::Emitter* out) {
+  // One counter store per batch instead of per tuple.
+  counts_[group_index] += static_cast<int64_t>(batch.size());
+  for (const engine::Tuple& tuple : batch) {
+    engine::Tuple t = tuple;
+    t.aux = tuple.key;           // preserve the article id
+    t.key = CellFor(tuple.key);  // re-key by geohash cell
+    out->Emit(t);
+  }
 }
 
 std::string GeoHashOperator::SerializeGroupState(int group_index) const {

@@ -22,6 +22,8 @@ class GeoHashOperator : public engine::StreamOperator {
 
   void Process(const engine::Tuple& tuple, int group_index,
                engine::Emitter* out) override;
+  void ProcessBatch(const engine::TupleBatch& batch, int group_index,
+                    engine::Emitter* out) override;
 
   std::string SerializeGroupState(int group_index) const override;
   Status DeserializeGroupState(int group_index,
@@ -36,6 +38,7 @@ class GeoHashOperator : public engine::StreamOperator {
 
  private:
   int grid_cells_;
+  uint64_t grid_side_;  ///< sqrt(grid_cells_), hoisted off the per-tuple path
   std::vector<int64_t> counts_;
 };
 

@@ -21,9 +21,9 @@ void RouteRainJoinOperator::Process(const engine::Tuple& tuple,
   }
   // Delay side: join with the latest known decade (0 when none yet).
   int decade = 0;
-  auto it = route_decade_[group_index].find(tuple.key);
-  if (it != route_decade_[group_index].end()) decade = it->second;
-  double& sum = decade_delay_[group_index][decade];
+  const int* known = route_decade_[group_index].find(tuple.key);
+  if (known != nullptr) decade = *known;
+  double& sum = decade_delay_[group_index][static_cast<uint64_t>(decade)];
   sum += tuple.num;
   engine::Tuple t;
   t.key = static_cast<uint64_t>(decade);
@@ -32,11 +32,37 @@ void RouteRainJoinOperator::Process(const engine::Tuple& tuple,
   out->Emit(t);
 }
 
+void RouteRainJoinOperator::ProcessBatch(const engine::TupleBatch& batch,
+                                         int group_index,
+                                         engine::Emitter* out) {
+  // Hoist both group-state lookups out of the loop.
+  auto& decades = route_decade_[group_index];
+  auto& delays = decade_delay_[group_index];
+  for (const engine::Tuple& tuple : batch) {
+    if (tuple.aux == kRainMark) {
+      const int decade =
+          std::clamp(static_cast<int>(tuple.num / 10.0) * 10, 0, 100);
+      decades[tuple.key] = decade;
+      continue;
+    }
+    int decade = 0;
+    const int* known = decades.find(tuple.key);
+    if (known != nullptr) decade = *known;
+    double& sum = delays[static_cast<uint64_t>(decade)];
+    sum += tuple.num;
+    engine::Tuple t;
+    t.key = static_cast<uint64_t>(decade);
+    t.num = sum;
+    t.aux = tuple.key;
+    out->Emit(t);
+  }
+}
+
 double RouteRainJoinOperator::DelayForDecade(int group_index,
                                              int decade) const {
-  const auto& m = decade_delay_[group_index];
-  auto it = m.find(decade);
-  return it == m.end() ? 0.0 : it->second;
+  const double* sum =
+      decade_delay_[group_index].find(static_cast<uint64_t>(decade));
+  return sum != nullptr ? *sum : 0.0;
 }
 
 std::string RouteRainJoinOperator::SerializeGroupState(

@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map64.h"
 #include "engine/operator.h"
 
 namespace albic::ops {
@@ -26,6 +26,8 @@ class RouteRainJoinOperator : public engine::StreamOperator {
 
   void Process(const engine::Tuple& tuple, int group_index,
                engine::Emitter* out) override;
+  void ProcessBatch(const engine::TupleBatch& batch, int group_index,
+                    engine::Emitter* out) override;
 
   std::string SerializeGroupState(int group_index) const override;
   Status DeserializeGroupState(int group_index,
@@ -36,8 +38,8 @@ class RouteRainJoinOperator : public engine::StreamOperator {
   double DelayForDecade(int group_index, int decade) const;
 
  private:
-  std::vector<std::unordered_map<uint64_t, int>> route_decade_;
-  std::vector<std::unordered_map<int, double>> decade_delay_;
+  std::vector<FlatMap64<int>> route_decade_;
+  std::vector<FlatMap64<double>> decade_delay_;  ///< keyed by decade (0..100)
 };
 
 }  // namespace albic::ops

@@ -26,11 +26,43 @@ void WindowedTopKOperator::Process(const engine::Tuple& tuple,
   window_counts_[group_index][id] += weight;
 }
 
+void WindowedTopKOperator::ProcessBatch(const engine::TupleBatch& batch,
+                                        int group_index,
+                                        engine::Emitter* out) {
+  (void)out;  // TopK only emits on window boundaries.
+  // Hoist the group-state lookup and the mode branch out of the loop, and
+  // prefetch a few tuples ahead so count-slot probes overlap memory latency.
+  constexpr size_t kLookahead = 24;
+  auto& counts = window_counts_[group_index];
+  const size_t n = batch.size();
+  if (mode_ == TopKCountMode::kOccurrences) {
+    for (size_t i = 0; i < n; ++i) {
+      if (i + kLookahead < n) {
+        const engine::Tuple& ahead = batch[i + kLookahead];
+        counts.prefetch(ahead.aux != 0 ? ahead.aux : ahead.key);
+      }
+      const engine::Tuple& tuple = batch[i];
+      counts[tuple.aux != 0 ? tuple.aux : tuple.key] += 1;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (i + kLookahead < n) {
+        const engine::Tuple& ahead = batch[i + kLookahead];
+        counts.prefetch(ahead.aux != 0 ? ahead.aux : ahead.key);
+      }
+      const engine::Tuple& tuple = batch[i];
+      counts[tuple.aux != 0 ? tuple.aux : tuple.key] +=
+          std::max<int64_t>(1, static_cast<int64_t>(tuple.num));
+    }
+  }
+}
+
 void WindowedTopKOperator::OnWindow(int group_index, engine::Emitter* out) {
   auto& counts = window_counts_[group_index];
   if (counts.empty()) return;
-  std::vector<std::pair<uint64_t, int64_t>> entries(counts.begin(),
-                                                    counts.end());
+  std::vector<std::pair<uint64_t, int64_t>> entries;
+  entries.reserve(counts.size());
+  for (const auto& [id, count] : counts) entries.emplace_back(id, count);
   const size_t keep = std::min<size_t>(static_cast<size_t>(k_),
                                        entries.size());
   std::partial_sort(entries.begin(), entries.begin() + keep, entries.end(),

@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map64.h"
 #include "engine/operator.h"
 
 namespace albic::ops {
@@ -32,6 +32,8 @@ class WindowedTopKOperator : public engine::StreamOperator {
   /// sentinel), else the partition key — so real ids must be >= 1.
   void Process(const engine::Tuple& tuple, int group_index,
                engine::Emitter* out) override;
+  void ProcessBatch(const engine::TupleBatch& batch, int group_index,
+                    engine::Emitter* out) override;
   void OnWindow(int group_index, engine::Emitter* out) override;
 
   std::string SerializeGroupState(int group_index) const override;
@@ -40,7 +42,7 @@ class WindowedTopKOperator : public engine::StreamOperator {
   void ClearGroupState(int group_index) override;
 
   /// \brief Current (mid-window) counts of a group, for tests.
-  const std::unordered_map<uint64_t, int64_t>& counts(int group_index) const {
+  const FlatMap64<int64_t>& counts(int group_index) const {
     return window_counts_[group_index];
   }
 
@@ -53,7 +55,7 @@ class WindowedTopKOperator : public engine::StreamOperator {
  private:
   int k_;
   TopKCountMode mode_;
-  std::vector<std::unordered_map<uint64_t, int64_t>> window_counts_;
+  std::vector<FlatMap64<int64_t>> window_counts_;
   std::vector<std::vector<std::pair<uint64_t, int64_t>>> last_top_;
 };
 
