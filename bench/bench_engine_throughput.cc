@@ -1,7 +1,9 @@
 // Engine-throughput microbench: the Real Job 1 wiki top-k pipeline
 // (GeoHash -> per-cell windowed TopK -> global TopK) driven through the
-// tuple-at-a-time path and the batched path. Verifies that both process the
-// same number of tuples and reports tuples/second plus the batched speedup.
+// tuple-at-a-time path, the batched path, and the sharded source ingestion
+// path. Verifies that all modes process the same number of tuples (the
+// 1-shard sharded run must be bit-identical to the batched InjectBatch run)
+// and reports tuples/second plus the speedups.
 
 #include <algorithm>
 #include <chrono>
@@ -12,6 +14,8 @@
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "engine/local_engine.h"
+#include "engine/sharded_source.h"
+#include "engine/source.h"
 #include "ops/geohash.h"
 #include "ops/topk.h"
 #include "workload/streams.h"
@@ -25,30 +29,44 @@ constexpr int kGroups = 18;
 struct RunResult {
   double tuples_per_sec = 0.0;
   int64_t tuples_processed = 0;
+  int64_t blocked_pushes = 0;  ///< Backpressure stalls (sharded runs only).
+};
+
+/// The wiki top-k pipeline the bench drives; one instance per run.
+struct Pipeline {
+  engine::Topology topo;
+  engine::Cluster cluster{kNodes};
+  ops::GeoHashOperator geohash{kGroups, 1024};
+  ops::WindowedTopKOperator topk{kGroups, 32};
+  ops::WindowedTopKOperator global{kGroups, 32, ops::TopKCountMode::kSumNum};
+  std::unique_ptr<engine::LocalEngine> engine;
+  bool ok = false;
+
+  explicit Pipeline(const engine::LocalEngineOptions& opts) {
+    topo.AddOperator("geohash", kGroups, 1 << 16);
+    topo.AddOperator("topk-1min", kGroups, 1 << 18);
+    topo.AddOperator("global-topk", kGroups, 1 << 16);
+    if (!topo.AddStream(0, 1, engine::PartitioningPattern::kFullPartitioning)
+             .ok() ||
+        !topo.AddStream(1, 2, engine::PartitioningPattern::kFullPartitioning)
+             .ok()) {
+      return;
+    }
+    engine::Assignment assign(topo.num_key_groups());
+    for (engine::KeyGroupId g = 0; g < topo.num_key_groups(); ++g) {
+      assign.set_node(g, g % kNodes);
+    }
+    engine = std::make_unique<engine::LocalEngine>(
+        &topo, &cluster, assign,
+        std::vector<engine::StreamOperator*>{&geohash, &topk, &global}, opts);
+    ok = true;
+  }
 };
 
 RunResult RunOne(const engine::LocalEngineOptions& opts,
                  const std::vector<engine::Tuple>& stream) {
-  engine::Topology topo;
-  topo.AddOperator("geohash", kGroups, 1 << 16);
-  topo.AddOperator("topk-1min", kGroups, 1 << 18);
-  topo.AddOperator("global-topk", kGroups, 1 << 16);
-  if (!topo.AddStream(0, 1, engine::PartitioningPattern::kFullPartitioning)
-           .ok() ||
-      !topo.AddStream(1, 2, engine::PartitioningPattern::kFullPartitioning)
-           .ok()) {
-    return {};
-  }
-  engine::Cluster cluster(kNodes);
-  engine::Assignment assign(topo.num_key_groups());
-  for (engine::KeyGroupId g = 0; g < topo.num_key_groups(); ++g) {
-    assign.set_node(g, g % kNodes);
-  }
-  ops::GeoHashOperator geohash(kGroups, 1024);
-  ops::WindowedTopKOperator topk(kGroups, 32);
-  ops::WindowedTopKOperator global(kGroups, 32, ops::TopKCountMode::kSumNum);
-  engine::LocalEngine eng(&topo, &cluster, assign,
-                          {&geohash, &topk, &global}, opts);
+  Pipeline p(opts);
+  if (!p.ok) return {};
 
   // The stream is pre-generated so the timed section measures the engine,
   // not the Zipf sampler (which otherwise dominates the loop). The
@@ -56,23 +74,76 @@ RunResult RunOne(const engine::LocalEngineOptions& opts,
   // while the batched path ingests in chunks, as a chunked source would.
   const auto start = std::chrono::steady_clock::now();
   if (opts.mode == engine::ExecutionMode::kBatched) {
-    (void)eng.InjectBatch(0, stream.data(), stream.size());
+    (void)p.engine->InjectBatch(0, stream.data(), stream.size());
   } else {
     for (const engine::Tuple& t : stream) {
-      (void)eng.Inject(0, t);
+      (void)p.engine->Inject(0, t);
     }
   }
-  eng.Flush();
+  p.engine->Flush();
   const auto stop = std::chrono::steady_clock::now();
   const double secs =
       std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
           .count();
 
   RunResult result;
-  engine::EnginePeriodStats stats = eng.HarvestPeriod();
+  engine::EnginePeriodStats stats = p.engine->HarvestPeriod();
   result.tuples_processed = stats.tuples_processed;
   result.tuples_per_sec =
       secs > 0 ? static_cast<double>(stream.size()) / secs : 0.0;
+  return result;
+}
+
+/// Sharded-ingestion run: the stream is split round-robin into num_shards
+/// VectorSources (each shard's timestamps stay monotone) and driven through
+/// the ShardedSourceRunner. 1 shard is the inline pass-through and must be
+/// bit-identical to the batched InjectBatch run above.
+RunResult RunSharded(const engine::LocalEngineOptions& opts,
+                     const std::vector<engine::Tuple>& stream,
+                     int num_shards) {
+  Pipeline p(opts);
+  if (!p.ok) return {};
+
+  std::vector<std::vector<engine::Tuple>> shard_streams(
+      static_cast<size_t>(num_shards));
+  for (auto& ss : shard_streams) {
+    ss.reserve(stream.size() / static_cast<size_t>(num_shards) + 1);
+  }
+  for (size_t i = 0; i < stream.size(); ++i) {
+    shard_streams[i % static_cast<size_t>(num_shards)].push_back(stream[i]);
+  }
+  std::vector<engine::VectorSource> sources;
+  sources.reserve(static_cast<size_t>(num_shards));
+  std::vector<engine::Source*> shards;
+  for (auto& ss : shard_streams) {
+    sources.emplace_back(ss.data(), ss.size());
+    shards.push_back(&sources.back());
+  }
+
+  engine::EngineShardSink sink(p.engine.get());
+  engine::ShardedSourceRunner runner;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto report = runner.Run(shards, 0, kGroups, &sink);
+  p.engine->Flush();
+  const auto stop = std::chrono::steady_clock::now();
+  if (!report.ok()) {
+    std::fprintf(stderr, "sharded run failed: %s\n",
+                 report.status().ToString().c_str());
+    return {};
+  }
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+          .count();
+
+  RunResult result;
+  engine::EnginePeriodStats stats = p.engine->HarvestPeriod();
+  result.tuples_processed = stats.tuples_processed;
+  result.tuples_per_sec =
+      secs > 0 ? static_cast<double>(stream.size()) / secs : 0.0;
+  for (const engine::ShardIngestStats& s : report->shards) {
+    result.blocked_pushes += s.blocked_pushes;
+  }
   return result;
 }
 
@@ -94,6 +165,7 @@ int main() {
   const int tuples = std::max(1, EnvInt("ALBIC_BENCH_TUPLES", 1500000));
   const int workers = EnvInt("ALBIC_BENCH_WORKERS", 4);
   const int batch = EnvInt("ALBIC_BENCH_BATCH", 8192);
+  const int shards = std::max(2, EnvInt("ALBIC_BENCH_SHARDS", 4));
   // Distinct articles in the stream; matches examples/wiki_topk_job.cpp.
   const int articles = EnvInt("ALBIC_BENCH_ARTICLES", 20000);
 
@@ -107,27 +179,37 @@ int main() {
 
   // Each mode runs `reps` times; the best run counts (standard microbench
   // practice to shed scheduler noise on shared machines).
-  auto best_of = [&](const albic::engine::LocalEngineOptions& opts) {
+  auto best_of = [&](auto run_fn) {
     albic::RunResult best;
     for (int r = 0; r < reps; ++r) {
-      albic::RunResult result = albic::RunOne(opts, stream);
+      albic::RunResult result = run_fn();
       if (result.tuples_per_sec > best.tuples_per_sec) best = result;
     }
     return best;
   };
 
   albic::engine::LocalEngineOptions legacy;
-  albic::RunResult r_legacy = best_of(legacy);
+  albic::RunResult r_legacy =
+      best_of([&] { return albic::RunOne(legacy, stream); });
 
   albic::engine::LocalEngineOptions batched1;
   batched1.mode = albic::engine::ExecutionMode::kBatched;
   batched1.num_workers = 1;
   if (batch > 0) batched1.max_batch_tuples = batch;
-  albic::RunResult r_batched1 = best_of(batched1);
+  albic::RunResult r_batched1 =
+      best_of([&] { return albic::RunOne(batched1, stream); });
 
   albic::engine::LocalEngineOptions batchedN = batched1;
   batchedN.num_workers = workers;
-  albic::RunResult r_batchedN = best_of(batchedN);
+  albic::RunResult r_batchedN =
+      best_of([&] { return albic::RunOne(batchedN, stream); });
+
+  // Sharded ingestion over the single-worker batched engine, so the delta
+  // against r_batched1 isolates the ingestion path.
+  albic::RunResult r_sharded1 =
+      best_of([&] { return albic::RunSharded(batched1, stream, 1); });
+  albic::RunResult r_shardedN =
+      best_of([&] { return albic::RunSharded(batched1, stream, shards); });
 
   albic::TablePrinter table({"mode", "tuples/s", "speedup"});
   const double base = r_legacy.tuples_per_sec;
@@ -139,15 +221,34 @@ int main() {
   std::snprintf(label, sizeof(label), "batched (%d workers)", workers);
   table.AddRow({label, albic::FormatDouble(r_batchedN.tuples_per_sec, 0),
                 albic::FormatDouble(r_batchedN.tuples_per_sec / base, 2)});
+  table.AddRow({"sharded (1 shard)",
+                albic::FormatDouble(r_sharded1.tuples_per_sec, 0),
+                albic::FormatDouble(r_sharded1.tuples_per_sec / base, 2)});
+  std::snprintf(label, sizeof(label), "sharded (%d shards)", shards);
+  table.AddRow({label, albic::FormatDouble(r_shardedN.tuples_per_sec, 0),
+                albic::FormatDouble(r_shardedN.tuples_per_sec / base, 2)});
   table.Print();
 
   if (r_legacy.tuples_processed != r_batched1.tuples_processed ||
-      r_legacy.tuples_processed != r_batchedN.tuples_processed) {
+      r_legacy.tuples_processed != r_batchedN.tuples_processed ||
+      r_legacy.tuples_processed != r_shardedN.tuples_processed) {
     std::fprintf(stderr, "FAIL: modes processed different tuple counts\n");
     return 1;
   }
-  std::printf("\nall modes processed %lld tuples (incl. downstream hops)\n",
-              static_cast<long long>(r_legacy.tuples_processed));
+  // The 1-shard sharded path must reproduce the batched InjectBatch run
+  // exactly (the bit-identity contract of ShardedSourceRunner).
+  if (r_sharded1.tuples_processed != r_batched1.tuples_processed) {
+    std::fprintf(stderr,
+                 "FAIL: 1-shard sharded ingestion diverged from InjectBatch "
+                 "(%lld vs %lld tuples)\n",
+                 static_cast<long long>(r_sharded1.tuples_processed),
+                 static_cast<long long>(r_batched1.tuples_processed));
+    return 1;
+  }
+  std::printf("\nall modes processed %lld tuples (incl. downstream hops); "
+              "%d-shard run saw %lld backpressure stalls\n",
+              static_cast<long long>(r_legacy.tuples_processed), shards,
+              static_cast<long long>(r_shardedN.blocked_pushes));
 
   BenchJson("engine_throughput", "tuple_at_a_time", base, "tuples/s");
   BenchJson("engine_throughput", "batched_1worker", r_batched1.tuples_per_sec,
@@ -156,5 +257,11 @@ int main() {
             "tuples/s");
   BenchJson("engine_throughput", "batched_speedup",
             r_batched1.tuples_per_sec / base, "x");
+  BenchJson("engine_throughput", "sharded_1shard", r_sharded1.tuples_per_sec,
+            "tuples/s");
+  BenchJson("engine_throughput", "sharded_nshard", r_shardedN.tuples_per_sec,
+            "tuples/s");
+  BenchJson("engine_throughput", "sharded_speedup",
+            r_shardedN.tuples_per_sec / base, "x");
   return 0;
 }

@@ -16,6 +16,8 @@
 #include "common/table_printer.h"
 #include "core/controller_loop.h"
 #include "engine/load_model.h"
+#include "engine/sharded_source.h"
+#include "engine/source.h"
 #include "ops/aggregate.h"
 #include "scaling/scaling_policy.h"
 
@@ -24,6 +26,7 @@ using namespace albic;  // NOLINT: example brevity
 namespace {
 
 constexpr int kGroups = 48;
+constexpr int kPeriods = 26;
 constexpr int64_t kPeriodUs = 1000000;  // 1 s statistics periods
 constexpr double kNodeCapacity = 100.0;  // work units / period at 100%
 
@@ -40,6 +43,40 @@ int RateFor(int period) {
   // Base load: 4 nodes x ~55% at factor 1.
   return static_cast<int>(4 * 55.0 / 100.0 * kNodeCapacity * factor);
 }
+
+/// The tidal workload as a replayable Source: per period, RateFor(p) tuples
+/// spread evenly over the period and over all key groups.
+class TidalSource : public engine::Source {
+ public:
+  size_t FillChunk(engine::Tuple* out, size_t max) override {
+    size_t n = 0;
+    while (n < max && period_ < kPeriods) {
+      const int rate = RateFor(period_);
+      if (index_ >= rate) {
+        ++period_;
+        index_ = 0;
+        continue;
+      }
+      engine::Tuple t;
+      t.key = static_cast<uint64_t>(index_);  // spreads over all key groups
+      t.ts = static_cast<int64_t>(period_) * kPeriodUs +
+             static_cast<int64_t>(index_) * kPeriodUs / rate;
+      t.num = 1.0;
+      out[n++] = t;
+      ++index_;
+    }
+    return n;
+  }
+
+  void Reset() override {
+    period_ = 0;
+    index_ = 0;
+  }
+
+ private:
+  int period_ = 0;
+  int index_ = 0;
+};
 
 }  // namespace
 
@@ -77,20 +114,16 @@ int main() {
   core::ControllerLoop controller(&engine, &framework, &load_model, &topology,
                                   &cluster, copts);
 
-  // Stream the tidal workload through the controller.
-  for (int period = 0; period < 26; ++period) {
-    const int rate = RateFor(period);
-    for (int i = 0; i < rate; ++i) {
-      engine::Tuple t;
-      t.key = static_cast<uint64_t>(i);  // spreads over all key groups
-      t.ts = static_cast<int64_t>(period) * kPeriodUs +
-             static_cast<int64_t>(i) * kPeriodUs / rate;
-      t.num = 1.0;
-      if (!controller.Ingest(0, t).ok()) {
-        std::fprintf(stderr, "ingest failed in period %d\n", period);
-        return 1;
-      }
-    }
+  // Stream the tidal workload through the controller via the source
+  // subsystem (single shard: bit-identical to per-tuple ingestion).
+  TidalSource tides;
+  core::ControllerShardSink sink(&controller);
+  engine::ShardedSourceRunner runner;
+  if (const auto report = runner.Run({&tides}, 0, kGroups, &sink);
+      !report.ok()) {
+    std::fprintf(stderr, "ingestion failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
   }
   if (!controller.RunRoundNow().ok()) {
     std::fprintf(stderr, "final round failed\n");

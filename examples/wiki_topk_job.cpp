@@ -2,11 +2,18 @@
 // through GeoHash -> per-cell windowed TopK -> global TopK (1-minute
 // windows), with the online ControllerLoop keeping the 6-node cluster
 // balanced every period from the engine's measured statistics — no
-// caller-supplied load vectors. Demonstrates the engine's event-time
-// windows, batched multi-worker execution, and migration under load.
+// caller-supplied load vectors. The edits enter through the sharded source
+// subsystem: each shard is an independent partition of the edit stream
+// (own seed, its share of the rate), generated and routed off the engine
+// thread and fed in through bounded staging queues. Run with a shard count
+// argument (default 1, which is bit-identical to per-tuple ingestion):
+//
+//   wiki_topk_job [num_shards]
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "balance/milp_rebalancer.h"
@@ -14,6 +21,8 @@
 #include "core/controller_loop.h"
 #include "engine/load_model.h"
 #include "engine/local_engine.h"
+#include "engine/sharded_source.h"
+#include "engine/source.h"
 #include "ops/geohash.h"
 #include "ops/topk.h"
 #include "workload/streams.h"
@@ -28,7 +37,8 @@ constexpr int kTuplesPerPeriod = 6000;
 constexpr int64_t kPeriodUs = 60LL * 1000 * 1000;  // SPL = window = 1 min
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int num_shards = argc > 1 ? std::max(1, std::atoi(argv[1])) : 1;
   engine::Topology topology;
   topology.AddOperator("geohash", kGroups, 1 << 16);
   topology.AddOperator("topk-1min", kGroups, 1 << 18);
@@ -76,18 +86,42 @@ int main() {
   core::ControllerLoop controller(&engine, &framework, &load_model, &topology,
                                   &cluster, copts);
 
-  workload::WikipediaEditStream edits(/*articles=*/20000, /*seed=*/11,
-                                      /*rate_per_second=*/
-                                      kTuplesPerPeriod * 1e6 / kPeriodUs);
-  for (int i = 0; i < kPeriods * kTuplesPerPeriod; ++i) {
-    if (!controller.Ingest(0, edits.Next()).ok()) return 1;
+  // The edit stream as sharded Sources: shard s replays an independent
+  // Wikipedia partition (seed 11 + s) at 1/num_shards of the rate, so the
+  // union offers the same load. SyntheticSource recreates the generator on
+  // Reset, which keeps each shard replayable.
+  std::vector<std::unique_ptr<engine::SyntheticSource>> sources;
+  std::vector<engine::Source*> shards;
+  const double rate = kTuplesPerPeriod * 1e6 / kPeriodUs / num_shards;
+  const int64_t total = static_cast<int64_t>(kPeriods) * kTuplesPerPeriod;
+  for (int s = 0; s < num_shards; ++s) {
+    // First (total % num_shards) shards carry one extra tuple, so the
+    // union offers exactly `total` for every shard count.
+    const int64_t quota = total / num_shards + (s < total % num_shards);
+    sources.push_back(std::make_unique<engine::SyntheticSource>(
+        [s, rate] {
+          auto edits = std::make_shared<workload::WikipediaEditStream>(
+              /*articles=*/20000, /*seed=*/11 + s, rate);
+          return [edits] { return edits->Next(); };
+        },
+        quota));
+    shards.push_back(sources.back().get());
+  }
+  core::ControllerShardSink sink(&controller);
+  engine::ShardedSourceRunner runner;
+  const auto report = runner.Run(shards, 0, kGroups, &sink);
+  if (!report.ok()) {
+    std::fprintf(stderr, "ingestion failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
   }
   if (!controller.RunRoundNow().ok()) return 1;
 
-  TablePrinter table({"period", "tuples", "mean-load(%)", "load-distance(%)",
-                      "migrations", "pause(ms)"});
+  TablePrinter table({"period", "offered", "tuples", "mean-load(%)",
+                      "load-distance(%)", "migrations", "pause(ms)"});
   for (const core::ControllerRound& r : controller.history()) {
     table.AddDoubleRow({static_cast<double>(r.period),
+                        static_cast<double>(r.tuples_ingested),
                         static_cast<double>(r.tuples_processed), r.mean_load,
                         r.load_distance,
                         static_cast<double>(r.migrations_applied),
@@ -95,6 +129,15 @@ int main() {
                        1);
   }
   table.Print();
+
+  std::printf("\ningestion shards:\n");
+  for (size_t s = 0; s < report->shards.size(); ++s) {
+    std::printf("  shard %zu: %lld tuples in %lld chunks, %lld "
+                "backpressure stalls\n",
+                s, static_cast<long long>(report->shards[s].tuples),
+                static_cast<long long>(report->shards[s].chunks),
+                static_cast<long long>(report->shards[s].blocked_pushes));
+  }
 
   // The job's answer: hottest articles in the last closed window, merged
   // across the global TopK groups.

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Documentation guard, run by the CI docs job and locally:
+#   1. every relative markdown link in README.md and docs/*.md resolves to
+#      an existing file;
+#   2. every public header under src/engine/ and src/core/ carries a
+#      file-level doxygen header (\file + \brief), so the API docs cannot
+#      rot silently.
+#
+# Usage: scripts/check_docs.sh   (from anywhere; operates on the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. markdown link check -------------------------------------------------
+for md in README.md docs/*.md; do
+  [[ -f "$md" ]] || continue
+  dir=$(dirname "$md")
+  # Extract the target of every inline link/image: [text](target).
+  while IFS= read -r target; do
+    target="${target%%#*}"          # drop anchors
+    target="${target%% *}"          # drop optional titles: (file "title")
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://* | https://* | mailto:*) continue ;;
+    esac
+    if [[ ! -e "$dir/$target" ]]; then
+      echo "BROKEN LINK: $md -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+# --- 2. header-doc check ----------------------------------------------------
+for h in src/engine/*.h src/core/*.h; do
+  if ! grep -q '\\file' "$h"; then
+    echo "MISSING DOC: $h lacks a file-level \\file header"
+    fail=1
+  fi
+  if ! grep -q '\\brief' "$h"; then
+    echo "MISSING DOC: $h lacks a \\brief comment"
+    fail=1
+  fi
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: OK (links resolve, engine/core headers documented)"

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief Algorithm 1 as a library: one integrative adaptation
+/// round combining scaling, rebalancing and collocation.
+
 #include "balance/rebalancer.h"
 #include "engine/load_model.h"
 #include "engine/migration.h"

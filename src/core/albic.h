@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief ALBIC (Adaptive Load-Balancing with Integrated Collocation),
+/// the paper's graph-partitioning collocation heuristic.
+
 #include <cstdint>
 #include <vector>
 

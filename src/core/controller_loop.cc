@@ -39,12 +39,10 @@ Status ControllerLoop::Ingest(engine::OperatorId source_op,
   return engine_->Inject(source_op, tuple);
 }
 
-Status ControllerLoop::IngestBatch(engine::OperatorId source_op,
-                                   const engine::Tuple* tuples, size_t count) {
+Status ControllerLoop::IngestSplitting(
+    const engine::Tuple* tuples, size_t count,
+    const std::function<Status(const engine::Tuple*, size_t)>& inject) {
   size_t start = 0;
-  if (options_.period_every_us <= 0) {
-    return engine_->InjectBatch(source_op, tuples, count);
-  }
   for (size_t i = 0; i < count; ++i) {
     const int64_t ts = tuples[i].ts;
     const bool boundary =
@@ -52,18 +50,39 @@ Status ControllerLoop::IngestBatch(engine::OperatorId source_op,
         (ts - period_start_us_ >= options_.period_every_us);
     if (boundary) {
       if (i > start) {
-        ALBIC_RETURN_NOT_OK(
-            engine_->InjectBatch(source_op, tuples + start, i - start));
+        ALBIC_RETURN_NOT_OK(inject(tuples + start, i - start));
         start = i;
       }
       ALBIC_RETURN_NOT_OK(MaybeRunRounds(ts));
     }
   }
   if (count > start) {
-    ALBIC_RETURN_NOT_OK(
-        engine_->InjectBatch(source_op, tuples + start, count - start));
+    ALBIC_RETURN_NOT_OK(inject(tuples + start, count - start));
   }
   return Status::OK();
+}
+
+Status ControllerLoop::IngestBatch(engine::OperatorId source_op,
+                                   const engine::Tuple* tuples, size_t count) {
+  if (options_.period_every_us <= 0) {
+    return engine_->InjectBatch(source_op, tuples, count);
+  }
+  return IngestSplitting(tuples, count,
+                         [&](const engine::Tuple* run, size_t n) {
+                           return engine_->InjectBatch(source_op, run, n);
+                         });
+}
+
+Status ControllerLoop::IngestRouted(engine::OperatorId source_op, int shard,
+                                    int group, const engine::Tuple* tuples,
+                                    size_t count) {
+  if (options_.period_every_us <= 0) {
+    return engine_->InjectRouted(source_op, shard, group, tuples, count);
+  }
+  return IngestSplitting(
+      tuples, count, [&](const engine::Tuple* run, size_t n) {
+        return engine_->InjectRouted(source_op, shard, group, run, n);
+      });
 }
 
 Result<ControllerRound> ControllerLoop::RunRoundNow() {
@@ -101,6 +120,7 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
 
   round.period = static_cast<int>(history_.size());
   round.tuples_processed = stats.tuples_processed;
+  for (const int64_t n : stats.shard_ingested) round.tuples_ingested += n;
   round.tuples_buffered = stats.tuples_buffered;
   round.nodes_added = adaptation.nodes_added;
   round.nodes_terminated = adaptation.nodes_terminated;

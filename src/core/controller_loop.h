@@ -1,12 +1,19 @@
 #pragma once
 
+/// \file
+/// \brief ControllerLoop, the online measure -> decide -> act
+/// cycle: harvests measured engine statistics every period, runs one
+/// adaptation round and applies the planned migrations to the live engine.
+
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "core/adaptation_framework.h"
 #include "engine/local_engine.h"
+#include "engine/sharded_source.h"
 
 namespace albic::core {
 
@@ -30,6 +37,10 @@ struct ControllerLoopOptions {
 struct ControllerRound {
   int period = 0;
   int64_t tuples_processed = 0;
+  /// Source tuples offered this period (sum over ingestion shards) — the
+  /// true offered load, as opposed to tuples_processed which also counts
+  /// downstream hops.
+  int64_t tuples_ingested = 0;
   int64_t tuples_buffered = 0;
   double migration_pause_us = 0.0;  ///< Pause incurred by this round's moves.
   int migrations_planned = 0;
@@ -75,6 +86,15 @@ class ControllerLoop {
   Status IngestBatch(engine::OperatorId source_op,
                      const engine::Tuple* tuples, size_t count);
 
+  /// \brief Sharded ingestion: a pre-routed run for one source key group,
+  /// produced by ingestion shard \p shard (engine/sharded_source.h).
+  /// Period boundaries are honoured inside the run. With several shards a
+  /// boundary fires when the first shard's tuples cross it; slower shards'
+  /// tuples for the old period then count toward the next one — the
+  /// measured-statistics analogue of watermark skew.
+  Status IngestRouted(engine::OperatorId source_op, int shard, int group,
+                      const engine::Tuple* tuples, size_t count);
+
   /// \brief Runs one adaptation round immediately (e.g. at end of stream).
   Result<ControllerRound> RunRoundNow();
 
@@ -84,6 +104,12 @@ class ControllerLoop {
 
  private:
   Status MaybeRunRounds(int64_t ts);
+  /// Shared splitter of the bulk-ingest paths: hands each maximal sub-run
+  /// of [tuples, tuples + count) that crosses no period boundary to
+  /// \p inject, running adaptation rounds at every boundary in between.
+  Status IngestSplitting(
+      const engine::Tuple* tuples, size_t count,
+      const std::function<Status(const engine::Tuple*, size_t)>& inject);
 
   engine::LocalEngine* engine_;
   AdaptationFramework* framework_;
@@ -95,6 +121,26 @@ class ControllerLoop {
   std::vector<ControllerRound> history_;
   int64_t period_start_us_ = 0;
   bool period_initialized_ = false;
+};
+
+/// \brief ShardSink over the online controller: sharded sources stream
+/// through the control loop, so adaptation rounds run at period boundaries
+/// during ingestion.
+class ControllerShardSink final : public engine::ShardSink {
+ public:
+  explicit ControllerShardSink(ControllerLoop* loop) : loop_(loop) {}
+
+  Status IngestChunk(engine::OperatorId source_op,
+                     const engine::Tuple* tuples, size_t count) override {
+    return loop_->IngestBatch(source_op, tuples, count);
+  }
+  Status IngestRouted(engine::OperatorId source_op, int shard, int group,
+                      const engine::Tuple* tuples, size_t count) override {
+    return loop_->IngestRouted(source_op, shard, group, tuples, count);
+  }
+
+ private:
+  ControllerLoop* loop_;
 };
 
 }  // namespace albic::core

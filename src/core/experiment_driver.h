@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief The simulation-driven experiment harness reproducing
+/// the paper's figure workloads period by period.
+
 #include "common/result.h"
 #include "core/adaptation_framework.h"
 #include "engine/load_model.h"

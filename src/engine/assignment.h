@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief The key-group -> node allocation (q in Table 2) the
+/// rebalancers plan over and the engine executes.
+
 #include <vector>
 
 #include "engine/types.h"

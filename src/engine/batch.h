@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief TupleBatch, the unit of work of the batched runtime: a run
+/// of tuples bound for one (operator, key-group) pair.
+
 #include <cstddef>
 #include <utility>
 #include <vector>

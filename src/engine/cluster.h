@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief The set of (simulated) processing nodes: active,
+/// marked-for-removal (draining) and terminated, with per-node capacity.
+
 #include <vector>
 
 #include "common/status.h"

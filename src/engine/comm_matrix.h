@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief Sparse key-group -> key-group communication rates, the
+/// measured input of collocation-aware planning.
+
 #include <vector>
 
 #include "engine/types.h"

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief Converts per-group loads + an allocation into per-node
+/// loads (bottleneck and network), the controller's measured system view.
+
 #include <vector>
 
 #include "engine/assignment.h"

@@ -1,5 +1,6 @@
 #include "engine/local_engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -147,10 +148,18 @@ void LocalEngine::MaybeFireWindows(int64_t new_time) {
   }
 }
 
+void LocalEngine::CountIngested(int shard, size_t count) {
+  if (static_cast<size_t>(shard) >= period_.shard_ingested.size()) {
+    period_.shard_ingested.resize(static_cast<size_t>(shard) + 1, 0);
+  }
+  period_.shard_ingested[shard] += static_cast<int64_t>(count);
+}
+
 Status LocalEngine::Inject(OperatorId source_op, const Tuple& tuple) {
   if (source_op < 0 || source_op >= topology_->num_operators()) {
     return Status::InvalidArgument("unknown source operator");
   }
+  CountIngested(/*shard=*/0, 1);
   if (options_.mode == ExecutionMode::kBatched) {
     if (tuple.ts >= event_time_us_) {
       if (WindowBoundaryCrossed(tuple.ts)) MaybeFireWindowsBatched(tuple.ts);
@@ -217,6 +226,7 @@ Status LocalEngine::InjectBatch(OperatorId source_op, const Tuple* tuples,
     }
     return Status::OK();
   }
+  CountIngested(/*shard=*/0, count);
   const int src_groups = topology_->op(source_op).num_key_groups;
   const bool null_source = operators_[source_op] == nullptr;
   if (static_cast<int>(inject_buckets_.size()) < src_groups) {
@@ -252,6 +262,79 @@ Status LocalEngine::InjectBatch(OperatorId source_op, const Tuple* tuples,
     }
   }
   FlushInjectScatter(source_op);
+  return Status::OK();
+}
+
+Status LocalEngine::InjectRouted(OperatorId source_op, int shard,
+                                 int group_index, const Tuple* tuples,
+                                 size_t count) {
+  if (source_op < 0 || source_op >= topology_->num_operators()) {
+    return Status::InvalidArgument("unknown source operator");
+  }
+  const int src_groups = topology_->op(source_op).num_key_groups;
+  if (group_index < 0 || group_index >= src_groups) {
+    return Status::InvalidArgument("source group out of range");
+  }
+  if (shard < 0) return Status::InvalidArgument("negative shard id");
+  if (count == 0) return Status::OK();
+  CountIngested(shard, count);
+
+  if (options_.mode != ExecutionMode::kBatched) {
+    // Reference path: deliver each tuple exactly as Inject would, with the
+    // routing decision already made by the shard.
+    for (size_t i = 0; i < count; ++i) {
+      const Tuple& t = tuples[i];
+      if (t.ts >= event_time_us_) {
+        MaybeFireWindows(t.ts);
+        event_time_us_ = t.ts;
+      }
+      if (operators_[source_op] == nullptr) {
+        Route(source_op, group_index, t);
+      } else {
+        Deliver(source_op, group_index, t);
+      }
+    }
+    return Status::OK();
+  }
+
+  const bool null_source = operators_[source_op] == nullptr;
+  int64_t max_ts = tuples[0].ts;
+  for (size_t i = 1; i < count; ++i) max_ts = std::max(max_ts, tuples[i].ts);
+  if (max_ts >= event_time_us_ && WindowBoundaryCrossed(max_ts)) {
+    // A window boundary falls inside the run: advance per tuple so each
+    // closing window sees exactly the prefix that belongs to it.
+    for (size_t i = 0; i < count; ++i) {
+      const Tuple& t = tuples[i];
+      if (t.ts >= event_time_us_) {
+        if (WindowBoundaryCrossed(t.ts)) MaybeFireWindowsBatched(t.ts);
+        event_time_us_ = t.ts;
+      }
+      if (null_source) {
+        StageIngress(source_op, group_index, t);
+      } else {
+        const KeyGroupId g = topology_->first_group(source_op) + group_index;
+        AppendRouted(&coordinator_, assignment_.node_of(g), source_op,
+                     group_index, g, &t, 1);
+        ++staged_tuples_;
+      }
+      if (staged_tuples_ >= options_.max_batch_tuples) DrainAll();
+    }
+    return Status::OK();
+  }
+
+  // Fast path: no boundary inside the run — append it in one step.
+  if (max_ts >= event_time_us_) event_time_us_ = max_ts;
+  if (null_source) {
+    for (size_t i = 0; i < count; ++i) {
+      StageIngress(source_op, group_index, tuples[i]);
+    }
+  } else {
+    const KeyGroupId g = topology_->first_group(source_op) + group_index;
+    AppendRouted(&coordinator_, assignment_.node_of(g), source_op, group_index,
+                 g, tuples, count);
+    staged_tuples_ += static_cast<int64_t>(count);
+  }
+  if (staged_tuples_ >= options_.max_batch_tuples) DrainAll();
   return Status::OK();
 }
 
@@ -603,6 +686,13 @@ void LocalEngine::MergeStats(EnginePeriodStats* into,
     }
   }
   from->comm.Clear();
+  if (into->shard_ingested.size() < from->shard_ingested.size()) {
+    into->shard_ingested.resize(from->shard_ingested.size(), 0);
+  }
+  for (size_t s = 0; s < from->shard_ingested.size(); ++s) {
+    into->shard_ingested[s] += from->shard_ingested[s];
+    from->shard_ingested[s] = 0;
+  }
   into->tuples_processed += from->tuples_processed;
   into->tuples_buffered += from->tuples_buffered;
   into->migration_pause_us += from->migration_pause_us;

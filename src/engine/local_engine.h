@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file
+/// \brief LocalEngine, the single-process PSPE runtime: executes
+/// operator code over simulated nodes in tuple-at-a-time or batched mode,
+/// and implements direct state migration.
+
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -59,6 +64,11 @@ struct EnginePeriodStats {
   int64_t tuples_processed = 0;
   int64_t tuples_buffered = 0;      ///< Held during migrations this period.
   double migration_pause_us = 0.0;  ///< Summed migration pause time.
+  /// Source tuples entering the engine per ingestion shard this period
+  /// (index = shard id; Inject/InjectBatch count as shard 0, InjectRouted
+  /// as its shard). Grown on demand; the sum is the true offered load, as
+  /// opposed to tuples_processed which also counts downstream hops.
+  std::vector<int64_t> shard_ingested;
 };
 
 /// \brief A deterministic single-process PSPE runtime over simulated nodes.
@@ -106,6 +116,18 @@ class LocalEngine {
   /// per-call overhead is a tuple-at-a-time artifact). In tuple-at-a-time
   /// mode this simply loops Inject.
   Status InjectBatch(OperatorId source_op, const Tuple* tuples, size_t count);
+
+  /// \brief Sharded ingestion entry point: a run of tuples that an
+  /// ingestion shard already routed to source key group \p group_index of
+  /// \p source_op (see engine/sharded_source.h). Semantically the tuples
+  /// enter like Inject — event time advances, windows fire, migrations
+  /// buffer — but the RouteKey hash is trusted rather than recomputed, and
+  /// the whole run is appended to the owning mailbox in one step when no
+  /// window boundary falls inside it. Must be called from the driving
+  /// thread (the shard runner's coordinator). \p shard indexes the
+  /// per-shard ingestion counter in EnginePeriodStats.
+  Status InjectRouted(OperatorId source_op, int shard, int group_index,
+                      const Tuple* tuples, size_t count);
 
   /// \brief Drains all staged and in-flight batches (no-op in
   /// tuple-at-a-time mode, where nothing is ever in flight).
@@ -178,6 +200,7 @@ class LocalEngine {
   void MaybeFireWindows(int64_t new_time);
 
   // --- batched path ---
+  void CountIngested(int shard, size_t count);
   void StageIngress(OperatorId op, int group_index, const Tuple& tuple);
   void FlushInjectScatter(OperatorId source_op);
   void DrainAll();

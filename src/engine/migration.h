@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief Migration cost model (mck) and the application of planned
+/// migrations to an assignment, with pause-latency accounting.
+
 #include <vector>
 
 #include "engine/assignment.h"

@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file
+/// \brief StreamOperator, the user-code interface: per-key-group
+/// processing (tuple and batch), windows, and state (de)serialization for
+/// direct state migration.
+
 #include <string>
 
 #include "common/status.h"

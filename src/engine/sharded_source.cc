@@ -1,0 +1,165 @@
+#include "engine/sharded_source.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "engine/local_engine.h"
+#include "engine/spsc_queue.h"
+
+namespace albic::engine {
+
+namespace {
+
+/// One staged unit crossing a shard queue: a run of tuples for one source
+/// key group, in shard order.
+struct RoutedBatch {
+  int group = 0;
+  std::vector<Tuple> tuples;
+};
+
+}  // namespace
+
+Status EngineShardSink::IngestChunk(OperatorId source_op, const Tuple* tuples,
+                                    size_t count) {
+  return engine_->InjectBatch(source_op, tuples, count);
+}
+
+Status EngineShardSink::IngestRouted(OperatorId source_op, int shard,
+                                     int group, const Tuple* tuples,
+                                     size_t count) {
+  return engine_->InjectRouted(source_op, shard, group, tuples, count);
+}
+
+ShardedSourceRunner::ShardedSourceRunner(ShardedSourceOptions options)
+    : options_(options) {
+  if (options_.chunk_tuples < 1) options_.chunk_tuples = 1;
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+}
+
+Result<ShardedIngestReport> ShardedSourceRunner::Run(
+    const std::vector<Source*>& sources, OperatorId source_op,
+    int num_source_groups, ShardSink* sink) {
+  if (sink == nullptr) return Status::InvalidArgument("null sink");
+  if (sources.empty()) return Status::InvalidArgument("no source shards");
+  for (const Source* s : sources) {
+    if (s == nullptr) return Status::InvalidArgument("null source shard");
+  }
+  if (num_source_groups < 1) {
+    return Status::InvalidArgument("source operator needs >= 1 key groups");
+  }
+  const int num_shards = static_cast<int>(sources.size());
+  const size_t chunk = static_cast<size_t>(options_.chunk_tuples);
+  ShardedIngestReport report;
+  report.shards.resize(static_cast<size_t>(num_shards));
+
+  if (num_shards == 1) {
+    // Single shard: inline pass-through, bit-identical to chunked
+    // InjectBatch ingestion. No thread, no queue, no pre-routing.
+    ShardIngestStats& stats = report.shards[0];
+    std::vector<Tuple> buf(chunk);
+    for (;;) {
+      const size_t n = sources[0]->FillChunk(buf.data(), chunk);
+      if (n == 0) break;
+      ALBIC_RETURN_NOT_OK(sink->IngestChunk(source_op, buf.data(), n));
+      stats.tuples += static_cast<int64_t>(n);
+      ++stats.chunks;
+    }
+    report.total_tuples = stats.tuples;
+    return report;
+  }
+
+  std::vector<std::unique_ptr<SpscQueue<RoutedBatch>>> queues;
+  queues.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    queues.push_back(std::make_unique<SpscQueue<RoutedBatch>>(
+        static_cast<size_t>(options_.queue_capacity)));
+  }
+
+  std::vector<std::thread> producers;
+  producers.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    producers.emplace_back([&, s] {
+      Source* source = sources[static_cast<size_t>(s)];
+      SpscQueue<RoutedBatch>& queue = *queues[static_cast<size_t>(s)];
+      ShardIngestStats& stats = report.shards[static_cast<size_t>(s)];
+      std::vector<Tuple> buf(chunk);
+      std::vector<std::vector<Tuple>> buckets(
+          static_cast<size_t>(num_source_groups));
+      std::vector<int> touched;
+      bool aborted = false;
+      while (!aborted) {
+        const size_t n = source->FillChunk(buf.data(), chunk);
+        if (n == 0) break;
+        stats.tuples += static_cast<int64_t>(n);
+        ++stats.chunks;
+        for (size_t i = 0; i < n; ++i) {
+          const int g = LocalEngine::RouteKey(buf[i].key, num_source_groups);
+          if (buckets[g].empty()) touched.push_back(g);
+          buckets[g].push_back(buf[i]);
+        }
+        // Ascending group order per chunk, so a replay of the same shard
+        // stages batches identically.
+        std::sort(touched.begin(), touched.end());
+        // Expected bucket fill for the next chunk; batches hand their
+        // buffer to the consumer for good (it crosses threads and dies
+        // there), so pre-sizing the replacement is what keeps this at one
+        // allocation per batch instead of a geometric regrowth each.
+        const size_t expect =
+            chunk / static_cast<size_t>(num_source_groups) + 8;
+        for (const int g : touched) {
+          RoutedBatch batch;
+          batch.group = g;
+          batch.tuples = std::move(buckets[g]);
+          buckets[g] = {};
+          buckets[g].reserve(expect);
+          if (!queue.Push(std::move(batch))) {
+            aborted = true;  // consumer closed the queue (sink error)
+            break;
+          }
+        }
+        touched.clear();
+      }
+      stats.blocked_pushes = queue.blocked_pushes();
+      queue.Close();
+    });
+  }
+
+  // Coordinator: single consumer of every shard queue; the only thread
+  // touching the sink (and through it the engine).
+  Status status = Status::OK();
+  int open = num_shards;
+  std::vector<char> done(static_cast<size_t>(num_shards), 0);
+  RoutedBatch batch;
+  while (open > 0) {
+    bool progressed = false;
+    for (int s = 0; s < num_shards; ++s) {
+      if (done[s]) continue;
+      if (queues[s]->TryPop(&batch)) {
+        progressed = true;
+        if (status.ok()) {
+          const Status st =
+              sink->IngestRouted(source_op, s, batch.group,
+                                 batch.tuples.data(), batch.tuples.size());
+          if (!st.ok()) {
+            status = st;
+            for (auto& q : queues) q->Close();  // unblock the producers
+          }
+        }
+      } else if (queues[s]->Drained()) {
+        done[s] = 1;
+        --open;
+      }
+    }
+    if (!progressed && open > 0) std::this_thread::yield();
+  }
+  for (std::thread& t : producers) t.join();
+  ALBIC_RETURN_NOT_OK(status);
+  for (const ShardIngestStats& s : report.shards) {
+    report.total_tuples += s.tuples;
+  }
+  return report;
+}
+
+}  // namespace albic::engine

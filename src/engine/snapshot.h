@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief SystemSnapshot, everything the controller and rebalancers
+/// see at the end of a statistics period (model + measured statistics).
+
 #include <vector>
 
 #include "engine/assignment.h"

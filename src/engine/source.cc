@@ -1,0 +1,75 @@
+#include "engine/source.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace albic::engine {
+
+VectorSource::VectorSource(std::vector<Tuple> tuples)
+    : owned_(std::move(tuples)), data_(owned_.data()), count_(owned_.size()) {}
+
+VectorSource::VectorSource(const Tuple* data, size_t count)
+    : data_(data), count_(count) {}
+
+size_t VectorSource::FillChunk(Tuple* out, size_t max) {
+  const size_t n = std::min(max, count_ - pos_);
+  if (n > 0) {
+    std::memcpy(out, data_ + pos_, n * sizeof(Tuple));
+    pos_ += n;
+  }
+  return n;
+}
+
+Result<std::vector<Tuple>> ReadTupleFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open tuple file: " + path);
+  }
+  std::vector<Tuple> tuples;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    Tuple t;
+    if (!(fields >> t.key)) {
+      return Status::InvalidArgument("bad tuple at " + path + ":" +
+                                     std::to_string(lineno));
+    }
+    fields >> t.ts >> t.num >> t.aux;  // missing trailing fields stay 0
+    tuples.push_back(t);
+  }
+  return tuples;
+}
+
+Result<FileSource> FileSource::Open(const std::string& path) {
+  std::vector<Tuple> tuples;
+  ALBIC_ASSIGN_OR_RETURN(tuples, ReadTupleFile(path));
+  return FileSource(std::move(tuples));
+}
+
+SyntheticSource::SyntheticSource(Factory factory, int64_t num_tuples)
+    : factory_(std::move(factory)),
+      generator_(factory_()),
+      num_tuples_(num_tuples < 0 ? 0 : num_tuples) {}
+
+size_t SyntheticSource::FillChunk(Tuple* out, size_t max) {
+  size_t n = 0;
+  while (n < max && produced_ < num_tuples_) {
+    out[n++] = generator_();
+    ++produced_;
+  }
+  return n;
+}
+
+void SyntheticSource::Reset() {
+  generator_ = factory_();
+  produced_ = 0;
+}
+
+}  // namespace albic::engine

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file
+/// \brief Replayable tuple sources — the ingestion-side abstraction the
+/// sharded source runner, examples and benches pull from (in-memory replay,
+/// tuple files, synthetic generators).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/tuple.h"
+
+namespace albic::engine {
+
+/// \brief A replayable generator of source tuples.
+///
+/// Sources are pull-based: the ingestion layer (ShardedSourceRunner, the
+/// benches) repeatedly fills chunks until the source reports exhaustion.
+/// Reset rewinds to the beginning and must reproduce the identical tuple
+/// sequence — that is what makes benchmark repetitions comparable and lets
+/// a job replay its input after a failure. One Source instance is driven by
+/// one thread; parallelism comes from running several Source instances (the
+/// shards — partitions, in broker terms) side by side.
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  /// \brief Produces up to \p max tuples into \p out and returns how many
+  /// were written. 0 means exhausted (and stays exhausted until Reset).
+  virtual size_t FillChunk(Tuple* out, size_t max) = 0;
+
+  /// \brief Rewinds so the next FillChunk restarts the identical sequence.
+  virtual void Reset() = 0;
+};
+
+/// \brief Replays an in-memory tuple array — pre-generated benchmark
+/// streams, file contents, recorded traces. Either owns the vector or
+/// borrows a caller-owned span.
+class VectorSource : public Source {
+ public:
+  explicit VectorSource(std::vector<Tuple> tuples);
+  /// \brief Borrows [data, data + count); the caller keeps it alive.
+  VectorSource(const Tuple* data, size_t count);
+
+  // Copying would leave the copy's data_ aliasing the original's owned_
+  // buffer (use-after-free once the original dies). Moves are safe: a
+  // vector move keeps the heap buffer, so data_ stays valid.
+  VectorSource(const VectorSource&) = delete;
+  VectorSource& operator=(const VectorSource&) = delete;
+  VectorSource(VectorSource&&) = default;
+  VectorSource& operator=(VectorSource&&) = default;
+
+  size_t FillChunk(Tuple* out, size_t max) override;
+  void Reset() override { pos_ = 0; }
+
+  size_t size() const { return count_; }
+
+ private:
+  std::vector<Tuple> owned_;
+  const Tuple* data_;
+  size_t count_;
+  size_t pos_ = 0;
+};
+
+/// \brief Parses a tuple replay file: one `key ts num aux` line per tuple
+/// (whitespace-separated; missing trailing fields default to 0; blank lines
+/// and lines starting with '#' are skipped).
+Result<std::vector<Tuple>> ReadTupleFile(const std::string& path);
+
+/// \brief A Source replaying a tuple file (see ReadTupleFile for the
+/// format). The file is materialized at Open, so replays never re-read
+/// disk and a vanished file cannot truncate a later repetition.
+class FileSource : public Source {
+ public:
+  static Result<FileSource> Open(const std::string& path);
+
+  size_t FillChunk(Tuple* out, size_t max) override {
+    return replay_.FillChunk(out, max);
+  }
+  void Reset() override { replay_.Reset(); }
+
+  size_t size() const { return replay_.size(); }
+
+ private:
+  explicit FileSource(std::vector<Tuple> tuples)
+      : replay_(std::move(tuples)) {}
+
+  VectorSource replay_;
+};
+
+/// \brief Wraps a generator function into a bounded, replayable Source.
+///
+/// The factory is invoked at construction and again on every Reset, so a
+/// replay restarts the generator from its initial state — a generator
+/// seeded deterministically (e.g. the workload/ streams) therefore yields
+/// the identical sequence on every pass.
+class SyntheticSource : public Source {
+ public:
+  using Generator = std::function<Tuple()>;
+  using Factory = std::function<Generator()>;
+
+  SyntheticSource(Factory factory, int64_t num_tuples);
+
+  size_t FillChunk(Tuple* out, size_t max) override;
+  void Reset() override;
+
+ private:
+  Factory factory_;
+  Generator generator_;
+  int64_t num_tuples_;
+  int64_t produced_ = 0;
+};
+
+}  // namespace albic::engine

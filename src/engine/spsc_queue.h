@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file
+/// \brief Bounded single-producer / single-consumer staging queue: the
+/// per-shard hand-off of the sharded source ingestion path (shard threads
+/// produce routed batches, the coordinator consumes them).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace albic::engine {
+
+/// \brief A bounded lock-free SPSC ring buffer with a blocking Push.
+///
+/// Exactly one thread may produce (Push / TryPush) and exactly one may
+/// consume (TryPop / Drained). A full queue blocks the producer
+/// (yield-spin) — this is the backpressure bound of sharded ingestion: a
+/// source shard can run at most `capacity` staged batches ahead of the
+/// coordinator, so a slow pipeline throttles generation instead of
+/// buffering without bound. Close() wakes a blocked producer (its Push
+/// returns false), letting the consumer abort a run without deadlock;
+/// items already queued stay poppable after Close so a normal end of
+/// stream loses nothing.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity), slots_(capacity_) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// \brief Enqueues \p item, blocking while the queue is full. Returns
+  /// false (dropping the item) once the queue is closed.
+  bool Push(T&& item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    bool stalled = false;
+    while (tail - head_.load(std::memory_order_acquire) >= capacity_) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      if (!stalled) {
+        stalled = true;
+        blocked_pushes_.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+    if (closed_.load(std::memory_order_acquire)) return false;
+    slots_[tail % capacity_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// \brief Non-blocking Push; false when full or closed.
+  bool TryPush(T&& item) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= capacity_) {
+      return false;
+    }
+    slots_[tail % capacity_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// \brief Dequeues into \p out; false when currently empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    *out = std::move(slots_[head % capacity_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// \brief Marks the queue closed: blocked and future pushes fail, queued
+  /// items remain poppable. Either side may close.
+  void Close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// \brief Consumer-side end condition: closed and fully popped.
+  bool Drained() const {
+    return closed() && head_.load(std::memory_order_relaxed) ==
+                           tail_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Number of Push calls that had to wait on a full queue — the
+  /// backpressure events of this queue's shard.
+  int64_t blocked_pushes() const {
+    return blocked_pushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t capacity_;
+  std::vector<T> slots_;
+  // Producer and consumer indices on separate cache lines so the two
+  // threads do not false-share.
+  alignas(64) std::atomic<size_t> tail_{0};   ///< Next slot to produce.
+  alignas(64) std::atomic<size_t> head_{0};   ///< Next slot to consume.
+  alignas(64) std::atomic<bool> closed_{false};
+  std::atomic<int64_t> blocked_pushes_{0};
+};
+
+}  // namespace albic::engine

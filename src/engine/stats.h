@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief Per-statistics-period metrics and the collector deriving
+/// the paper's evaluation metrics (load distance, load index, migrations).
+
 #include <vector>
 
 #include "common/status.h"

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief The operator DAG: operators with key-group counts and
+/// state sizes, connected by streams with partitioning patterns.
+
 #include <string>
 #include <vector>
 

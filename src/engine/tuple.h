@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief The stream tuple <key, ts, num, aux>, opaque to the engine
+/// and partitioned by key.
+
 #include <cstdint>
 
 namespace albic::engine {

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief Shared engine identifier types (NodeId, OperatorId,
+/// KeyGroupId) and the partitioning patterns of Figure 1.
+
 #include <cstdint>
 
 namespace albic::engine {

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief The persistent fork-join pool draining mailbox waves in
+/// the batched runtime's multi-worker mode.
+
 #include <condition_variable>
 #include <cstdint>
 #include <functional>

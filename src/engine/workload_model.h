@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file
+/// \brief WorkloadModel, the flow simulator's source of per-period workload
+/// statistics (group loads and communication), standing in for job +
+/// dataset.
+
 #include <vector>
 
 #include "engine/comm_matrix.h"

@@ -1,0 +1,118 @@
+// The bounded SPSC staging queue is the backpressure mechanism of sharded
+// ingestion: it must preserve FIFO order, enforce its capacity bound, block
+// a producer on a full queue until the consumer makes room, and unblock the
+// producer on Close without losing already-queued items.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "engine/spsc_queue.h"
+
+namespace albic::engine {
+namespace {
+
+TEST(SpscQueueTest, FifoWithinCapacity) {
+  SpscQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(int(i)));
+  EXPECT_FALSE(q.TryPush(99)) << "queue over capacity";
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.TryPop(&out));
+  EXPECT_EQ(q.blocked_pushes(), 0);
+}
+
+TEST(SpscQueueTest, WrapAroundKeepsOrder) {
+  SpscQueue<int> q(3);
+  int out = -1;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.TryPush(int(i)));
+    if (i % 2 == 1) {  // drain two, keeping the queue partially full
+      ASSERT_TRUE(q.TryPop(&out));
+      EXPECT_EQ(out, i - 1);
+      ASSERT_TRUE(q.TryPop(&out));
+      EXPECT_EQ(out, i);
+    }
+  }
+}
+
+TEST(SpscQueueTest, PushBlocksUntilConsumerMakesRoom) {
+  SpscQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(1));  // full
+
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // must block until the pop below
+    second_pushed.store(true);
+  });
+
+  // The producer cannot complete while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+
+  int out = -1;
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_GE(q.blocked_pushes(), 1) << "the full-queue stall must be counted";
+}
+
+TEST(SpscQueueTest, CloseUnblocksProducerAndKeepsQueuedItems) {
+  SpscQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(7));
+
+  std::atomic<bool> push_returned{false};
+  bool push_result = true;
+  std::thread producer([&] {
+    push_result = q.Push(8);  // blocked: queue is full
+    push_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(push_returned.load());
+
+  q.Close();
+  producer.join();
+  EXPECT_FALSE(push_result) << "Push into a closed queue must fail";
+
+  // The item queued before Close survives; afterwards the queue is drained.
+  EXPECT_FALSE(q.Drained());
+  int out = -1;
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(q.Drained());
+  EXPECT_FALSE(q.TryPush(9));
+}
+
+TEST(SpscQueueTest, ConcurrentProducerConsumerTransfersEverythingInOrder) {
+  constexpr int kItems = 20000;
+  SpscQueue<int> q(8);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.Push(int(i)));
+    q.Close();
+  });
+  int expected = 0;
+  int out = -1;
+  while (!q.Drained()) {
+    if (q.TryPop(&out)) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+}  // namespace
+}  // namespace albic::engine
