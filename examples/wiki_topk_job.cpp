@@ -38,7 +38,25 @@ constexpr int64_t kPeriodUs = 60LL * 1000 * 1000;  // SPL = window = 1 min
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int num_shards = argc > 1 ? std::max(1, std::atoi(argv[1])) : 1;
+  int num_shards = 1;
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [num_shards]\n", argv[0]);
+    return 2;
+  }
+  if (argc > 1) {
+    // Reject non-numeric or out-of-range shard counts instead of silently
+    // clamping what atoi made of them.
+    char* end = nullptr;
+    const long parsed = std::strtol(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || parsed <= 0 || parsed > 1024) {
+      std::fprintf(stderr,
+                   "error: num_shards must be an integer in [1, 1024], "
+                   "got \"%s\"\nusage: %s [num_shards]\n",
+                   argv[1], argv[0]);
+      return 2;
+    }
+    num_shards = static_cast<int>(parsed);
+  }
   engine::Topology topology;
   topology.AddOperator("geohash", kGroups, 1 << 16);
   topology.AddOperator("topk-1min", kGroups, 1 << 18);

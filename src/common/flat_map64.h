@@ -15,9 +15,12 @@ namespace albic {
 ///
 /// Linear probing over a power-of-two slot array; no per-entry allocation
 /// (std::unordered_map pays a node allocation and a pointer chase per
-/// access, which dominates operator time on the engine's hot path). There is
-/// no erase — operator state resets wholesale (window boundaries, state
-/// migration), which clear() handles while keeping capacity.
+/// access, which dominates operator time on the engine's hot path). The
+/// current operators reset state wholesale (window boundaries, state
+/// migration), which clear() handles while keeping capacity; for state
+/// that retires individual keys there is erase(), a backward-shift
+/// deletion that leaves no tombstones (probe distances stay as if the key
+/// never existed).
 ///
 /// Key 0 is stored in a dedicated side slot, so the full key range is valid.
 template <typename V>
@@ -78,6 +81,45 @@ class FlatMap64 {
   }
 
   size_t count(uint64_t key) const { return find(key) != nullptr ? 1 : 0; }
+
+  /// \brief Removes \p key; returns the number of entries removed (0 or 1).
+  /// Backward-shift deletion: entries probing past the hole are moved back
+  /// into it, so no tombstones accumulate and lookups never slow down.
+  /// Invalidates references and iterators.
+  size_t erase(uint64_t key) {
+    if (key == 0) {
+      if (!zero_used_) return 0;
+      zero_used_ = false;
+      zero_val_ = V();
+      --size_;
+      return 1;
+    }
+    if (slots_.empty()) return 0;
+    size_t i = MixU64(key) & mask_;
+    for (;;) {
+      if (slots_[i].first == key) break;
+      if (slots_[i].first == 0) return 0;
+      i = (i + 1) & mask_;
+    }
+    // Shift the probe chain after i back over the hole: an entry at j may
+    // fill the hole iff its home slot lies at or before the hole in the
+    // (cyclic) probe order, i.e. moving it back never skips its home.
+    size_t hole = i;
+    size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (slots_[j].first == 0) break;
+      const size_t home = MixU64(slots_[j].first) & mask_;
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole].first = 0;
+    slots_[hole].second = V();
+    --size_;
+    return 1;
+  }
 
   /// \brief Hints the CPU to load \p key's home slot. Batch processors call
   /// this a few tuples ahead so the probe below overlaps the memory

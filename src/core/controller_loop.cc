@@ -1,5 +1,8 @@
 #include "core/controller_loop.h"
 
+#include <chrono>
+#include <limits>
+
 #include "engine/load_model.h"
 
 namespace albic::core {
@@ -85,6 +88,30 @@ Status ControllerLoop::IngestRouted(engine::OperatorId source_op, int shard,
       });
 }
 
+Status ControllerLoop::KillNode(engine::NodeId node) {
+  // Recovery happens at the next period boundary, and a lost group skips
+  // window firings until then. With the statistics period dividing the
+  // window cadence, rounds always precede the boundary (the loop runs
+  // rounds before handing the boundary-crossing tuple to the engine), so
+  // no window can fire while groups are lost — enforce that here instead
+  // of corrupting windowed output silently. period_every_us == 0 is
+  // allowed: the driver paces rounds explicitly and owns that guarantee.
+  const int64_t window_us = engine_->options().window_every_us;
+  if (window_us > 0 && options_.period_every_us > 0 &&
+      window_us % options_.period_every_us != 0) {
+    return Status::InvalidArgument(
+        "recovery runs at period boundaries: the statistics period must "
+        "divide the window cadence or a window could fire during the "
+        "outage");
+  }
+  // Engine first (it validates that checkpointing makes the loss
+  // recoverable), then the cluster, so a rejected kill leaves both intact.
+  ALBIC_RETURN_NOT_OK(engine_->FailNode(node));
+  ALBIC_RETURN_NOT_OK(cluster_->Fail(node));
+  ++nodes_failed_pending_;
+  return Status::OK();
+}
+
 Result<ControllerRound> ControllerLoop::RunRoundNow() {
   // Measure: complete in-flight work and harvest the period.
   engine_->Flush();
@@ -98,19 +125,57 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
   }
   const engine::CommMatrix* comm = options_.use_comm ? &stats.comm : nullptr;
 
-  // Decide: one integrative adaptation round (Algorithm 1).
+  // Detect failures: groups lost since the last round. Recovery is just
+  // another reconfiguration — the lost groups are pre-placed on the least
+  // loaded survivors so the framework plans over a valid assignment, and
+  // the plan may move them further.
+  const std::vector<engine::KeyGroupId> lost = engine_->lost_groups();
+  const auto recovery_start = std::chrono::steady_clock::now();
   engine::Assignment planned = engine_->assignment();
+  if (!lost.empty()) {
+    std::vector<double> node_load(
+        static_cast<size_t>(cluster_->num_nodes_total()), 0.0);
+    for (engine::KeyGroupId g = 0; g < planned.num_groups(); ++g) {
+      const engine::NodeId n = planned.node_of(g);
+      if (n >= 0 && cluster_->is_active(n)) node_load[n] += group_loads[g];
+    }
+    for (const engine::KeyGroupId g : lost) {
+      engine::NodeId best = engine::kInvalidNode;
+      double best_load = std::numeric_limits<double>::infinity();
+      for (engine::NodeId n = 0; n < cluster_->num_nodes_total(); ++n) {
+        if (!cluster_->is_active(n)) continue;
+        const double l = node_load[n] / cluster_->capacity(n);
+        if (l < best_load) {
+          best_load = l;
+          best = n;
+        }
+      }
+      if (best == engine::kInvalidNode) {
+        return Status::Internal("no active nodes left to recover onto");
+      }
+      planned.set_node(g, best);
+      node_load[best] += group_loads[g];
+    }
+  }
+
+  // Decide: one integrative adaptation round (Algorithm 1).
   ALBIC_ASSIGN_OR_RETURN(
       AdaptationRound adaptation,
       framework_->RunRound(*topology_, *load_model_, group_loads, comm,
                            cluster_, &planned));
 
   // Act: apply the plan's migrations to the live engine. Each one buffers
-  // tuples in flight for the group and drains them at the target.
+  // tuples in flight for the group and drains them at the target. Lost
+  // groups are skipped here (StartMigration rejects them) and restored
+  // below at their planned placement.
+  const engine::MigrationMode mode =
+      options_.use_indirect_migration && engine_->checkpointing_enabled()
+          ? engine::MigrationMode::kIndirect
+          : engine::MigrationMode::kDirect;
   ControllerRound round;
   for (const engine::Migration& m : adaptation.plan.migrations) {
     ++round.migrations_planned;
-    if (!engine_->StartMigration(m.group, m.to).ok()) continue;
+    if (!engine_->StartMigration(m.group, m.to, mode).ok()) continue;
     Result<double> pause = engine_->FinishMigration(m.group);
     if (pause.ok()) {
       ++round.migrations_applied;
@@ -118,10 +183,38 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
     }
   }
 
+  // Recover: restore every lost group (checkpoint + replay) at its planned
+  // node and drain the tuples buffered during the outage.
+  for (const engine::KeyGroupId g : lost) {
+    engine::NodeId to = planned.node_of(g);
+    if (to < 0 || !cluster_->is_active(to)) {
+      const std::vector<engine::NodeId> active = cluster_->active_nodes();
+      if (active.empty()) {
+        return Status::Internal("no active nodes left to recover onto");
+      }
+      to = active.front();
+    }
+    ALBIC_ASSIGN_OR_RETURN(const engine::GroupRecovery rec,
+                           engine_->RecoverGroup(g, to));
+    ++round.groups_recovered;
+    round.tuples_replayed += rec.replayed;
+    round.recovery_pause_us += rec.pause_us;
+  }
+  if (!lost.empty()) {
+    round.recovery_wall_us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - recovery_start)
+            .count();
+  }
+  round.nodes_failed = nodes_failed_pending_;
+  nodes_failed_pending_ = 0;
+
   round.period = static_cast<int>(history_.size());
   round.tuples_processed = stats.tuples_processed;
   for (const int64_t n : stats.shard_ingested) round.tuples_ingested += n;
   round.tuples_buffered = stats.tuples_buffered;
+  round.checkpoints_taken = stats.checkpoints_taken;
+  round.checkpoint_bytes = stats.checkpoint_bytes;
   round.nodes_added = adaptation.nodes_added;
   round.nodes_terminated = adaptation.nodes_terminated;
   round.nodes_marked = adaptation.nodes_marked;

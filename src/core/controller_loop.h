@@ -4,6 +4,9 @@
 /// \brief ControllerLoop, the online measure -> decide -> act
 /// cycle: harvests measured engine statistics every period, runs one
 /// adaptation round and applies the planned migrations to the live engine.
+/// Node failures (KillNode) are handled as just another reconfiguration:
+/// the next round re-plans the assignment over the surviving nodes and
+/// restores every lost group from its checkpoint + replay-log suffix.
 
 #include <cstdint>
 #include <functional>
@@ -31,6 +34,10 @@ struct ControllerLoopOptions {
   /// Feed the measured communication matrix into the snapshot (enables
   /// collocation-aware planning); disable for pure load-balancing jobs.
   bool use_comm = true;
+  /// Apply planned migrations indirectly (checkpoint + replay, pause
+  /// O(log suffix) instead of O(state)); requires the engine to have
+  /// checkpointing enabled — ignored (direct migration) otherwise.
+  bool use_indirect_migration = false;
 };
 
 /// \brief Compact record of one adaptation round driven by the controller.
@@ -52,6 +59,16 @@ struct ControllerRound {
   int marked_nodes = 0;        ///< Ditto (drain still in progress).
   double mean_load = 0.0;      ///< Measured, after this round's migrations.
   double load_distance = 0.0;  ///< Ditto.
+  // Fault tolerance (0 on failure-free rounds).
+  int nodes_failed = 0;         ///< Nodes killed since the previous round.
+  int groups_recovered = 0;     ///< Lost groups restored this round.
+  int64_t tuples_replayed = 0;  ///< Log entries reapplied during recovery.
+  double recovery_pause_us = 0.0;  ///< Modeled restore + replay latency.
+  /// Measured wall-clock time of the whole recovery: detection, re-planning
+  /// over the survivors, restore + replay, buffered-tuple drain.
+  double recovery_wall_us = 0.0;
+  int64_t checkpoints_taken = 0;   ///< Group snapshots in this period.
+  int64_t checkpoint_bytes = 0;    ///< Snapshot bytes in this period.
 };
 
 /// \brief The online control loop (§3, "Controller"): turns Algorithm 1
@@ -95,7 +112,16 @@ class ControllerLoop {
   Status IngestRouted(engine::OperatorId source_op, int shard, int group,
                       const engine::Tuple* tuples, size_t count);
 
+  /// \brief Failure injection: drops node \p node abruptly. The state of
+  /// every key group on it is lost; new input for those groups buffers
+  /// (like a migration in progress). The next control round detects the
+  /// failure, re-plans the assignment over the surviving nodes and
+  /// restores each lost group from checkpoint + replay — no tuple is lost.
+  /// Requires the engine to have checkpointing enabled.
+  Status KillNode(engine::NodeId node);
+
   /// \brief Runs one adaptation round immediately (e.g. at end of stream).
+  /// If nodes failed since the last round, this round performs recovery.
   Result<ControllerRound> RunRoundNow();
 
   int rounds_run() const { return static_cast<int>(history_.size()); }
@@ -121,6 +147,7 @@ class ControllerLoop {
   std::vector<ControllerRound> history_;
   int64_t period_start_us_ = 0;
   bool period_initialized_ = false;
+  int nodes_failed_pending_ = 0;  ///< KillNode calls since the last round.
 };
 
 /// \brief ShardSink over the online controller: sharded sources stream

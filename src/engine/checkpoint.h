@@ -1,0 +1,207 @@
+#pragma once
+
+/// \file
+/// \brief Checkpoint subsystem: versioned per-key-group snapshot
+/// stores (in-memory and file-backed) and the CheckpointCoordinator that
+/// takes periodic incremental checkpoints at engine safe points. Together
+/// with the per-group replay logs this gives the paper's integrative
+/// mechanism: indirect migration and failure recovery are both
+/// "restore latest checkpoint + replay the logged suffix".
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/types.h"
+
+namespace albic::engine {
+
+class LocalEngine;
+
+/// \brief Metadata of one stored group snapshot.
+struct CheckpointInfo {
+  uint64_t version = 0;  ///< Monotone per group, assigned by the store.
+  uint64_t seq = 0;      ///< Replay-log sequence the snapshot includes:
+                         ///< state = snapshot + entries with seq >= this.
+  uint64_t bytes = 0;    ///< Serialized state size.
+};
+
+/// \brief Ingestion positions recorded with each checkpoint round:
+/// cumulative tuples ingested per source shard at snapshot time. A driver
+/// holding replayable Sources can rewind them to these offsets to
+/// regenerate everything past the snapshot.
+struct CheckpointManifest {
+  uint64_t epoch = 0;  ///< Checkpoint round counter.
+  std::vector<int64_t> shard_offsets;
+};
+
+/// \brief Storage backend for group snapshots.
+///
+/// Keyed by global KeyGroupId (which encodes the operator), versioned per
+/// group; a backend retains the most recent `retain_versions` snapshots of
+/// each group. All calls are made from the engine's driving thread.
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+
+  /// \brief Stores a new snapshot of \p group covering log sequence \p seq;
+  /// returns the assigned version.
+  virtual Result<CheckpointInfo> Put(KeyGroupId group, uint64_t seq,
+                                     const std::string& state) = 0;
+
+  /// \brief Fetches the newest snapshot of \p group; false when none.
+  /// Either output may be null when only the other is wanted.
+  virtual bool Latest(KeyGroupId group, CheckpointInfo* info,
+                      std::string* state) const = 0;
+
+  /// \brief Fetches a specific retained version; false when evicted/absent.
+  virtual bool Get(KeyGroupId group, uint64_t version, CheckpointInfo* info,
+                   std::string* state) const = 0;
+
+  /// \brief Records the ingestion positions of a checkpoint round.
+  virtual Status PutManifest(const CheckpointManifest& manifest) = 0;
+
+  /// \brief Fetches the most recent manifest; false when none written.
+  virtual bool LatestManifest(CheckpointManifest* out) const = 0;
+
+  /// \brief Snapshots written over the store's lifetime.
+  virtual int64_t puts() const = 0;
+
+  /// \brief Serialized bytes currently retained.
+  virtual int64_t stored_bytes() const = 0;
+};
+
+/// \brief In-memory CheckpointStore (tests, benches, single-process jobs).
+class MemoryCheckpointStore final : public CheckpointStore {
+ public:
+  explicit MemoryCheckpointStore(int retain_versions = 2);
+
+  Result<CheckpointInfo> Put(KeyGroupId group, uint64_t seq,
+                             const std::string& state) override;
+  bool Latest(KeyGroupId group, CheckpointInfo* info,
+              std::string* state) const override;
+  bool Get(KeyGroupId group, uint64_t version, CheckpointInfo* info,
+           std::string* state) const override;
+  Status PutManifest(const CheckpointManifest& manifest) override;
+  bool LatestManifest(CheckpointManifest* out) const override;
+  int64_t puts() const override { return puts_; }
+  int64_t stored_bytes() const override { return stored_bytes_; }
+
+ private:
+  struct Snapshot {
+    CheckpointInfo info;
+    std::string state;
+  };
+
+  int retain_versions_;
+  std::unordered_map<KeyGroupId, std::vector<Snapshot>> groups_;
+  CheckpointManifest manifest_;
+  bool has_manifest_ = false;
+  int64_t puts_ = 0;
+  int64_t stored_bytes_ = 0;
+};
+
+/// \brief File-backed CheckpointStore: one file per (group, version) under
+/// a directory, plus a MANIFEST file. Open() re-indexes an existing
+/// directory, so a restarted process recovers from what is on disk.
+class FileCheckpointStore final : public CheckpointStore {
+ public:
+  /// \brief Opens (creating if needed) \p dir and indexes its snapshots.
+  static Result<std::unique_ptr<FileCheckpointStore>> Open(
+      const std::string& dir, int retain_versions = 2);
+
+  Result<CheckpointInfo> Put(KeyGroupId group, uint64_t seq,
+                             const std::string& state) override;
+  bool Latest(KeyGroupId group, CheckpointInfo* info,
+              std::string* state) const override;
+  bool Get(KeyGroupId group, uint64_t version, CheckpointInfo* info,
+           std::string* state) const override;
+  Status PutManifest(const CheckpointManifest& manifest) override;
+  bool LatestManifest(CheckpointManifest* out) const override;
+  int64_t puts() const override { return puts_; }
+  int64_t stored_bytes() const override { return stored_bytes_; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  FileCheckpointStore(std::string dir, int retain_versions)
+      : dir_(std::move(dir)), retain_versions_(retain_versions) {}
+
+  std::string PathFor(KeyGroupId group, uint64_t version) const;
+
+  std::string dir_;
+  int retain_versions_;
+  /// Retained versions per group, oldest first (state stays on disk).
+  std::unordered_map<KeyGroupId, std::vector<CheckpointInfo>> index_;
+  int64_t puts_ = 0;
+  int64_t stored_bytes_ = 0;
+};
+
+/// \brief Knobs of the checkpoint coordinator.
+struct CheckpointCoordinatorOptions {
+  /// Event-time between checkpoint rounds (like the engine's windows, the
+  /// origin is anchored at the first safe point observed).
+  int64_t interval_us = 60LL * 1000 * 1000;
+  /// Soft per-group replay-log bound: a group whose log outgrows this
+  /// forces a round at the next safe point, so log memory stays bounded
+  /// and every group keeps "checkpoint + short suffix = live state".
+  /// The default bounds a group's log at ~2 MiB (65536 * 32-byte tuples);
+  /// forced rounds interrupt the hot path, so the bound is sized to fire
+  /// only when a group is far busier than its checkpoint cadence assumes.
+  size_t max_log_entries = 65536;
+};
+
+/// \brief Counters of the coordinator's activity.
+struct CheckpointCoordinatorStats {
+  int64_t rounds = 0;           ///< Checkpoint rounds taken.
+  int64_t forced_rounds = 0;    ///< Rounds triggered by log overflow.
+  int64_t snapshots = 0;        ///< Group snapshots written.
+  int64_t snapshot_bytes = 0;   ///< Serialized bytes written.
+  double round_wall_us = 0.0;   ///< Wall-clock time spent in rounds.
+};
+
+/// \brief Drives periodic asynchronous incremental checkpoints.
+///
+/// The engine calls OnSafePoint at quiescent instants — between worker
+/// waves in the batched runtime, between tuples in the tuple-at-a-time
+/// path. When a round is due (event-time interval elapsed, or some group's
+/// replay log overflowed its soft bound), the coordinator snapshots every
+/// dirty group: only groups whose state changed since their last snapshot
+/// are serialized (incremental), and processing never drains globally —
+/// per-group consistency (snapshot seq + log suffix) is all that indirect
+/// migration and recovery need, so no stop-the-world alignment exists.
+///
+/// A store error disables further rounds and is kept in last_error()
+/// (checkpointing degrades, the pipeline keeps running).
+class CheckpointCoordinator {
+ public:
+  /// \brief \p store is not owned and must outlive the coordinator.
+  explicit CheckpointCoordinator(CheckpointStore* store,
+                                 CheckpointCoordinatorOptions options = {});
+
+  /// \brief Engine hook: takes a checkpoint round if one is due.
+  void OnSafePoint(LocalEngine* engine);
+
+  /// \brief Takes a round now regardless of due-ness; returns the number
+  /// of groups snapshotted.
+  Result<int> CheckpointNow(LocalEngine* engine);
+
+  CheckpointStore* store() const { return store_; }
+  const CheckpointCoordinatorOptions& options() const { return options_; }
+  const CheckpointCoordinatorStats& stats() const { return stats_; }
+  const Status& last_error() const { return last_error_; }
+
+ private:
+  CheckpointStore* store_;
+  CheckpointCoordinatorOptions options_;
+  CheckpointCoordinatorStats stats_;
+  Status last_error_ = Status::OK();
+  int64_t last_round_us_ = 0;
+  bool time_initialized_ = false;
+};
+
+}  // namespace albic::engine

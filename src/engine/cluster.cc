@@ -40,6 +40,18 @@ Status Cluster::Terminate(NodeId id) {
   return Status::OK();
 }
 
+Status Cluster::Fail(NodeId id) {
+  if (id < 0 || id >= num_nodes_total()) {
+    return Status::InvalidArgument("unknown node");
+  }
+  if (!nodes_[id].active) {
+    return Status::InvalidArgument("node already inactive");
+  }
+  nodes_[id].active = false;
+  nodes_[id].marked_for_removal = false;
+  return Status::OK();
+}
+
 int Cluster::num_active() const {
   int n = 0;
   for (const NodeInfo& node : nodes_) n += node.active ? 1 : 0;

@@ -45,6 +45,11 @@ class Cluster {
   /// \brief Terminates a node. Caller must ensure it holds no key groups.
   Status Terminate(NodeId id);
 
+  /// \brief Drops a node abruptly (failure injection): unlike Terminate the
+  /// node may still hold key groups — their state is lost and must be
+  /// recovered from checkpoints (LocalEngine::FailNode does both halves).
+  Status Fail(NodeId id);
+
   int num_nodes_total() const { return static_cast<int>(nodes_.size()); }
   /// \brief Number of active (not terminated) nodes, including marked ones.
   int num_active() const;

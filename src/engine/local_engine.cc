@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 #include <utility>
 
 #include "common/hash.h"
+#include "engine/checkpoint.h"
 
 namespace albic::engine {
 
@@ -26,6 +28,14 @@ class BatchEmitter : public Emitter {
 
  private:
   TupleBatch* staged_;
+};
+
+/// Emitter used when replaying a group's log: the original emissions
+/// already reached the downstream groups (each covers itself via its own
+/// checkpoint + log), so replay rebuilds state only.
+class NullEmitter : public Emitter {
+ public:
+  void Emit(const Tuple& tuple) override { (void)tuple; }
 };
 
 }  // namespace
@@ -141,6 +151,9 @@ void LocalEngine::MaybeFireWindows(int64_t new_time) {
       if (operators_[op] == nullptr) continue;
       const int n = topology_->op(op).num_key_groups;
       for (int gi = 0; gi < n; ++gi) {
+        const KeyGroupId g = topology_->first_group(op) + gi;
+        if (migrating_[g].lost) continue;  // nothing to fire; see FailNode
+        if (checkpointer_ != nullptr) LogWindowFire(g);
         GroupEmitter emitter(this, op, gi);
         operators_[op]->OnWindow(gi, &emitter);
       }
@@ -153,6 +166,10 @@ void LocalEngine::CountIngested(int shard, size_t count) {
     period_.shard_ingested.resize(static_cast<size_t>(shard) + 1, 0);
   }
   period_.shard_ingested[shard] += static_cast<int64_t>(count);
+  if (static_cast<size_t>(shard) >= shard_offsets_.size()) {
+    shard_offsets_.resize(static_cast<size_t>(shard) + 1, 0);
+  }
+  shard_offsets_[shard] += static_cast<int64_t>(count);
 }
 
 Status LocalEngine::Inject(OperatorId source_op, const Tuple& tuple) {
@@ -196,6 +213,8 @@ Status LocalEngine::Inject(OperatorId source_op, const Tuple& tuple) {
                                 topology_->op(source_op).num_key_groups),
             tuple);
   }
+  // The cascade is complete — a safe point for an incremental checkpoint.
+  if (checkpointer_ != nullptr) checkpointer_->OnSafePoint(this);
   return Status::OK();
 }
 
@@ -207,9 +226,17 @@ void LocalEngine::FlushInjectScatter(OperatorId source_op) {
   // ingress_.
   for (const int group : inject_touched_) {
     std::vector<Tuple>& bucket = inject_buckets_[group];
+    const size_t delivered = bucket.size();
     TupleBatch batch(std::move(bucket));
-    DeliverBatch(&coordinator_, source_op, group, batch);
+    DeliverBatch(&coordinator_, source_op, group, &batch);
     bucket = std::move(batch.mutable_tuples());
+    // The replay log may have taken the vector; replace it from the pool,
+    // pre-sized to what this bucket just carried, so the bucket keeps
+    // amortizing its growth.
+    if (bucket.capacity() == 0) {
+      bucket = AcquireVec(&coordinator_);
+      if (bucket.capacity() < delivered) bucket.reserve(delivered);
+    }
     bucket.clear();
   }
   inject_touched_.clear();
@@ -293,6 +320,7 @@ Status LocalEngine::InjectRouted(OperatorId source_op, int shard,
       } else {
         Deliver(source_op, group_index, t);
       }
+      if (checkpointer_ != nullptr) checkpointer_->OnSafePoint(this);
     }
     return Status::OK();
   }
@@ -355,6 +383,7 @@ void LocalEngine::Deliver(OperatorId op, int group_index, const Tuple& tuple) {
   if (node != kInvalidNode) period_.node_work[node] += cost;
   ++period_.tuples_processed;
   if (operators_[op] != nullptr) {
+    if (checkpointer_ != nullptr) LogDeliveredRun(g, &tuple, 1);
     GroupEmitter emitter(this, op, group_index);
     operators_[op]->Process(tuple, group_index, &emitter);
   } else {
@@ -430,7 +459,23 @@ std::vector<Tuple> LocalEngine::AcquireVec(WorkerContext* ctx) {
   return v;
 }
 
+std::vector<Tuple> LocalEngine::AcquireVecFor(WorkerContext* ctx,
+                                              size_t first_run) {
+  std::vector<Tuple> v = AcquireVec(ctx);
+  // With checkpointing on, the replay log keeps the delivered vectors, so
+  // the pool often runs dry and fresh vectors would regrow by doubling on
+  // every appended run — an extra pass over the whole stream. Reserving a
+  // few runs up front caps that; without checkpointing pooled vectors
+  // already carry their capacity and the reserve is a no-op.
+  if (checkpointer_ != nullptr && v.capacity() < first_run * 8) {
+    v.reserve(std::min(static_cast<size_t>(options_.max_batch_tuples),
+                       first_run * 8));
+  }
+  return v;
+}
+
 void LocalEngine::ReleaseVec(WorkerContext* ctx, std::vector<Tuple>&& vec) {
+  if (vec.capacity() == 0) return;  // taken by a replay log; nothing to keep
   if (ctx->vec_pool.size() < 256) ctx->vec_pool.push_back(std::move(vec));
 }
 
@@ -465,7 +510,8 @@ void LocalEngine::AppendRouted(WorkerContext* ctx, NodeId node, OperatorId op,
       return;
     }
     slot = static_cast<int32_t>(box.size());
-    box.push_back(PendingBatch{op, group_index, TupleBatch(AcquireVec(ctx))});
+    box.push_back(
+        PendingBatch{op, group_index, TupleBatch(AcquireVecFor(ctx, count))});
     std::vector<Tuple>& dst = box.back().batch.mutable_tuples();
     dst.insert(dst.end(), data, data + count);
     return;
@@ -481,8 +527,9 @@ void LocalEngine::AppendRouted(WorkerContext* ctx, NodeId node, OperatorId op,
     return;
   }
   slot = static_cast<int32_t>(out.size());
-  out.emplace_back(mailbox,
-                   PendingBatch{op, group_index, TupleBatch(AcquireVec(ctx))});
+  out.emplace_back(
+      mailbox,
+      PendingBatch{op, group_index, TupleBatch(AcquireVecFor(ctx, count))});
   std::vector<Tuple>& dst = out.back().second.batch.mutable_tuples();
   dst.insert(dst.end(), data, data + count);
 }
@@ -554,7 +601,8 @@ void LocalEngine::RouteBatch(WorkerContext* ctx, OperatorId from_op,
 }
 
 void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
-                               int group_index, const TupleBatch& batch) {
+                               int group_index, TupleBatch* batch_ptr) {
+  const TupleBatch& batch = *batch_ptr;
   if (batch.empty()) return;
   const KeyGroupId g = topology_->first_group(op) + group_index;
   MigrationState& mig = migrating_[g];
@@ -586,12 +634,16 @@ void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
       }
       ScatterEmitter emitter(ctx, down_groups);
       operators_[op]->ProcessBatch(batch, group_index, &emitter);
+      // Steal the consumed batch into the replay log (zero-copy logging);
+      // after this the batch is empty and must not be read again.
+      if (checkpointer_ != nullptr) LogDeliveredBatch(g, batch_ptr);
       FlushBuckets(ctx, down[0].to, g, node);
       return;
     }
     ctx->emitted.clear();
     BatchEmitter emitter(&ctx->emitted);
     operators_[op]->ProcessBatch(batch, group_index, &emitter);
+    if (checkpointer_ != nullptr) LogDeliveredBatch(g, batch_ptr);
     RouteBatch(ctx, op, group_index, ctx->emitted);
   } else {
     RouteBatch(ctx, op, group_index, batch);
@@ -602,7 +654,7 @@ void LocalEngine::RunWave(std::vector<std::vector<PendingBatch>>* wave) {
   if (options_.num_workers == 1) {
     for (std::vector<PendingBatch>& box : *wave) {
       for (PendingBatch& pb : box) {
-        DeliverBatch(&coordinator_, pb.op, pb.group_index, pb.batch);
+        DeliverBatch(&coordinator_, pb.op, pb.group_index, &pb.batch);
         ReleaseVec(&coordinator_, std::move(pb.batch.mutable_tuples()));
       }
     }
@@ -614,7 +666,7 @@ void LocalEngine::RunWave(std::vector<std::vector<PendingBatch>>* wave) {
     for (size_t node = 0; node < wave->size(); ++node) {
       if (static_cast<int>(node % static_cast<size_t>(workers)) != w) continue;
       for (PendingBatch& pb : (*wave)[node]) {
-        DeliverBatch(&ctx, pb.op, pb.group_index, pb.batch);
+        DeliverBatch(&ctx, pb.op, pb.group_index, &pb.batch);
         ReleaseVec(&ctx, std::move(pb.batch.mutable_tuples()));
       }
     }
@@ -662,6 +714,10 @@ void LocalEngine::DrainAll() {
       wave[n].swap(mailboxes_[n]);
     }
     RunWave(&wave);
+    // Between worker waves every operator is quiescent and each group's
+    // log matches its state — the safe point for asynchronous incremental
+    // checkpoints (no global drain or alignment required).
+    if (checkpointer_ != nullptr) checkpointer_->OnSafePoint(this);
   }
   // Fold the workers' period contributions into the engine's stats.
   for (WorkerContext& ctx : worker_ctx_) MergeStats(&period_, &ctx.local);
@@ -696,9 +752,17 @@ void LocalEngine::MergeStats(EnginePeriodStats* into,
   into->tuples_processed += from->tuples_processed;
   into->tuples_buffered += from->tuples_buffered;
   into->migration_pause_us += from->migration_pause_us;
+  into->checkpoints_taken += from->checkpoints_taken;
+  into->checkpoint_bytes += from->checkpoint_bytes;
+  into->tuples_replayed += from->tuples_replayed;
+  into->groups_recovered += from->groups_recovered;
   from->tuples_processed = 0;
   from->tuples_buffered = 0;
   from->migration_pause_us = 0.0;
+  from->checkpoints_taken = 0;
+  from->checkpoint_bytes = 0;
+  from->tuples_replayed = 0;
+  from->groups_recovered = 0;
 }
 
 void LocalEngine::MaybeFireWindowsBatched(int64_t new_time) {
@@ -718,6 +782,9 @@ void LocalEngine::MaybeFireWindowsBatched(int64_t new_time) {
       if (operators_[op] == nullptr) continue;
       const int n = topology_->op(op).num_key_groups;
       for (int gi = 0; gi < n; ++gi) {
+        const KeyGroupId g = topology_->first_group(op) + gi;
+        if (migrating_[g].lost) continue;  // nothing to fire; see FailNode
+        if (checkpointer_ != nullptr) LogWindowFire(g);
         coordinator_.emitted.clear();
         BatchEmitter emitter(&coordinator_.emitted);
         operators_[op]->OnWindow(gi, &emitter);
@@ -731,16 +798,21 @@ void LocalEngine::MaybeFireWindowsBatched(int64_t new_time) {
 }
 
 // ---------------------------------------------------------------------------
-// Migration and statistics (shared by both modes).
+// Migration, checkpointing and recovery (shared by both modes).
 // ---------------------------------------------------------------------------
 
-Status LocalEngine::StartMigration(KeyGroupId group, NodeId to) {
+Status LocalEngine::StartMigration(KeyGroupId group, NodeId to,
+                                   MigrationMode mode) {
   if (group < 0 || group >= topology_->num_key_groups()) {
     return Status::InvalidArgument("unknown key group");
   }
   if (to < 0 || to >= cluster_->num_nodes_total() ||
       !cluster_->is_active(to)) {
     return Status::InvalidArgument("migration target node not active");
+  }
+  if (mode == MigrationMode::kIndirect && checkpointer_ == nullptr) {
+    return Status::InvalidArgument(
+        "indirect migration requires checkpointing (EnableCheckpointing)");
   }
   MigrationState& mig = migrating_[group];
   if (mig.active) {
@@ -751,43 +823,22 @@ Status LocalEngine::StartMigration(KeyGroupId group, NodeId to) {
   }
   mig.active = true;
   mig.target = to;
+  mig.mode = mode;
   return Status::OK();
 }
 
-Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
+void LocalEngine::DrainMigrationBuffer(KeyGroupId group) {
   MigrationState& mig = migrating_[group];
-  if (!mig.active) {
-    return Status::InvalidArgument("group is not migrating");
-  }
-  const OperatorId op = topology_->group_operator(group);
-  const int local = topology_->group_index_in_operator(group);
-
-  // Serialize at the source, clear, deserialize at the target. In this
-  // single-process runtime the round-trip is real; the inter-node transfer
-  // is modeled as pause time proportional to the serialized size.
-  double pause_us = 0.0;
-  if (operators_[op] != nullptr) {
-    const std::string state = operators_[op]->SerializeGroupState(local);
-    operators_[op]->ClearGroupState(local);
-    ALBIC_RETURN_NOT_OK(operators_[op]->DeserializeGroupState(local, state));
-    // 2.5 s/MiB, matching the per-group pause §5.2.2 reports.
-    pause_us = 2.5e6 * static_cast<double>(state.size()) / (1 << 20);
-  }
-  period_.migration_pause_us += pause_us;
-
-  assignment_.set_node(group, mig.target);
-  mig.active = false;
-  mig.target = kInvalidNode;
-
-  // Drain buffered tuples at the new node.
   std::deque<Tuple> buffered;
   buffered.swap(mig.buffer);
+  const OperatorId op = topology_->group_operator(group);
+  const int local = topology_->group_index_in_operator(group);
   if (options_.mode == ExecutionMode::kBatched) {
     if (!buffered.empty()) {
       TupleBatch batch;
       batch.reserve(buffered.size());
       for (const Tuple& t : buffered) batch.push_back(t);
-      DeliverBatch(&coordinator_, op, local, batch);
+      DeliverBatch(&coordinator_, op, local, &batch);
     }
     DrainAll();
   } else {
@@ -795,12 +846,243 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
       Deliver(op, local, t);
     }
   }
+}
+
+Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
+  MigrationState& mig = migrating_[group];
+  if (!mig.active) {
+    return Status::InvalidArgument("group is not migrating");
+  }
+  if (mig.lost) {
+    return Status::InvalidArgument("group is lost; use RecoverGroup");
+  }
+  const OperatorId op = topology_->group_operator(group);
+  const int local = topology_->group_index_in_operator(group);
+
+  double pause_us = 0.0;
+  if (operators_[op] != nullptr) {
+    bool indirect_done = false;
+    if (mig.mode == MigrationMode::kIndirect) {
+      // Indirect migration (§3): the target restores the group's latest
+      // checkpoint — transferred in the background, so it contributes no
+      // pause — and replays the logged suffix. Only the suffix is paused
+      // on: O(suffix) instead of O(state).
+      CheckpointInfo info;
+      std::string ckpt;
+      if (checkpointer_->store()->Latest(group, &info, &ckpt) &&
+          group_logs_[group].base_seq() <= info.seq) {
+        operators_[op]->ClearGroupState(local);
+        ALBIC_RETURN_NOT_OK(
+            operators_[op]->DeserializeGroupState(local, ckpt));
+        const int64_t replayed = ReplayLogSuffix(group, info.seq);
+        period_.tuples_replayed += replayed;
+        pause_us = kEnginePauseUsPerByte *
+                   static_cast<double>(replayed) * sizeof(Tuple);
+        indirect_done = true;
+      }
+      // No usable checkpoint — fall back to the direct round-trip below.
+    }
+    if (!indirect_done) {
+      // Direct state migration: serialize at the source, clear,
+      // deserialize at the target. In this single-process runtime the
+      // round-trip is real; the inter-node transfer is modeled as pause
+      // time proportional to the serialized size (2.5 s/MiB, §5.2.2).
+      const std::string state = operators_[op]->SerializeGroupState(local);
+      operators_[op]->ClearGroupState(local);
+      ALBIC_RETURN_NOT_OK(operators_[op]->DeserializeGroupState(local, state));
+      pause_us = kEnginePauseUsPerByte * static_cast<double>(state.size());
+    }
+  }
+  period_.migration_pause_us += pause_us;
+
+  assignment_.set_node(group, mig.target);
+  mig.active = false;
+  mig.target = kInvalidNode;
+  mig.mode = MigrationMode::kDirect;
+
+  DrainMigrationBuffer(group);
   return pause_us;
 }
 
-Status LocalEngine::MigrateGroup(KeyGroupId group, NodeId to) {
-  ALBIC_RETURN_NOT_OK(StartMigration(group, to));
+Status LocalEngine::MigrateGroup(KeyGroupId group, NodeId to,
+                                 MigrationMode mode) {
+  ALBIC_RETURN_NOT_OK(StartMigration(group, to, mode));
   return FinishMigration(group).status();
+}
+
+Status LocalEngine::EnableCheckpointing(CheckpointCoordinator* coordinator) {
+  if (coordinator == nullptr) {
+    return Status::InvalidArgument("null checkpoint coordinator");
+  }
+  if (checkpointer_ != nullptr) {
+    return Status::AlreadyExists("checkpointing already enabled");
+  }
+  checkpointer_ = coordinator;
+  max_log_entries_ = coordinator->options().max_log_entries;
+  const size_t n = static_cast<size_t>(topology_->num_key_groups());
+  group_logs_.assign(n, ReplayLog());
+  // Everything is dirty at attach: the initial round takes a full snapshot
+  // of every operator group, establishing "latest checkpoint + logged
+  // suffix = live state" before any log entry exists.
+  group_dirty_.assign(n, 1);
+  const Result<int> initial = coordinator->CheckpointNow(this);
+  if (!initial.ok()) {
+    checkpointer_ = nullptr;
+    return initial.status();
+  }
+  return Status::OK();
+}
+
+Result<CheckpointRoundResult> LocalEngine::CheckpointDirtyGroups() {
+  if (checkpointer_ == nullptr) {
+    return Status::InvalidArgument("checkpointing not enabled");
+  }
+  CheckpointStore* store = checkpointer_->store();
+  CheckpointRoundResult result;
+  for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
+    if (group_dirty_[g] == 0) continue;
+    const OperatorId op = topology_->group_operator(g);
+    if (operators_[op] == nullptr) {
+      group_dirty_[g] = 0;  // stateless fan-out groups have nothing to save
+      continue;
+    }
+    // A lost group's live state is gone; overwriting its snapshot with the
+    // cleared state would destroy the recovery source. It stays dirty and
+    // is snapshotted on the first round after recovery.
+    if (migrating_[g].lost) continue;
+    const int local = topology_->group_index_in_operator(g);
+    const std::string state = operators_[op]->SerializeGroupState(local);
+    const uint64_t seq = group_logs_[g].next_seq();
+    ALBIC_ASSIGN_OR_RETURN(const CheckpointInfo info,
+                           store->Put(g, seq, state));
+    (void)info;
+    // Truncate the covered prefix; fully consumed chunk vectors go back to
+    // the coordinator's pool, closing the zero-copy loop (mailbox batch ->
+    // log chunk -> pool -> mailbox batch).
+    freed_chunks_.clear();
+    group_logs_[g].TruncateBefore(seq, &freed_chunks_);
+    for (std::vector<Tuple>& vec : freed_chunks_) {
+      ReleaseVec(&coordinator_, std::move(vec));
+    }
+    group_dirty_[g] = 0;
+    ++result.groups;
+    result.bytes += static_cast<int64_t>(state.size());
+  }
+  log_overflow_.store(false, std::memory_order_relaxed);
+  ++checkpoint_epoch_;
+  CheckpointManifest manifest;
+  manifest.epoch = checkpoint_epoch_;
+  manifest.shard_offsets = shard_offsets_;
+  ALBIC_RETURN_NOT_OK(store->PutManifest(manifest));
+  period_.checkpoints_taken += result.groups;
+  period_.checkpoint_bytes += result.bytes;
+  return result;
+}
+
+void LocalEngine::LogWindowFire(KeyGroupId g) {
+  // Window firings mutate windowed state (counts reset, last-window output
+  // replaced); without them in the log, replayed counts would accumulate
+  // across window boundaries.
+  group_logs_[g].AppendWindowFire();
+  MarkLogged(g);
+}
+
+int64_t LocalEngine::ReplayLogSuffix(KeyGroupId g, uint64_t from_seq) {
+  StreamOperator* op = operators_[topology_->group_operator(g)];
+  const int local = topology_->group_index_in_operator(g);
+  NullEmitter discard;
+  return group_logs_[g].ReplayFrom(
+      from_seq,
+      [&](const Tuple& t) { op->Process(t, local, &discard); },
+      [&] { op->OnWindow(local, &discard); });
+}
+
+Status LocalEngine::FailNode(NodeId node) {
+  if (node < 0 || node >= cluster_->num_nodes_total()) {
+    return Status::InvalidArgument("unknown node");
+  }
+  if (checkpointer_ == nullptr) {
+    return Status::InvalidArgument(
+        "failure injection requires checkpointing: lost state would be "
+        "unrecoverable");
+  }
+  for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
+    MigrationState& mig = migrating_[g];
+    if (assignment_.node_of(g) == node) {
+      // The group dies with its node: its live state is lost, and new
+      // input buffers exactly as during a migration until RecoverGroup
+      // restores it elsewhere — recovery is just another reconfiguration.
+      const OperatorId op = topology_->group_operator(g);
+      if (operators_[op] != nullptr) {
+        operators_[op]->ClearGroupState(
+            topology_->group_index_in_operator(g));
+      }
+      if (!mig.lost) lost_groups_.push_back(g);
+      mig.active = true;
+      mig.lost = true;
+      mig.target = kInvalidNode;
+      mig.mode = MigrationMode::kDirect;
+    } else if (mig.active && mig.target == node) {
+      // Migration toward the dead node: the state never left the source —
+      // cancel the move and release the buffered tuples at the source.
+      mig.active = false;
+      mig.target = kInvalidNode;
+      mig.mode = MigrationMode::kDirect;
+      DrainMigrationBuffer(g);
+    }
+  }
+  return Status::OK();
+}
+
+Result<GroupRecovery> LocalEngine::RecoverGroup(KeyGroupId group, NodeId to) {
+  if (group < 0 || group >= topology_->num_key_groups()) {
+    return Status::InvalidArgument("unknown key group");
+  }
+  MigrationState& mig = migrating_[group];
+  if (!mig.active || !mig.lost) {
+    return Status::InvalidArgument("group is not lost");
+  }
+  if (to < 0 || to >= cluster_->num_nodes_total() ||
+      !cluster_->is_active(to)) {
+    return Status::InvalidArgument("recovery target node not active");
+  }
+  const OperatorId op = topology_->group_operator(group);
+  const int local = topology_->group_index_in_operator(group);
+  GroupRecovery out;
+  if (operators_[op] != nullptr) {
+    // Reconstruct: latest checkpoint + logged suffix. The state was
+    // cleared at failure time, so a group that was never checkpointed
+    // replays its full log onto fresh state (EnableCheckpointing's initial
+    // full round makes that case an error-path rarity, not the norm).
+    CheckpointInfo info;
+    std::string state;
+    uint64_t from_seq = 0;
+    if (checkpointer_->store()->Latest(group, &info, &state)) {
+      ALBIC_RETURN_NOT_OK(operators_[op]->DeserializeGroupState(local, state));
+      from_seq = info.seq;
+      out.restored_bytes = state.size();
+    }
+    if (group_logs_[group].base_seq() > from_seq) {
+      return Status::Internal(
+          "replay log truncated past the latest checkpoint");
+    }
+    out.replayed = ReplayLogSuffix(group, from_seq);
+    out.pause_us =
+        kEnginePauseUsPerByte *
+        (static_cast<double>(out.restored_bytes) +
+         static_cast<double>(out.replayed) * sizeof(Tuple));
+    period_.tuples_replayed += out.replayed;
+  }
+  ++period_.groups_recovered;
+  assignment_.set_node(group, to);
+  mig.active = false;
+  mig.lost = false;
+  mig.target = kInvalidNode;
+  lost_groups_.erase(
+      std::remove(lost_groups_.begin(), lost_groups_.end(), group),
+      lost_groups_.end());
+  DrainMigrationBuffer(group);
+  return out;
 }
 
 EnginePeriodStats LocalEngine::HarvestPeriod() {

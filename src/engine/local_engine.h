@@ -3,8 +3,10 @@
 /// \file
 /// \brief LocalEngine, the single-process PSPE runtime: executes
 /// operator code over simulated nodes in tuple-at-a-time or batched mode,
-/// and implements direct state migration.
+/// and implements direct and indirect (checkpoint + replay) state
+/// migration plus checkpoint-based failure recovery.
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -17,12 +19,16 @@
 #include "engine/batch.h"
 #include "engine/cluster.h"
 #include "engine/comm_matrix.h"
+#include "engine/migration.h"
 #include "engine/operator.h"
+#include "engine/replay_log.h"
 #include "engine/topology.h"
 #include "engine/tuple.h"
 #include "engine/worker_pool.h"
 
 namespace albic::engine {
+
+class CheckpointCoordinator;
 
 /// \brief How the runtime executes operator code.
 enum class ExecutionMode {
@@ -64,11 +70,29 @@ struct EnginePeriodStats {
   int64_t tuples_processed = 0;
   int64_t tuples_buffered = 0;      ///< Held during migrations this period.
   double migration_pause_us = 0.0;  ///< Summed migration pause time.
+  int64_t checkpoints_taken = 0;    ///< Group snapshots written this period.
+  int64_t checkpoint_bytes = 0;     ///< Serialized snapshot bytes written.
+  int64_t tuples_replayed = 0;      ///< Log entries reapplied (indirect
+                                    ///< migration + recovery).
+  int64_t groups_recovered = 0;     ///< Lost groups restored this period.
   /// Source tuples entering the engine per ingestion shard this period
   /// (index = shard id; Inject/InjectBatch count as shard 0, InjectRouted
   /// as its shard). Grown on demand; the sum is the true offered load, as
   /// opposed to tuples_processed which also counts downstream hops.
   std::vector<int64_t> shard_ingested;
+};
+
+/// \brief What one checkpoint round wrote (see CheckpointDirtyGroups).
+struct CheckpointRoundResult {
+  int groups = 0;      ///< Dirty groups snapshotted.
+  int64_t bytes = 0;   ///< Serialized bytes written to the store.
+};
+
+/// \brief Outcome of restoring one lost key group (see RecoverGroup).
+struct GroupRecovery {
+  double pause_us = 0.0;       ///< Modeled restore + replay latency.
+  int64_t replayed = 0;        ///< Replay-log entries reapplied.
+  uint64_t restored_bytes = 0; ///< Checkpoint bytes deserialized.
 };
 
 /// \brief A deterministic single-process PSPE runtime over simulated nodes.
@@ -133,16 +157,77 @@ class LocalEngine {
   /// tuple-at-a-time mode, where nothing is ever in flight).
   void Flush();
 
-  /// \brief Begins a direct state migration of a key group: subsequent
-  /// tuples for the group buffer at the target until Finish.
-  Status StartMigration(KeyGroupId group, NodeId to);
+  /// \brief Begins a state migration of a key group: subsequent tuples for
+  /// the group buffer at the target until Finish. kIndirect requires
+  /// checkpointing to be enabled (EnableCheckpointing).
+  Status StartMigration(KeyGroupId group, NodeId to,
+                        MigrationMode mode = MigrationMode::kDirect);
 
-  /// \brief Completes the migration: serialize -> move -> deserialize ->
-  /// drain the buffer. Returns the pause time modeled for the move (us).
+  /// \brief Completes the migration and returns the modeled pause time
+  /// (us). Direct: serialize -> move -> deserialize -> drain the buffer;
+  /// the pause is O(state). Indirect: the target restores the group's
+  /// latest checkpoint (background transfer, no pause) and replays the
+  /// logged suffix, so the pause is O(suffix); falls back to the direct
+  /// pause when the group has no checkpoint yet.
   Result<double> FinishMigration(KeyGroupId group);
 
   /// \brief Convenience: start + finish in one step.
-  Status MigrateGroup(KeyGroupId group, NodeId to);
+  Status MigrateGroup(KeyGroupId group, NodeId to,
+                      MigrationMode mode = MigrationMode::kDirect);
+
+  // --- checkpointing & failure recovery --------------------------------
+
+  /// \brief Attaches the checkpoint subsystem: every delivery (and window
+  /// firing) is recorded in per-group replay logs, dirty groups are
+  /// tracked, and \p coordinator is invoked at safe points (between worker
+  /// waves / between tuples) to take periodic incremental checkpoints. An
+  /// initial full checkpoint of all operator groups is taken immediately so
+  /// "latest checkpoint + logged suffix = live state" holds from the start.
+  /// \p coordinator is not owned and must outlive the engine's use of it.
+  Status EnableCheckpointing(CheckpointCoordinator* coordinator);
+
+  bool checkpointing_enabled() const { return checkpointer_ != nullptr; }
+
+  /// \brief Serializes every dirty operator group into the attached store,
+  /// truncates the covered log prefixes, and records a manifest with the
+  /// current per-shard ingestion offsets. Called by the coordinator; also
+  /// callable directly for a forced round.
+  Result<CheckpointRoundResult> CheckpointDirtyGroups();
+
+  /// \brief True when some group's replay log outgrew the coordinator's
+  /// soft bound since the last checkpoint round (forces the next round).
+  bool replay_log_overflowed() const {
+    return log_overflow_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Drops a node abruptly: the cluster keeps the node id but the
+  /// state of every key group on it is lost (cleared), and the groups
+  /// switch to buffering new input exactly as during a migration. Requires
+  /// checkpointing (there is nothing to recover from otherwise). Groups
+  /// mid-migration *to* the failed node fall back to their source node.
+  /// The caller is responsible for Cluster::Fail on the same node.
+  Status FailNode(NodeId node);
+
+  /// \brief Key groups lost to failures and not yet recovered.
+  const std::vector<KeyGroupId>& lost_groups() const { return lost_groups_; }
+
+  /// \brief Restores a lost group onto \p to: deserializes the group's
+  /// latest checkpoint, replays the logged suffix (emissions are
+  /// discarded — downstream groups already received them), reassigns the
+  /// group, and drains the tuples buffered during the outage. Zero tuples
+  /// are lost: everything delivered before the failure is covered by
+  /// checkpoint + log, everything after it sits in the buffer.
+  Result<GroupRecovery> RecoverGroup(KeyGroupId group, NodeId to);
+
+  /// \brief Cumulative tuples ingested per source shard over the engine's
+  /// lifetime (the replayable sources' rewind offsets; recorded in each
+  /// checkpoint round's manifest).
+  const std::vector<int64_t>& shard_offsets() const { return shard_offsets_; }
+
+  /// \brief Read access to a group's replay log (tests, cost accounting).
+  const ReplayLog& replay_log(KeyGroupId group) const {
+    return group_logs_[group];
+  }
 
   /// \brief Harvests and resets the current period's statistics. Flushes
   /// in-flight batches first so the period is complete.
@@ -161,6 +246,8 @@ class LocalEngine {
 
   struct MigrationState {
     bool active = false;
+    bool lost = false;  ///< Group died with its node; awaiting recovery.
+    MigrationMode mode = MigrationMode::kDirect;
     NodeId target = kInvalidNode;
     std::deque<Tuple> buffer;
   };
@@ -199,14 +286,46 @@ class LocalEngine {
   void Route(OperatorId from_op, int from_group, const Tuple& tuple);
   void MaybeFireWindows(int64_t new_time);
 
+  // --- checkpointing helpers ---
+  /// Marks a group dirty after a log append and raises the overflow flag
+  /// when its log outgrew the coordinator's soft bound. Called from
+  /// whichever thread owns the group's node (per-group exclusive).
+  void MarkLogged(KeyGroupId g) {
+    group_dirty_[g] = 1;
+    if (group_logs_[g].size() > max_log_entries_) {
+      log_overflow_.store(true, std::memory_order_relaxed);
+    }
+  }
+  /// Copy-append of a delivered run (tuple-at-a-time path).
+  void LogDeliveredRun(KeyGroupId g, const Tuple* tuples, size_t count) {
+    group_logs_[g].AppendRun(tuples, count);
+    MarkLogged(g);
+  }
+  /// Zero-copy append of a delivered batch: the log takes the batch's
+  /// vector (the batched path's unit of delivery), so logging adds no
+  /// second copy of the tuple stream. The caller's batch is left empty.
+  void LogDeliveredBatch(KeyGroupId g, TupleBatch* batch) {
+    group_logs_[g].AppendChunk(std::move(batch->mutable_tuples()));
+    MarkLogged(g);
+  }
+  void LogWindowFire(KeyGroupId g);
+  /// Reapplies logged entries with seq >= \p from_seq to the group's
+  /// operator state, discarding emissions; returns the entry count.
+  int64_t ReplayLogSuffix(KeyGroupId g, uint64_t from_seq);
+  /// Drains the tuples buffered for a group while it migrated/recovered.
+  void DrainMigrationBuffer(KeyGroupId g);
+
   // --- batched path ---
   void CountIngested(int shard, size_t count);
   void StageIngress(OperatorId op, int group_index, const Tuple& tuple);
   void FlushInjectScatter(OperatorId source_op);
   void DrainAll();
   void RunWave(std::vector<std::vector<PendingBatch>>* wave);
+  /// Delivers one batch to (op, group_index). With checkpointing enabled
+  /// the batch's vector may be moved into the group's replay log, leaving
+  /// \p batch empty on return.
   void DeliverBatch(WorkerContext* ctx, OperatorId op, int group_index,
-                    const TupleBatch& batch);
+                    TupleBatch* batch);
   void RouteBatch(WorkerContext* ctx, OperatorId from_op, int from_group,
                   const TupleBatch& batch);
   void SendRouted(WorkerContext* ctx, OperatorId to_op, int target_group,
@@ -220,6 +339,9 @@ class LocalEngine {
   void EnqueueMailbox(int mailbox, OperatorId op, int group_index,
                       std::vector<Tuple>&& tuples);
   std::vector<Tuple> AcquireVec(WorkerContext* ctx);
+  /// AcquireVec for a batch opening with a run of \p first_run tuples:
+  /// pre-reserves capacity when checkpointing has drained the pool.
+  std::vector<Tuple> AcquireVecFor(WorkerContext* ctx, size_t first_run);
   static void ReleaseVec(WorkerContext* ctx, std::vector<Tuple>&& vec);
   void MaybeFireWindowsBatched(int64_t new_time);
   /// True when \p ts requires the out-of-line window machinery (boundary
@@ -239,6 +361,19 @@ class LocalEngine {
 
   std::vector<MigrationState> migrating_;  // per key group
   EnginePeriodStats period_;
+
+  // Checkpointing state (unused until EnableCheckpointing).
+  CheckpointCoordinator* checkpointer_ = nullptr;
+  std::vector<ReplayLog> group_logs_;   ///< Per key group.
+  std::vector<uint8_t> group_dirty_;    ///< Changed since last snapshot.
+  size_t max_log_entries_ = 0;          ///< Cached coordinator soft bound.
+  /// Set by whichever worker overflows a log; cleared by the next round.
+  std::atomic<bool> log_overflow_{false};
+  std::vector<int64_t> shard_offsets_;  ///< Lifetime ingested per shard.
+  std::vector<KeyGroupId> lost_groups_;
+  uint64_t checkpoint_epoch_ = 0;
+  /// Scratch for log truncation (chunk vectors en route back to the pool).
+  std::vector<std::vector<Tuple>> freed_chunks_;
   int64_t event_time_us_ = 0;
   int64_t last_window_us_ = 0;
   bool time_initialized_ = false;

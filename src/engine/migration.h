@@ -12,20 +12,48 @@
 
 namespace albic::engine {
 
-/// \brief Cost model for direct state migration (§3, "State Migration").
+/// \brief How a key group's state travels to its new node.
+enum class MigrationMode {
+  /// Direct state migration (§3, "State Migration"): serialize the live
+  /// state, move it, deserialize — the pause is O(state size).
+  kDirect,
+  /// Indirect migration via the checkpoint subsystem: the target restores
+  /// the group's latest checkpoint (transferred in the background) and
+  /// replays the logged suffix — the pause is O(suffix), not O(state).
+  kIndirect,
+};
+
+/// \brief Cost model for state migration (§3, "State Migration").
 ///
 /// mck = alpha * |sigma_k| where |sigma_k| is the group's state size; alpha
 /// converts bytes into "time to serialize on a node with average load". The
 /// same constant family drives the pause-latency model used by Fig. 9
 /// (each migrated group's processing is paused for serialize + transfer +
-/// deserialize).
+/// deserialize). Indirect migration replaces the O(state) pause with an
+/// O(log suffix) one: the checkpoint transfers in the background and only
+/// the replayed suffix contributes pause.
+/// \brief Default pause rate in seconds per byte of moved/replayed state
+/// (~2.5 s for a 1 MiB group, the average per-group pause §5.2.2 reports).
+/// Single source for the cost-model defaults and the engine's modeled
+/// pause, so the planner's prediction and the runtime's accounting agree.
+inline constexpr double kDefaultPauseSecondsPerByte = 2.5 / (1 << 20);
+
 struct MigrationCostModel {
   /// Cost units per byte of state (mck = alpha * bytes).
   double alpha_per_byte = 1.0 / (1 << 20);
-  /// Pause seconds per byte (default: ~2.5 s for a 1 MiB group, the average
-  /// per-group pause reported in §5.2.2).
-  double pause_seconds_per_byte = 2.5 / (1 << 20);
+  /// Pause seconds per byte of directly migrated state.
+  double pause_seconds_per_byte = kDefaultPauseSecondsPerByte;
+  /// Indirect-migration pause seconds per byte of replayed log suffix (the
+  /// paper's indirect cost term: replay is a state update per logged tuple,
+  /// modeled at the same byte rate as deserialization).
+  double indirect_pause_seconds_per_log_byte = kDefaultPauseSecondsPerByte;
 };
+
+/// \brief Pause rate used by the single-process engine to model the
+/// inter-node transfer it cannot perform for real, in microseconds per
+/// byte.
+inline constexpr double kEnginePauseUsPerByte =
+    kDefaultPauseSecondsPerByte * 1e6;
 
 /// \brief Migration cost mck of one key group.
 double MigrationCost(const Topology& topology, KeyGroupId g,
@@ -34,6 +62,11 @@ double MigrationCost(const Topology& topology, KeyGroupId g,
 /// \brief Migration costs for all key groups.
 std::vector<double> AllMigrationCosts(const Topology& topology,
                                       const MigrationCostModel& model);
+
+/// \brief Pause latency (seconds) of an indirect migration that replays
+/// \p suffix_bytes of logged tuples at the target.
+double IndirectMigrationPauseSeconds(size_t suffix_bytes,
+                                     const MigrationCostModel& model);
 
 /// \brief Summary of applying one adaptation round's migrations.
 struct MigrationReport {

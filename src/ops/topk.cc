@@ -85,8 +85,16 @@ void WindowedTopKOperator::OnWindow(int group_index, engine::Emitter* out) {
 std::string WindowedTopKOperator::SerializeGroupState(int group_index) const {
   StateWriter w;
   const auto& counts = window_counts_[group_index];
-  w.PutU64(counts.size());
-  for (const auto& [id, count] : counts) {
+  // Canonical order (sorted by id): the hash map's iteration order depends
+  // on its insertion/rehash history, so two maps with identical content can
+  // iterate differently. Sorting makes state images content-addressed —
+  // checkpoint + replay reconstruction is bit-identical to the live state.
+  std::vector<std::pair<uint64_t, int64_t>> entries;
+  entries.reserve(counts.size());
+  for (const auto& [id, count] : counts) entries.emplace_back(id, count);
+  std::sort(entries.begin(), entries.end());
+  w.PutU64(entries.size());
+  for (const auto& [id, count] : entries) {
     w.PutU64(id);
     w.PutI64(count);
   }

@@ -1,0 +1,148 @@
+// FlatMap64: growth/rehash behaviour, erase (backward-shift deletion) and
+// erase-reinsert cycles, iteration under load, and a randomized
+// differential test against std::unordered_map.
+
+#include "common/flat_map64.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace albic {
+namespace {
+
+TEST(FlatMap64Test, GrowthAndRehashKeepAllEntries) {
+  FlatMap64<int64_t> map;
+  EXPECT_TRUE(map.empty());
+  // Push far past several doublings (16 -> 32 -> ... -> 16384).
+  constexpr uint64_t kN = 10000;
+  for (uint64_t k = 1; k <= kN; ++k) map[k] = static_cast<int64_t>(k * 3);
+  EXPECT_EQ(map.size(), kN);
+  for (uint64_t k = 1; k <= kN; ++k) {
+    const int64_t* v = map.find(k);
+    ASSERT_NE(v, nullptr) << "key " << k << " lost in a rehash";
+    EXPECT_EQ(*v, static_cast<int64_t>(k * 3));
+  }
+  EXPECT_EQ(map.find(kN + 1), nullptr);
+  // The zero key lives in its side slot and survives growth.
+  map[0] = -7;
+  EXPECT_EQ(map.size(), kN + 1);
+  EXPECT_EQ(map.at(0), -7);
+}
+
+TEST(FlatMap64Test, EraseRemovesAndReinsertWorks) {
+  FlatMap64<int64_t> map;
+  for (uint64_t k = 1; k <= 500; ++k) map[k] = static_cast<int64_t>(k);
+  // Erase every even key; all odd keys must stay reachable (backward-shift
+  // deletion must not break any probe chain).
+  for (uint64_t k = 2; k <= 500; k += 2) EXPECT_EQ(map.erase(k), 1u);
+  EXPECT_EQ(map.size(), 250u);
+  for (uint64_t k = 1; k <= 500; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_EQ(map.find(k), nullptr) << "erased key " << k << " still found";
+    } else {
+      ASSERT_NE(map.find(k), nullptr) << "key " << k << " lost by erase";
+      EXPECT_EQ(map.at(k), static_cast<int64_t>(k));
+    }
+  }
+  // Erasing a missing key is a no-op.
+  EXPECT_EQ(map.erase(2), 0u);
+  EXPECT_EQ(map.erase(10001), 0u);
+  // Reinsert the erased keys with new values.
+  for (uint64_t k = 2; k <= 500; k += 2) map[k] = static_cast<int64_t>(-k);
+  EXPECT_EQ(map.size(), 500u);
+  for (uint64_t k = 2; k <= 500; k += 2) {
+    EXPECT_EQ(map.at(k), static_cast<int64_t>(-k));
+  }
+  // Zero-key erase path.
+  EXPECT_EQ(map.erase(0), 0u);
+  map[0] = 42;
+  EXPECT_EQ(map.erase(0), 1u);
+  EXPECT_EQ(map.find(0), nullptr);
+  EXPECT_EQ(map.size(), 500u);
+}
+
+TEST(FlatMap64Test, IterationUnderLoadVisitsEveryEntryOnce) {
+  FlatMap64<int64_t> map;
+  // Load close to the 3/4 growth threshold and include the zero key, then
+  // punch holes with erase: iteration must still visit each survivor once.
+  constexpr uint64_t kN = 3000;
+  int64_t expected_sum = 0;
+  for (uint64_t k = 0; k < kN; ++k) {
+    map[k * 2654435761u + 1] = static_cast<int64_t>(k);
+  }
+  map[0] = 1000000;
+  for (uint64_t k = 0; k < kN; k += 3) map.erase(k * 2654435761u + 1);
+  std::unordered_map<uint64_t, int64_t> reference;
+  for (uint64_t k = 0; k < kN; ++k) {
+    if (k % 3 != 0) reference[k * 2654435761u + 1] = static_cast<int64_t>(k);
+  }
+  reference[0] = 1000000;
+  for (const auto& [key, value] : reference) expected_sum += value;
+
+  int64_t sum = 0;
+  size_t visited = 0;
+  for (const auto& [key, value] : map) {
+    ++visited;
+    sum += value;
+    auto it = reference.find(key);
+    ASSERT_NE(it, reference.end()) << "iterator yielded phantom key " << key;
+    EXPECT_EQ(it->second, value);
+  }
+  EXPECT_EQ(visited, reference.size());
+  EXPECT_EQ(map.size(), reference.size());
+  EXPECT_EQ(sum, expected_sum);
+}
+
+TEST(FlatMap64Test, RandomizedDifferentialAgainstUnorderedMap) {
+  std::mt19937_64 rng(0xA1B1C5ull);
+  FlatMap64<int64_t> map;
+  std::unordered_map<uint64_t, int64_t> reference;
+  // Small key space so inserts, hits, erases and re-inserts all happen
+  // frequently; occasional clear() exercises the wholesale reset.
+  std::uniform_int_distribution<uint64_t> key_dist(0, 400);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+  for (int step = 0; step < 200000; ++step) {
+    const uint64_t key = key_dist(rng);
+    const int op = op_dist(rng);
+    if (op < 50) {
+      const int64_t value = static_cast<int64_t>(rng());
+      map[key] = value;
+      reference[key] = value;
+    } else if (op < 75) {
+      EXPECT_EQ(map.erase(key), reference.erase(key)) << "step " << step;
+    } else if (op < 99) {
+      const int64_t* v = map.find(key);
+      const auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_EQ(v, nullptr) << "step " << step << " key " << key;
+      } else {
+        ASSERT_NE(v, nullptr) << "step " << step << " key " << key;
+        EXPECT_EQ(*v, it->second);
+      }
+    } else {
+      map.clear();
+      reference.clear();
+    }
+    EXPECT_EQ(map.size(), reference.size());
+  }
+  // Full final sweep both ways.
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(map.find(key), nullptr) << "key " << key;
+    EXPECT_EQ(map.at(key), value);
+  }
+  size_t visited = 0;
+  for (const auto& [key, value] : map) {
+    ++visited;
+    const auto it = reference.find(key);
+    ASSERT_NE(it, reference.end()) << "phantom key " << key;
+    EXPECT_EQ(it->second, value);
+  }
+  EXPECT_EQ(visited, reference.size());
+}
+
+}  // namespace
+}  // namespace albic

@@ -1,0 +1,542 @@
+// Checkpoint subsystem: stores (memory + file), replay logs, the
+// coordinator's incremental rounds, and the three integrative guarantees —
+// (a) checkpoint + replay reconstruction is bit-identical to live state,
+// (b) indirect migration produces outputs identical to direct migration,
+// (c) recovery after a mid-stream node kill loses zero tuples and matches
+// the no-failure run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "balance/milp_rebalancer.h"
+#include "core/controller_loop.h"
+#include "engine/checkpoint.h"
+#include "engine/load_model.h"
+#include "engine/local_engine.h"
+#include "ops/geohash.h"
+#include "ops/topk.h"
+#include "workload/streams.h"
+
+namespace albic {
+namespace {
+
+using engine::CheckpointCoordinator;
+using engine::CheckpointCoordinatorOptions;
+using engine::CheckpointInfo;
+using engine::CheckpointManifest;
+using engine::KeyGroupId;
+using engine::MemoryCheckpointStore;
+using engine::NodeId;
+using engine::ReplayLog;
+using engine::Tuple;
+
+constexpr int kNodes = 4;
+constexpr int kGroups = 8;
+constexpr int64_t kWindowUs = 60LL * 1000 * 1000;
+
+/// The Real Job 1 pipeline over the batched runtime, with optional
+/// checkpointing (mirrors tests/integration/wiki_pipeline_test.cc).
+struct Pipeline {
+  engine::Topology topo;
+  engine::Cluster cluster{kNodes};
+  ops::GeoHashOperator geohash{kGroups, 256};
+  ops::WindowedTopKOperator topk{kGroups, 64};
+  ops::WindowedTopKOperator global{kGroups, 64, ops::TopKCountMode::kSumNum};
+  MemoryCheckpointStore store;
+  std::unique_ptr<CheckpointCoordinator> coordinator;
+  std::unique_ptr<engine::LocalEngine> engine;
+
+  explicit Pipeline(engine::ExecutionMode mode = engine::ExecutionMode::kBatched) {
+    topo.AddOperator("geohash", kGroups, 1 << 14);
+    topo.AddOperator("topk", kGroups, 1 << 14);
+    topo.AddOperator("global", kGroups, 1 << 14);
+    EXPECT_TRUE(
+        topo.AddStream(0, 1, engine::PartitioningPattern::kFullPartitioning)
+            .ok());
+    EXPECT_TRUE(
+        topo.AddStream(1, 2, engine::PartitioningPattern::kFullPartitioning)
+            .ok());
+    engine::Assignment assign(topo.num_key_groups());
+    for (KeyGroupId g = 0; g < topo.num_key_groups(); ++g) {
+      assign.set_node(g, g % kNodes);
+    }
+    engine::LocalEngineOptions opts;
+    opts.window_every_us = kWindowUs;
+    opts.mode = mode;
+    engine = std::make_unique<engine::LocalEngine>(
+        &topo, &cluster, assign,
+        std::vector<engine::StreamOperator*>{&geohash, &topk, &global}, opts);
+  }
+
+  void EnableCheckpointing(CheckpointCoordinatorOptions copts = {}) {
+    coordinator = std::make_unique<CheckpointCoordinator>(&store, copts);
+    ASSERT_TRUE(engine->EnableCheckpointing(coordinator.get()).ok());
+  }
+
+  engine::StreamOperator* op(engine::OperatorId id) {
+    engine::StreamOperator* ops[] = {&geohash, &topk, &global};
+    return ops[id];
+  }
+
+  /// Canonical serialized state of a global key group.
+  std::string StateOf(KeyGroupId g) {
+    return op(topo.group_operator(g))
+        ->SerializeGroupState(topo.group_index_in_operator(g));
+  }
+
+  /// Edit counts per article in the last closed window, merged over the
+  /// global groups.
+  std::map<uint64_t, int64_t> GlobalCounts() const {
+    std::map<uint64_t, int64_t> out;
+    for (int g = 0; g < kGroups; ++g) {
+      for (const auto& [article, count] : global.last_window_top(g)) {
+        out[article] += count;
+      }
+    }
+    return out;
+  }
+};
+
+std::vector<Tuple> MakeStream(int tuples, int articles = 300, int seed = 101,
+                              double rate = 400.0) {
+  workload::WikipediaEditStream edits(articles, seed, rate);
+  std::vector<Tuple> out;
+  out.reserve(static_cast<size_t>(tuples));
+  for (int i = 0; i < tuples; ++i) out.push_back(edits.Next());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ReplayLog
+// ---------------------------------------------------------------------------
+
+/// Replays a log into a readable trace: "t<key>" per tuple, "W" per fire.
+std::string TraceFrom(const ReplayLog& log, uint64_t from_seq) {
+  std::string out;
+  log.ReplayFrom(
+      from_seq,
+      [&](const Tuple& t) {
+        out.push_back('t');
+        out.append(std::to_string(t.key));
+      },
+      [&] { out.push_back('W'); });
+  return out;
+}
+
+TEST(ReplayLogTest, SequencesTruncationAndReplayOrder) {
+  ReplayLog log;
+  EXPECT_EQ(log.next_seq(), 0u);
+  EXPECT_TRUE(log.empty());
+  Tuple t;
+  t.key = 7;
+  log.AppendTuple(t);   // seq 0
+  log.AppendWindowFire();  // seq 1
+  Tuple run[2];
+  run[0].key = 8;
+  run[1].key = 9;
+  log.AppendRun(run, 2);   // seqs 2, 3
+  log.AppendWindowFire();  // seq 4
+  EXPECT_EQ(log.next_seq(), 5u);
+  EXPECT_EQ(log.base_seq(), 0u);
+  EXPECT_EQ(log.size(), 5u);
+  EXPECT_EQ(log.tuple_count(), 3u);
+  EXPECT_EQ(log.window_fire_count(), 2u);
+  EXPECT_EQ(TraceFrom(log, 0), "t7Wt8t9W");
+  EXPECT_EQ(TraceFrom(log, 1), "Wt8t9W");
+  EXPECT_EQ(TraceFrom(log, 3), "t9W");
+
+  log.TruncateBefore(2);
+  EXPECT_EQ(log.base_seq(), 2u);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(TraceFrom(log, 0), "t8t9W");  // clamped to base_seq
+  // Truncating to an already-dropped point is a no-op.
+  log.TruncateBefore(1);
+  EXPECT_EQ(log.base_seq(), 2u);
+  // Truncating past the end empties the log but keeps the counter.
+  log.TruncateBefore(100);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.next_seq(), 5u);
+  EXPECT_EQ(log.base_seq(), 5u);
+  EXPECT_EQ(TraceFrom(log, 0), "");
+}
+
+// ---------------------------------------------------------------------------
+// Stores
+// ---------------------------------------------------------------------------
+
+TEST(MemoryCheckpointStoreTest, VersionsAndRetention) {
+  MemoryCheckpointStore store(/*retain_versions=*/2);
+  auto v1 = store.Put(3, /*seq=*/10, "one");
+  auto v2 = store.Put(3, /*seq=*/20, "two");
+  auto v3 = store.Put(3, /*seq=*/30, "three");
+  ASSERT_TRUE(v1.ok() && v2.ok() && v3.ok());
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(v3->version, 3u);
+
+  CheckpointInfo info;
+  std::string state;
+  ASSERT_TRUE(store.Latest(3, &info, &state));
+  EXPECT_EQ(info.version, 3u);
+  EXPECT_EQ(info.seq, 30u);
+  EXPECT_EQ(state, "three");
+  // Version 2 is retained, version 1 was evicted.
+  EXPECT_TRUE(store.Get(3, 2, &info, &state));
+  EXPECT_EQ(state, "two");
+  EXPECT_FALSE(store.Get(3, 1, nullptr, nullptr));
+  EXPECT_FALSE(store.Latest(4, nullptr, nullptr));
+  EXPECT_EQ(store.puts(), 3);
+  EXPECT_EQ(store.stored_bytes(),
+            static_cast<int64_t>(std::string("two").size() +
+                                 std::string("three").size()));
+
+  CheckpointManifest manifest;
+  manifest.epoch = 9;
+  manifest.shard_offsets = {100, 200};
+  ASSERT_TRUE(store.PutManifest(manifest).ok());
+  CheckpointManifest read;
+  ASSERT_TRUE(store.LatestManifest(&read));
+  EXPECT_EQ(read.epoch, 9u);
+  EXPECT_EQ(read.shard_offsets, (std::vector<int64_t>{100, 200}));
+}
+
+TEST(FileCheckpointStoreTest, RoundTripAndReopen) {
+  const std::string dir =
+      ::testing::TempDir() + "/albic_file_ckpt_store_test";
+  std::filesystem::remove_all(dir);
+  {
+    auto store = engine::FileCheckpointStore::Open(dir, /*retain_versions=*/2);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Put(1, 5, "alpha").ok());
+    ASSERT_TRUE((*store)->Put(1, 9, "beta").ok());
+    ASSERT_TRUE((*store)->Put(2, 4, "gamma").ok());
+    ASSERT_TRUE((*store)->Put(1, 12, "delta").ok());  // evicts "alpha"
+    CheckpointManifest manifest;
+    manifest.epoch = 3;
+    manifest.shard_offsets = {42, 7};
+    ASSERT_TRUE((*store)->PutManifest(manifest).ok());
+  }
+  // Reopen: the on-disk snapshots are re-indexed (restart recovery).
+  auto store = engine::FileCheckpointStore::Open(dir, /*retain_versions=*/2);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  CheckpointInfo info;
+  std::string state;
+  ASSERT_TRUE((*store)->Latest(1, &info, &state));
+  EXPECT_EQ(info.version, 3u);
+  EXPECT_EQ(info.seq, 12u);
+  EXPECT_EQ(state, "delta");
+  ASSERT_TRUE((*store)->Get(1, 2, &info, &state));
+  EXPECT_EQ(state, "beta");
+  EXPECT_FALSE((*store)->Get(1, 1, nullptr, nullptr));  // evicted from disk
+  ASSERT_TRUE((*store)->Latest(2, &info, &state));
+  EXPECT_EQ(state, "gamma");
+  CheckpointManifest read;
+  ASSERT_TRUE((*store)->LatestManifest(&read));
+  EXPECT_EQ(read.epoch, 3u);
+  EXPECT_EQ(read.shard_offsets, (std::vector<int64_t>{42, 7}));
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator + engine integration
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointCoordinatorTest, IncrementalRoundsOnlySnapshotDirtyGroups) {
+  Pipeline p;
+  CheckpointCoordinatorOptions copts;
+  copts.interval_us = 10LL * 1000 * 1000;
+  p.EnableCheckpointing(copts);
+  // The initial full round snapshots every operator group.
+  EXPECT_EQ(p.coordinator->stats().rounds, 1);
+  EXPECT_EQ(p.coordinator->stats().snapshots, 3 * kGroups);
+
+  const std::vector<Tuple> stream = MakeStream(30000);
+  for (const Tuple& t : stream) ASSERT_TRUE(p.engine->Inject(0, t).ok());
+  p.engine->Flush();
+  EXPECT_GT(p.coordinator->stats().rounds, 2);
+  // Incremental: later rounds write fewer snapshots than rounds * groups
+  // would (clean groups are skipped). With this stream all groups see
+  // traffic every 10 s, so just check the mechanism produced more than the
+  // initial round and the logs were truncated by the last round.
+  EXPECT_GT(p.coordinator->stats().snapshots, 3 * kGroups);
+  EXPECT_GT(p.store.puts(), 0);
+}
+
+TEST(CheckpointCoordinatorTest, LogOverflowForcesARound) {
+  Pipeline p;
+  CheckpointCoordinatorOptions copts;
+  copts.interval_us = 1LL << 60;  // never due by time
+  copts.max_log_entries = 64;
+  p.EnableCheckpointing(copts);
+  const std::vector<Tuple> stream = MakeStream(20000);
+  ASSERT_TRUE(p.engine->InjectBatch(0, stream.data(), stream.size()).ok());
+  p.engine->Flush();
+  EXPECT_GT(p.coordinator->stats().forced_rounds, 0);
+  // The soft bound keeps every log from growing unboundedly: after the
+  // final drain + forced rounds, no log retains the whole stream.
+  for (KeyGroupId g = 0; g < p.topo.num_key_groups(); ++g) {
+    EXPECT_LT(p.engine->replay_log(g).size(), 20000u) << "group " << g;
+  }
+}
+
+TEST(CheckpointCoordinatorTest, ManifestRecordsShardOffsets) {
+  Pipeline p;
+  CheckpointCoordinatorOptions copts;
+  copts.interval_us = 5LL * 1000 * 1000;
+  p.EnableCheckpointing(copts);
+  const std::vector<Tuple> stream = MakeStream(20000);
+  // Feed through the sharded entry point with two shards.
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const int shard = static_cast<int>(i % 2);
+    const int group = engine::LocalEngine::RouteKey(stream[i].key, kGroups);
+    ASSERT_TRUE(
+        p.engine->InjectRouted(0, shard, group, &stream[i], 1).ok());
+  }
+  p.engine->Flush();
+  ASSERT_TRUE(p.engine->CheckpointDirtyGroups().ok());
+  CheckpointManifest manifest;
+  ASSERT_TRUE(p.store.LatestManifest(&manifest));
+  EXPECT_EQ(manifest.shard_offsets, p.engine->shard_offsets());
+  ASSERT_EQ(manifest.shard_offsets.size(), 2u);
+  EXPECT_EQ(manifest.shard_offsets[0] + manifest.shard_offsets[1],
+            static_cast<int64_t>(stream.size()));
+}
+
+// ---------------------------------------------------------------------------
+// (a) checkpoint + replay reconstruction is bit-identical to live state
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointRecoveryTest, ReconstructionIsBitIdenticalToLiveState) {
+  Pipeline p;
+  CheckpointCoordinatorOptions copts;
+  // 50 s rounds against a 225 s stream: the last round lands at ~200 s, so
+  // the final ~25 s of deliveries deterministically form a non-empty
+  // suffix that recovery has to replay.
+  copts.interval_us = 50LL * 1000 * 1000;
+  p.EnableCheckpointing(copts);
+
+  const std::vector<Tuple> stream = MakeStream(90000);
+  ASSERT_TRUE(p.engine->InjectBatch(0, stream.data(), stream.size()).ok());
+  p.engine->Flush();
+
+  for (NodeId node = 0; node < kNodes; ++node) {
+    // Live state of every group on this node, then kill it and recover.
+    std::map<KeyGroupId, std::string> live;
+    for (KeyGroupId g = 0; g < p.topo.num_key_groups(); ++g) {
+      if (p.engine->assignment().node_of(g) == node) live[g] = p.StateOf(g);
+    }
+    ASSERT_FALSE(live.empty());
+    ASSERT_TRUE(p.engine->FailNode(node).ok());
+    EXPECT_EQ(p.engine->lost_groups().size(), live.size());
+    for (const auto& [g, state] : live) {
+      // The cleared state differs from the live capture (loss is real).
+      EXPECT_NE(p.StateOf(g), state) << "group " << g << " was not cleared";
+      auto rec = p.engine->RecoverGroup(g, (node + 1) % kNodes);
+      ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+      EXPECT_EQ(p.StateOf(g), state)
+          << "reconstruction diverged for group " << g;
+      EXPECT_EQ(p.engine->assignment().node_of(g), (node + 1) % kNodes);
+    }
+    EXPECT_TRUE(p.engine->lost_groups().empty());
+  }
+  // The uncovered tail guaranteed log suffixes, so replay actually ran.
+  engine::EnginePeriodStats stats = p.engine->HarvestPeriod();
+  EXPECT_GT(stats.tuples_replayed, 0);
+  // Recoveries compound: groups recovered onto node n+1 die again when
+  // that node is killed next — 6 + 12 + 18 + 24 restores in total.
+  EXPECT_EQ(stats.groups_recovered, 60);
+}
+
+TEST(CheckpointRecoveryTest, FailNodeRequiresCheckpointing) {
+  Pipeline p;
+  EXPECT_FALSE(p.engine->FailNode(0).ok());
+  EXPECT_FALSE(p.engine
+                   ->StartMigration(0, 1, engine::MigrationMode::kIndirect)
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// (b) indirect migration produces outputs identical to direct migration
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointRecoveryTest, IndirectMigrationMatchesDirect) {
+  Pipeline direct;
+  Pipeline indirect;
+  CheckpointCoordinatorOptions copts;
+  copts.interval_us = 15LL * 1000 * 1000;
+  direct.EnableCheckpointing(copts);
+  indirect.EnableCheckpointing(copts);
+
+  const std::vector<Tuple> stream = MakeStream(60000);
+  double direct_pause = 0.0;
+  double indirect_pause = 0.0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(direct.engine->Inject(0, stream[i]).ok());
+    ASSERT_TRUE(indirect.engine->Inject(0, stream[i]).ok());
+    if (i % 5000 == 4999) {
+      const KeyGroupId g = static_cast<KeyGroupId>(
+          (i / 5000) % direct.topo.num_key_groups());
+      const NodeId to =
+          (direct.engine->assignment().node_of(g) + 1) % kNodes;
+      ASSERT_TRUE(direct.engine
+                      ->StartMigration(g, to, engine::MigrationMode::kDirect)
+                      .ok());
+      auto dp = direct.engine->FinishMigration(g);
+      ASSERT_TRUE(dp.ok());
+      direct_pause += *dp;
+      ASSERT_TRUE(
+          indirect.engine
+              ->StartMigration(g, to, engine::MigrationMode::kIndirect)
+              .ok());
+      auto ip = indirect.engine->FinishMigration(g);
+      ASSERT_TRUE(ip.ok()) << ip.status().ToString();
+      indirect_pause += *ip;
+    }
+  }
+  direct.engine->Flush();
+  indirect.engine->Flush();
+
+  // Identical outputs: every group's canonical state and the merged global
+  // top-k answer agree between the two migration modes.
+  for (KeyGroupId g = 0; g < direct.topo.num_key_groups(); ++g) {
+    EXPECT_EQ(direct.StateOf(g), indirect.StateOf(g)) << "group " << g;
+    EXPECT_EQ(direct.engine->assignment().node_of(g),
+              indirect.engine->assignment().node_of(g));
+  }
+  EXPECT_EQ(direct.GlobalCounts(), indirect.GlobalCounts());
+
+  // The indirect runs actually exercised checkpoint + replay.
+  engine::EnginePeriodStats istats = indirect.engine->HarvestPeriod();
+  EXPECT_GT(istats.tuples_replayed, 0);
+  engine::EnginePeriodStats dstats = direct.engine->HarvestPeriod();
+  EXPECT_EQ(dstats.tuples_replayed, 0);
+  EXPECT_GT(direct_pause, 0.0);
+  EXPECT_GT(indirect_pause, 0.0);
+  // The engine's accounted indirect pause agrees with the planner-side
+  // cost term over the replayed suffix (same shared rate constant).
+  const double predicted_us =
+      1e6 * engine::IndirectMigrationPauseSeconds(
+                static_cast<size_t>(istats.tuples_replayed) * sizeof(Tuple),
+                engine::MigrationCostModel{});
+  EXPECT_NEAR(indirect_pause, predicted_us, 1e-6 * predicted_us + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// (c) KillNode mid-stream: zero loss, outputs match the no-failure run
+// ---------------------------------------------------------------------------
+
+/// Controller-driven run of the wiki pipeline; optionally kills a node
+/// mid-stream. Returns (final global counts, per-group states, history).
+struct ControlledRun {
+  std::map<uint64_t, int64_t> counts;
+  std::vector<std::string> states;
+  std::vector<core::ControllerRound> history;
+  int64_t ingested = 0;
+};
+
+ControlledRun RunControlled(const std::vector<Tuple>& stream, bool kill,
+                            engine::ExecutionMode mode) {
+  Pipeline p(mode);
+  CheckpointCoordinatorOptions copts;
+  copts.interval_us = 20LL * 1000 * 1000;
+  p.EnableCheckpointing(copts);
+
+  balance::MilpRebalancerOptions mopts;
+  mopts.mode = balance::MilpRebalancerOptions::Mode::kHeuristic;
+  mopts.time_budget_ms = 10;
+  balance::MilpRebalancer milp(mopts);
+  core::AdaptationOptions aopts;
+  aopts.constraints.max_migrations = 4;
+  core::AdaptationFramework framework(&milp, /*policy=*/nullptr, aopts);
+  engine::LoadModel load_model{engine::CostModel{}};
+
+  core::ControllerLoopOptions lopts;
+  lopts.period_every_us = kWindowUs;  // rounds precede window firings
+  lopts.node_capacity_work_units = 1000.0;
+  lopts.use_indirect_migration = true;
+  core::ControllerLoop controller(p.engine.get(), &framework, &load_model,
+                                  &p.topo, &p.cluster, lopts);
+
+  const size_t kill_at = stream.size() / 2;
+  const size_t chunk = 1000;
+  for (size_t i = 0; i < stream.size(); i += chunk) {
+    const size_t n = std::min(chunk, stream.size() - i);
+    EXPECT_TRUE(controller.IngestBatch(0, stream.data() + i, n).ok());
+    if (kill && i <= kill_at && kill_at < i + chunk) {
+      EXPECT_TRUE(controller.KillNode(1).ok());
+    }
+  }
+  auto last = controller.RunRoundNow();
+  EXPECT_TRUE(last.ok());
+
+  ControlledRun out;
+  out.counts = p.GlobalCounts();
+  for (KeyGroupId g = 0; g < p.topo.num_key_groups(); ++g) {
+    out.states.push_back(p.StateOf(g));
+  }
+  out.history = controller.history();
+  for (const core::ControllerRound& r : out.history) {
+    out.ingested += r.tuples_ingested;
+  }
+  return out;
+}
+
+TEST(CheckpointRecoveryTest, KillNodeMidStreamLosesNothing) {
+  const std::vector<Tuple> stream =
+      MakeStream(120000, /*articles=*/300, /*seed=*/17, /*rate=*/500.0);
+  const ControlledRun baseline =
+      RunControlled(stream, /*kill=*/false, engine::ExecutionMode::kBatched);
+  const ControlledRun failed =
+      RunControlled(stream, /*kill=*/true, engine::ExecutionMode::kBatched);
+
+  // Zero tuples lost: the failure run offered and processed the whole
+  // stream, and every operator group ends in exactly the state of the
+  // no-failure run — including the last closed window's top-k answer.
+  EXPECT_EQ(baseline.ingested, static_cast<int64_t>(stream.size()));
+  EXPECT_EQ(failed.ingested, static_cast<int64_t>(stream.size()));
+  ASSERT_FALSE(baseline.counts.empty());
+  EXPECT_EQ(baseline.counts, failed.counts);
+  ASSERT_EQ(baseline.states.size(), failed.states.size());
+  for (size_t g = 0; g < baseline.states.size(); ++g) {
+    EXPECT_EQ(baseline.states[g], failed.states[g]) << "group " << g;
+  }
+
+  // The failure was detected and recovered by a control round.
+  int recovered = 0;
+  int failed_nodes = 0;
+  double recovery_wall_us = 0.0;
+  for (const core::ControllerRound& r : failed.history) {
+    recovered += r.groups_recovered;
+    failed_nodes += r.nodes_failed;
+    recovery_wall_us += r.recovery_wall_us;
+  }
+  EXPECT_EQ(failed_nodes, 1);
+  EXPECT_GT(recovered, 0);
+  EXPECT_GT(recovery_wall_us, 0.0);
+  for (const core::ControllerRound& r : baseline.history) {
+    EXPECT_EQ(r.groups_recovered, 0);
+  }
+}
+
+TEST(CheckpointRecoveryTest, KillNodeRequiresControllerCheckpointing) {
+  Pipeline p;  // checkpointing not enabled
+  balance::MilpRebalancerOptions mopts;
+  mopts.mode = balance::MilpRebalancerOptions::Mode::kHeuristic;
+  balance::MilpRebalancer milp(mopts);
+  core::AdaptationFramework framework(&milp, nullptr, {});
+  engine::LoadModel load_model{engine::CostModel{}};
+  core::ControllerLoop controller(p.engine.get(), &framework, &load_model,
+                                  &p.topo, &p.cluster, {});
+  EXPECT_FALSE(controller.KillNode(1).ok());
+  // The rejected kill left the cluster untouched.
+  EXPECT_TRUE(p.cluster.is_active(1));
+}
+
+}  // namespace
+}  // namespace albic
