@@ -251,6 +251,15 @@ int main() {
     return albic::RunOne(batched1, stream, 1000LL * 1000 * ckpt_secs);
   });
 
+  // Batched run with latency telemetry: sampled ingestion stamps, queueing
+  // delay, per-operator service time and sink end-to-end histograms. The
+  // delta against r_batched1 is the full measurement cost (budget: ~2%).
+  albic::engine::LocalEngineOptions telemetry = batched1;
+  telemetry.latency_sample_every =
+      std::max(1, EnvInt("ALBIC_BENCH_SAMPLE_EVERY", 32));
+  albic::RunResult r_telemetry =
+      best_of([&] { return albic::RunOne(telemetry, stream); });
+
   albic::TablePrinter table({"mode", "tuples/s", "speedup"});
   const double base = r_legacy.tuples_per_sec;
   table.AddRow({"tuple-at-a-time", albic::FormatDouble(base, 0), "1.0"});
@@ -271,7 +280,19 @@ int main() {
                 ckpt_secs);
   table.AddRow({label, albic::FormatDouble(r_ckpt.tuples_per_sec, 0),
                 albic::FormatDouble(r_ckpt.tuples_per_sec / base, 2)});
+  std::snprintf(label, sizeof(label), "batched + latency telemetry (1/%d)",
+                telemetry.latency_sample_every);
+  table.AddRow({label, albic::FormatDouble(r_telemetry.tuples_per_sec, 0),
+                albic::FormatDouble(r_telemetry.tuples_per_sec / base, 2)});
   table.Print();
+
+  const double telemetry_overhead_pct =
+      r_batched1.tuples_per_sec > 0
+          ? 100.0 *
+                (1.0 - r_telemetry.tuples_per_sec / r_batched1.tuples_per_sec)
+          : 0.0;
+  std::printf("\nlatency telemetry: %.1f%% overhead vs batched (1 worker)\n",
+              telemetry_overhead_pct);
 
   const double ckpt_overhead_pct =
       r_batched1.tuples_per_sec > 0
@@ -301,6 +322,7 @@ int main() {
   if (r_legacy.tuples_processed != r_batched1.tuples_processed ||
       r_legacy.tuples_processed != r_batchedN.tuples_processed ||
       r_legacy.tuples_processed != r_ckpt.tuples_processed ||
+      r_legacy.tuples_processed != r_telemetry.tuples_processed ||
       r_legacy.tuples_processed != r_shardedN.tuples_processed) {
     std::fprintf(stderr, "FAIL: modes processed different tuple counts\n");
     return 1;
@@ -339,5 +361,9 @@ int main() {
             ckpt_overhead_pct, "%");
   BenchJson("engine_throughput", "checkpoint_steady_overhead_pct",
             ckpt_steady_overhead_pct, "%");
+  BenchJson("engine_throughput", "batched_telemetry",
+            r_telemetry.tuples_per_sec, "tuples/s");
+  BenchJson("engine_throughput", "latency_telemetry_overhead_pct",
+            telemetry_overhead_pct, "%");
   return 0;
 }

@@ -1,8 +1,8 @@
 // Recovery bench: the wiki top-k pipeline on the batched runtime behind the
 // online controller, with the checkpoint subsystem enabled. Measures
-//  - end-to-end recovery time after a mid-stream KillNode (detection at the
-//    next control round, re-planning over the survivors, checkpoint restore
-//    + log replay, buffered-tuple drain),
+//  - end-to-end recovery time after a mid-stream KillNode (the eager
+//    recovery round KillNode runs: re-planning over the survivors,
+//    checkpoint restore + log replay, buffered-tuple drain),
 //  - steady-state checkpoint overhead at the default 60 s interval
 //    (throughput with vs without checkpointing; the raw delta on this
 //    time-compressed trace and the steady-state figure with the
@@ -237,8 +237,8 @@ int main() {
                 albic::FormatDouble(failed.tuples_per_sec, 0), buf});
   table.Print();
 
-  std::printf("\nrecovery: %.2f ms end-to-end (detect, re-plan, restore + "
-              "replay, drain); modeled pause %.2f ms\n",
+  std::printf("\nrecovery: %.2f ms end-to-end (eager round: re-plan, "
+              "restore + replay, drain); modeled pause %.2f ms\n",
               failed.recovery_wall_us / 1000.0,
               failed.recovery_pause_us / 1000.0);
   std::printf("checkpoint overhead: %.1f%% raw on this time-compressed "

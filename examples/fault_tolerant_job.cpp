@@ -2,11 +2,12 @@
 // with the full checkpoint subsystem — a file-backed CheckpointStore,
 // periodic incremental checkpoints, indirect migrations, and failure
 // recovery. Wikipedia edits stream in through sharded sources; halfway
-// through, one node is killed abruptly. The next control round detects the
-// failure, re-plans the assignment over the surviving nodes, restores every
-// lost key group from its latest checkpoint + replay-log suffix, and drains
-// the tuples that buffered during the outage — the job's final top-k answer
-// is exactly what a failure-free run produces.
+// through, one node is killed abruptly. The controller recovers eagerly —
+// KillNode itself runs the recovery round, re-planning the assignment over
+// the surviving nodes, restoring every lost key group from its latest
+// checkpoint + replay-log suffix, and draining the tuples that buffered
+// during the outage — so the job's final top-k answer is exactly what a
+// failure-free run produces.
 //
 //   fault_tolerant_job [num_shards] [kill_node]
 //
@@ -56,9 +57,10 @@ class KillMidStreamSink final : public engine::ShardSink {
     return MaybeKill(count);
   }
   Status IngestRouted(engine::OperatorId source_op, int shard, int group,
-                      const engine::Tuple* tuples, size_t count) override {
-    ALBIC_RETURN_NOT_OK(
-        loop_->IngestRouted(source_op, shard, group, tuples, count));
+                      const engine::Tuple* tuples, size_t count,
+                      int64_t ingest_wall_ns) override {
+    ALBIC_RETURN_NOT_OK(loop_->IngestRouted(source_op, shard, group, tuples,
+                                            count, ingest_wall_ns));
     return MaybeKill(count);
   }
 

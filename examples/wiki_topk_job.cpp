@@ -83,6 +83,9 @@ int main(int argc, char** argv) {
   eopts.serde_cost = 0.3;
   eopts.window_every_us = kPeriodUs;
   eopts.mode = engine::ExecutionMode::kBatched;
+  // Latency telemetry: one sampled ingestion stamp per 32 tuples feeds the
+  // per-period p50/p99 columns below (and would drive an SLO trigger).
+  eopts.latency_sample_every = 32;
   engine::LocalEngine engine(&topology, &cluster, assignment,
                              {&geohash, &topk, &global_topk}, eopts);
 
@@ -136,14 +139,17 @@ int main(int argc, char** argv) {
   if (!controller.RunRoundNow().ok()) return 1;
 
   TablePrinter table({"period", "offered", "tuples", "mean-load(%)",
-                      "load-distance(%)", "migrations", "pause(ms)"});
+                      "load-distance(%)", "migrations", "pause(ms)",
+                      "p50(us)", "p99(us)"});
   for (const core::ControllerRound& r : controller.history()) {
     table.AddDoubleRow({static_cast<double>(r.period),
                         static_cast<double>(r.tuples_ingested),
                         static_cast<double>(r.tuples_processed), r.mean_load,
                         r.load_distance,
                         static_cast<double>(r.migrations_applied),
-                        r.migration_pause_us / 1000.0},
+                        r.migration_pause_us / 1000.0,
+                        static_cast<double>(r.latency.e2e_p50_us),
+                        static_cast<double>(r.latency.e2e_p99_us)},
                        1);
   }
   table.Print();

@@ -15,6 +15,7 @@ OUT_DIR="${2:-${BUILD_DIR}/bench_results}"
 # Benches that emit BENCH_JSON lines; extend as more get instrumented.
 BENCHES=(
   bench_engine_throughput
+  bench_latency
   bench_recovery
   bench_fig5_integrated_scaling
 )

@@ -101,8 +101,6 @@ class Search {
   LocalSearchSolution Run() {
     Objective best_obj = Evaluate();
     std::vector<NodeId> best_placement = item_node_;
-    double best_cost = used_cost_;
-    int best_count = used_count_;
 
     bool first_pass = true;
     while (first_pass || TimeLeft()) {
@@ -120,8 +118,6 @@ class Search {
       if (obj.BetterThan(best_obj)) {
         best_obj = obj;
         best_placement = item_node_;
-        best_cost = used_cost_;
-        best_count = used_count_;
       } else {
         // Restore the best known before kicking again.
         Restore(best_placement);
@@ -131,12 +127,14 @@ class Search {
     }
 
     Restore(best_placement);
+    ForceDrainResidual();
+    const Objective final_obj = Evaluate();
     LocalSearchSolution out;
     out.item_node = item_node_;
-    out.load_distance = best_obj.distance;
-    out.drain_load = best_obj.drain;
-    out.used_cost = best_cost;
-    out.used_count = best_count;
+    out.load_distance = final_obj.distance;
+    out.drain_load = final_obj.drain;
+    out.used_cost = used_cost_;
+    out.used_count = used_count_;
     out.iterations = accepted_moves_;
     return out;
   }
@@ -346,6 +344,66 @@ class Search {
     Apply(best_a, nb);
     Apply(best_b, na);
     return true;
+  }
+
+  // Drain completion. Lemma 2 guarantees the true optimum leaves B empty,
+  // but the greedy can stall just short of it: once B's residual is small,
+  // the mean is inflated by only residual / |A| — far below one item's
+  // granularity — so every remaining drain move pushes its destination
+  // above the mean, worsens d/ssq, and is rejected. That is a local
+  // optimum, not the optimum (Fig 5's 1-overloaded-node setup parked one
+  // marked node there forever). Scale-in must finish, so whatever budget
+  // the improvement phases left is spent force-draining marked nodes,
+  // heaviest item first, each to the destination that damages the balance
+  // least — improvement is NOT required here. Never runs while urgent
+  // rebalancing is consuming the budget (those phases ran first), so the
+  // integrated drain-vs-balance trade-off is preserved.
+  void ForceDrainResidual() {
+    for (;;) {
+      // Residual items still on marked nodes, heaviest first. Heavier items
+      // are tried first (they finish nodes sooner), but an unaffordable
+      // heavy item must not block a lighter one that still fits the
+      // remaining budget or the secondary caps.
+      std::vector<int> residual;
+      for (size_t i = 0; i < items_.size(); ++i) {
+        const NodeId n = item_node_[i];
+        if (n == engine::kInvalidNode || !snap_.cluster->is_marked(n)) {
+          continue;
+        }
+        if (items_[i].pinned != engine::kInvalidNode) continue;
+        residual.push_back(static_cast<int>(i));
+      }
+      if (residual.empty()) return;  // B is empty
+      std::sort(residual.begin(), residual.end(), [&](int a, int b) {
+        return items_[a].load > items_[b].load;
+      });
+      bool moved = false;
+      for (const int item : residual) {
+        NodeId best_to = engine::kInvalidNode;
+        Objective best_obj;
+        for (NodeId dst : retained_) {
+          if (!SecondaryAllows(item, dst)) continue;
+          MoveDelta delta = DeltaFor(item, dst);
+          if (!BudgetAllows(delta.cost, delta.count)) continue;
+          const NodeId cur = item_node_[item];
+          node_load_[cur] -= LoadOn(cur, items_[item].load);
+          node_load_[dst] += LoadOn(dst, items_[item].load);
+          Objective obj = Evaluate();
+          node_load_[dst] -= LoadOn(dst, items_[item].load);
+          node_load_[cur] += LoadOn(cur, items_[item].load);
+          if (best_to == engine::kInvalidNode || obj.BetterThan(best_obj)) {
+            best_obj = obj;
+            best_to = dst;
+          }
+        }
+        if (best_to != engine::kInvalidNode) {
+          Apply(item, best_to);
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) return;  // nothing affordable remains
+    }
   }
 
   // Perturbation: move a few random items to random retained nodes (budget

@@ -33,12 +33,17 @@ struct LocalSearchSolution {
 
 /// \brief Anytime local search for the integrated balancing objective.
 ///
-/// Optimizes the paper's MILP objective lexicographically — first drain
-/// nodes marked for removal (Lemmas 1-2 guarantee the true MILP does the
-/// same), then minimize load distance, then the sum of squared deviations
-/// (a smooth stand-in for maximizing du + dl tightness) — subject to the
-/// migration budget. Items are atomic; pinned items are placed first and
-/// never moved (ALBIC's collocation constraints).
+/// Optimizes the paper's MILP objective lexicographically — minimize load
+/// distance, then the sum of squared deviations (a smooth stand-in for
+/// maximizing du + dl tightness) — subject to the migration budget. Drain
+/// moves off nodes marked for removal fall out of that minimization
+/// (Lemma 2: the optimum only exists with B empty), interleaved with
+/// urgent overload fixes; a final completion pass force-drains whatever
+/// residual the greedy leaves behind with the unspent budget, because a
+/// nearly-empty marked set is a local optimum the greedy cannot escape
+/// (moving the last items necessarily overshoots the mean). Items are
+/// atomic; pinned items are placed first and never moved (ALBIC's
+/// collocation constraints).
 class LocalSearchSolver {
  public:
   /// \brief Solves the placement problem. `snapshot` supplies the cluster,

@@ -35,7 +35,8 @@ engine::SystemSnapshot AdaptationFramework::BuildSnapshot(
 Result<AdaptationRound> AdaptationFramework::RunRound(
     const engine::Topology& topology, const engine::LoadModel& load_model,
     const std::vector<double>& group_proc_loads, const engine::CommMatrix* comm,
-    engine::Cluster* cluster, engine::Assignment* assignment) {
+    engine::Cluster* cluster, engine::Assignment* assignment,
+    const engine::LatencySummary* latency) {
   AdaptationRound round;
 
   // Lines 1-3: terminate drained nodes marked in previous rounds.
@@ -49,6 +50,7 @@ Result<AdaptationRound> AdaptationFramework::RunRound(
   // Line 4: potential allocation plan.
   engine::SystemSnapshot snap = BuildSnapshot(
       topology, load_model, group_proc_loads, comm, *cluster, *assignment);
+  if (latency != nullptr) snap.latency = *latency;
   ALBIC_ASSIGN_OR_RETURN(
       round.plan, rebalancer_->ComputePlan(snap, options_.constraints));
 
@@ -68,6 +70,7 @@ Result<AdaptationRound> AdaptationFramework::RunRound(
         // Lines 6-7: recalculate the plan after scaling, integratively.
         snap = BuildSnapshot(topology, load_model, group_proc_loads, comm,
                              *cluster, *assignment);
+        if (latency != nullptr) snap.latency = *latency;
         ALBIC_ASSIGN_OR_RETURN(
             round.plan, rebalancer_->ComputePlan(snap, options_.constraints));
       }

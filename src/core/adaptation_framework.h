@@ -48,13 +48,17 @@ class AdaptationFramework {
                       AdaptationOptions options);
 
   /// \brief Runs one adaptation round, mutating the cluster (terminations,
-  /// additions, marks) and the assignment (migrations).
+  /// additions, marks) and the assignment (migrations). \p latency is the
+  /// measured latency summary of the period (optional; copied into the
+  /// snapshot so rebalancers and scaling policies can see p50/p99).
   Result<AdaptationRound> RunRound(const engine::Topology& topology,
                                    const engine::LoadModel& load_model,
                                    const std::vector<double>& group_proc_loads,
                                    const engine::CommMatrix* comm,
                                    engine::Cluster* cluster,
-                                   engine::Assignment* assignment);
+                                   engine::Assignment* assignment,
+                                   const engine::LatencySummary* latency =
+                                       nullptr);
 
   /// \brief Builds the controller's view of the system (§3, "Controller"):
   /// loads, gLoads and migration costs under the given allocation.

@@ -18,7 +18,8 @@ ControllerLoop::ControllerLoop(engine::LocalEngine* engine,
       load_model_(load_model),
       topology_(topology),
       cluster_(cluster),
-      options_(options) {}
+      options_(options),
+      slo_policy_(options.slo) {}
 
 Status ControllerLoop::MaybeRunRounds(int64_t ts) {
   if (options_.period_every_us <= 0) return Status::OK();
@@ -36,10 +37,34 @@ Status ControllerLoop::MaybeRunRounds(int64_t ts) {
   return Status::OK();
 }
 
+Status ControllerLoop::MaybeSloRound(int64_t ts) {
+  if (!slo_policy_.WantsCheck(ts)) return Status::OK();
+  if (!slo_policy_.ShouldTrigger(ts, engine_->PeekLatency())) {
+    return Status::OK();
+  }
+  // Fire early and restart the period cadence from here: the breach round
+  // measured a partial period, so the next boundary round gets a full one.
+  next_round_slo_ = true;
+  const Result<ControllerRound> round = RunRoundNow();
+  // A failed round returns before consuming the flag; clear it so a later
+  // boundary or recovery round is not mislabeled as SLO-triggered — and
+  // skip the trigger bookkeeping (cooldown, backoff, counter) for a round
+  // that never ran, so a transient planner error neither suppresses the
+  // next legitimate breach nor breaks triggered_rounds() == rounds run.
+  next_round_slo_ = false;
+  if (round.ok()) {
+    slo_policy_.OnTriggeredRound(ts);
+    period_start_us_ = ts;
+    period_initialized_ = true;
+  }
+  return round.status();
+}
+
 Status ControllerLoop::Ingest(engine::OperatorId source_op,
                               const engine::Tuple& tuple) {
   ALBIC_RETURN_NOT_OK(MaybeRunRounds(tuple.ts));
-  return engine_->Inject(source_op, tuple);
+  ALBIC_RETURN_NOT_OK(engine_->Inject(source_op, tuple));
+  return MaybeSloRound(tuple.ts);
 }
 
 Status ControllerLoop::IngestSplitting(
@@ -62,13 +87,17 @@ Status ControllerLoop::IngestSplitting(
   if (count > start) {
     ALBIC_RETURN_NOT_OK(inject(tuples + start, count - start));
   }
+  if (count > 0) {
+    ALBIC_RETURN_NOT_OK(MaybeSloRound(tuples[count - 1].ts));
+  }
   return Status::OK();
 }
 
 Status ControllerLoop::IngestBatch(engine::OperatorId source_op,
                                    const engine::Tuple* tuples, size_t count) {
   if (options_.period_every_us <= 0) {
-    return engine_->InjectBatch(source_op, tuples, count);
+    ALBIC_RETURN_NOT_OK(engine_->InjectBatch(source_op, tuples, count));
+    return count > 0 ? MaybeSloRound(tuples[count - 1].ts) : Status::OK();
   }
   return IngestSplitting(tuples, count,
                          [&](const engine::Tuple* run, size_t n) {
@@ -78,37 +107,40 @@ Status ControllerLoop::IngestBatch(engine::OperatorId source_op,
 
 Status ControllerLoop::IngestRouted(engine::OperatorId source_op, int shard,
                                     int group, const engine::Tuple* tuples,
-                                    size_t count) {
+                                    size_t count, int64_t ingest_wall_ns) {
   if (options_.period_every_us <= 0) {
-    return engine_->InjectRouted(source_op, shard, group, tuples, count);
+    ALBIC_RETURN_NOT_OK(engine_->InjectRouted(source_op, shard, group, tuples,
+                                              count, ingest_wall_ns));
+    return count > 0 ? MaybeSloRound(tuples[count - 1].ts) : Status::OK();
   }
   return IngestSplitting(
       tuples, count, [&](const engine::Tuple* run, size_t n) {
-        return engine_->InjectRouted(source_op, shard, group, run, n);
+        return engine_->InjectRouted(source_op, shard, group, run, n,
+                                     ingest_wall_ns);
       });
 }
 
 Status ControllerLoop::KillNode(engine::NodeId node) {
-  // Recovery happens at the next period boundary, and a lost group skips
-  // window firings until then. With the statistics period dividing the
-  // window cadence, rounds always precede the boundary (the loop runs
-  // rounds before handing the boundary-crossing tuple to the engine), so
-  // no window can fire while groups are lost — enforce that here instead
-  // of corrupting windowed output silently. period_every_us == 0 is
-  // allowed: the driver paces rounds explicitly and owns that guarantee.
-  const int64_t window_us = engine_->options().window_every_us;
-  if (window_us > 0 && options_.period_every_us > 0 &&
-      window_us % options_.period_every_us != 0) {
-    return Status::InvalidArgument(
-        "recovery runs at period boundaries: the statistics period must "
-        "divide the window cadence or a window could fire during the "
-        "outage");
-  }
   // Engine first (it validates that checkpointing makes the loss
   // recoverable), then the cluster, so a rejected kill leaves both intact.
   ALBIC_RETURN_NOT_OK(engine_->FailNode(node));
   ALBIC_RETURN_NOT_OK(cluster_->Fail(node));
   ++nodes_failed_pending_;
+  // Recover eagerly: run the recovery round before returning, so no window
+  // can fire while groups are lost. (Recovery used to wait for the next
+  // statistics boundary, which forced the statistics period to divide the
+  // window cadence — a windowed emission would otherwise be skipped during
+  // the outage. Eager recovery lifts that constraint.)
+  ALBIC_RETURN_NOT_OK(RunRoundNow().status());
+  // The eager round harvested a partial period; restart the cadence so the
+  // next boundary round measures a full one — otherwise its halved loads
+  // would read as phantom underload right after a failure (same reasoning
+  // as the SLO path above). Only when a period is actually running: before
+  // the first tuple the origin must stay unanchored, or a stream carrying
+  // absolute epoch timestamps would enter a catch-up-round storm.
+  if (period_initialized_) {
+    period_start_us_ = engine_->event_time();
+  }
   return Status::OK();
 }
 
@@ -116,6 +148,8 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
   // Measure: complete in-flight work and harvest the period.
   engine_->Flush();
   engine::EnginePeriodStats stats = engine_->HarvestPeriod();
+  const engine::LatencySummary latency_summary =
+      engine::LatencySummary::FromPeriod(stats.latency);
 
   // Convert measured work units into percent-of-reference-node loads.
   std::vector<double> group_loads(stats.group_work.size(), 0.0);
@@ -162,7 +196,7 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
   ALBIC_ASSIGN_OR_RETURN(
       AdaptationRound adaptation,
       framework_->RunRound(*topology_, *load_model_, group_loads, comm,
-                           cluster_, &planned));
+                           cluster_, &planned, &latency_summary));
 
   // Act: apply the plan's migrations to the live engine. Each one buffers
   // tuples in flight for the group and drains them at the target. Lost
@@ -210,6 +244,9 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
   nodes_failed_pending_ = 0;
 
   round.period = static_cast<int>(history_.size());
+  round.slo_triggered = next_round_slo_;
+  next_round_slo_ = false;
+  round.latency = latency_summary;
   round.tuples_processed = stats.tuples_processed;
   for (const int64_t n : stats.shard_ingested) round.tuples_ingested += n;
   round.tuples_buffered = stats.tuples_buffered;

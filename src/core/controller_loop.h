@@ -4,9 +4,11 @@
 /// \brief ControllerLoop, the online measure -> decide -> act
 /// cycle: harvests measured engine statistics every period, runs one
 /// adaptation round and applies the planned migrations to the live engine.
-/// Node failures (KillNode) are handled as just another reconfiguration:
-/// the next round re-plans the assignment over the surviving nodes and
-/// restores every lost group from its checkpoint + replay-log suffix.
+/// Rounds also fire early when the latency-SLO trigger observes an
+/// end-to-end p99 breach. Node failures (KillNode) run their recovery
+/// round eagerly — the assignment is re-planned over the surviving nodes
+/// and every lost group restored from checkpoint + replay-log suffix
+/// before KillNode returns.
 
 #include <cstdint>
 #include <functional>
@@ -15,6 +17,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/adaptation_framework.h"
+#include "core/slo_policy.h"
 #include "engine/local_engine.h"
 #include "engine/sharded_source.h"
 
@@ -38,6 +41,13 @@ struct ControllerLoopOptions {
   /// O(log suffix) instead of O(state)); requires the engine to have
   /// checkpointing enabled — ignored (direct migration) otherwise.
   bool use_indirect_migration = false;
+  /// Latency-SLO trigger: fire an adaptation round as soon as the engine's
+  /// observed end-to-end p99 breaches slo.p99_bound_us instead of waiting
+  /// for the statistics boundary (with check pacing, cooldown and backoff;
+  /// see SloTriggerOptions). Needs the engine to run with latency
+  /// telemetry (LocalEngineOptions::latency_sample_every > 0) — without
+  /// measurements the trigger never sees a breach. Disabled by default.
+  SloTriggerOptions slo;
 };
 
 /// \brief Compact record of one adaptation round driven by the controller.
@@ -69,6 +79,12 @@ struct ControllerRound {
   double recovery_wall_us = 0.0;
   int64_t checkpoints_taken = 0;   ///< Group snapshots in this period.
   int64_t checkpoint_bytes = 0;    ///< Snapshot bytes in this period.
+  /// Measured latency of the harvested period (all zeros unless the engine
+  /// runs with latency telemetry): p50/p99/max end-to-end, p99 queueing.
+  engine::LatencySummary latency;
+  /// True when this round fired early on an SLO p99 breach rather than at
+  /// the statistics-period boundary.
+  bool slo_triggered = false;
 };
 
 /// \brief The online control loop (§3, "Controller"): turns Algorithm 1
@@ -108,15 +124,18 @@ class ControllerLoop {
   /// Period boundaries are honoured inside the run. With several shards a
   /// boundary fires when the first shard's tuples cross it; slower shards'
   /// tuples for the old period then count toward the next one — the
-  /// measured-statistics analogue of watermark skew.
+  /// measured-statistics analogue of watermark skew. \p ingest_wall_ns is
+  /// the shard-thread wall stamp for latency telemetry (0 = unstamped).
   Status IngestRouted(engine::OperatorId source_op, int shard, int group,
-                      const engine::Tuple* tuples, size_t count);
+                      const engine::Tuple* tuples, size_t count,
+                      int64_t ingest_wall_ns = 0);
 
   /// \brief Failure injection: drops node \p node abruptly. The state of
-  /// every key group on it is lost; new input for those groups buffers
-  /// (like a migration in progress). The next control round detects the
-  /// failure, re-plans the assignment over the surviving nodes and
-  /// restores each lost group from checkpoint + replay — no tuple is lost.
+  /// every key group on it is lost, and the recovery round runs EAGERLY,
+  /// before KillNode returns: the assignment is re-planned over the
+  /// surviving nodes and each lost group restored from checkpoint +
+  /// replay — no tuple is lost, and no window can fire during the outage
+  /// (so the statistics period need not divide the window cadence).
   /// Requires the engine to have checkpointing enabled.
   Status KillNode(engine::NodeId node);
 
@@ -127,9 +146,13 @@ class ControllerLoop {
   int rounds_run() const { return static_cast<int>(history_.size()); }
   const std::vector<ControllerRound>& history() const { return history_; }
   const ControllerLoopOptions& options() const { return options_; }
+  const SloTriggerPolicy& slo_policy() const { return slo_policy_; }
 
  private:
   Status MaybeRunRounds(int64_t ts);
+  /// Polls the engine's live p99 against the SLO and fires an early round
+  /// on a breach; called after every ingest step.
+  Status MaybeSloRound(int64_t ts);
   /// Shared splitter of the bulk-ingest paths: hands each maximal sub-run
   /// of [tuples, tuples + count) that crosses no period boundary to
   /// \p inject, running adaptation rounds at every boundary in between.
@@ -145,9 +168,11 @@ class ControllerLoop {
   ControllerLoopOptions options_;
 
   std::vector<ControllerRound> history_;
+  SloTriggerPolicy slo_policy_;
   int64_t period_start_us_ = 0;
   bool period_initialized_ = false;
   int nodes_failed_pending_ = 0;  ///< KillNode calls since the last round.
+  bool next_round_slo_ = false;   ///< Mark the next round as SLO-triggered.
 };
 
 /// \brief ShardSink over the online controller: sharded sources stream
@@ -162,8 +187,10 @@ class ControllerShardSink final : public engine::ShardSink {
     return loop_->IngestBatch(source_op, tuples, count);
   }
   Status IngestRouted(engine::OperatorId source_op, int shard, int group,
-                      const engine::Tuple* tuples, size_t count) override {
-    return loop_->IngestRouted(source_op, shard, group, tuples, count);
+                      const engine::Tuple* tuples, size_t count,
+                      int64_t ingest_wall_ns) override {
+    return loop_->IngestRouted(source_op, shard, group, tuples, count,
+                               ingest_wall_ns);
   }
 
  private:

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file
+/// \brief SloTriggerPolicy: fires a reconfiguration round early when the
+/// observed end-to-end p99 latency breaches a configured bound, with
+/// check pacing, a minimum sample count, and cooldown with exponential
+/// backoff so a persistent breach cannot thrash the adaptation loop.
+
+#include <cstdint>
+
+#include "engine/metrics.h"
+
+namespace albic::core {
+
+/// \brief Configuration of the latency-SLO reconfiguration trigger.
+///
+/// All horizons are event-time microseconds, like the statistics period —
+/// event-time pacing keeps replayed traces deterministic (the same stream
+/// triggers the same rounds), which is what makes the trigger testable.
+struct SloTriggerOptions {
+  /// End-to-end p99 bound in microseconds; a breach fires an adaptation
+  /// round immediately instead of waiting for the statistics boundary.
+  /// 0 disables the trigger (rounds fire on the period cadence only).
+  int64_t p99_bound_us = 0;
+  /// Observations the running period must hold before the p99 is trusted
+  /// (cold-start and post-round noise suppression).
+  int64_t min_samples = 64;
+  /// Event time between p99 evaluations (polling the histogram on every
+  /// ingest call would cost more than the measurement is worth).
+  int64_t check_every_us = 100 * 1000;
+  /// Event time after a triggered round before the next one may fire.
+  int64_t cooldown_us = 1000 * 1000;
+  /// Consecutive triggered rounds multiply the cooldown by this factor —
+  /// if reconfiguration is not fixing the breach, trying harder faster
+  /// will not either. A check that observes p99 back under the bound
+  /// resets the cooldown to its base value.
+  double backoff_factor = 2.0;
+  int64_t max_cooldown_us = 60LL * 1000 * 1000;
+
+  bool enabled() const { return p99_bound_us > 0; }
+};
+
+/// \brief The SLO trigger's state machine (checks, cooldown, backoff).
+///
+/// The controller polls ShouldTrigger with the engine's live latency
+/// summary; a true return means "run a round now", after which the
+/// controller reports the round as SLO-triggered and calls OnTriggeredRound
+/// to start the cooldown.
+class SloTriggerPolicy {
+ public:
+  explicit SloTriggerPolicy(SloTriggerOptions options = {})
+      : options_(options), current_cooldown_us_(options.cooldown_us) {}
+
+  bool enabled() const { return options_.enabled(); }
+
+  /// \brief Cheap pacing pre-check: is a p99 evaluation due at this event
+  /// time? Lets the caller skip computing the latency summary (a histogram
+  /// scan) between checks.
+  bool WantsCheck(int64_t event_ts_us) const {
+    return enabled() && (!checked_once_ || event_ts_us >= next_check_us_);
+  }
+
+  /// \brief True when the observed p99 breaches the bound and neither the
+  /// check pacing nor an active cooldown suppresses the trigger.
+  bool ShouldTrigger(int64_t event_ts_us,
+                     const engine::LatencySummary& latency) {
+    if (!WantsCheck(event_ts_us)) return false;
+    checked_once_ = true;
+    next_check_us_ = event_ts_us + options_.check_every_us;
+    if (latency.e2e_count < options_.min_samples) return false;
+    if (latency.e2e_p99_us <= options_.p99_bound_us) {
+      // Healthy again: the next breach starts from the base cooldown.
+      current_cooldown_us_ = options_.cooldown_us;
+      return false;
+    }
+    return event_ts_us >= cooldown_until_us_;
+  }
+
+  /// \brief Starts the post-round cooldown and applies backoff.
+  void OnTriggeredRound(int64_t event_ts_us) {
+    ++triggered_rounds_;
+    cooldown_until_us_ = event_ts_us + current_cooldown_us_;
+    const double next =
+        static_cast<double>(current_cooldown_us_) * options_.backoff_factor;
+    current_cooldown_us_ =
+        next > static_cast<double>(options_.max_cooldown_us)
+            ? options_.max_cooldown_us
+            : static_cast<int64_t>(next);
+  }
+
+  int64_t triggered_rounds() const { return triggered_rounds_; }
+  int64_t current_cooldown_us() const { return current_cooldown_us_; }
+  const SloTriggerOptions& options() const { return options_; }
+
+ private:
+  SloTriggerOptions options_;
+  bool checked_once_ = false;
+  int64_t next_check_us_ = 0;
+  int64_t cooldown_until_us_ = 0;
+  int64_t current_cooldown_us_ = 0;
+  int64_t triggered_rounds_ = 0;
+};
+
+}  // namespace albic::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -99,11 +101,22 @@ LocalEngine::LocalEngine(const Topology* topology, const Cluster* cluster,
   assert(static_cast<int>(operators_.size()) == topology_->num_operators());
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.max_batch_tuples < 1) options_.max_batch_tuples = 1;
+  if (options_.latency_sample_every < 0) options_.latency_sample_every = 0;
+  telemetry_ = options_.latency_sample_every > 0;
   period_.group_work.assign(
       static_cast<size_t>(topology_->num_key_groups()), 0.0);
   period_.node_work.assign(
       static_cast<size_t>(cluster_->num_nodes_total()), 0.0);
   period_.comm = CommMatrix(topology_->num_key_groups());
+  if (telemetry_) {
+    period_.latency.EnableFor(topology_->num_operators(),
+                              topology_->num_key_groups());
+    is_sink_.resize(static_cast<size_t>(topology_->num_operators()), 0);
+    for (OperatorId op = 0; op < topology_->num_operators(); ++op) {
+      is_sink_[op] = topology_->downstream(op).empty() ? 1 : 0;
+    }
+    ingest_samples_.reserve(2 * kMaxIngestSamples);
+  }
   if (options_.mode == ExecutionMode::kBatched) {
     downstream_.reserve(static_cast<size_t>(topology_->num_operators()));
     for (OperatorId op = 0; op < topology_->num_operators(); ++op) {
@@ -122,6 +135,10 @@ LocalEngine::LocalEngine(const Topology* topology, const Cluster* cluster,
         ctx.local.group_work.assign(
             static_cast<size_t>(topology_->num_key_groups()), 0.0);
         ctx.local.comm = CommMatrix(topology_->num_key_groups());
+        if (telemetry_) {
+          ctx.local.latency.EnableFor(topology_->num_operators(),
+                                      topology_->num_key_groups());
+        }
         ctx.stats = &ctx.local;
         ctx.direct = false;
         ctx.open_slot.assign(
@@ -129,6 +146,85 @@ LocalEngine::LocalEngine(const Topology* topology, const Cluster* cluster,
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Latency telemetry. All entry points no-op (a single predictable branch)
+// when telemetry is disabled; none of them touch tuple flow, so outputs are
+// bit-identical with telemetry on or off.
+// ---------------------------------------------------------------------------
+
+int64_t LocalEngine::NowNs() { return TelemetryNowNs(); }
+
+void LocalEngine::MaybeSampleIngest(int64_t ts, size_t count,
+                                    int64_t wall_ns) {
+  sample_countdown_ -= static_cast<int64_t>(count);
+  if (sample_countdown_ > 0) return;
+  sample_countdown_ = options_.latency_sample_every;
+  // Keep the sample sequence monotone in event time: a late run must not
+  // roll the frontier back, or sink lookups would pair new wall stamps
+  // with old event times.
+  if (ts < last_sample_ts_us_) return;
+  last_sample_ts_us_ = ts;
+  if (ingest_samples_.size() >= 2 * kMaxIngestSamples) {
+    // Compact in place: drop the older half. Only the driving thread runs
+    // here, and never while a wave is in flight.
+    ingest_samples_.erase(ingest_samples_.begin(),
+                          ingest_samples_.begin() + kMaxIngestSamples);
+  }
+  int64_t wall = wall_ns;
+  if (wall == 0) {
+    wall = NowNs();
+    // Piggyback on the clock read we just paid (shard stamps are from the
+    // past — possibly a queue wait ago — so they never refresh the cache).
+    coordinator_.wall_cache_ns = wall;
+  }
+  ingest_samples_.push_back(IngestSample{ts, wall});
+}
+
+bool LocalEngine::LookupIngestSample(int64_t ts, IngestSample* out) const {
+  // Scan newest-to-oldest: sink batches almost always match one of the most
+  // recent samples, so this is O(1) in practice.
+  for (size_t i = ingest_samples_.size(); i > 0; --i) {
+    const IngestSample& s = ingest_samples_[i - 1];
+    if (s.event_ts_us <= ts) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+void LocalEngine::RecordBatchLatency(WorkerContext* ctx, OperatorId op,
+                                     KeyGroupId g, size_t tuples,
+                                     int64_t last_ts, int64_t t0_ns) {
+  LatencyPeriodStats& lat = ctx->stats->latency;
+  const int64_t t1 = NowNs();
+  const int64_t service_us = (t1 - t0_ns) / 1000;
+  lat.op_service_us[op].Record(service_us);
+  GroupLatency& gl = lat.group_service[g];
+  gl.service_sum_us += static_cast<double>(service_us);
+  gl.tuples += static_cast<int64_t>(tuples);
+  if (is_sink_[op]) {
+    // Window-fire aggregates carry ts = 0 (they summarize a whole window,
+    // not one input tuple); fall back to the event-time frontier — the
+    // newest data the aggregate can reflect. event_time_us_ only advances
+    // between waves, so the read is stable under worker concurrency.
+    IngestSample sample;
+    bool found = LookupIngestSample(last_ts, &sample);
+    if (!found) found = LookupIngestSample(event_time_us_, &sample);
+    if (found) {
+      lat.e2e_us.RecordN((t1 - sample.wall_ns) / 1000,
+                         static_cast<int64_t>(tuples));
+    }
+  }
+}
+
+void LocalEngine::RecordBufferedPause(double pause_us, size_t buffered) {
+  if (!telemetry_ || buffered == 0) return;
+  period_.latency.stall_e2e_us.RecordN(
+      static_cast<int64_t>(std::llround(pause_us)),
+      static_cast<int64_t>(buffered));
 }
 
 // ---------------------------------------------------------------------------
@@ -177,6 +273,7 @@ Status LocalEngine::Inject(OperatorId source_op, const Tuple& tuple) {
     return Status::InvalidArgument("unknown source operator");
   }
   CountIngested(/*shard=*/0, 1);
+  if (telemetry_) MaybeSampleIngest(tuple.ts, 1, 0);
   if (options_.mode == ExecutionMode::kBatched) {
     if (tuple.ts >= event_time_us_) {
       if (WindowBoundaryCrossed(tuple.ts)) MaybeFireWindowsBatched(tuple.ts);
@@ -254,6 +351,14 @@ Status LocalEngine::InjectBatch(OperatorId source_op, const Tuple* tuples,
     return Status::OK();
   }
   CountIngested(/*shard=*/0, count);
+  if (telemetry_ && count > 0) {
+    const int64_t now = NowNs();  // one read per chunk, shared with samples
+    coordinator_.wall_cache_ns = now;
+    // Stamp the run's FIRST event time: the sample must not outrun the
+    // event-time frontier, or window-fire aggregates emitted mid-run could
+    // never find a covering sample.
+    MaybeSampleIngest(tuples[0].ts, count, now);
+  }
   const int src_groups = topology_->op(source_op).num_key_groups;
   const bool null_source = operators_[source_op] == nullptr;
   if (static_cast<int>(inject_buckets_.size()) < src_groups) {
@@ -294,7 +399,7 @@ Status LocalEngine::InjectBatch(OperatorId source_op, const Tuple* tuples,
 
 Status LocalEngine::InjectRouted(OperatorId source_op, int shard,
                                  int group_index, const Tuple* tuples,
-                                 size_t count) {
+                                 size_t count, int64_t ingest_wall_ns) {
   if (source_op < 0 || source_op >= topology_->num_operators()) {
     return Status::InvalidArgument("unknown source operator");
   }
@@ -305,6 +410,14 @@ Status LocalEngine::InjectRouted(OperatorId source_op, int shard,
   if (shard < 0) return Status::InvalidArgument("negative shard id");
   if (count == 0) return Status::OK();
   CountIngested(shard, count);
+  if (telemetry_) {
+    const int64_t now = NowNs();  // one read per routed run
+    coordinator_.wall_cache_ns = now;
+    // Prefer the shard-thread stamp (it includes the queue wait) and fall
+    // back to the read we just paid for.
+    MaybeSampleIngest(tuples[0].ts, count,
+                      ingest_wall_ns != 0 ? ingest_wall_ns : now);
+  }
 
   if (options_.mode != ExecutionMode::kBatched) {
     // Reference path: deliver each tuple exactly as Inject would, with the
@@ -386,6 +499,18 @@ void LocalEngine::Deliver(OperatorId op, int group_index, const Tuple& tuple) {
     if (checkpointer_ != nullptr) LogDeliveredRun(g, &tuple, 1);
     GroupEmitter emitter(this, op, group_index);
     operators_[op]->Process(tuple, group_index, &emitter);
+    // Tuple-at-a-time telemetry is end-to-end only, sampled at sinks (the
+    // batched path carries the full queue/service breakdown; per-tuple
+    // clock reads here would dwarf the work being measured).
+    if (telemetry_ && is_sink_[op] && --legacy_sink_countdown_ <= 0) {
+      legacy_sink_countdown_ = options_.latency_sample_every;
+      IngestSample sample;
+      bool found = LookupIngestSample(tuple.ts, &sample);
+      if (!found) found = LookupIngestSample(event_time_us_, &sample);
+      if (found) {
+        period_.latency.e2e_us.Record((NowNs() - sample.wall_ns) / 1000);
+      }
+    }
   } else {
     Route(op, group_index, tuple);
   }
@@ -480,13 +605,14 @@ void LocalEngine::ReleaseVec(WorkerContext* ctx, std::vector<Tuple>&& vec) {
 }
 
 void LocalEngine::EnqueueMailbox(int mailbox, OperatorId op, int group_index,
-                                 std::vector<Tuple>&& tuples) {
+                                 std::vector<Tuple>&& tuples,
+                                 int64_t enqueue_ns) {
   if (mailbox < 0) mailbox = 0;  // unassigned groups park on mailbox 0
   if (static_cast<size_t>(mailbox) >= mailboxes_.size()) {
     mailboxes_.resize(static_cast<size_t>(mailbox) + 1);
   }
   mailboxes_[mailbox].push_back(
-      PendingBatch{op, group_index, TupleBatch(std::move(tuples))});
+      PendingBatch{op, group_index, TupleBatch(std::move(tuples)), enqueue_ns});
 }
 
 void LocalEngine::AppendRouted(WorkerContext* ctx, NodeId node, OperatorId op,
@@ -510,8 +636,9 @@ void LocalEngine::AppendRouted(WorkerContext* ctx, NodeId node, OperatorId op,
       return;
     }
     slot = static_cast<int32_t>(box.size());
-    box.push_back(
-        PendingBatch{op, group_index, TupleBatch(AcquireVecFor(ctx, count))});
+    box.push_back(PendingBatch{op, group_index,
+                               TupleBatch(AcquireVecFor(ctx, count)),
+                               ctx->wall_cache_ns});
     std::vector<Tuple>& dst = box.back().batch.mutable_tuples();
     dst.insert(dst.end(), data, data + count);
     return;
@@ -527,9 +654,10 @@ void LocalEngine::AppendRouted(WorkerContext* ctx, NodeId node, OperatorId op,
     return;
   }
   slot = static_cast<int32_t>(out.size());
-  out.emplace_back(
-      mailbox,
-      PendingBatch{op, group_index, TupleBatch(AcquireVecFor(ctx, count))});
+  out.emplace_back(mailbox,
+                   PendingBatch{op, group_index,
+                                TupleBatch(AcquireVecFor(ctx, count)),
+                                ctx->wall_cache_ns});
   std::vector<Tuple>& dst = out.back().second.batch.mutable_tuples();
   dst.insert(dst.end(), data, data + count);
 }
@@ -601,7 +729,8 @@ void LocalEngine::RouteBatch(WorkerContext* ctx, OperatorId from_op,
 }
 
 void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
-                               int group_index, TupleBatch* batch_ptr) {
+                               int group_index, TupleBatch* batch_ptr,
+                               int64_t enqueue_ns) {
   const TupleBatch& batch = *batch_ptr;
   if (batch.empty()) return;
   const KeyGroupId g = topology_->first_group(op) + group_index;
@@ -613,6 +742,20 @@ void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
     for (const Tuple& t : batch) mig.buffer.push_back(t);
     ctx->stats->tuples_buffered += static_cast<int64_t>(batch.size());
     return;
+  }
+  // Telemetry: one clock read covers both the mailbox queueing delay
+  // (enqueue stamp -> here) and the start of the service-time window.
+  int64_t t0_ns = 0;
+  size_t batch_tuples = 0;
+  int64_t batch_last_ts = 0;
+  if (telemetry_) {
+    t0_ns = NowNs();
+    ctx->wall_cache_ns = t0_ns;  // fresh stamp for batches routed from here
+    if (enqueue_ns > 0) {
+      ctx->stats->latency.queue_us.Record((t0_ns - enqueue_ns) / 1000);
+    }
+    batch_tuples = batch.size();
+    batch_last_ts = batch.tuples().back().ts;
   }
   const NodeId node = assignment_.node_of(g);
   const double cost = topology_->op(op).cost_per_tuple;
@@ -634,6 +777,9 @@ void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
       }
       ScatterEmitter emitter(ctx, down_groups);
       operators_[op]->ProcessBatch(batch, group_index, &emitter);
+      if (telemetry_) {
+        RecordBatchLatency(ctx, op, g, batch_tuples, batch_last_ts, t0_ns);
+      }
       // Steal the consumed batch into the replay log (zero-copy logging);
       // after this the batch is empty and must not be read again.
       if (checkpointer_ != nullptr) LogDeliveredBatch(g, batch_ptr);
@@ -643,6 +789,9 @@ void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
     ctx->emitted.clear();
     BatchEmitter emitter(&ctx->emitted);
     operators_[op]->ProcessBatch(batch, group_index, &emitter);
+    if (telemetry_) {
+      RecordBatchLatency(ctx, op, g, batch_tuples, batch_last_ts, t0_ns);
+    }
     if (checkpointer_ != nullptr) LogDeliveredBatch(g, batch_ptr);
     RouteBatch(ctx, op, group_index, ctx->emitted);
   } else {
@@ -654,7 +803,8 @@ void LocalEngine::RunWave(std::vector<std::vector<PendingBatch>>* wave) {
   if (options_.num_workers == 1) {
     for (std::vector<PendingBatch>& box : *wave) {
       for (PendingBatch& pb : box) {
-        DeliverBatch(&coordinator_, pb.op, pb.group_index, &pb.batch);
+        DeliverBatch(&coordinator_, pb.op, pb.group_index, &pb.batch,
+                     pb.enqueue_ns);
         ReleaseVec(&coordinator_, std::move(pb.batch.mutable_tuples()));
       }
     }
@@ -666,7 +816,7 @@ void LocalEngine::RunWave(std::vector<std::vector<PendingBatch>>* wave) {
     for (size_t node = 0; node < wave->size(); ++node) {
       if (static_cast<int>(node % static_cast<size_t>(workers)) != w) continue;
       for (PendingBatch& pb : (*wave)[node]) {
-        DeliverBatch(&ctx, pb.op, pb.group_index, &pb.batch);
+        DeliverBatch(&ctx, pb.op, pb.group_index, &pb.batch, pb.enqueue_ns);
         ReleaseVec(&ctx, std::move(pb.batch.mutable_tuples()));
       }
     }
@@ -676,7 +826,8 @@ void LocalEngine::RunWave(std::vector<std::vector<PendingBatch>>* wave) {
   for (WorkerContext& ctx : worker_ctx_) {
     for (std::pair<int, PendingBatch>& item : ctx.outbox) {
       EnqueueMailbox(item.first, item.second.op, item.second.group_index,
-                     std::move(item.second.batch.mutable_tuples()));
+                     std::move(item.second.batch.mutable_tuples()),
+                     item.second.enqueue_ns);
     }
     ctx.outbox.clear();
   }
@@ -749,6 +900,7 @@ void LocalEngine::MergeStats(EnginePeriodStats* into,
     into->shard_ingested[s] += from->shard_ingested[s];
     from->shard_ingested[s] = 0;
   }
+  into->latency.MergeFrom(&from->latency);
   into->tuples_processed += from->tuples_processed;
   into->tuples_buffered += from->tuples_buffered;
   into->migration_pause_us += from->migration_pause_us;
@@ -894,6 +1046,9 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
     }
   }
   period_.migration_pause_us += pause_us;
+  // Tuples that buffered while the group was unavailable experienced the
+  // pause as latency; account it before the drain re-delivers them.
+  RecordBufferedPause(pause_us, mig.buffer.size());
 
   assignment_.set_node(group, mig.target);
   mig.active = false;
@@ -1074,6 +1229,7 @@ Result<GroupRecovery> LocalEngine::RecoverGroup(KeyGroupId group, NodeId to) {
     period_.tuples_replayed += out.replayed;
   }
   ++period_.groups_recovered;
+  RecordBufferedPause(out.pause_us, mig.buffer.size());
   assignment_.set_node(group, to);
   mig.active = false;
   mig.lost = false;
@@ -1094,6 +1250,10 @@ EnginePeriodStats LocalEngine::HarvestPeriod() {
   period_.node_work.assign(
       static_cast<size_t>(cluster_->num_nodes_total()), 0.0);
   period_.comm = CommMatrix(topology_->num_key_groups());
+  if (telemetry_) {
+    period_.latency.EnableFor(topology_->num_operators(),
+                              topology_->num_key_groups());
+  }
   return out;
 }
 

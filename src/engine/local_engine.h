@@ -19,6 +19,7 @@
 #include "engine/batch.h"
 #include "engine/cluster.h"
 #include "engine/comm_matrix.h"
+#include "engine/metrics.h"
 #include "engine/migration.h"
 #include "engine/operator.h"
 #include "engine/replay_log.h"
@@ -59,6 +60,13 @@ struct LocalEngineOptions {
   /// routing and statistics work further at the cost of staging memory
   /// (32 bytes/tuple) and coarser drain granularity.
   int max_batch_tuples = 4096;
+  /// Latency telemetry: sample one ingestion timestamp (event time + wall
+  /// clock) every this many ingested tuples and derive queueing delay,
+  /// per-operator service time and end-to-end latency from them
+  /// (EnginePeriodStats::latency). 0 disables telemetry entirely — no
+  /// clock reads, no histograms, no change to any hot path. Telemetry never
+  /// touches tuple flow, so outputs are bit-identical either way.
+  int latency_sample_every = 0;
 };
 
 /// \brief Per-period measurements produced by the runtime; feeds the same
@@ -80,6 +88,10 @@ struct EnginePeriodStats {
   /// as its shard). Grown on demand; the sum is the true offered load, as
   /// opposed to tuples_processed which also counts downstream hops.
   std::vector<int64_t> shard_ingested;
+  /// Latency telemetry of the period (empty unless the engine runs with
+  /// latency_sample_every > 0): end-to-end, queueing-delay and per-operator
+  /// service-time histograms, merged across workers at wave boundaries.
+  LatencyPeriodStats latency;
 };
 
 /// \brief What one checkpoint round wrote (see CheckpointDirtyGroups).
@@ -149,9 +161,13 @@ class LocalEngine {
   /// the whole run is appended to the owning mailbox in one step when no
   /// window boundary falls inside it. Must be called from the driving
   /// thread (the shard runner's coordinator). \p shard indexes the
-  /// per-shard ingestion counter in EnginePeriodStats.
+  /// per-shard ingestion counter in EnginePeriodStats. \p ingest_wall_ns is
+  /// the wall-clock instant the run left its source (stamped on the shard
+  /// thread, so end-to-end latency includes shard-queue wait); 0 means
+  /// "stamp here" — used when telemetry samples an ingestion timestamp.
   Status InjectRouted(OperatorId source_op, int shard, int group_index,
-                      const Tuple* tuples, size_t count);
+                      const Tuple* tuples, size_t count,
+                      int64_t ingest_wall_ns = 0);
 
   /// \brief Drains all staged and in-flight batches (no-op in
   /// tuple-at-a-time mode, where nothing is ever in flight).
@@ -233,6 +249,21 @@ class LocalEngine {
   /// in-flight batches first so the period is complete.
   EnginePeriodStats HarvestPeriod();
 
+  /// \brief Latency telemetry active (latency_sample_every > 0)?
+  bool latency_telemetry_enabled() const { return telemetry_; }
+
+  /// \brief Percentile summary of the running (not yet harvested) period's
+  /// latency — what the controller's SLO trigger polls between ingest calls
+  /// without disturbing the period. Tuples still staged (not yet drained)
+  /// are not included, and neither are modeled migration/recovery stall
+  /// samples: the trigger must react to the stream's wall-clock latency,
+  /// not to the controller's own reconfiguration cost. Empty when
+  /// telemetry is disabled.
+  LatencySummary PeekLatency() const {
+    return LatencySummary::FromPeriod(period_.latency,
+                                      /*include_stalls=*/false);
+  }
+
   const Assignment& assignment() const { return assignment_; }
   int64_t event_time() const { return event_time_us_; }
   const LocalEngineOptions& options() const { return options_; }
@@ -257,6 +288,9 @@ class LocalEngine {
     OperatorId op = 0;
     int group_index = 0;
     TupleBatch batch;
+    /// Wall-clock enqueue instant (telemetry only; 0 = unstamped). Carried
+    /// through the outbox merge so queueing delay spans enqueue to dequeue.
+    int64_t enqueue_ns = 0;
   };
 
   /// Per-worker execution state. The coordinator context writes directly
@@ -279,6 +313,11 @@ class LocalEngine {
     /// otherwise). Validated before use, so stale entries self-heal; lets
     /// routed tuples coalesce across all source batches of a wave.
     std::vector<int32_t> open_slot;
+    /// Telemetry: cached wall clock used to stamp batches at enqueue.
+    /// Refreshed at every batch delivery and ingest entry point, so stamps
+    /// are at most one delivery stale — far below the queueing delays they
+    /// measure — at a third of the clock reads.
+    int64_t wall_cache_ns = 0;
   };
 
   // --- legacy tuple-at-a-time path (unchanged behaviour) ---
@@ -315,6 +354,25 @@ class LocalEngine {
   /// Drains the tuples buffered for a group while it migrated/recovered.
   void DrainMigrationBuffer(KeyGroupId g);
 
+  // --- latency telemetry helpers ---
+  static int64_t NowNs();
+  /// Counts \p count ingested tuples against the sampling interval and,
+  /// when it elapses, records an ingestion sample {\p ts, wall}. \p wall_ns
+  /// is the shard-thread stamp (0 = stamp here). Samples stay monotone in
+  /// event time (late tuples never roll the frontier back).
+  void MaybeSampleIngest(int64_t ts, size_t count, int64_t wall_ns);
+  /// Newest ingestion sample with event_ts <= \p ts; false when none.
+  /// Read-only during waves, so workers may call it concurrently.
+  bool LookupIngestSample(int64_t ts, IngestSample* out) const;
+  /// Records service time (and, for sink operators, end-to-end latency)
+  /// of a batch that started processing at \p t0_ns.
+  void RecordBatchLatency(WorkerContext* ctx, OperatorId op, KeyGroupId g,
+                          size_t tuples, int64_t last_ts, int64_t t0_ns);
+  /// Tuples held in a migration/recovery buffer sat out the modeled pause;
+  /// account it as their end-to-end latency (the single-process runtime
+  /// cannot make the inter-node transfer take real wall time).
+  void RecordBufferedPause(double pause_us, size_t buffered);
+
   // --- batched path ---
   void CountIngested(int shard, size_t count);
   void StageIngress(OperatorId op, int group_index, const Tuple& tuple);
@@ -323,9 +381,10 @@ class LocalEngine {
   void RunWave(std::vector<std::vector<PendingBatch>>* wave);
   /// Delivers one batch to (op, group_index). With checkpointing enabled
   /// the batch's vector may be moved into the group's replay log, leaving
-  /// \p batch empty on return.
+  /// \p batch empty on return. \p enqueue_ns is the mailbox enqueue stamp
+  /// (telemetry; 0 when the batch never sat in a mailbox).
   void DeliverBatch(WorkerContext* ctx, OperatorId op, int group_index,
-                    TupleBatch* batch);
+                    TupleBatch* batch, int64_t enqueue_ns = 0);
   void RouteBatch(WorkerContext* ctx, OperatorId from_op, int from_group,
                   const TupleBatch& batch);
   void SendRouted(WorkerContext* ctx, OperatorId to_op, int target_group,
@@ -337,7 +396,7 @@ class LocalEngine {
                     int group_index, KeyGroupId dst_global, const Tuple* data,
                     size_t count);
   void EnqueueMailbox(int mailbox, OperatorId op, int group_index,
-                      std::vector<Tuple>&& tuples);
+                      std::vector<Tuple>&& tuples, int64_t enqueue_ns = 0);
   std::vector<Tuple> AcquireVec(WorkerContext* ctx);
   /// AcquireVec for a batch opening with a run of \p first_run tuples:
   /// pre-reserves capacity when checkpointing has drained the pool.
@@ -377,6 +436,18 @@ class LocalEngine {
   int64_t event_time_us_ = 0;
   int64_t last_window_us_ = 0;
   bool time_initialized_ = false;
+
+  // Latency telemetry state (inert when telemetry_ is false).
+  bool telemetry_ = false;
+  std::vector<uint8_t> is_sink_;     ///< Per operator: no downstream edges.
+  /// Ingestion samples, ascending in event time; compacted in place once it
+  /// outgrows 2 * kMaxIngestSamples. Written only between drains (driving
+  /// thread), read concurrently by workers during waves.
+  std::vector<IngestSample> ingest_samples_;
+  static constexpr size_t kMaxIngestSamples = 256;
+  int64_t sample_countdown_ = 1;     ///< Tuples until the next sample.
+  int64_t last_sample_ts_us_ = INT64_MIN;
+  int64_t legacy_sink_countdown_ = 1;  ///< Tuple-at-a-time sink sampling.
 
   // Batched-mode state.
   std::vector<std::vector<StreamEdge>> downstream_;  ///< Edges per operator.

@@ -1,0 +1,144 @@
+#include "engine/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace albic::engine {
+
+int LogHistogram::BucketIndex(int64_t value_us) {
+  if (value_us < 0) value_us = 0;  // underflow clamps into the zero bucket
+  if (value_us < kSubBuckets) return static_cast<int>(value_us);
+  const int msb = 63 - __builtin_clzll(static_cast<uint64_t>(value_us));
+  if (msb > kMaxExponent) return kOverflowBucket;
+  // Octave msb holds kSubBuckets sub-buckets of width 2^(msb - kSubBits):
+  // the kSubBits bits below the leading bit select the sub-bucket.
+  const int sub = static_cast<int>(value_us >> (msb - kSubBits)) - kSubBuckets;
+  return (msb - kSubBits + 1) * kSubBuckets + sub;
+}
+
+int64_t LogHistogram::BucketLowerBound(int idx) {
+  if (idx <= 0) return 0;
+  if (idx >= kOverflowBucket) return kMaxTrackable;
+  if (idx < kSubBuckets) return idx;
+  const int block = idx / kSubBuckets;  // = msb - kSubBits + 1
+  const int sub = idx % kSubBuckets;
+  return static_cast<int64_t>(kSubBuckets + sub) << (block - 1);
+}
+
+int64_t LogHistogram::BucketUpperBound(int idx) {
+  if (idx < 0) return 0;
+  if (idx >= kOverflowBucket) return kMaxTrackable;
+  if (idx < kSubBuckets) return idx + 1;
+  const int block = idx / kSubBuckets;
+  return BucketLowerBound(idx) + (int64_t{1} << (block - 1));
+}
+
+void LogHistogram::RecordN(int64_t value_us, int64_t n) {
+  if (n <= 0) return;
+  const int64_t clamped =
+      std::min(std::max<int64_t>(value_us, 0), kMaxTrackable);
+  buckets_[BucketIndex(value_us)] += n;
+  if (count_ == 0) {
+    min_ = clamped;
+    max_ = clamped;
+  } else {
+    min_ = std::min(min_, clamped);
+    max_ = std::max(max_, clamped);
+  }
+  count_ += n;
+  sum_ += static_cast<double>(clamped) * static_cast<double>(n);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i <= kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::Clear() {
+  std::memset(buckets_, 0, sizeof(buckets_));
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+int64_t LogHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::min(std::max(p, 0.0), 100.0);
+  // Rank of the target observation (1-based, nearest-rank).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(p / 100.0 * static_cast<double>(count_) + 0.5));
+  int64_t seen = 0;
+  for (int i = 0; i <= kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    if (seen < rank) continue;
+    // Interpolate linearly inside the bucket, then clamp to the exact
+    // extrema so single-value histograms report that value exactly.
+    const int64_t lo = BucketLowerBound(i);
+    const int64_t hi = BucketUpperBound(i);
+    const int64_t before = seen - buckets_[i];
+    const double frac = static_cast<double>(rank - before) /
+                        static_cast<double>(buckets_[i]);
+    int64_t v = lo + static_cast<int64_t>(
+                         static_cast<double>(hi - lo) * frac);
+    v = std::min(std::max(v, min_), max_);
+    return v;
+  }
+  return max_;
+}
+
+void LatencyPeriodStats::MergeFrom(LatencyPeriodStats* from) {
+  if (!from->enabled) return;
+  e2e_us.Merge(from->e2e_us);
+  stall_e2e_us.Merge(from->stall_e2e_us);
+  queue_us.Merge(from->queue_us);
+  if (op_service_us.size() < from->op_service_us.size()) {
+    op_service_us.resize(from->op_service_us.size());
+  }
+  for (size_t op = 0; op < from->op_service_us.size(); ++op) {
+    op_service_us[op].Merge(from->op_service_us[op]);
+    from->op_service_us[op].Clear();
+  }
+  if (group_service.size() < from->group_service.size()) {
+    group_service.resize(from->group_service.size());
+  }
+  for (size_t g = 0; g < from->group_service.size(); ++g) {
+    group_service[g].service_sum_us += from->group_service[g].service_sum_us;
+    group_service[g].tuples += from->group_service[g].tuples;
+    from->group_service[g] = GroupLatency();
+  }
+  from->e2e_us.Clear();
+  from->stall_e2e_us.Clear();
+  from->queue_us.Clear();
+}
+
+LatencySummary LatencySummary::FromPeriod(const LatencyPeriodStats& period,
+                                          bool include_stalls) {
+  LatencySummary out;
+  if (!period.enabled) return out;
+  const LogHistogram* e2e = &period.e2e_us;
+  LogHistogram merged;
+  if (include_stalls && !period.stall_e2e_us.empty()) {
+    merged = period.e2e_us;
+    merged.Merge(period.stall_e2e_us);
+    e2e = &merged;
+  }
+  out.e2e_count = e2e->count();
+  out.e2e_p50_us = e2e->Percentile(50.0);
+  out.e2e_p99_us = e2e->Percentile(99.0);
+  out.e2e_max_us = e2e->max();
+  out.queue_p99_us = period.queue_us.Percentile(99.0);
+  return out;
+}
+
+}  // namespace albic::engine

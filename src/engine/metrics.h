@@ -1,0 +1,170 @@
+#pragma once
+
+/// \file
+/// \brief Latency telemetry: LogHistogram (a mergeable, fixed-memory
+/// log-bucketed histogram), the per-period latency stats the engine
+/// accumulates (queueing delay, per-operator service time, end-to-end
+/// latency) and the compact percentile summary the controller exposes.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace albic::engine {
+
+/// \brief The telemetry wall clock, nanoseconds on steady_clock. Ingestion
+/// stamps and sink/dequeue readings are subtracted from each other, so
+/// every telemetry site MUST use this one helper — mixing clock sources
+/// would silently corrupt all latency measurements.
+inline int64_t TelemetryNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// \brief A mergeable, fixed-memory log-bucketed histogram of microsecond
+/// latencies.
+///
+/// Values are bucketed log-linearly (HdrHistogram-style): values below
+/// 2^kSubBits land in exact unit-wide buckets, and every octave above is
+/// split into 2^kSubBits sub-buckets, bounding the relative quantile error
+/// at 2^-kSubBits (6.25%) while the whole histogram stays a few KiB of
+/// plain counters. Negative values clamp into the underflow (zero) bucket;
+/// values at or above kMaxTrackable clamp into the overflow bucket and
+/// report kMaxTrackable. Recording is branch-light and allocation-free, so
+/// per-batch recording sits on the hot path; merging is element-wise
+/// addition, which is what lets per-worker histograms combine
+/// deterministically at wave boundaries (merge order = worker order).
+class LogHistogram {
+ public:
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 16 per octave
+  /// Largest exponent tracked: values in [2^kMaxExponent, 2^(kMaxExponent+1))
+  /// still land in real buckets; >= 2^(kMaxExponent+1) overflows. 2^31 us is
+  /// ~36 minutes — far past any latency this engine can produce.
+  static constexpr int kMaxExponent = 30;
+  static constexpr int kNumBuckets =
+      (kMaxExponent - kSubBits + 1) * kSubBuckets + kSubBuckets;
+  static constexpr int kOverflowBucket = kNumBuckets;
+  static constexpr int64_t kMaxTrackable = (int64_t{1} << (kMaxExponent + 1));
+
+  LogHistogram() { Clear(); }
+
+  /// \brief Records one value (microseconds; negatives clamp to 0).
+  void Record(int64_t value_us) { RecordN(value_us, 1); }
+
+  /// \brief Records \p n occurrences of the same value.
+  void RecordN(int64_t value_us, int64_t n);
+
+  /// \brief Element-wise accumulation of \p other into this histogram.
+  void Merge(const LogHistogram& other);
+
+  void Clear();
+
+  int64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// \brief Exact extrema and mean of the recorded values (not bucketed).
+  int64_t min() const { return count_ > 0 ? min_ : 0; }
+  int64_t max() const { return count_ > 0 ? max_ : 0; }
+  double Mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// \brief Value at percentile \p p in [0, 100], interpolated within its
+  /// bucket and clamped to the exact recorded extrema; 0 when empty.
+  int64_t Percentile(double p) const;
+
+  /// \brief Bucket index a value lands in (exposed for edge-case tests).
+  static int BucketIndex(int64_t value_us);
+  /// \brief Smallest value mapping to bucket \p idx.
+  static int64_t BucketLowerBound(int idx);
+  /// \brief First value past bucket \p idx (exclusive upper bound).
+  static int64_t BucketUpperBound(int idx);
+
+  int64_t bucket_count(int idx) const { return buckets_[idx]; }
+
+ private:
+  int64_t buckets_[kNumBuckets + 1];  // + overflow
+  int64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+/// \brief One sampled ingestion timestamp: the wall-clock instant a tuple
+/// with event time \p event_ts_us entered the system (stamped at the
+/// source/shard thread, so downstream measurements include shard-queue
+/// wait). The engine keeps a short monotone ring of these and sinks look
+/// up the newest sample at or before a batch's event time to derive
+/// end-to-end latency.
+struct IngestSample {
+  int64_t event_ts_us = 0;
+  int64_t wall_ns = 0;
+};
+
+/// \brief Per-key-group service-time accumulator (full histograms per
+/// group would be memory-heavy at fig-5 scale; a sum/count pair per group
+/// is enough to rank groups by mean service time).
+struct GroupLatency {
+  double service_sum_us = 0.0;
+  int64_t tuples = 0;
+};
+
+/// \brief Latency measurements of one statistics period. Lives inside
+/// EnginePeriodStats; empty (enabled = false, no allocations) unless the
+/// engine runs with latency_sample_every > 0.
+struct LatencyPeriodStats {
+  bool enabled = false;
+  /// End-to-end latency recorded at sink operators (no downstream edges):
+  /// wall time from the sampled ingestion stamp to batch completion.
+  LogHistogram e2e_us;
+  /// Modeled migration/recovery pause experienced by buffered tuples, one
+  /// sample per tuple, recorded at drain time (the engine cannot perform
+  /// the inter-node transfer for real, so the pause enters latency the
+  /// same way it enters migration_pause_us). Kept SEPARATE from e2e_us:
+  /// LatencySummary merges both for reporting — the spike is real and the
+  /// latency timeline must show it — but the SLO trigger peeks only at the
+  /// wall-clock histogram, so the controller never mistakes its own
+  /// reconfiguration cost for a stream-latency breach and re-triggers
+  /// itself. A buffered tuple thus appears once here (the stall event) and
+  /// once in e2e_us (its later delivery).
+  LogHistogram stall_e2e_us;
+  /// Mailbox queueing delay: batch enqueue (AppendRouted) to dequeue
+  /// (DeliverBatch), across all operators.
+  LogHistogram queue_us;
+  /// Per-operator batch service time (one sample per delivered batch).
+  std::vector<LogHistogram> op_service_us;
+  /// Per-key-group service accumulation (sum over delivered tuples).
+  std::vector<GroupLatency> group_service;
+
+  void EnableFor(int num_operators, int num_key_groups) {
+    enabled = true;
+    op_service_us.assign(static_cast<size_t>(num_operators), LogHistogram());
+    group_service.assign(static_cast<size_t>(num_key_groups), GroupLatency());
+  }
+
+  /// \brief Folds \p from into this and clears \p from (worker-order merge
+  /// at wave boundaries keeps num_workers = 1 deterministic).
+  void MergeFrom(LatencyPeriodStats* from);
+};
+
+/// \brief Compact percentile summary derived from a period's histograms —
+/// what ControllerRound and SystemSnapshot carry so planners and SLO
+/// policies see latency without owning the histograms.
+struct LatencySummary {
+  int64_t e2e_count = 0;
+  int64_t e2e_p50_us = 0;
+  int64_t e2e_p99_us = 0;
+  int64_t e2e_max_us = 0;
+  int64_t queue_p99_us = 0;
+
+  /// \brief Summary of a period. \p include_stalls folds the modeled
+  /// migration/recovery stall samples into the end-to-end percentiles —
+  /// what reports and timelines want; the SLO trigger passes false so the
+  /// controller's own reconfiguration cost can never re-trigger it.
+  static LatencySummary FromPeriod(const LatencyPeriodStats& period,
+                                   bool include_stalls = true);
+};
+
+}  // namespace albic::engine

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "engine/local_engine.h"
+#include "engine/metrics.h"
 #include "engine/spsc_queue.h"
 
 namespace albic::engine {
@@ -16,6 +17,10 @@ namespace {
 /// key group, in shard order.
 struct RoutedBatch {
   int group = 0;
+  /// Wall-clock instant the batch's chunk left the Source (shard-thread
+  /// stamp; latency telemetry measures end-to-end latency from here, so
+  /// queue wait under backpressure counts).
+  int64_t ingest_wall_ns = 0;
   std::vector<Tuple> tuples;
 };
 
@@ -28,8 +33,9 @@ Status EngineShardSink::IngestChunk(OperatorId source_op, const Tuple* tuples,
 
 Status EngineShardSink::IngestRouted(OperatorId source_op, int shard,
                                      int group, const Tuple* tuples,
-                                     size_t count) {
-  return engine_->InjectRouted(source_op, shard, group, tuples, count);
+                                     size_t count, int64_t ingest_wall_ns) {
+  return engine_->InjectRouted(source_op, shard, group, tuples, count,
+                               ingest_wall_ns);
 }
 
 ShardedSourceRunner::ShardedSourceRunner(ShardedSourceOptions options)
@@ -92,6 +98,7 @@ Result<ShardedIngestReport> ShardedSourceRunner::Run(
       while (!aborted) {
         const size_t n = source->FillChunk(buf.data(), chunk);
         if (n == 0) break;
+        const int64_t chunk_wall_ns = TelemetryNowNs();
         stats.tuples += static_cast<int64_t>(n);
         ++stats.chunks;
         for (size_t i = 0; i < n; ++i) {
@@ -111,6 +118,7 @@ Result<ShardedIngestReport> ShardedSourceRunner::Run(
         for (const int g : touched) {
           RoutedBatch batch;
           batch.group = g;
+          batch.ingest_wall_ns = chunk_wall_ns;
           batch.tuples = std::move(buckets[g]);
           buckets[g] = {};
           buckets[g].reserve(expect);
@@ -141,7 +149,8 @@ Result<ShardedIngestReport> ShardedSourceRunner::Run(
         if (status.ok()) {
           const Status st =
               sink->IngestRouted(source_op, s, batch.group,
-                                 batch.tuples.data(), batch.tuples.size());
+                                 batch.tuples.data(), batch.tuples.size(),
+                                 batch.ingest_wall_ns);
           if (!st.ok()) {
             status = st;
             for (auto& q : queues) q->Close();  // unblock the producers

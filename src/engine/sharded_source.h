@@ -36,9 +36,13 @@ class ShardSink {
 
   /// \brief A pre-routed run of tuples, all belonging to source key group
   /// \p group, produced by ingestion shard \p shard. Per (shard, group)
-  /// calls arrive in shard order.
+  /// calls arrive in shard order. \p ingest_wall_ns is the wall-clock
+  /// instant the run's chunk left its Source, stamped on the shard thread —
+  /// latency telemetry derives end-to-end latency from it, so shard-queue
+  /// wait is included; 0 means unstamped (the sink stamps at ingestion).
   virtual Status IngestRouted(OperatorId source_op, int shard, int group,
-                              const Tuple* tuples, size_t count) = 0;
+                              const Tuple* tuples, size_t count,
+                              int64_t ingest_wall_ns) = 0;
 };
 
 /// \brief ShardSink over a bare LocalEngine (no controller in the loop).
@@ -49,7 +53,8 @@ class EngineShardSink final : public ShardSink {
   Status IngestChunk(OperatorId source_op, const Tuple* tuples,
                      size_t count) override;
   Status IngestRouted(OperatorId source_op, int shard, int group,
-                      const Tuple* tuples, size_t count) override;
+                      const Tuple* tuples, size_t count,
+                      int64_t ingest_wall_ns) override;
 
  private:
   LocalEngine* engine_;

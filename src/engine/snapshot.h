@@ -9,6 +9,7 @@
 #include "engine/assignment.h"
 #include "engine/cluster.h"
 #include "engine/comm_matrix.h"
+#include "engine/metrics.h"
 #include "engine/topology.h"
 
 namespace albic::engine {
@@ -32,6 +33,11 @@ struct SystemSnapshot {
   /// rebalancers additionally cap each node's secondary usage
   /// (RebalanceConstraints::max_secondary_per_node). Empty = untracked.
   std::vector<double> group_secondary_loads;
+  /// Measured latency of the harvested period (p50/p99 end-to-end, p99
+  /// queueing delay) when the engine runs with latency telemetry; all
+  /// zeros (e2e_count == 0) otherwise. Informational for planners and
+  /// policies — the SLO trigger consumes the live version pre-harvest.
+  LatencySummary latency;
 };
 
 }  // namespace albic::engine

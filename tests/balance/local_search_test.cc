@@ -113,6 +113,73 @@ TEST(LocalSearchTest, DrainPrioritizedUnderTightBudget) {
   EXPECT_NEAR(sol.drain_load, 0.0, 1e-9);  // both moves used on the drain
 }
 
+TEST(LocalSearchTest, ForceDrainsLastMarkedNodeFromBalancedEndGame) {
+  // The fig-5 1-overloaded-node end-game: 4 retained nodes balanced at 40
+  // (4 groups of 10 each), and one marked node holding a single residual
+  // group of load 5. mean = 165/4 = 41.25, distance = 1.25; moving the
+  // residual onto any retained node raises it to 45 and the distance to
+  // 3.75 — strictly worse, so greedy improvement parks there forever and
+  // scale-in never finishes. The completion pass must drain it anyway.
+  std::vector<double> loads(17, 10.0);
+  loads[16] = 5.0;
+  std::vector<NodeId> placement(17);
+  for (int g = 0; g < 16; ++g) placement[g] = g % 4;
+  placement[16] = 4;
+  Fixture f(5, loads, placement);
+  ASSERT_TRUE(f.cluster.MarkForRemoval(4).ok());
+  LocalSearchSolution sol = MustSolve(f, RebalanceConstraints{});
+  EXPECT_NEAR(sol.drain_load, 0.0, 1e-9);
+  EXPECT_NE(sol.item_node[16], 4);
+  // The reported distance reflects the post-drain placement.
+  EXPECT_NEAR(sol.load_distance, 3.75, 1e-6);
+}
+
+TEST(LocalSearchTest, ForceDrainRespectsBudget) {
+  // Same end-game but with a zero budget: the residual cannot move, and
+  // the completion pass must not blow the constraint to force it.
+  std::vector<double> loads(17, 10.0);
+  loads[16] = 5.0;
+  std::vector<NodeId> placement(17);
+  for (int g = 0; g < 16; ++g) placement[g] = g % 4;
+  placement[16] = 4;
+  Fixture f(5, loads, placement);
+  ASSERT_TRUE(f.cluster.MarkForRemoval(4).ok());
+  RebalanceConstraints cons;
+  cons.max_migrations = 0;
+  LocalSearchSolution sol = MustSolve(f, cons);
+  EXPECT_EQ(sol.used_count, 0);
+  EXPECT_EQ(sol.item_node[16], 4);
+  EXPECT_NEAR(sol.drain_load, 5.0, 1e-9);
+}
+
+TEST(LocalSearchTest, ForceDrainSkipsUnaffordableItemForLighterOne) {
+  // End-game where BOTH residual drain moves worsen the distance (so the
+  // greedy leaves them to the completion pass): 10 retained nodes balanced
+  // at 40, marked node 10 holding a load-4 group with migration cost 100
+  // (unaffordable under the cost budget of 5) and a load-2 group with cost
+  // 1. The mean is inflated by only 6/10 = 0.6, so moving either group
+  // overshoots. The completion pass must not abort at the unaffordable
+  // heaviest item — the cheap group still fits the budget and must leave.
+  std::vector<double> loads(42, 10.0);
+  loads[40] = 4.0;
+  loads[41] = 2.0;
+  std::vector<NodeId> placement(42);
+  for (int g = 0; g < 40; ++g) placement[g] = g % 10;
+  placement[40] = 10;
+  placement[41] = 10;
+  Fixture f(11, loads, placement);
+  f.snap.migration_costs.assign(42, 1.0);
+  f.snap.migration_costs[40] = 100.0;
+  ASSERT_TRUE(f.cluster.MarkForRemoval(10).ok());
+  RebalanceConstraints cons;
+  cons.max_migration_cost = 5.0;
+  LocalSearchSolution sol = MustSolve(f, cons);
+  EXPECT_EQ(sol.item_node[40], 10) << "the cost-100 group is unaffordable";
+  EXPECT_NE(sol.item_node[41], 10) << "the cost-1 group must still drain";
+  EXPECT_NEAR(sol.drain_load, 4.0, 1e-9);
+  EXPECT_LE(sol.used_cost, 5.0 + 1e-9);
+}
+
 TEST(LocalSearchTest, PinnedItemsAreForcedAndImmovable) {
   Fixture f(2, {10, 10, 10, 10}, {0, 0, 1, 1});
   std::vector<BalanceItem> items = ItemsFromGroups(f.snap);

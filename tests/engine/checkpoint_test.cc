@@ -441,7 +441,8 @@ struct ControlledRun {
 };
 
 ControlledRun RunControlled(const std::vector<Tuple>& stream, bool kill,
-                            engine::ExecutionMode mode) {
+                            engine::ExecutionMode mode,
+                            int64_t period_us = kWindowUs) {
   Pipeline p(mode);
   CheckpointCoordinatorOptions copts;
   copts.interval_us = 20LL * 1000 * 1000;
@@ -457,7 +458,7 @@ ControlledRun RunControlled(const std::vector<Tuple>& stream, bool kill,
   engine::LoadModel load_model{engine::CostModel{}};
 
   core::ControllerLoopOptions lopts;
-  lopts.period_every_us = kWindowUs;  // rounds precede window firings
+  lopts.period_every_us = period_us;
   lopts.node_capacity_work_units = 1000.0;
   lopts.use_indirect_migration = true;
   core::ControllerLoop controller(p.engine.get(), &framework, &load_model,
@@ -470,6 +471,9 @@ ControlledRun RunControlled(const std::vector<Tuple>& stream, bool kill,
     EXPECT_TRUE(controller.IngestBatch(0, stream.data() + i, n).ok());
     if (kill && i <= kill_at && kill_at < i + chunk) {
       EXPECT_TRUE(controller.KillNode(1).ok());
+      // Recovery is eager: KillNode itself ran the round that restored
+      // every lost group — nothing is left for a later boundary round.
+      EXPECT_TRUE(p.engine->lost_groups().empty());
     }
   }
   auto last = controller.RunRoundNow();
@@ -522,6 +526,45 @@ TEST(CheckpointRecoveryTest, KillNodeMidStreamLosesNothing) {
   for (const core::ControllerRound& r : baseline.history) {
     EXPECT_EQ(r.groups_recovered, 0);
   }
+}
+
+TEST(CheckpointRecoveryTest, EagerRecoveryAllowsWindowsDuringFormerOutage) {
+  // Statistics period of 13 s against a 60 s window cadence: the period
+  // does NOT divide the window cadence, so under boundary-paced recovery a
+  // window could have fired while groups were lost (KillNode used to
+  // reject this configuration outright). Eager recovery runs the recovery
+  // round inside KillNode, so windows that fire after the kill see fully
+  // restored state — the run must match the no-failure run exactly.
+  const std::vector<Tuple> stream =
+      MakeStream(120000, /*articles=*/300, /*seed=*/23, /*rate=*/500.0);
+  constexpr int64_t kOddPeriodUs = 13LL * 1000 * 1000;
+  static_assert(kWindowUs % kOddPeriodUs != 0,
+                "the period must not divide the window cadence");
+  const ControlledRun baseline = RunControlled(
+      stream, /*kill=*/false, engine::ExecutionMode::kBatched, kOddPeriodUs);
+  const ControlledRun failed = RunControlled(
+      stream, /*kill=*/true, engine::ExecutionMode::kBatched, kOddPeriodUs);
+
+  EXPECT_EQ(failed.ingested, static_cast<int64_t>(stream.size()));
+  ASSERT_FALSE(baseline.counts.empty());
+  EXPECT_EQ(baseline.counts, failed.counts);
+  ASSERT_EQ(baseline.states.size(), failed.states.size());
+  for (size_t g = 0; g < baseline.states.size(); ++g) {
+    EXPECT_EQ(baseline.states[g], failed.states[g]) << "group " << g;
+  }
+  // The kill was recovered in the round KillNode ran, not a later one:
+  // exactly one round reports both the failure and the restorations.
+  int eager_rounds = 0;
+  for (const core::ControllerRound& r : failed.history) {
+    if (r.nodes_failed > 0) {
+      ++eager_rounds;
+      EXPECT_GT(r.groups_recovered, 0);
+      EXPECT_GT(r.recovery_wall_us, 0.0);
+    } else {
+      EXPECT_EQ(r.groups_recovered, 0);
+    }
+  }
+  EXPECT_EQ(eager_rounds, 1);
 }
 
 TEST(CheckpointRecoveryTest, KillNodeRequiresControllerCheckpointing) {

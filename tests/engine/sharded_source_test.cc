@@ -201,7 +201,8 @@ class MigratingSlowSink : public engine::ShardSink {
   }
 
   Status IngestRouted(engine::OperatorId op, int shard, int group,
-                      const Tuple* tuples, size_t count) override {
+                      const Tuple* tuples, size_t count,
+                      int64_t ingest_wall_ns) override {
     ++calls_;
     if (calls_ <= 30) {
       // Slow consumer: the producers outrun the capacity-1 queues.
@@ -210,7 +211,8 @@ class MigratingSlowSink : public engine::ShardSink {
     if (calls_ == 5) {
       ALBIC_RETURN_NOT_OK(engine_->StartMigration(group_, target_));
     }
-    Status st = inner_.IngestRouted(op, shard, group, tuples, count);
+    Status st =
+        inner_.IngestRouted(op, shard, group, tuples, count, ingest_wall_ns);
     if (st.ok() && calls_ == 40) {
       st = engine_->FinishMigration(group_).status();
     }
@@ -316,8 +318,8 @@ TEST(ShardedSourceTest, SinkErrorAbortsRunAndUnblocksProducers) {
     Status IngestChunk(engine::OperatorId, const Tuple*, size_t) override {
       return Status::Internal("sink down");
     }
-    Status IngestRouted(engine::OperatorId, int, int, const Tuple*,
-                        size_t) override {
+    Status IngestRouted(engine::OperatorId, int, int, const Tuple*, size_t,
+                        int64_t) override {
       return Status::Internal("sink down");
     }
   };
@@ -352,8 +354,8 @@ TEST(ShardedSourceTest, RunValidatesArguments) {
     Status IngestChunk(engine::OperatorId, const Tuple*, size_t) override {
       return Status::OK();
     }
-    Status IngestRouted(engine::OperatorId, int, int, const Tuple*,
-                        size_t) override {
+    Status IngestRouted(engine::OperatorId, int, int, const Tuple*, size_t,
+                        int64_t) override {
       return Status::OK();
     }
   };
