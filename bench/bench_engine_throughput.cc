@@ -203,6 +203,12 @@ int main() {
   const int ckpt_secs = EnvInt("ALBIC_BENCH_CKPT_SECS", 60);
 
   const int reps = EnvInt("ALBIC_BENCH_REPS", 5);
+  const int sample_every = std::max(1, EnvInt("ALBIC_BENCH_SAMPLE_EVERY", 32));
+  // Self-describing snapshot: record the effective shard/telemetry knobs.
+  albic::bench::BenchMetaCommon(sopts.queue_capacity, sopts.chunk_tuples,
+                                sample_every);
+  albic::bench::BenchMetaInt("workers", workers);
+  albic::bench::BenchMetaInt("shards", shards);
   std::printf(
       "Engine throughput: wiki top-k pipeline, %d tuples, %d articles, "
       "best of %d runs\n\n",
@@ -255,8 +261,7 @@ int main() {
   // delay, per-operator service time and sink end-to-end histograms. The
   // delta against r_batched1 is the full measurement cost (budget: ~2%).
   albic::engine::LocalEngineOptions telemetry = batched1;
-  telemetry.latency_sample_every =
-      std::max(1, EnvInt("ALBIC_BENCH_SAMPLE_EVERY", 32));
+  telemetry.latency_sample_every = sample_every;
   albic::RunResult r_telemetry =
       best_of([&] { return albic::RunOne(telemetry, stream); });
 

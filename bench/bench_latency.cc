@@ -11,13 +11,22 @@
 // harvested and reported as a BENCH_JSON series (one line per slice and
 // mode), plus summary metrics: the pause of each mode, the peak p99 of the
 // migration slice, and their ratios.
+//
+// A second scenario pits MEASURED-COST planning against tuple-count
+// planning on a workload whose per-tuple wall cost is skewed by key group
+// (uniform tuple counts, so modeled loads see nothing): the tuple-count
+// controller leaves every hot group on one node, whose modeled backlog
+// compounds into a p99 breach, while the measured-cost controller spreads
+// the groups by their measured service shares and stays clear of it.
 
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/skew_scenario.h"
 #include "common/table_printer.h"
 #include "engine/checkpoint.h"
 #include "engine/local_engine.h"
@@ -178,6 +187,12 @@ int main() {
   const int articles = EnvInt("ALBIC_BENCH_ARTICLES", 100000);
   const int slices = std::max(4, EnvInt("ALBIC_BENCH_SLICES", 16));
   const int sample_every = std::max(1, EnvInt("ALBIC_BENCH_SAMPLE_EVERY", 32));
+  // Self-describing snapshot: effective knobs of this run (this bench does
+  // not shard its source, so the shard knobs record as unused defaults).
+  albic::bench::BenchMetaCommon(albic::bench::EnvInt("ALBIC_BENCH_SHARD_QUEUE", 0),
+                                albic::bench::EnvInt("ALBIC_BENCH_SHARD_CHUNK", 0),
+                                sample_every);
+  albic::bench::BenchMetaInt("slices", slices);
 
   std::printf(
       "Latency timeline: wiki geohash -> top-k, %d tuples in %d slices, "
@@ -293,6 +308,98 @@ int main() {
                  "FAIL: direct migration pause (%.0f us) did not surface in "
                  "the migration window's p99 (%lld us)\n",
                  direct.pause_us, static_cast<long long>(dmig.p99_us));
+    return 1;
+  }
+
+  // --- Scenario 2: measured-cost vs. tuple-count planning ---------------
+  albic::bench::SkewScenarioOptions sopts;
+  sopts.hot_us = std::max(1, EnvInt("ALBIC_BENCH_SKEW_HOT_US", 40));
+  sopts.tuples_per_group = std::max(10, EnvInt("ALBIC_BENCH_SKEW_TUPLES", 100));
+  sopts.periods = std::max(4, EnvInt("ALBIC_BENCH_SKEW_PERIODS", 10));
+  std::printf(
+      "\nMeasured-cost planning: skewed per-tuple cost (3 hot groups x "
+      "%lld us/tuple,\nuniform tuple counts, all hot groups start on one "
+      "node), %d periods\n",
+      static_cast<long long>(sopts.hot_us), sopts.periods);
+  sopts.use_measured_costs = false;
+  const albic::bench::SkewScenarioResult tuple_count =
+      albic::bench::RunSkewScenario(sopts);
+  sopts.use_measured_costs = true;
+  const albic::bench::SkewScenarioResult measured =
+      albic::bench::RunSkewScenario(sopts);
+  if (!tuple_count.ok || !measured.ok) {
+    std::fprintf(stderr, "FAIL: a skewed-planning run errored\n");
+    return 1;
+  }
+  std::printf("(probe-calibrated node capacity: %.0f us of service per "
+              "period)\n",
+              measured.capacity_us);
+
+  albic::TablePrinter skew_table({"planning", "overloaded periods",
+                                  "late p99(us)", "final backlog(us)",
+                                  "migrations (dir/ind)"});
+  char mig_buf[32];
+  std::snprintf(mig_buf, sizeof(mig_buf), "%d (%d/%d)", tuple_count.migrations,
+                tuple_count.migrations_direct,
+                tuple_count.migrations_indirect);
+  skew_table.AddRow({"tuple-count",
+                     std::to_string(tuple_count.overloaded_periods),
+                     std::to_string(tuple_count.max_late_p99_us),
+                     std::to_string(
+                         static_cast<long long>(tuple_count.final_backlog_us)),
+                     mig_buf});
+  std::snprintf(mig_buf, sizeof(mig_buf), "%d (%d/%d)", measured.migrations,
+                measured.migrations_direct, measured.migrations_indirect);
+  skew_table.AddRow({"measured-cost",
+                     std::to_string(measured.overloaded_periods),
+                     std::to_string(measured.max_late_p99_us),
+                     std::to_string(
+                         static_cast<long long>(measured.final_backlog_us)),
+                     mig_buf});
+  skew_table.Print();
+  if (measured.actual_pause_us > 0.0) {
+    std::printf("measured-cost migrations: predicted pause %.0f us vs "
+                "actual %.0f us (%.2fx)\n",
+                measured.predicted_pause_us, measured.actual_pause_us,
+                measured.predicted_pause_us / measured.actual_pause_us);
+  }
+
+  BenchJson("latency", "skew_tuplecount_overloaded_periods",
+            tuple_count.overloaded_periods, "periods");
+  BenchJson("latency", "skew_measured_overloaded_periods",
+            measured.overloaded_periods, "periods");
+  BenchJson("latency", "skew_tuplecount_late_p99_ms",
+            static_cast<double>(tuple_count.max_late_p99_us) / 1000.0, "ms");
+  BenchJson("latency", "skew_measured_late_p99_ms",
+            static_cast<double>(measured.max_late_p99_us) / 1000.0, "ms");
+  BenchJson("latency", "skew_tuplecount_final_backlog_ms",
+            tuple_count.final_backlog_us / 1000.0, "ms");
+  BenchJson("latency", "skew_measured_final_backlog_ms",
+            measured.final_backlog_us / 1000.0, "ms");
+  BenchJson("latency", "skew_measured_migrations_direct",
+            measured.migrations_direct, "migrations");
+  BenchJson("latency", "skew_measured_migrations_indirect",
+            measured.migrations_indirect, "migrations");
+  BenchJson("latency", "skew_measured_predicted_pause_ms",
+            measured.predicted_pause_us / 1000.0, "ms");
+  BenchJson("latency", "skew_measured_actual_pause_ms",
+            measured.actual_pause_us / 1000.0, "ms");
+
+  // Measured-cost planning must beat tuple-count planning on the skewed
+  // workload: fewer overloaded periods and a lower late p99.
+  if (measured.overloaded_periods >= tuple_count.overloaded_periods) {
+    std::fprintf(stderr,
+                 "FAIL: measured-cost planning should suffer fewer "
+                 "overloaded periods (%d vs %d)\n",
+                 measured.overloaded_periods, tuple_count.overloaded_periods);
+    return 1;
+  }
+  if (measured.max_late_p99_us >= tuple_count.max_late_p99_us) {
+    std::fprintf(stderr,
+                 "FAIL: measured-cost planning should keep the late p99 "
+                 "below tuple-count planning (%lld vs %lld us)\n",
+                 static_cast<long long>(measured.max_late_p99_us),
+                 static_cast<long long>(tuple_count.max_late_p99_us));
     return 1;
   }
   return 0;

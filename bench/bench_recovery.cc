@@ -160,6 +160,11 @@ int main() {
   const albic::engine::NodeId kill_node =
       static_cast<albic::engine::NodeId>(EnvInt("ALBIC_BENCH_KILL_NODE", 1));
 
+  // Self-describing snapshot (no sharded source, telemetry off here).
+  albic::bench::BenchMetaCommon(EnvInt("ALBIC_BENCH_SHARD_QUEUE", 0),
+                                EnvInt("ALBIC_BENCH_SHARD_CHUNK", 0),
+                                /*latency_sample_every=*/0);
+
   std::printf("Recovery bench: wiki top-k pipeline behind the controller, "
               "%d tuples, node %d killed mid-stream, best of %d runs\n\n",
               tuples, kill_node, reps);

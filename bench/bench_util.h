@@ -36,6 +36,31 @@ inline void BenchJson(const char* bench, const char* metric, double value,
               bench, metric, value, unit);
 }
 
+/// Emits one metadata member (a key with an integer value) for the bench's
+/// BENCH_<name>.json "meta" object — the run's effective knobs (shard queue
+/// capacity, chunk size, telemetry sampling, ...) so every snapshot is
+/// self-describing. Collected by scripts/run_benches.sh.
+inline void BenchMetaInt(const char* key, long long value) {
+  std::printf("BENCH_META \"%s\":%lld\n", key, value);
+}
+
+/// String-valued metadata member (e.g. the active telemetry mode).
+inline void BenchMetaStr(const char* key, const char* value) {
+  std::printf("BENCH_META \"%s\":\"%s\"\n", key, value);
+}
+
+/// Records the effective sharded-ingestion knobs (the ALBIC_BENCH_SHARD_*
+/// environment overrides land here) and the active telemetry mode, so a
+/// snapshot taken on a tuned box says what it was tuned with.
+inline void BenchMetaCommon(int shard_queue, int shard_chunk,
+                            int latency_sample_every) {
+  BenchMetaInt("shard_queue_capacity", shard_queue);
+  BenchMetaInt("shard_chunk_tuples", shard_chunk);
+  BenchMetaInt("latency_sample_every", latency_sample_every);
+  BenchMetaStr("telemetry",
+               latency_sample_every > 0 ? "sampled" : "off");
+}
+
 /// Builds the controller snapshot for a synthetic solver scenario.
 inline engine::SystemSnapshot SnapshotFrom(
     const workload::SyntheticScenario& s,

@@ -40,6 +40,12 @@ for bench in "${BENCHES[@]}"; do
   # sed -n exits 0 even with no matches (grep would trip pipefail when a
   # bench emits no BENCH_JSON lines yet).
   lines="$(sed -n 's/^BENCH_JSON //p' "${log}" | paste -sd "," -)"
-  printf '[\n%s\n]\n' "${lines}" >"${out}"
+  # Self-describing snapshots: BENCH_META lines carry the run's effective
+  # knobs (shard queue/chunk, telemetry mode); merge them into a "meta"
+  # object next to the results. Duplicate keys keep the last occurrence
+  # downstream — benches emit each key once.
+  meta="$(sed -n 's/^BENCH_META //p' "${log}" | sort -u | paste -sd "," -)"
+  printf '{\n"meta":{%s},\n"results":[\n%s\n]\n}\n' "${meta}" "${lines}" \
+    >"${out}"
   echo "wrote ${out}"
 done

@@ -15,6 +15,9 @@ std::vector<BalanceItem> ItemsFromGroups(const engine::SystemSnapshot& snap) {
     if (!snap.group_secondary_loads.empty()) {
       item.secondary_load = snap.group_secondary_loads[g];
     }
+    if (static_cast<size_t>(g) < snap.group_service_share.size()) {
+      item.service_share = snap.group_service_share[g];
+    }
     items.push_back(std::move(item));
   }
   return items;

@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file
+/// \brief BalanceItem, the unit of placement the MILP / local-search
+/// solvers move: one key group or an ALBIC collocation partition, weighted
+/// by gLoad and by its measured service-time share.
+
 #include <vector>
 
 #include "engine/snapshot.h"
@@ -19,6 +24,11 @@ struct BalanceItem {
   /// Sum of the item's secondary-resource load (multi-dimensional
   /// extension, §4.3.1); 0 when untracked.
   double secondary_load = 0.0;
+  /// Sum of the item's measured service-time shares
+  /// (SystemSnapshot::group_service_share); 0 when telemetry is off. The
+  /// local search considers move candidates in descending share order, so
+  /// the groups that measurably cost the most are (re)placed first.
+  double service_share = 0.0;
   /// If set, the solver must place the item on this node.
   engine::NodeId pinned = engine::kInvalidNode;
 };

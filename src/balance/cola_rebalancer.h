@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief CoLa baseline: static graph-partitioning optimizer (ignores
+/// the current allocation and the migration budget).
+
 #include <cstdint>
 
 #include "balance/rebalancer.h"

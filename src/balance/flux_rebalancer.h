@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief Flux baseline (Shah et al., ICDE'03): pairwise
+/// donate-to-the-least-loaded rebalancing.
+
 #include "balance/rebalancer.h"
 
 namespace albic::balance {

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "common/rng.h"
 
@@ -39,6 +40,30 @@ class Search {
     node_load_.assign(num_nodes, 0.0);
     node_secondary_.assign(num_nodes, 0.0);
     item_node_.assign(items.size(), engine::kInvalidNode);
+
+    // Candidate order: measured service-time share, heaviest first, when
+    // the snapshot carries shares (measured-cost planning) — the migration
+    // budget goes to the groups that measurably cost the most. Without
+    // shares (telemetry off) the order is the item order, which keeps the
+    // whole search bit-identical to the tuple-count path.
+    item_order_.resize(items.size());
+    std::iota(item_order_.begin(), item_order_.end(), 0);
+    if (constraints.order_by_service_share) {
+      bool any_share = false;
+      for (const BalanceItem& item : items) {
+        if (item.service_share > 0.0) {
+          any_share = true;
+          break;
+        }
+      }
+      if (any_share) {
+        std::stable_sort(item_order_.begin(), item_order_.end(),
+                         [&](int a, int b) {
+                           return items[a].service_share >
+                                  items[b].service_share;
+                         });
+      }
+    }
 
     // Initial placement: pinned items at their pin, everything else at its
     // home node (falling back to the emptiest retained node if the home is
@@ -247,7 +272,8 @@ class Search {
     Objective best_obj = base;
 
     for (NodeId src : SourceNodes()) {
-      for (size_t i = 0; i < items_.size(); ++i) {
+      for (const int oi : item_order_) {
+        const size_t i = static_cast<size_t>(oi);
         if (item_node_[i] != src) continue;
         if (items_[i].pinned != engine::kInvalidNode) continue;
         for (NodeId dst : DestNodes()) {
@@ -292,12 +318,14 @@ class Search {
       for (size_t lo = 0; lo < top; ++lo) {
         const NodeId dst = by_load[by_load.size() - 1 - lo];
         if (src == dst) continue;
-        for (size_t a = 0; a < items_.size(); ++a) {
+        for (const int oa : item_order_) {
+          const size_t a = static_cast<size_t>(oa);
           if (item_node_[a] != src ||
               items_[a].pinned != engine::kInvalidNode) {
             continue;
           }
-          for (size_t b = 0; b < items_.size(); ++b) {
+          for (const int ob : item_order_) {
+            const size_t b = static_cast<size_t>(ob);
             if (item_node_[b] != dst ||
                 items_[b].pinned != engine::kInvalidNode) {
               continue;
@@ -375,7 +403,12 @@ class Search {
       }
       if (residual.empty()) return;  // B is empty
       std::sort(residual.begin(), residual.end(), [&](int a, int b) {
-        return items_[a].load > items_[b].load;
+        if (items_[a].load != items_[b].load) {
+          return items_[a].load > items_[b].load;
+        }
+        // Equal loads: prefer draining the measurably hotter group first
+        // (no-op when telemetry is off — all shares are 0).
+        return items_[a].service_share > items_[b].service_share;
       });
       bool moved = false;
       for (const int item : residual) {
@@ -435,6 +468,7 @@ class Search {
   std::vector<double> node_load_;
   std::vector<double> node_secondary_;
   std::vector<NodeId> item_node_;
+  std::vector<int> item_order_;  ///< Candidate order (measured share desc).
   double used_cost_ = 0.0;
   int used_count_ = 0;
   int accepted_moves_ = 0;

@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file
+/// \brief Anytime local search for the integrated balancing objective;
+/// under measured-cost planning candidates are tried in descending
+/// measured service-time share order.
+
 #include <cstdint>
 #include <vector>
 

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief The paper's MILP rebalancer: exact branch-and-bound and the
+/// time-budgeted local-search heuristic over the same model.
+
 #include <cstdint>
 #include <vector>
 

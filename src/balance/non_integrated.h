@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief Non-integrated baseline: scaling and balancing decided
+/// separately (Fig 5's comparison case).
+
 #include <memory>
 
 #include "balance/rebalancer.h"

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// \brief Power-of-two-choices (PotC) baseline rebalancer.
+
 #include <cstdint>
 #include <vector>
 

@@ -111,7 +111,7 @@ class FlatMap64 {
       if (slots_[j].first == 0) break;
       const size_t home = MixU64(slots_[j].first) & mask_;
       if (((j - home) & mask_) >= ((j - hole) & mask_)) {
-        slots_[hole] = slots_[j];
+        slots_[hole] = std::move(slots_[j]);
         hole = j;
       }
     }
@@ -131,6 +131,18 @@ class FlatMap64 {
   }
   bool empty() const { return size_ == 0; }
   size_t size() const { return size_; }
+
+  /// \brief Visits every entry as fn(key, const V&), zero-key entry first.
+  /// Unlike the by-value iterator this never copies a value — the right
+  /// traversal when V is a container. The map must not be mutated from
+  /// within \p fn.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (zero_used_) fn(uint64_t{0}, zero_val_);
+    for (const value_type& s : slots_) {
+      if (s.first != 0) fn(s.first, s.second);
+    }
+  }
 
   /// \brief Removes all entries, keeping the slot array's capacity.
   void clear() {
@@ -195,11 +207,11 @@ class FlatMap64 {
     const size_t cap = old.empty() ? 16 : old.size() * 2;
     slots_.assign(cap, value_type{0, V()});
     mask_ = cap - 1;
-    for (const value_type& s : old) {
+    for (value_type& s : old) {
       if (s.first == 0) continue;
       size_t i = MixU64(s.first) & mask_;
       while (slots_[i].first != 0) i = (i + 1) & mask_;
-      slots_[i] = s;
+      slots_[i] = std::move(s);
     }
   }
 

@@ -1,5 +1,7 @@
 #include "core/adaptation_framework.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace albic::core {
@@ -16,7 +18,8 @@ AdaptationFramework::AdaptationFramework(balance::Rebalancer* rebalancer,
 engine::SystemSnapshot AdaptationFramework::BuildSnapshot(
     const engine::Topology& topology, const engine::LoadModel& load_model,
     const std::vector<double>& group_proc_loads, const engine::CommMatrix* comm,
-    const engine::Cluster& cluster, const engine::Assignment& assignment) const {
+    const engine::Cluster& cluster, const engine::Assignment& assignment,
+    const engine::MeasuredSignals* measured) const {
   engine::SystemSnapshot snap;
   snap.topology = &topology;
   snap.cluster = &cluster;
@@ -29,6 +32,26 @@ engine::SystemSnapshot AdaptationFramework::BuildSnapshot(
   snap.node_loads = loads.bottleneck_loads();
   snap.migration_costs =
       engine::AllMigrationCosts(topology, options_.migration_model);
+  if (measured != nullptr) {
+    snap.group_service_share = measured->group_service_share;
+    snap.group_queue_delay_us = measured->group_queue_delay_us;
+    snap.queue_trend = measured->queue_trend;
+    if (!measured->replay_suffix_bytes.empty()) {
+      // Indirect mck: O(replay suffix) at the same per-byte rate; groups
+      // without a usable checkpoint fall back to the direct cost (an
+      // indirect migration of them would fall back to the direct path).
+      snap.migration_costs_indirect = snap.migration_costs;
+      const size_t n = std::min(snap.migration_costs_indirect.size(),
+                                measured->replay_suffix_bytes.size());
+      for (size_t g = 0; g < n; ++g) {
+        const double suffix = measured->replay_suffix_bytes[g];
+        if (suffix >= 0.0) {
+          snap.migration_costs_indirect[g] =
+              options_.migration_model.alpha_per_byte * suffix;
+        }
+      }
+    }
+  }
   return snap;
 }
 
@@ -36,7 +59,8 @@ Result<AdaptationRound> AdaptationFramework::RunRound(
     const engine::Topology& topology, const engine::LoadModel& load_model,
     const std::vector<double>& group_proc_loads, const engine::CommMatrix* comm,
     engine::Cluster* cluster, engine::Assignment* assignment,
-    const engine::LatencySummary* latency) {
+    const engine::LatencySummary* latency,
+    const engine::MeasuredSignals* measured) {
   AdaptationRound round;
 
   // Lines 1-3: terminate drained nodes marked in previous rounds.
@@ -48,8 +72,9 @@ Result<AdaptationRound> AdaptationFramework::RunRound(
   }
 
   // Line 4: potential allocation plan.
-  engine::SystemSnapshot snap = BuildSnapshot(
-      topology, load_model, group_proc_loads, comm, *cluster, *assignment);
+  engine::SystemSnapshot snap =
+      BuildSnapshot(topology, load_model, group_proc_loads, comm, *cluster,
+                    *assignment, measured);
   if (latency != nullptr) snap.latency = *latency;
   ALBIC_ASSIGN_OR_RETURN(
       round.plan, rebalancer_->ComputePlan(snap, options_.constraints));
@@ -69,7 +94,7 @@ Result<AdaptationRound> AdaptationFramework::RunRound(
       if (options_.replan_after_scaling) {
         // Lines 6-7: recalculate the plan after scaling, integratively.
         snap = BuildSnapshot(topology, load_model, group_proc_loads, comm,
-                             *cluster, *assignment);
+                             *cluster, *assignment, measured);
         if (latency != nullptr) snap.latency = *latency;
         ALBIC_ASSIGN_OR_RETURN(
             round.plan, rebalancer_->ComputePlan(snap, options_.constraints));

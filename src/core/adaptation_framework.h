@@ -51,22 +51,27 @@ class AdaptationFramework {
   /// additions, marks) and the assignment (migrations). \p latency is the
   /// measured latency summary of the period (optional; copied into the
   /// snapshot so rebalancers and scaling policies can see p50/p99).
-  Result<AdaptationRound> RunRound(const engine::Topology& topology,
-                                   const engine::LoadModel& load_model,
-                                   const std::vector<double>& group_proc_loads,
-                                   const engine::CommMatrix* comm,
-                                   engine::Cluster* cluster,
-                                   engine::Assignment* assignment,
-                                   const engine::LatencySummary* latency =
-                                       nullptr);
+  /// \p measured optionally carries the measured-cost model's signals
+  /// (service shares, queue-delay trend, replay-suffix bytes); when given,
+  /// \p group_proc_loads should already be the measured loads.
+  Result<AdaptationRound> RunRound(
+      const engine::Topology& topology, const engine::LoadModel& load_model,
+      const std::vector<double>& group_proc_loads,
+      const engine::CommMatrix* comm, engine::Cluster* cluster,
+      engine::Assignment* assignment,
+      const engine::LatencySummary* latency = nullptr,
+      const engine::MeasuredSignals* measured = nullptr);
 
   /// \brief Builds the controller's view of the system (§3, "Controller"):
-  /// loads, gLoads and migration costs under the given allocation.
+  /// loads, gLoads, migration costs (direct, and indirect when \p measured
+  /// carries replay-suffix bytes) and measured signals under the given
+  /// allocation.
   engine::SystemSnapshot BuildSnapshot(
       const engine::Topology& topology, const engine::LoadModel& load_model,
       const std::vector<double>& group_proc_loads,
       const engine::CommMatrix* comm, const engine::Cluster& cluster,
-      const engine::Assignment& assignment) const;
+      const engine::Assignment& assignment,
+      const engine::MeasuredSignals* measured = nullptr) const;
 
   const AdaptationOptions& options() const { return options_; }
 

@@ -179,11 +179,17 @@ Result<balance::RebalancePlan> Albic::SolveOnce(
   // Build items: one per partition, singletons for the rest.
   std::vector<BalanceItem> items;
   std::vector<int> item_of(partition_of.size(), -1);
+  const auto share_of = [&](KeyGroupId g) {
+    return static_cast<size_t>(g) < snapshot.group_service_share.size()
+               ? snapshot.group_service_share[g]
+               : 0.0;
+  };
   for (auto& part : partitions) {
     BalanceItem item;
     item.groups = part;
     for (KeyGroupId g : part) {
       item.load += snapshot.group_loads[g];
+      item.service_share += share_of(g);
       item_of[g] = static_cast<int>(items.size());
     }
     items.push_back(std::move(item));
@@ -193,6 +199,7 @@ Result<balance::RebalancePlan> Albic::SolveOnce(
     BalanceItem item;
     item.groups = {g};
     item.load = snapshot.group_loads[g];
+    item.service_share = share_of(g);
     item_of[g] = static_cast<int>(items.size());
     items.push_back(std::move(item));
   }

@@ -1,5 +1,6 @@
 #include "core/controller_loop.h"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 
@@ -19,6 +20,7 @@ ControllerLoop::ControllerLoop(engine::LocalEngine* engine,
       topology_(topology),
       cluster_(cluster),
       options_(options),
+      cost_model_(options.measured_cost),
       slo_policy_(options.slo) {}
 
 Status ControllerLoop::MaybeRunRounds(int64_t ts) {
@@ -152,12 +154,106 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
       engine::LatencySummary::FromPeriod(stats.latency);
 
   // Convert measured work units into percent-of-reference-node loads.
-  std::vector<double> group_loads(stats.group_work.size(), 0.0);
+  std::vector<double> modeled_loads(stats.group_work.size(), 0.0);
   const double scale = 100.0 / options_.node_capacity_work_units;
   for (size_t g = 0; g < stats.group_work.size(); ++g) {
-    group_loads[g] = stats.group_work[g] * scale;
+    modeled_loads[g] = stats.group_work[g] * scale;
   }
   const engine::CommMatrix* comm = options_.use_comm ? &stats.comm : nullptr;
+
+  ControllerRound round;
+
+  // Measured-cost planning: redistribute the period's load by measured
+  // service-time shares (EWMA across periods) and surface the queue-delay
+  // trend. With telemetry off UpdateAndBlend returns the modeled loads
+  // bit-identically and the latency-derived signals stay empty. The
+  // replay-suffix bytes (driving the snapshot's indirect migration-cost
+  // estimates) come from the checkpoint subsystem, not from latency
+  // telemetry, so they are attached whenever checkpointing is on.
+  std::vector<double> group_loads;
+  engine::MeasuredSignals signals;  // this round's snapshot inputs
+  if (options_.use_measured_costs) {
+    group_loads = cost_model_.UpdateAndBlend(modeled_loads, stats.latency);
+    round.measured_costs = cost_model_.measured();
+    if (cost_model_.measured()) signals = cost_model_.signals();
+  } else {
+    group_loads = modeled_loads;
+  }
+  // The replay-suffix bytes are checkpoint-derived, not telemetry-derived:
+  // the controller owns them and merges them into the round's signals here
+  // (cost_model.h: "replay_suffix_bytes is the caller's to fill").
+  signals.replay_suffix_bytes = engine_->ReplaySuffixBytes();
+  const engine::MeasuredSignals* measured =
+      cost_model_.measured() || !signals.replay_suffix_bytes.empty()
+          ? &signals
+          : nullptr;
+
+  // Overload-stall model (a fluid queue per node): a node whose measured
+  // wall service demand exceeds its per-period capacity falls behind, and
+  // the shortfall COMPOUNDS — the backlog grows every overloaded period
+  // and only drains while the node runs under capacity. The backlog is the
+  // delay the node's tuples would see in a real deployment; it is
+  // accounted as modeled stall latency (like migration pauses: folded into
+  // reported percentiles, excluded from the SLO trigger's peek).
+  if (options_.service_capacity_us_per_period > 0.0 && stats.latency.enabled) {
+    // The capacity is defined per FULL statistics period, but rounds also
+    // harvest partial periods (SLO triggers, eager recovery, manual
+    // rounds): scale the capacity by the event time actually harvested, so
+    // a short harvest cannot spuriously drain backlog it never had the
+    // capacity to work off.
+    const int64_t now_us = engine_->event_time();
+    double period_frac = 1.0;
+    if (options_.period_every_us > 0 &&
+        last_overload_harvest_us_ != INT64_MIN) {
+      period_frac = std::clamp(
+          static_cast<double>(now_us - last_overload_harvest_us_) /
+              static_cast<double>(options_.period_every_us),
+          0.0, 1.0);
+    }
+    last_overload_harvest_us_ = now_us;
+    const size_t num_nodes =
+        static_cast<size_t>(cluster_->num_nodes_total());
+    if (node_backlog_us_.size() < num_nodes) {
+      node_backlog_us_.resize(num_nodes, 0.0);
+    }
+    std::vector<double> node_service(num_nodes, 0.0);
+    std::vector<int64_t> node_tuples(num_nodes, 0);
+    const engine::Assignment& assign = engine_->assignment();
+    const size_t groups =
+        std::min(stats.latency.group_service.size(),
+                 static_cast<size_t>(assign.num_groups()));
+    for (size_t g = 0; g < groups; ++g) {
+      const engine::NodeId n = assign.node_of(static_cast<int>(g));
+      if (n < 0 || n >= static_cast<int>(num_nodes)) continue;
+      node_service[n] += stats.latency.group_service[g].service_sum_us;
+      node_tuples[n] += stats.latency.group_service[g].tuples;
+    }
+    for (engine::NodeId n = 0; n < cluster_->num_nodes_total(); ++n) {
+      if (!cluster_->is_active(n)) {
+        node_backlog_us_[n] = 0.0;
+        continue;
+      }
+      const double capacity_us = period_frac *
+                                 options_.service_capacity_us_per_period *
+                                 cluster_->capacity(n);
+      if (capacity_us <= 0.0) {
+        // Zero event time harvested: carry the backlog, account its stall.
+        if (node_backlog_us_[n] > 0.0) {
+          engine_->RecordOverloadStall(node_backlog_us_[n], node_tuples[n]);
+        }
+        continue;
+      }
+      const double util = node_service[n] / capacity_us;
+      round.max_service_utilization =
+          std::max(round.max_service_utilization, util);
+      node_backlog_us_[n] = std::max(
+          0.0, node_backlog_us_[n] + node_service[n] - capacity_us);
+      if (util > 1.0) ++round.overloaded_nodes;
+      if (node_backlog_us_[n] > 0.0) {
+        engine_->RecordOverloadStall(node_backlog_us_[n], node_tuples[n]);
+      }
+    }
+  }
 
   // Detect failures: groups lost since the last round. Recovery is just
   // another reconfiguration — the lost groups are pre-placed on the least
@@ -196,24 +292,47 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
   ALBIC_ASSIGN_OR_RETURN(
       AdaptationRound adaptation,
       framework_->RunRound(*topology_, *load_model_, group_loads, comm,
-                           cluster_, &planned, &latency_summary));
+                           cluster_, &planned, &latency_summary, measured));
 
   // Act: apply the plan's migrations to the live engine. Each one buffers
   // tuples in flight for the group and drains them at the target. Lost
   // groups are skipped here (StartMigration rejects them) and restored
-  // below at their planned placement.
-  const engine::MigrationMode mode =
-      options_.use_indirect_migration && engine_->checkpointing_enabled()
-          ? engine::MigrationMode::kIndirect
-          : engine::MigrationMode::kDirect;
-  ControllerRound round;
+  // below at their planned placement. The mode is chosen PER GROUP from
+  // the predicted pauses — indirect when the replay-log suffix undercuts
+  // the state size — unless use_indirect_migration forces indirect
+  // everywhere (the pre-measured-cost behaviour, kept as an override).
+  const bool checkpointed = engine_->checkpointing_enabled();
   for (const engine::Migration& m : adaptation.plan.migrations) {
     ++round.migrations_planned;
+    const engine::MigrationPauseEstimate est =
+        engine_->EstimateMigrationPause(m.group);
+    engine::MigrationMode mode = engine::MigrationMode::kDirect;
+    if (checkpointed &&
+        (options_.use_indirect_migration ||
+         (est.indirect_available && est.indirect_us < est.direct_us))) {
+      mode = engine::MigrationMode::kIndirect;
+    }
     if (!engine_->StartMigration(m.group, m.to, mode).ok()) continue;
     Result<double> pause = engine_->FinishMigration(m.group);
     if (pause.ok()) {
       ++round.migrations_applied;
       round.migration_pause_us += *pause;  // measured, from the real state
+      MigrationDecision decision;
+      decision.group = m.group;
+      decision.from = m.from;
+      decision.to = m.to;
+      decision.mode = mode;
+      decision.predicted_pause_us =
+          mode == engine::MigrationMode::kIndirect && est.indirect_available
+              ? est.indirect_us
+              : est.direct_us;
+      decision.actual_pause_us = *pause;
+      round.migration_decisions.push_back(decision);
+      if (mode == engine::MigrationMode::kIndirect) {
+        ++round.migrations_indirect;
+      } else {
+        ++round.migrations_direct;
+      }
     }
   }
 
@@ -257,6 +376,8 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
   round.nodes_marked = adaptation.nodes_marked;
   round.active_nodes = cluster_->num_active();
   round.marked_nodes = static_cast<int>(cluster_->marked_nodes().size());
+
+  round.backlog_us = node_backlog_us_;
 
   // Post-round measured view: same period loads under the new allocation.
   const engine::NodeLoads loads = load_model_->ComputeNodeLoads(

@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "core/adaptation_framework.h"
 #include "core/slo_policy.h"
+#include "engine/cost_model.h"
 #include "engine/local_engine.h"
 #include "engine/sharded_source.h"
 
@@ -37,9 +38,32 @@ struct ControllerLoopOptions {
   /// Feed the measured communication matrix into the snapshot (enables
   /// collocation-aware planning); disable for pure load-balancing jobs.
   bool use_comm = true;
-  /// Apply planned migrations indirectly (checkpoint + replay, pause
-  /// O(log suffix) instead of O(state)); requires the engine to have
-  /// checkpointing enabled — ignored (direct migration) otherwise.
+  /// Measured-cost planning: feed the planners loads derived from the
+  /// measured per-group wall service time (engine/cost_model.h) instead of
+  /// tuple counts alone, plus the queue-delay trend and per-group
+  /// service-time shares. With telemetry off (latency_sample_every == 0)
+  /// this falls back bit-identically to the modeled tuple-count loads, so
+  /// it is safe to leave on.
+  bool use_measured_costs = true;
+  /// Smoothing and trend knobs of the measured-cost model.
+  engine::MeasuredCostOptions measured_cost;
+  /// Overload stall modeling: when > 0, a node whose measured wall service
+  /// time in a period exceeds this many microseconds (x its capacity
+  /// factor) is overloaded — in a real deployment it would fall behind.
+  /// The shortfall compounds as a per-node fluid-queue backlog (growing
+  /// every overloaded period, draining while under capacity), accounted as
+  /// modeled stall latency for the node's tuples (like migration pauses:
+  /// folded into reported percentiles, never into the SLO trigger's peek);
+  /// rounds report the overloaded-node count and per-node backlog.
+  /// 0 disables the model. Requires latency telemetry.
+  double service_capacity_us_per_period = 0.0;
+  /// Force every planned migration to the indirect mode (checkpoint +
+  /// replay, pause O(log suffix) instead of O(state)); requires the engine
+  /// to have checkpointing enabled — ignored (direct migration) otherwise.
+  /// When false and checkpointing is on, the controller instead picks the
+  /// cheaper predicted mode PER MIGRATED GROUP: indirect for groups whose
+  /// replay-log suffix undercuts their state size, direct for the rest
+  /// (reported per migration in ControllerRound::migration_decisions).
   bool use_indirect_migration = false;
   /// Latency-SLO trigger: fire an adaptation round as soon as the engine's
   /// observed end-to-end p99 breaches slo.p99_bound_us instead of waiting
@@ -48,6 +72,19 @@ struct ControllerLoopOptions {
   /// telemetry (LocalEngineOptions::latency_sample_every > 0) — without
   /// measurements the trigger never sees a breach. Disabled by default.
   SloTriggerOptions slo;
+};
+
+/// \brief One applied migration with the mode the controller chose for it
+/// and the pause the cost model predicted vs. what the engine measured.
+struct MigrationDecision {
+  engine::KeyGroupId group = -1;
+  engine::NodeId from = engine::kInvalidNode;
+  engine::NodeId to = engine::kInvalidNode;
+  engine::MigrationMode mode = engine::MigrationMode::kDirect;
+  /// Pause the chosen mode was predicted to cost (direct: modeled state
+  /// bytes; indirect: exact replay-log suffix).
+  double predicted_pause_us = 0.0;
+  double actual_pause_us = 0.0;  ///< Pause the engine reported.
 };
 
 /// \brief Compact record of one adaptation round driven by the controller.
@@ -62,6 +99,21 @@ struct ControllerRound {
   double migration_pause_us = 0.0;  ///< Pause incurred by this round's moves.
   int migrations_planned = 0;
   int migrations_applied = 0;
+  int migrations_direct = 0;    ///< Applied with direct O(state) moves.
+  int migrations_indirect = 0;  ///< Applied via checkpoint + replay.
+  /// Per-migration record: chosen mode, predicted vs. actual pause.
+  std::vector<MigrationDecision> migration_decisions;
+  /// True when this round's planning loads came from measured service-time
+  /// shares (telemetry produced data); false = tuple-count modeled loads.
+  bool measured_costs = false;
+  /// Overload-stall model (service_capacity_us_per_period > 0): nodes
+  /// whose measured service demand exceeded their capacity this period,
+  /// and the highest node utilization observed (1.0 = at capacity).
+  int overloaded_nodes = 0;
+  double max_service_utilization = 0.0;
+  /// Per-node modeled backlog (us) after this period — the compounding
+  /// shortfall of overloaded nodes. Empty when the model is off.
+  std::vector<double> backlog_us;
   int nodes_added = 0;
   int nodes_terminated = 0;
   int nodes_marked = 0;
@@ -147,6 +199,11 @@ class ControllerLoop {
   const std::vector<ControllerRound>& history() const { return history_; }
   const ControllerLoopOptions& options() const { return options_; }
   const SloTriggerPolicy& slo_policy() const { return slo_policy_; }
+  /// \brief The measured-cost model's live signals (service shares,
+  /// queue-delay trend) as of the last round.
+  const engine::MeasuredSignals& measured_signals() const {
+    return cost_model_.signals();
+  }
 
  private:
   Status MaybeRunRounds(int64_t ts);
@@ -166,8 +223,15 @@ class ControllerLoop {
   const engine::Topology* topology_;
   engine::Cluster* cluster_;
   ControllerLoopOptions options_;
+  engine::MeasuredCostModel cost_model_;
 
   std::vector<ControllerRound> history_;
+  /// Overload-stall model state: per-node modeled backlog in microseconds
+  /// (see ControllerLoopOptions::service_capacity_us_per_period), plus the
+  /// event time of the previous harvest so partial-period rounds (SLO
+  /// triggers, eager recovery) get proportionally scaled capacity.
+  std::vector<double> node_backlog_us_;
+  int64_t last_overload_harvest_us_ = INT64_MIN;
   SloTriggerPolicy slo_policy_;
   int64_t period_start_us_ = 0;
   bool period_initialized_ = false;

@@ -203,7 +203,10 @@ void LocalEngine::RecordBatchLatency(WorkerContext* ctx, OperatorId op,
   const int64_t service_us = (t1 - t0_ns) / 1000;
   lat.op_service_us[op].Record(service_us);
   GroupLatency& gl = lat.group_service[g];
-  gl.service_sum_us += static_cast<double>(service_us);
+  // Accumulate fractional microseconds: the sums are load-bearing for
+  // measured-cost planning, and whole-us truncation would zero out groups
+  // whose batches complete in under a microsecond each.
+  gl.service_sum_us += static_cast<double>(t1 - t0_ns) / 1000.0;
   gl.tuples += static_cast<int64_t>(tuples);
   if (is_sink_[op]) {
     // Window-fire aggregates carry ts = 0 (they summarize a whole window,
@@ -753,6 +756,11 @@ void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
     ctx->wall_cache_ns = t0_ns;  // fresh stamp for batches routed from here
     if (enqueue_ns > 0) {
       ctx->stats->latency.queue_us.Record((t0_ns - enqueue_ns) / 1000);
+      // Per-group accumulation feeds the measured-cost model's queue-delay
+      // trend (engine/cost_model.h); fractional us, like the service sums.
+      GroupLatency& gl = ctx->stats->latency.group_service[g];
+      gl.queue_sum_us += static_cast<double>(t0_ns - enqueue_ns) / 1000.0;
+      ++gl.queue_batches;
     }
     batch_tuples = batch.size();
     batch_last_ts = batch.tuples().back().ts;
@@ -1063,6 +1071,42 @@ Status LocalEngine::MigrateGroup(KeyGroupId group, NodeId to,
                                  MigrationMode mode) {
   ALBIC_RETURN_NOT_OK(StartMigration(group, to, mode));
   return FinishMigration(group).status();
+}
+
+MigrationPauseEstimate LocalEngine::EstimateMigrationPause(
+    KeyGroupId group) const {
+  MigrationPauseEstimate est;
+  est.direct_us =
+      kEnginePauseUsPerByte * topology_->group_state_bytes(group);
+  if (checkpointer_ != nullptr) {
+    CheckpointInfo info;
+    if (checkpointer_->store()->Latest(group, &info, /*state=*/nullptr) &&
+        group_logs_[group].base_seq() <= info.seq) {
+      // FinishMigration replays exactly the events with seq >= info.seq,
+      // so at a quiescent point this prediction is exact.
+      const uint64_t suffix_events =
+          group_logs_[group].next_seq() - info.seq;
+      est.indirect_us = kEnginePauseUsPerByte *
+                        static_cast<double>(suffix_events) * sizeof(Tuple);
+      est.indirect_available = true;
+    }
+  }
+  return est;
+}
+
+std::vector<double> LocalEngine::ReplaySuffixBytes() const {
+  std::vector<double> out;
+  if (checkpointer_ == nullptr) return out;
+  out.assign(static_cast<size_t>(topology_->num_key_groups()), -1.0);
+  for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
+    CheckpointInfo info;
+    if (checkpointer_->store()->Latest(g, &info, /*state=*/nullptr) &&
+        group_logs_[g].base_seq() <= info.seq) {
+      out[g] = static_cast<double>(group_logs_[g].next_seq() - info.seq) *
+               sizeof(Tuple);
+    }
+  }
+  return out;
 }
 
 Status LocalEngine::EnableCheckpointing(CheckpointCoordinator* coordinator) {

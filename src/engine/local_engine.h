@@ -107,6 +107,24 @@ struct GroupRecovery {
   uint64_t restored_bytes = 0; ///< Checkpoint bytes deserialized.
 };
 
+/// \brief Predicted pause of migrating one key group in each mode (see
+/// EstimateMigrationPause). The controller compares the two to pick the
+/// cheaper mode per migrated group, and reports predicted vs. actual.
+struct MigrationPauseEstimate {
+  /// Direct O(state) pause, from the topology's modeled state bytes (the
+  /// actual pause uses the real serialized size, so the delta measures the
+  /// state model's error).
+  double direct_us = 0.0;
+  /// Indirect O(suffix) pause: the replay-log events past the group's
+  /// latest checkpoint. Exact at a quiescent point — FinishMigration will
+  /// replay precisely these events. Meaningless unless indirect_available.
+  double indirect_us = 0.0;
+  /// The group has a usable checkpoint (one whose covered prefix the
+  /// replay log still reaches); without one an indirect migration would
+  /// fall back to the direct round-trip.
+  bool indirect_available = false;
+};
+
 /// \brief A deterministic single-process PSPE runtime over simulated nodes.
 ///
 /// Executes real operator code, routes across the topology per the edges'
@@ -190,6 +208,29 @@ class LocalEngine {
   /// \brief Convenience: start + finish in one step.
   Status MigrateGroup(KeyGroupId group, NodeId to,
                       MigrationMode mode = MigrationMode::kDirect);
+
+  /// \brief Predicted pause of migrating \p group directly (O(state),
+  /// modeled bytes) vs. indirectly (O(suffix), exact replay-log suffix
+  /// past the latest checkpoint). The controller uses this to choose the
+  /// cheaper mode per migrated group.
+  MigrationPauseEstimate EstimateMigrationPause(KeyGroupId group) const;
+
+  /// \brief Per-group replay-log suffix bytes an indirect migration would
+  /// replay; -1 for groups without a usable checkpoint. Empty when
+  /// checkpointing is disabled. Feeds the snapshot's indirect
+  /// migration-cost estimates (MeasuredSignals::replay_suffix_bytes).
+  std::vector<double> ReplaySuffixBytes() const;
+
+  /// \brief Accounts a modeled overload stall as latency: \p tuples tuples
+  /// experienced \p pause_us of modeled queueing the single-process runtime
+  /// cannot produce for real (a node whose measured service demand exceeds
+  /// its capacity falls behind; the excess is its backlog delay). Recorded
+  /// in the stall histogram like migration pauses: folded into reported
+  /// percentiles, excluded from the SLO trigger's peek.
+  void RecordOverloadStall(double pause_us, int64_t tuples) {
+    RecordBufferedPause(pause_us,
+                        tuples > 0 ? static_cast<size_t>(tuples) : 0);
+  }
 
   // --- checkpointing & failure recovery --------------------------------
 

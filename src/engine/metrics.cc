@@ -115,6 +115,8 @@ void LatencyPeriodStats::MergeFrom(LatencyPeriodStats* from) {
   for (size_t g = 0; g < from->group_service.size(); ++g) {
     group_service[g].service_sum_us += from->group_service[g].service_sum_us;
     group_service[g].tuples += from->group_service[g].tuples;
+    group_service[g].queue_sum_us += from->group_service[g].queue_sum_us;
+    group_service[g].queue_batches += from->group_service[g].queue_batches;
     from->group_service[g] = GroupLatency();
   }
   from->e2e_us.Clear();

@@ -103,12 +103,17 @@ struct IngestSample {
   int64_t wall_ns = 0;
 };
 
-/// \brief Per-key-group service-time accumulator (full histograms per
-/// group would be memory-heavy at fig-5 scale; a sum/count pair per group
-/// is enough to rank groups by mean service time).
+/// \brief Per-key-group service-time and queueing-delay accumulator (full
+/// histograms per group would be memory-heavy at fig-5 scale; sum/count
+/// pairs per group are enough to rank groups by mean service time and to
+/// feed the measured-cost model's per-group queue-delay trend).
 struct GroupLatency {
   double service_sum_us = 0.0;
   int64_t tuples = 0;
+  /// Mailbox queueing delay of batches delivered to this group (enqueue
+  /// stamp to dequeue), summed per delivered batch.
+  double queue_sum_us = 0.0;
+  int64_t queue_batches = 0;
 };
 
 /// \brief Latency measurements of one statistics period. Lives inside

@@ -9,6 +9,7 @@
 #include "engine/assignment.h"
 #include "engine/cluster.h"
 #include "engine/comm_matrix.h"
+#include "engine/cost_model.h"
 #include "engine/metrics.h"
 #include "engine/topology.h"
 
@@ -25,9 +26,24 @@ struct SystemSnapshot {
   const CommMatrix* comm = nullptr;
 
   Assignment assignment;               ///< Current allocation (q in Table 2).
-  std::vector<double> group_loads;     ///< gLoadk, bottleneck resource, %.
+  /// gLoadk, bottleneck resource, %. Under measured-cost planning these are
+  /// the measured loads (the period's total modeled load redistributed by
+  /// each group's measured service-time share); with telemetry off they are
+  /// the tuple-count modeled loads, bit-identically.
+  std::vector<double> group_loads;
   std::vector<double> node_loads;      ///< loadi by NodeId, %.
-  std::vector<double> migration_costs; ///< mck per key group.
+  /// mck per key group under DIRECT migration: O(state) serialize + move.
+  std::vector<double> migration_costs;
+  /// mck per key group under INDIRECT migration: O(replay-log suffix), the
+  /// checkpoint transfers in the background. Falls back to the direct cost
+  /// for groups without a usable checkpoint; empty when checkpointing is
+  /// off. Informational for planners today — migration budgets still use
+  /// migration_costs (direct). The controller's per-group mode choice
+  /// consumes the SAME suffix signal via
+  /// LocalEngine::EstimateMigrationPause, so this vector mirrors the
+  /// decision planners will see applied (pinned by
+  /// tests/core/measured_cost_test.cc).
+  std::vector<double> migration_costs_indirect;
   /// Optional per-group load of a non-bottleneck resource (e.g. memory),
   /// for the multi-dimensional extension of §4.3.1: when non-empty, the
   /// rebalancers additionally cap each node's secondary usage
@@ -38,6 +54,19 @@ struct SystemSnapshot {
   /// zeros (e2e_count == 0) otherwise. Informational for planners and
   /// policies — the SLO trigger consumes the live version pre-harvest.
   LatencySummary latency;
+  /// Per-group measured service-time shares (EWMA across periods, summing
+  /// to 1); the rebalancers order migration candidates by it. Empty when
+  /// telemetry is off.
+  std::vector<double> group_service_share;
+  /// Per-group EWMA of the mean mailbox queueing delay (us). Empty when
+  /// telemetry is off. Informational: no planner consumes it yet — the
+  /// ROADMAP follow-on is to weigh collocation scoring with it; the
+  /// aggregate trend below is what the scaling policy acts on.
+  std::vector<double> group_queue_delay_us;
+  /// Across-period queue-delay trend — the forecastable precursor of a p99
+  /// breach; the scaling policy can scale out on sustained growth before
+  /// the SLO trigger ever fires.
+  QueueDelayTrend queue_trend;
 };
 
 }  // namespace albic::engine

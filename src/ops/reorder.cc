@@ -1,10 +1,43 @@
 #include "ops/reorder.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "ops/serde_util.h"
 
 namespace albic::ops {
+
+void ReorderBufferOperator::GroupBuffer::Insert(const engine::Tuple& t) {
+  if (tuples == 0) {
+    max_ts = t.ts;
+  } else {
+    max_ts = std::max(max_ts, t.ts);
+  }
+  std::vector<engine::Tuple>& run =
+      by_ts[static_cast<uint64_t>(t.ts)];
+  if (run.empty()) pending_ts.push(t.ts);
+  run.push_back(t);
+  ++tuples;
+}
+
+void ReorderBufferOperator::GroupBuffer::Clear() {
+  by_ts.clear();
+  pending_ts = {};
+  tuples = 0;
+  max_ts = 0;
+}
+
+std::vector<std::pair<int64_t, const std::vector<engine::Tuple>*>>
+ReorderBufferOperator::GroupBuffer::SortedRuns() const {
+  std::vector<std::pair<int64_t, const std::vector<engine::Tuple>*>> runs;
+  runs.reserve(by_ts.size());
+  by_ts.ForEach([&](uint64_t, const std::vector<engine::Tuple>& run) {
+    runs.emplace_back(run.front().ts, &run);
+  });
+  std::sort(runs.begin(), runs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return runs;
+}
 
 ReorderBufferOperator::ReorderBufferOperator(int num_groups, int64_t bound_us)
     : bound_us_(bound_us),
@@ -15,7 +48,7 @@ ReorderBufferOperator::ReorderBufferOperator(int num_groups, int64_t bound_us)
 
 void ReorderBufferOperator::Process(const engine::Tuple& tuple,
                                     int group_index, engine::Emitter* out) {
-  auto& buffer = buffers_[group_index];
+  GroupBuffer& buffer = buffers_[group_index];
   int64_t& watermark = watermark_[group_index];
 
   if (watermark != std::numeric_limits<int64_t>::min() &&
@@ -27,26 +60,34 @@ void ReorderBufferOperator::Process(const engine::Tuple& tuple,
     out->Emit(tuple);
     return;
   }
-  buffer.emplace(tuple.ts, tuple);
+  buffer.Insert(tuple);
 
-  // Advance the watermark and release everything at or below it, in order.
-  const int64_t max_ts = buffer.rbegin()->first;
-  const int64_t new_watermark = max_ts - bound_us_;
+  // Advance the watermark and release everything at or below it, in
+  // timestamp order (ties in arrival order — a run preserves it).
+  const int64_t new_watermark = buffer.max_ts - bound_us_;
   if (new_watermark > watermark) watermark = new_watermark;
-  while (!buffer.empty() && buffer.begin()->first <= watermark) {
-    out->Emit(buffer.begin()->second);
-    buffer.erase(buffer.begin());
+  while (!buffer.pending_ts.empty() &&
+         buffer.pending_ts.top() <= watermark) {
+    const int64_t ts = buffer.pending_ts.top();
+    buffer.pending_ts.pop();
+    const std::vector<engine::Tuple>* run =
+        buffer.by_ts.find(static_cast<uint64_t>(ts));
+    for (const engine::Tuple& t : *run) out->Emit(t);
+    buffer.tuples -= static_cast<int64_t>(run->size());
+    buffer.by_ts.erase(static_cast<uint64_t>(ts));
   }
 }
 
 void ReorderBufferOperator::Flush(int group_index, engine::Emitter* out) {
-  auto& buffer = buffers_[group_index];
-  for (const auto& [ts, tuple] : buffer) out->Emit(tuple);
-  if (!buffer.empty()) {
-    watermark_[group_index] =
-        std::max(watermark_[group_index], buffer.rbegin()->first);
+  GroupBuffer& buffer = buffers_[group_index];
+  for (const auto& [ts, run] : buffer.SortedRuns()) {
+    for (const engine::Tuple& t : *run) out->Emit(t);
   }
-  buffer.clear();
+  if (buffer.tuples > 0) {
+    watermark_[group_index] =
+        std::max(watermark_[group_index], buffer.max_ts);
+  }
+  buffer.Clear();
 }
 
 std::string ReorderBufferOperator::SerializeGroupState(
@@ -54,12 +95,15 @@ std::string ReorderBufferOperator::SerializeGroupState(
   StateWriter w;
   w.PutI64(watermark_[group_index]);
   w.PutI64(stragglers_[group_index]);
-  w.PutU64(buffers_[group_index].size());
-  for (const auto& [ts, t] : buffers_[group_index]) {
-    w.PutU64(t.key);
-    w.PutI64(t.ts);
-    w.PutDouble(t.num);
-    w.PutU64(t.aux);
+  const GroupBuffer& buffer = buffers_[group_index];
+  w.PutU64(static_cast<uint64_t>(buffer.tuples));
+  for (const auto& [ts, run] : buffer.SortedRuns()) {
+    for (const engine::Tuple& t : *run) {
+      w.PutU64(t.key);
+      w.PutI64(t.ts);
+      w.PutDouble(t.num);
+      w.PutU64(t.aux);
+    }
   }
   return w.Take();
 }
@@ -71,21 +115,21 @@ Status ReorderBufferOperator::DeserializeGroupState(int group_index,
   ALBIC_RETURN_NOT_OK(r.GetI64(&stragglers_[group_index]));
   uint64_t n = 0;
   ALBIC_RETURN_NOT_OK(r.GetU64(&n));
-  auto& buffer = buffers_[group_index];
-  buffer.clear();
+  GroupBuffer& buffer = buffers_[group_index];
+  buffer.Clear();
   for (uint64_t i = 0; i < n; ++i) {
     engine::Tuple t;
     ALBIC_RETURN_NOT_OK(r.GetU64(&t.key));
     ALBIC_RETURN_NOT_OK(r.GetI64(&t.ts));
     ALBIC_RETURN_NOT_OK(r.GetDouble(&t.num));
     ALBIC_RETURN_NOT_OK(r.GetU64(&t.aux));
-    buffer.emplace(t.ts, t);
+    buffer.Insert(t);
   }
   return Status::OK();
 }
 
 void ReorderBufferOperator::ClearGroupState(int group_index) {
-  buffers_[group_index].clear();
+  buffers_[group_index].Clear();
   watermark_[group_index] = std::numeric_limits<int64_t>::min();
   stragglers_[group_index] = 0;
 }

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <functional>
+#include <queue>
 #include <vector>
 
+#include "common/flat_map64.h"
 #include "engine/operator.h"
 
 namespace albic::ops {
@@ -17,6 +19,16 @@ namespace albic::ops {
 /// Tuples arriving later than an already-released timestamp (beyond the
 /// bound) are forwarded immediately and counted, so downstream operators
 /// can decide how to treat stragglers.
+///
+/// Storage is a FlatMap64 from timestamp to the arrival-ordered run of
+/// tuples carrying it, plus a min-heap of the distinct buffered timestamps
+/// (a timestamp enters the heap once, when its run opens). Insertion is an
+/// open-addressing probe + push_back instead of a std::multimap node
+/// allocation + red-black rebalance per tuple; release pops the heap while
+/// the top is at or below the watermark. Emission order is unchanged:
+/// ascending timestamp, ties in arrival order. Serialization walks the
+/// timestamps in sorted order, preserving the exact byte format (and
+/// byte-stability) of the ordered-container implementation.
 class ReorderBufferOperator : public engine::StreamOperator {
  public:
   /// \param bound_us the maximum tolerated unorderedness, in event-time us.
@@ -34,17 +46,38 @@ class ReorderBufferOperator : public engine::StreamOperator {
   void ClearGroupState(int group_index) override;
 
   int64_t buffered(int group_index) const {
-    return static_cast<int64_t>(buffers_[group_index].size());
+    return buffers_[group_index].tuples;
   }
   int64_t stragglers(int group_index) const {
     return stragglers_[group_index];
   }
 
  private:
+  /// One group's buffer: runs of tuples keyed by timestamp (each run in
+  /// arrival order), the distinct timestamps in a min-heap, and the total
+  /// buffered tuple count.
+  struct GroupBuffer {
+    FlatMap64<std::vector<engine::Tuple>> by_ts;
+    std::priority_queue<int64_t, std::vector<int64_t>, std::greater<int64_t>>
+        pending_ts;
+    int64_t tuples = 0;
+    /// Maximum buffered timestamp (the watermark driver). Only meaningful
+    /// while tuples > 0; reseeded by the first insert into an empty
+    /// buffer. Releases never remove the maximum (it sits strictly above
+    /// the watermark whenever the bound is positive, and with a zero
+    /// bound the buffer empties completely), so no release-side upkeep.
+    int64_t max_ts = 0;
+
+    void Insert(const engine::Tuple& t);
+    void Clear();
+    /// Buffered (ts, run) pairs in ascending ts order (serialization and
+    /// end-of-stream flush want the release order without draining).
+    std::vector<std::pair<int64_t, const std::vector<engine::Tuple>*>>
+    SortedRuns() const;
+  };
+
   int64_t bound_us_;
-  /// Per group: ts-ordered buffer (multimap: duplicate timestamps are kept
-  /// in arrival order) plus the released watermark.
-  std::vector<std::multimap<int64_t, engine::Tuple>> buffers_;
+  std::vector<GroupBuffer> buffers_;
   std::vector<int64_t> watermark_;
   std::vector<int64_t> stragglers_;
 };

@@ -1,5 +1,8 @@
 #include "ops/store.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "ops/serde_util.h"
 
 namespace albic::ops {
@@ -21,16 +24,22 @@ void StoreSinkOperator::OnWindow(int group_index, engine::Emitter* out) {
 }
 
 double StoreSinkOperator::ValueFor(int group_index, uint64_t key) const {
-  const auto& m = table_[group_index];
-  auto it = m.find(key);
-  return it == m.end() ? 0.0 : it->second;
+  const double* v = table_[group_index].find(key);
+  return v == nullptr ? 0.0 : *v;
 }
 
 std::string StoreSinkOperator::SerializeGroupState(int group_index) const {
   StateWriter w;
   const auto& m = table_[group_index];
-  w.PutU64(m.size());
-  for (const auto& [key, value] : m) {
+  // Canonical order: equal tables serialize identically whatever the
+  // insertion history (live vs. checkpoint + replay reconstruction).
+  std::vector<std::pair<uint64_t, double>> rows;
+  rows.reserve(m.size());
+  for (const auto& [key, value] : m) rows.emplace_back(key, value);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.PutU64(rows.size());
+  for (const auto& [key, value] : rows) {
     w.PutU64(key);
     w.PutDouble(value);
   }

@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map64.h"
 #include "engine/operator.h"
 
 namespace albic::ops {
@@ -11,6 +11,13 @@ namespace albic::ops {
 /// \brief Sink operator standing in for "periodically writes results to a
 /// local relational database" (§5.4): upserts the latest value per key into
 /// an in-memory table and counts flushes on window boundaries.
+///
+/// The per-group table is a FlatMap64 (open addressing, no per-entry
+/// allocation) — upsert-per-tuple is this operator's entire hot path, and
+/// the node allocation + pointer chase of std::unordered_map dominated it.
+/// Serialization is canonical (ascending key order), so any two tables
+/// with equal contents serialize identically regardless of insertion
+/// history — what keeps checkpoint + replay reconstruction byte-stable.
 class StoreSinkOperator : public engine::StreamOperator {
  public:
   explicit StoreSinkOperator(int num_groups);
@@ -31,7 +38,7 @@ class StoreSinkOperator : public engine::StreamOperator {
   double ValueFor(int group_index, uint64_t key) const;
 
  private:
-  std::vector<std::unordered_map<uint64_t, double>> table_;
+  std::vector<FlatMap64<double>> table_;
   std::vector<int64_t> flushes_;
 };
 

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <map>
+#include <string>
 #include <vector>
+
+#include "common/rng.h"
 
 namespace albic::ops {
 namespace {
@@ -90,6 +95,98 @@ TEST(ReorderTest, StateRoundTripPreservesBufferAndWatermark) {
   // Watermark survived: a pre-watermark tuple is still a straggler.
   op.Process(At(100), 0, &out);
   EXPECT_EQ(op.stragglers(0), 1);
+}
+
+/// Reference reorder buffer: the std::multimap implementation the operator
+/// used before FlatMap64 backed it. Kept verbatim as the differential
+/// oracle — emission order, straggler accounting, watermark advancement
+/// and flush semantics must all stay exactly what this code does.
+class ReferenceReorder {
+ public:
+  explicit ReferenceReorder(int64_t bound_us) : bound_us_(bound_us) {}
+
+  void Process(const engine::Tuple& tuple, std::vector<engine::Tuple>* out) {
+    if (watermark_ != std::numeric_limits<int64_t>::min() &&
+        tuple.ts < watermark_) {
+      ++stragglers_;
+      out->push_back(tuple);
+      return;
+    }
+    buffer_.emplace(tuple.ts, tuple);
+    const int64_t max_ts = buffer_.rbegin()->first;
+    const int64_t new_watermark = max_ts - bound_us_;
+    if (new_watermark > watermark_) watermark_ = new_watermark;
+    while (!buffer_.empty() && buffer_.begin()->first <= watermark_) {
+      out->push_back(buffer_.begin()->second);
+      buffer_.erase(buffer_.begin());
+    }
+  }
+
+  void Flush(std::vector<engine::Tuple>* out) {
+    for (const auto& [ts, tuple] : buffer_) out->push_back(tuple);
+    if (!buffer_.empty()) {
+      watermark_ = std::max(watermark_, buffer_.rbegin()->first);
+    }
+    buffer_.clear();
+  }
+
+  int64_t buffered() const { return static_cast<int64_t>(buffer_.size()); }
+  int64_t stragglers() const { return stragglers_; }
+
+ private:
+  int64_t bound_us_;
+  std::multimap<int64_t, engine::Tuple> buffer_;
+  int64_t watermark_ = std::numeric_limits<int64_t>::min();
+  int64_t stragglers_ = 0;
+};
+
+bool SameTuple(const engine::Tuple& a, const engine::Tuple& b) {
+  return a.key == b.key && a.ts == b.ts && a.num == b.num && a.aux == b.aux;
+}
+
+TEST(ReorderTest, RandomizedDifferentialVsMultimapReference) {
+  // Random streams with heavy timestamp collisions and out-of-order jitter
+  // (including beyond-bound stragglers), random mid-stream serialize +
+  // clear + deserialize round trips, and a final flush: the FlatMap64
+  // implementation must emit exactly the reference's tuple sequence and
+  // agree on every counter at every step.
+  Rng rng(20260727);
+  for (int round = 0; round < 20; ++round) {
+    const int64_t bound = rng.UniformInt(0, 3) * 50;  // includes bound = 0
+    ReorderBufferOperator op(1, bound);
+    ReferenceReorder ref(bound);
+    Capture out;
+    std::vector<engine::Tuple> expected;
+
+    int64_t base_ts = 0;
+    const int tuples = static_cast<int>(rng.UniformInt(100, 400));
+    for (int i = 0; i < tuples; ++i) {
+      base_ts += rng.UniformInt(0, 20);
+      engine::Tuple t;
+      t.ts = base_ts - rng.UniformInt(0, 150);  // jitter past the bound
+      t.key = static_cast<uint64_t>(rng.UniformInt(0, 5));
+      t.num = static_cast<double>(i);
+      op.Process(t, 0, &out);
+      ref.Process(t, &expected);
+      ASSERT_EQ(op.buffered(0), ref.buffered()) << "round " << round;
+      ASSERT_EQ(op.stragglers(0), ref.stragglers()) << "round " << round;
+      if (rng.Bernoulli(0.02)) {
+        // The round trip must be lossless and keep the stream identical.
+        const std::string state = op.SerializeGroupState(0);
+        op.ClearGroupState(0);
+        ASSERT_TRUE(op.DeserializeGroupState(0, state).ok());
+        ASSERT_EQ(op.SerializeGroupState(0), state);
+      }
+    }
+    op.Flush(0, &out);
+    ref.Flush(&expected);
+
+    ASSERT_EQ(out.tuples.size(), expected.size()) << "round " << round;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_TRUE(SameTuple(out.tuples[i], expected[i]))
+          << "round " << round << " tuple " << i;
+    }
+  }
 }
 
 TEST(ReorderTest, InOrderStreamPassesThroughWithDelay) {

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
 namespace albic::ops {
 namespace {
 
@@ -53,6 +59,67 @@ TEST(StoreTest, StateRoundTrip) {
 TEST(StoreTest, UnseenKeyIsZero) {
   StoreSinkOperator op(1);
   EXPECT_DOUBLE_EQ(op.ValueFor(0, 42), 0.0);
+}
+
+TEST(StoreTest, RandomizedDifferentialVsUnorderedMapReference) {
+  // Random upsert streams (with key 0 and heavy key reuse) against a
+  // std::unordered_map reference: every lookup, the row count, and the
+  // serialize -> clear -> deserialize round trip must agree with the
+  // reference at every step.
+  Rng rng(727);
+  for (int round = 0; round < 10; ++round) {
+    StoreSinkOperator op(1);
+    std::unordered_map<uint64_t, double> ref;
+    Capture out;
+    const int upserts = static_cast<int>(rng.UniformInt(200, 800));
+    for (int i = 0; i < upserts; ++i) {
+      engine::Tuple t;
+      t.key = static_cast<uint64_t>(rng.UniformInt(0, 63));  // includes 0
+      t.num = rng.Uniform(-100.0, 100.0);
+      op.Process(t, 0, &out);
+      ref[t.key] = t.num;
+      if (rng.Bernoulli(0.05)) {
+        const std::string state = op.SerializeGroupState(0);
+        op.ClearGroupState(0);
+        ASSERT_TRUE(op.DeserializeGroupState(0, state).ok());
+        ASSERT_EQ(op.SerializeGroupState(0), state);
+      }
+    }
+    ASSERT_EQ(op.rows(0), static_cast<int64_t>(ref.size()));
+    for (const auto& [key, value] : ref) {
+      ASSERT_DOUBLE_EQ(op.ValueFor(0, key), value) << "key " << key;
+    }
+  }
+}
+
+TEST(StoreTest, SerializationIsCanonicalAcrossInsertionOrders) {
+  // Equal contents must serialize to equal bytes regardless of insertion
+  // history — what keeps checkpoint + replay reconstruction byte-stable.
+  StoreSinkOperator forward(1), shuffled(1);
+  Capture out;
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 50; ++k) keys.push_back(k);
+  for (uint64_t k : keys) {
+    engine::Tuple t;
+    t.key = k;
+    t.num = static_cast<double>(k) * 1.5;
+    forward.Process(t, 0, &out);
+  }
+  Rng rng(9);
+  rng.Shuffle(&keys);
+  for (uint64_t k : keys) {
+    engine::Tuple t;
+    t.key = k;
+    t.num = -1.0;  // overwritten below, so growth timing differs too
+    shuffled.Process(t, 0, &out);
+  }
+  for (uint64_t k : keys) {
+    engine::Tuple t;
+    t.key = k;
+    t.num = static_cast<double>(k) * 1.5;
+    shuffled.Process(t, 0, &out);
+  }
+  EXPECT_EQ(forward.SerializeGroupState(0), shuffled.SerializeGroupState(0));
 }
 
 }  // namespace
