@@ -1,5 +1,8 @@
-// Recovery bench: the wiki top-k pipeline on the batched runtime behind the
-// online controller, with the checkpoint subsystem enabled. Measures
+// Recovery bench: two scenarios, filtered by ALBIC_BENCH_SCENARIO
+// ("wiki", "large", default "all").
+//
+// wiki — the wiki top-k pipeline on the batched runtime behind the online
+// controller, with the checkpoint subsystem enabled. Measures
 //  - end-to-end recovery time after a mid-stream KillNode (the eager
 //    recovery round KillNode runs: re-planning over the survivors,
 //    checkpoint restore + log replay, buffered-tuple drain),
@@ -8,13 +11,28 @@
 //    time-compressed trace and the steady-state figure with the
 //    event-time-paced snapshot rounds amortized out),
 // and verifies the failure run reproduces the no-failure run's top-k answer
-// (zero tuples lost). Emits BENCH_JSON lines for trajectory tracking.
+// (zero tuples lost).
+//
+// large — the large-state fast path: a store-sink pipeline builds a large
+// table, then a steady phase touches only a small hot subset between
+// checkpoint rounds. Compares full-snapshot rounds (max_delta_chain = 0)
+// against delta rounds (chained dirty-key records): bytes per round, round
+// stall, and the build phase's per-chunk pause p99 with one-shot vs
+// incremental rehashing. Asserts that delta rounds cut steady-state bytes
+// >= 5x, that incremental rehashing absorbed no full-table rehash into any
+// wave, and that kill + recovery through a base+delta chain restores
+// bit-identical state.
+//
+// Emits BENCH_JSON lines for trajectory tracking.
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "balance/milp_rebalancer.h"
@@ -24,11 +42,15 @@
 #include "engine/checkpoint.h"
 #include "engine/local_engine.h"
 #include "ops/geohash.h"
+#include "ops/store.h"
 #include "ops/topk.h"
 #include "workload/streams.h"
 
 namespace albic {
 namespace {
+
+using bench::BenchJson;
+using bench::EnvInt;
 
 constexpr int kNodes = 6;
 constexpr int kGroups = 18;
@@ -145,11 +167,8 @@ std::vector<engine::Tuple> MakeStream(int tuples, int articles) {
 }
 
 }  // namespace
-}  // namespace albic
 
-int main() {
-  using albic::bench::BenchJson;
-  using albic::bench::EnvInt;
+int RunWikiScenario() {
   // The zero-loss guard compares last-closed-window answers, so the stream
   // must span at least a couple of 1-minute windows at the 2000 tuples/s
   // event rate — clamp small ALBIC_BENCH_TUPLES configurations up to that.
@@ -157,24 +176,18 @@ int main() {
       std::max(260000, EnvInt("ALBIC_BENCH_TUPLES", 1000000));
   const int articles = EnvInt("ALBIC_BENCH_ARTICLES", 20000);
   const int reps = EnvInt("ALBIC_BENCH_REPS", 3);
-  const albic::engine::NodeId kill_node =
-      static_cast<albic::engine::NodeId>(EnvInt("ALBIC_BENCH_KILL_NODE", 1));
-
-  // Self-describing snapshot (no sharded source, telemetry off here).
-  albic::bench::BenchMetaCommon(EnvInt("ALBIC_BENCH_SHARD_QUEUE", 0),
-                                EnvInt("ALBIC_BENCH_SHARD_CHUNK", 0),
-                                /*latency_sample_every=*/0);
+  const engine::NodeId kill_node =
+      static_cast<engine::NodeId>(EnvInt("ALBIC_BENCH_KILL_NODE", 1));
 
   std::printf("Recovery bench: wiki top-k pipeline behind the controller, "
               "%d tuples, node %d killed mid-stream, best of %d runs\n\n",
               tuples, kill_node, reps);
-  const std::vector<albic::engine::Tuple> stream =
-      albic::MakeStream(tuples, articles);
+  const std::vector<engine::Tuple> stream = MakeStream(tuples, articles);
 
   auto best_of = [&](auto run_fn) {
-    albic::BenchRun best;
+    BenchRun best;
     for (int r = 0; r < reps; ++r) {
-      albic::BenchRun result = run_fn();
+      BenchRun result = run_fn();
       if (!result.ok) return result;
       if (best.tuples_per_sec == 0.0 ||
           result.tuples_per_sec > best.tuples_per_sec) {
@@ -187,16 +200,16 @@ int main() {
   // The overhead pair keeps direct migrations on both sides so the delta
   // isolates checkpointing (logging + snapshot rounds), not the migration
   // policy; the failure run showcases the full subsystem (indirect moves).
-  const albic::BenchRun plain = best_of([&] {
-    return albic::RunJob(stream, /*checkpoint=*/false,
-                         /*indirect_migration=*/false, -1);
+  const BenchRun plain = best_of([&] {
+    return RunJob(stream, /*checkpoint=*/false,
+                  /*indirect_migration=*/false, -1);
   });
-  const albic::BenchRun ckpt = best_of([&] {
-    return albic::RunJob(stream, /*checkpoint=*/true,
-                         /*indirect_migration=*/false, -1);
+  const BenchRun ckpt = best_of([&] {
+    return RunJob(stream, /*checkpoint=*/true,
+                  /*indirect_migration=*/false, -1);
   });
   // The failure run is about recovery latency, not throughput: one rep.
-  const albic::BenchRun failed = albic::RunJob(
+  const BenchRun failed = RunJob(
       stream, /*checkpoint=*/true, /*indirect_migration=*/true, kill_node);
   if (!plain.ok || !ckpt.ok || !failed.ok) {
     std::fprintf(stderr, "FAIL: a bench run errored\n");
@@ -227,19 +240,19 @@ int main() {
   const double steady_overhead_pct =
       100.0 * (steady_secs / plain.secs - 1.0);
 
-  albic::TablePrinter table({"run", "tuples/s", "notes"});
+  TablePrinter table({"run", "tuples/s", "notes"});
   char buf[96];
-  table.AddRow({"no checkpointing", albic::FormatDouble(plain.tuples_per_sec, 0),
+  table.AddRow({"no checkpointing", FormatDouble(plain.tuples_per_sec, 0),
                 "baseline"});
   std::snprintf(buf, sizeof(buf), "%lld snapshots",
                 static_cast<long long>(ckpt.checkpoints));
   table.AddRow({"checkpointing (60s)",
-                albic::FormatDouble(ckpt.tuples_per_sec, 0), buf});
+                FormatDouble(ckpt.tuples_per_sec, 0), buf});
   std::snprintf(buf, sizeof(buf), "%d groups, %lld tuples replayed",
                 failed.groups_recovered,
                 static_cast<long long>(failed.tuples_replayed));
   table.AddRow({"kill + recovery",
-                albic::FormatDouble(failed.tuples_per_sec, 0), buf});
+                FormatDouble(failed.tuples_per_sec, 0), buf});
   table.Print();
 
   std::printf("\nrecovery: %.2f ms end-to-end (eager round: re-plan, "
@@ -263,5 +276,303 @@ int main() {
   BenchJson("recovery", "checkpoint_overhead_pct", overhead_pct, "%");
   BenchJson("recovery", "checkpoint_steady_overhead_pct", steady_overhead_pct,
             "%");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// large-state scenario
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LargeStats {
+  double round_bytes_avg = 0.0;    ///< Steady checkpoint-round bytes.
+  double round_stall_ms_avg = 0.0; ///< Steady checkpoint-round wall time.
+  double wave_pause_p99_ms = 0.0;  ///< Build-phase per-chunk pause p99.
+  int64_t delta_records = 0;       ///< Delta records the store accepted.
+  bool rehash_clean = true;        ///< No one-shot rehash moved live entries.
+  bool recovered_identical = false;
+  bool ok = false;
+};
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+/// One large-state run: build a table of \p large_keys rows, then \p rounds
+/// steady rounds each touching \p hot_keys rows before a checkpoint round.
+/// \p chain = 0 means full snapshots every round; > 0 means delta records
+/// chained up to that length. \p incremental_rehash switches the store's
+/// tables to the two-table bounded-drain scheme.
+LargeStats RunLargeState(int large_keys, int hot_keys, int rounds, int chain,
+                         bool incremental_rehash) {
+  LargeStats out;
+  engine::Topology topo;
+  topo.AddOperator("store", kGroups, 1 << 20);
+  engine::Cluster cluster(kNodes);
+  engine::Assignment assign(topo.num_key_groups());
+  for (engine::KeyGroupId g = 0; g < topo.num_key_groups(); ++g) {
+    assign.set_node(g, g % kNodes);
+  }
+  ops::StoreSinkOperator store_op(kGroups);
+  store_op.SetIncrementalRehash(incremental_rehash);
+  engine::LocalEngineOptions eopts;
+  eopts.mode = engine::ExecutionMode::kBatched;
+  eopts.window_every_us = 0;  // no windows: steady state is pure upserts
+  engine::LocalEngine engine(&topo, &cluster, assign, {&store_op}, eopts);
+
+  engine::MemoryCheckpointStore ckpt_store(/*retain_versions=*/2);
+  engine::CheckpointCoordinatorOptions copts;
+  // All rounds are explicit here (the phases are the measurement), so park
+  // the event-time cadence and the log soft bound out of the way.
+  copts.interval_us = INT64_MAX / 2;
+  copts.max_log_entries = static_cast<size_t>(1) << 30;
+  copts.max_delta_chain = chain;
+  engine::CheckpointCoordinator coordinator(&ckpt_store, copts);
+  if (!engine.EnableCheckpointing(&coordinator).ok()) return out;
+
+  // Build phase: insert every key once, in chunks; the per-chunk wall time
+  // is the wave-pause sample (all table growth happens here).
+  const size_t chunk = 4096;
+  std::vector<engine::Tuple> batch;
+  batch.reserve(chunk);
+  std::vector<double> chunk_ms;
+  chunk_ms.reserve(static_cast<size_t>(large_keys) / chunk + 1);
+  int64_t ts = 0;
+  for (int base = 0; base < large_keys; base += static_cast<int>(chunk)) {
+    batch.clear();
+    const int n = std::min<int>(static_cast<int>(chunk), large_keys - base);
+    for (int j = 0; j < n; ++j) {
+      engine::Tuple t;
+      t.key = static_cast<uint64_t>(base + j + 1);
+      t.ts = ++ts;
+      t.num = static_cast<double>(base + j) * 0.5;
+      batch.push_back(t);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!engine.InjectBatch(0, batch.data(), batch.size()).ok()) return out;
+    engine.Flush();
+    const auto t1 = std::chrono::steady_clock::now();
+    chunk_ms.push_back(
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            t1 - t0)
+            .count());
+  }
+  out.wave_pause_p99_ms = Percentile(chunk_ms, 0.99);
+  // Post-build round: covers the whole build (with deltas on, everything is
+  // dirty, so this record is as large as a base — not a steady-state round).
+  if (!coordinator.CheckpointNow(&engine).ok()) return out;
+
+  // Steady phase: touch a rotating hot subset, checkpoint, measure.
+  const int64_t bytes_before = coordinator.stats().snapshot_bytes;
+  double stall_ms = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    batch.clear();
+    for (int j = 0; j < hot_keys; ++j) {
+      engine::Tuple t;
+      t.key = static_cast<uint64_t>(
+          (static_cast<int64_t>(r) * hot_keys + j) % large_keys + 1);
+      t.ts = ++ts;
+      t.num = static_cast<double>(r) + static_cast<double>(j) * 0.25;
+      batch.push_back(t);
+      if (batch.size() == chunk || j + 1 == hot_keys) {
+        if (!engine.InjectBatch(0, batch.data(), batch.size()).ok()) {
+          return out;
+        }
+        batch.clear();
+      }
+    }
+    engine.Flush();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!coordinator.CheckpointNow(&engine).ok()) return out;
+    const auto t1 = std::chrono::steady_clock::now();
+    stall_ms +=
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            t1 - t0)
+            .count();
+  }
+  out.round_bytes_avg =
+      static_cast<double>(coordinator.stats().snapshot_bytes - bytes_before) /
+      rounds;
+  out.round_stall_ms_avg = stall_ms / rounds;
+  out.delta_records = ckpt_store.delta_puts();
+
+  // The incremental-rehash contract: with the drain scheme on, no one-shot
+  // rehash ever moved live entries, and no single drain step exceeded the
+  // per-operation budget — i.e. no wave absorbed a full-table rehash.
+  if (incremental_rehash) {
+    for (int g = 0; g < kGroups; ++g) {
+      const auto& table = store_op.table(g);
+      if (table.full_rehashes() != 0 ||
+          table.max_drain_step() > FlatMap64<double>::kDrainBudget) {
+        out.rehash_clean = false;
+      }
+    }
+  }
+
+  // Kill + recover through the chain: an uncheckpointed hot tail makes the
+  // replay suffix non-empty, then every group on the failed node restores
+  // from base + deltas + suffix. Bit-identical or bust.
+  batch.clear();
+  for (int j = 0; j < hot_keys; ++j) {
+    engine::Tuple t;
+    t.key = static_cast<uint64_t>(j % large_keys + 1);
+    t.ts = ++ts;
+    t.num = 1e6 + static_cast<double>(j);
+    batch.push_back(t);
+  }
+  if (!engine.InjectBatch(0, batch.data(), batch.size()).ok()) return out;
+  engine.Flush();
+  std::vector<std::string> before(static_cast<size_t>(kGroups));
+  for (int g = 0; g < kGroups; ++g) {
+    before[static_cast<size_t>(g)] = store_op.SerializeGroupState(g);
+  }
+  const engine::NodeId kill_node = 1;
+  if (!engine.FailNode(kill_node).ok()) return out;
+  const std::vector<engine::KeyGroupId> lost = engine.lost_groups();
+  if (lost.empty()) return out;
+  for (engine::KeyGroupId g : lost) {
+    if (!engine.RecoverGroup(g, /*to=*/0).ok()) return out;
+  }
+  out.recovered_identical = true;
+  for (int g = 0; g < kGroups; ++g) {
+    if (store_op.SerializeGroupState(g) != before[static_cast<size_t>(g)]) {
+      out.recovered_identical = false;
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+int RunLargeScenario() {
+  const int large_keys = EnvInt("ALBIC_BENCH_LARGE_KEYS", 200000);
+  const int hot_keys = EnvInt("ALBIC_BENCH_LARGE_HOT", 2000);
+  const int rounds = EnvInt("ALBIC_BENCH_LARGE_ROUNDS", 8);
+  const int chain = EnvInt("ALBIC_BENCH_LARGE_CHAIN", 16);
+
+  std::printf("\nLarge-state bench: store sink, %d keys built, %d hot keys "
+              "per round, %d steady rounds, delta chain %d\n\n",
+              large_keys, hot_keys, rounds, chain);
+
+  const LargeStats full = RunLargeState(large_keys, hot_keys, rounds,
+                                        /*chain=*/0,
+                                        /*incremental_rehash=*/false);
+  const LargeStats delta = RunLargeState(large_keys, hot_keys, rounds, chain,
+                                         /*incremental_rehash=*/true);
+  // The wave-pause comparison isolates the rehash scheme: same chain = 0
+  // config as `full` (no dirty-key trackers in the hot path), only the
+  // table's growth scheme differs.
+  const LargeStats rehash_only = RunLargeState(large_keys, hot_keys, rounds,
+                                               /*chain=*/0,
+                                               /*incremental_rehash=*/true);
+  if (!full.ok || !delta.ok || !rehash_only.ok) {
+    std::fprintf(stderr, "FAIL: a large-state run errored\n");
+    return 1;
+  }
+  if (full.delta_records != 0) {
+    std::fprintf(stderr,
+                 "FAIL: chain 0 must disable deltas entirely (%lld written)\n",
+                 static_cast<long long>(full.delta_records));
+    return 1;
+  }
+  if (delta.delta_records == 0) {
+    std::fprintf(stderr, "FAIL: no delta record was written with chain %d\n",
+                 chain);
+    return 1;
+  }
+  if (!delta.rehash_clean || !rehash_only.rehash_clean) {
+    std::fprintf(stderr,
+                 "FAIL: a wave absorbed a full-table rehash despite "
+                 "incremental rehashing\n");
+    return 1;
+  }
+  if (!full.recovered_identical || !delta.recovered_identical) {
+    std::fprintf(stderr,
+                 "FAIL: kill + recovery was not bit-identical "
+                 "(full=%d delta=%d)\n",
+                 full.recovered_identical, delta.recovered_identical);
+    return 1;
+  }
+  const double ratio = delta.round_bytes_avg > 0
+                           ? full.round_bytes_avg / delta.round_bytes_avg
+                           : 0.0;
+  if (ratio < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: delta rounds must cut steady-state checkpoint bytes "
+                 ">= 5x (got %.2fx: %.0f vs %.0f bytes/round)\n",
+                 ratio, full.round_bytes_avg, delta.round_bytes_avg);
+    return 1;
+  }
+
+  TablePrinter table({"config", "bytes/round", "stall ms", "build p99 ms"});
+  table.AddRow({"full snapshots", FormatDouble(full.round_bytes_avg, 0),
+                FormatDouble(full.round_stall_ms_avg, 3),
+                FormatDouble(full.wave_pause_p99_ms, 3)});
+  table.AddRow({"incr. rehash only", FormatDouble(rehash_only.round_bytes_avg, 0),
+                FormatDouble(rehash_only.round_stall_ms_avg, 3),
+                FormatDouble(rehash_only.wave_pause_p99_ms, 3)});
+  table.AddRow({"delta chain + incr. rehash",
+                FormatDouble(delta.round_bytes_avg, 0),
+                FormatDouble(delta.round_stall_ms_avg, 3),
+                FormatDouble(delta.wave_pause_p99_ms, 3)});
+  table.Print();
+  std::printf("\ndelta ratio: %.1fx fewer checkpoint bytes per steady round; "
+              "recovery bit-identical through base+%d-delta chains\n",
+              ratio, chain);
+
+  BenchJson("recovery", "checkpoint_base_bytes", full.round_bytes_avg,
+            "bytes");
+  BenchJson("recovery", "checkpoint_delta_bytes", delta.round_bytes_avg,
+            "bytes");
+  BenchJson("recovery", "delta_ratio", ratio, "x");
+  BenchJson("recovery", "checkpoint_stall_full_ms", full.round_stall_ms_avg,
+            "ms");
+  BenchJson("recovery", "checkpoint_stall_delta_ms", delta.round_stall_ms_avg,
+            "ms");
+  BenchJson("recovery", "large_wave_pause_p99_rehash_off_ms",
+            full.wave_pause_p99_ms, "ms");
+  BenchJson("recovery", "large_wave_pause_p99_rehash_on_ms",
+            rehash_only.wave_pause_p99_ms, "ms");
+  return 0;
+}
+
+}  // namespace albic
+
+int main() {
+  const char* env = std::getenv("ALBIC_BENCH_SCENARIO");
+  const std::string scenario = env != nullptr ? env : "all";
+  const bool run_wiki = scenario == "all" || scenario == "wiki";
+  const bool run_large = scenario == "all" || scenario == "large";
+  if (!run_wiki && !run_large) {
+    std::fprintf(stderr,
+                 "unknown ALBIC_BENCH_SCENARIO '%s' (wiki|large|all)\n",
+                 scenario.c_str());
+    return 2;
+  }
+
+  // Self-describing snapshot (no sharded source, telemetry off here).
+  albic::bench::BenchMetaCommon(albic::bench::EnvInt("ALBIC_BENCH_SHARD_QUEUE", 0),
+                                albic::bench::EnvInt("ALBIC_BENCH_SHARD_CHUNK", 0),
+                                /*latency_sample_every=*/0);
+  albic::bench::BenchMetaInt(
+      "large_keys", albic::bench::EnvInt("ALBIC_BENCH_LARGE_KEYS", 200000));
+  albic::bench::BenchMetaInt(
+      "large_delta_chain",
+      albic::bench::EnvInt("ALBIC_BENCH_LARGE_CHAIN", 16));
+
+  if (run_wiki) {
+    const int rc = albic::RunWikiScenario();
+    if (rc != 0) return rc;
+  }
+  if (run_large) {
+    const int rc = albic::RunLargeScenario();
+    if (rc != 0) return rc;
+  }
   return 0;
 }

@@ -2,9 +2,9 @@
 # Documentation guard, run by the CI docs job and locally:
 #   1. every relative markdown link in README.md and docs/*.md resolves to
 #      an existing file;
-#   2. every public header under src/engine/, src/core/, src/balance/ and
-#      src/scaling/ carries a file-level doxygen header (\file + \brief),
-#      so the API docs cannot rot silently.
+#   2. every public header under src/engine/, src/core/, src/balance/,
+#      src/scaling/ and src/ops/ carries a file-level doxygen header
+#      (\file + \brief), so the API docs cannot rot silently.
 #
 # Usage: scripts/check_docs.sh   (from anywhere; operates on the repo root)
 
@@ -33,7 +33,8 @@ for md in README.md docs/*.md; do
 done
 
 # --- 2. header-doc check ----------------------------------------------------
-for h in src/engine/*.h src/core/*.h src/balance/*.h src/scaling/*.h; do
+for h in src/engine/*.h src/core/*.h src/balance/*.h src/scaling/*.h \
+         src/ops/*.h; do
   if ! grep -q '\\file' "$h"; then
     echo "MISSING DOC: $h lacks a file-level \\file header"
     fail=1
@@ -48,4 +49,4 @@ if [[ $fail -ne 0 ]]; then
   echo "check_docs: FAILED"
   exit 1
 fi
-echo "check_docs: OK (links resolve, engine/core/balance/scaling headers documented)"
+echo "check_docs: OK (links resolve, engine/core/balance/scaling/ops headers documented)"

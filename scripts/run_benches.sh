@@ -13,6 +13,10 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-${BUILD_DIR}/bench_results}"
 
 # Benches that emit BENCH_JSON lines; extend as more get instrumented.
+# bench_recovery runs both its scenarios (wiki pipeline + large-state
+# delta/rehash) by default, so the snapshot includes the checkpoint
+# base-vs-delta bytes and wave-pause metrics; set ALBIC_BENCH_SCENARIO to
+# narrow it.
 BENCHES=(
   bench_engine_throughput
   bench_latency

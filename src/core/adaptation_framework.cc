@@ -37,17 +37,22 @@ engine::SystemSnapshot AdaptationFramework::BuildSnapshot(
     snap.group_queue_delay_us = measured->group_queue_delay_us;
     snap.queue_trend = measured->queue_trend;
     if (!measured->replay_suffix_bytes.empty()) {
-      // Indirect mck: O(replay suffix) at the same per-byte rate; groups
-      // without a usable checkpoint fall back to the direct cost (an
-      // indirect migration of them would fall back to the direct path).
+      // Indirect mck: O(replay suffix + chained delta records) at the same
+      // per-byte rate; groups without a usable checkpoint fall back to the
+      // direct cost (an indirect migration of them would fall back to the
+      // direct path).
       snap.migration_costs_indirect = snap.migration_costs;
       const size_t n = std::min(snap.migration_costs_indirect.size(),
                                 measured->replay_suffix_bytes.size());
       for (size_t g = 0; g < n; ++g) {
         const double suffix = measured->replay_suffix_bytes[g];
         if (suffix >= 0.0) {
+          const double chain =
+              g < measured->delta_chain_bytes.size()
+                  ? measured->delta_chain_bytes[g]
+                  : 0.0;
           snap.migration_costs_indirect[g] =
-              options_.migration_model.alpha_per_byte * suffix;
+              options_.migration_model.alpha_per_byte * (suffix + chain);
         }
       }
     }

@@ -183,6 +183,7 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
   // the controller owns them and merges them into the round's signals here
   // (cost_model.h: "replay_suffix_bytes is the caller's to fill").
   signals.replay_suffix_bytes = engine_->ReplaySuffixBytes();
+  signals.delta_chain_bytes = engine_->DeltaChainBytes();
   const engine::MeasuredSignals* measured =
       cost_model_.measured() || !signals.replay_suffix_bytes.empty()
           ? &signals

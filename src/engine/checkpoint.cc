@@ -16,6 +16,7 @@ namespace albic::engine {
 namespace {
 
 constexpr uint64_t kSnapshotMagic = 0x414c42434b505431ULL;  // "ALBCKPT1"
+constexpr uint64_t kDeltaMagic = 0x414c42434b444c31ULL;     // "ALBCKDL1"
 constexpr uint64_t kManifestMagic = 0x414c424d414e4631ULL;  // "ALBMANF1"
 
 }  // namespace
@@ -27,22 +28,47 @@ constexpr uint64_t kManifestMagic = 0x414c424d414e4631ULL;  // "ALBMANF1"
 MemoryCheckpointStore::MemoryCheckpointStore(int retain_versions)
     : retain_versions_(retain_versions < 1 ? 1 : retain_versions) {}
 
-Result<CheckpointInfo> MemoryCheckpointStore::Put(KeyGroupId group,
-                                                  uint64_t seq,
-                                                  const std::string& state) {
+Result<CheckpointInfo> MemoryCheckpointStore::PutRecord(
+    KeyGroupId group, uint64_t seq, const std::string& payload,
+    bool is_delta) {
   std::vector<Snapshot>& versions = groups_[group];
+  if (is_delta && versions.empty()) {
+    return Status::Internal("delta checkpoint without a base to chain onto");
+  }
   CheckpointInfo info;
   info.version = versions.empty() ? 1 : versions.back().info.version + 1;
   info.seq = seq;
-  info.bytes = state.size();
-  versions.push_back(Snapshot{info, state});
-  stored_bytes_ += static_cast<int64_t>(state.size());
+  info.bytes = payload.size();
+  info.is_delta = is_delta;
+  versions.push_back(Snapshot{info, payload});
+  stored_bytes_ += static_cast<int64_t>(payload.size());
   ++puts_;
-  while (static_cast<int>(versions.size()) > retain_versions_) {
-    stored_bytes_ -= static_cast<int64_t>(versions.front().state.size());
-    versions.erase(versions.begin());
+  if (is_delta) ++delta_puts_;
+  // Retention counts chains: drop the oldest base together with the deltas
+  // chained onto it (evicting only part of a chain would orphan the rest).
+  auto bases = [&versions] {
+    int n = 0;
+    for (const Snapshot& s : versions) n += s.info.is_delta ? 0 : 1;
+    return n;
+  };
+  while (bases() > retain_versions_) {
+    do {
+      stored_bytes_ -= static_cast<int64_t>(versions.front().state.size());
+      versions.erase(versions.begin());
+    } while (!versions.empty() && versions.front().info.is_delta);
   }
   return info;
+}
+
+Result<CheckpointInfo> MemoryCheckpointStore::Put(KeyGroupId group,
+                                                  uint64_t seq,
+                                                  const std::string& state) {
+  return PutRecord(group, seq, state, /*is_delta=*/false);
+}
+
+Result<CheckpointInfo> MemoryCheckpointStore::PutDelta(
+    KeyGroupId group, uint64_t seq, const std::string& delta) {
+  return PutRecord(group, seq, delta, /*is_delta=*/true);
 }
 
 bool MemoryCheckpointStore::Latest(KeyGroupId group, CheckpointInfo* info,
@@ -53,6 +79,42 @@ bool MemoryCheckpointStore::Latest(KeyGroupId group, CheckpointInfo* info,
   if (info != nullptr) *info = snap.info;
   if (state != nullptr) *state = snap.state;
   return true;
+}
+
+bool MemoryCheckpointStore::LatestChain(KeyGroupId group, CheckpointInfo* info,
+                                        std::string* base,
+                                        std::vector<std::string>* deltas) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end() || it->second.empty()) return false;
+  const std::vector<Snapshot>& versions = it->second;
+  size_t base_at = versions.size();
+  for (size_t i = versions.size(); i-- > 0;) {
+    if (!versions[i].info.is_delta) {
+      base_at = i;
+      break;
+    }
+  }
+  if (base_at == versions.size()) return false;  // cannot happen: kept whole
+  if (info != nullptr) *info = versions.back().info;
+  if (base != nullptr) *base = versions[base_at].state;
+  if (deltas != nullptr) {
+    deltas->clear();
+    for (size_t i = base_at + 1; i < versions.size(); ++i) {
+      deltas->push_back(versions[i].state);
+    }
+  }
+  return true;
+}
+
+uint64_t MemoryCheckpointStore::ChainDeltaBytes(KeyGroupId group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return 0;
+  uint64_t bytes = 0;
+  for (size_t i = it->second.size(); i-- > 0;) {
+    if (!it->second[i].info.is_delta) break;
+    bytes += it->second[i].info.bytes;
+  }
+  return bytes;
 }
 
 bool MemoryCheckpointStore::Get(KeyGroupId group, uint64_t version,
@@ -109,11 +171,12 @@ Result<std::unique_ptr<FileCheckpointStore>> FileCheckpointStore::Open(
     in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
     in.read(reinterpret_cast<char*>(&seq), sizeof(seq));
     in.read(reinterpret_cast<char*>(&size), sizeof(size));
-    if (!in || magic != kSnapshotMagic) continue;
+    if (!in || (magic != kSnapshotMagic && magic != kDeltaMagic)) continue;
     CheckpointInfo info;
     info.version = v;
     info.seq = seq;
     info.bytes = size;
+    info.is_delta = magic == kDeltaMagic;
     store->index_[static_cast<KeyGroupId>(g)].push_back(info);
     store->stored_bytes_ += static_cast<int64_t>(size);
   }
@@ -138,34 +201,60 @@ std::string FileCheckpointStore::PathFor(KeyGroupId group,
   return dir_ + "/" + name;
 }
 
-Result<CheckpointInfo> FileCheckpointStore::Put(KeyGroupId group, uint64_t seq,
-                                                const std::string& state) {
+Result<CheckpointInfo> FileCheckpointStore::PutRecord(
+    KeyGroupId group, uint64_t seq, const std::string& payload,
+    bool is_delta) {
   std::vector<CheckpointInfo>& versions = index_[group];
+  if (is_delta && versions.empty()) {
+    return Status::Internal("delta checkpoint without a base to chain onto");
+  }
   CheckpointInfo info;
   info.version = versions.empty() ? 1 : versions.back().version + 1;
   info.seq = seq;
-  info.bytes = state.size();
+  info.bytes = payload.size();
+  info.is_delta = is_delta;
   const std::string path = PathFor(group, info.version);
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    const uint64_t size = state.size();
-    out.write(reinterpret_cast<const char*>(&kSnapshotMagic),
-              sizeof(kSnapshotMagic));
+    const uint64_t magic = is_delta ? kDeltaMagic : kSnapshotMagic;
+    const uint64_t size = payload.size();
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
     out.write(reinterpret_cast<const char*>(&seq), sizeof(seq));
     out.write(reinterpret_cast<const char*>(&size), sizeof(size));
-    out.write(state.data(), static_cast<std::streamsize>(state.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
     if (!out) return Status::Internal("cannot write checkpoint " + path);
   }
   versions.push_back(info);
-  stored_bytes_ += static_cast<int64_t>(state.size());
+  stored_bytes_ += static_cast<int64_t>(payload.size());
   ++puts_;
-  while (static_cast<int>(versions.size()) > retain_versions_) {
-    std::error_code ec;
-    std::filesystem::remove(PathFor(group, versions.front().version), ec);
-    stored_bytes_ -= static_cast<int64_t>(versions.front().bytes);
-    versions.erase(versions.begin());
+  if (is_delta) ++delta_puts_;
+  // Retention counts chains: the oldest base leaves together with the
+  // deltas chained onto it.
+  auto bases = [&versions] {
+    int n = 0;
+    for (const CheckpointInfo& v : versions) n += v.is_delta ? 0 : 1;
+    return n;
+  };
+  while (bases() > retain_versions_) {
+    do {
+      std::error_code ec;
+      std::filesystem::remove(PathFor(group, versions.front().version), ec);
+      stored_bytes_ -= static_cast<int64_t>(versions.front().bytes);
+      versions.erase(versions.begin());
+    } while (!versions.empty() && versions.front().is_delta);
   }
   return info;
+}
+
+Result<CheckpointInfo> FileCheckpointStore::Put(KeyGroupId group, uint64_t seq,
+                                                const std::string& state) {
+  return PutRecord(group, seq, state, /*is_delta=*/false);
+}
+
+Result<CheckpointInfo> FileCheckpointStore::PutDelta(KeyGroupId group,
+                                                     uint64_t seq,
+                                                     const std::string& delta) {
+  return PutRecord(group, seq, delta, /*is_delta=*/true);
 }
 
 bool FileCheckpointStore::Latest(KeyGroupId group, CheckpointInfo* info,
@@ -173,6 +262,47 @@ bool FileCheckpointStore::Latest(KeyGroupId group, CheckpointInfo* info,
   const auto it = index_.find(group);
   if (it == index_.end() || it->second.empty()) return false;
   return Get(group, it->second.back().version, info, state);
+}
+
+bool FileCheckpointStore::LatestChain(KeyGroupId group, CheckpointInfo* info,
+                                      std::string* base,
+                                      std::vector<std::string>* deltas) const {
+  const auto it = index_.find(group);
+  if (it == index_.end() || it->second.empty()) return false;
+  const std::vector<CheckpointInfo>& versions = it->second;
+  size_t base_at = versions.size();
+  for (size_t i = versions.size(); i-- > 0;) {
+    if (!versions[i].is_delta) {
+      base_at = i;
+      break;
+    }
+  }
+  if (base_at == versions.size()) return false;  // cannot happen: kept whole
+  if (info != nullptr) *info = versions.back();
+  if (base != nullptr &&
+      !Get(group, versions[base_at].version, nullptr, base)) {
+    return false;
+  }
+  if (deltas != nullptr) {
+    deltas->clear();
+    for (size_t i = base_at + 1; i < versions.size(); ++i) {
+      std::string payload;
+      if (!Get(group, versions[i].version, nullptr, &payload)) return false;
+      deltas->push_back(std::move(payload));
+    }
+  }
+  return true;
+}
+
+uint64_t FileCheckpointStore::ChainDeltaBytes(KeyGroupId group) const {
+  const auto it = index_.find(group);
+  if (it == index_.end()) return 0;
+  uint64_t bytes = 0;
+  for (size_t i = it->second.size(); i-- > 0;) {
+    if (!it->second[i].is_delta) break;
+    bytes += it->second[i].bytes;
+  }
+  return bytes;
 }
 
 bool FileCheckpointStore::Get(KeyGroupId group, uint64_t version,
@@ -194,7 +324,8 @@ bool FileCheckpointStore::Get(KeyGroupId group, uint64_t version,
     in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
     in.read(reinterpret_cast<char*>(&seq), sizeof(seq));
     in.read(reinterpret_cast<char*>(&size), sizeof(size));
-    if (!in || magic != kSnapshotMagic) return false;
+    const uint64_t want = found->is_delta ? kDeltaMagic : kSnapshotMagic;
+    if (!in || magic != want) return false;
     state->resize(size);
     in.read(state->data(), static_cast<std::streamsize>(size));
     if (!in) return false;
@@ -275,6 +406,8 @@ Result<int> CheckpointCoordinator::CheckpointNow(LocalEngine* engine) {
   ++stats_.rounds;
   stats_.snapshots += round->groups;
   stats_.snapshot_bytes += round->bytes;
+  stats_.delta_snapshots += round->delta_groups;
+  stats_.delta_snapshot_bytes += round->delta_bytes;
   stats_.round_wall_us +=
       std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
           std::chrono::steady_clock::now() - start)

@@ -7,6 +7,14 @@
 /// with the per-group replay logs this gives the paper's integrative
 /// mechanism: indirect migration and failure recovery are both
 /// "restore latest checkpoint + replay the logged suffix".
+///
+/// Snapshots come in two kinds: a *base* carries a group's full serialized
+/// state, a *delta* carries only the keys dirtied since the previous
+/// record and chains onto it. A chain is the newest base plus the deltas
+/// after it; restoration deserializes the base and applies the deltas in
+/// order, and retention treats a chain as one unit (evicting part of a
+/// chain would orphan the rest). Chain length is bounded by the
+/// coordinator's max_delta_chain, which compacts by writing a fresh base.
 
 #include <cstdint>
 #include <memory>
@@ -22,12 +30,13 @@ namespace albic::engine {
 
 class LocalEngine;
 
-/// \brief Metadata of one stored group snapshot.
+/// \brief Metadata of one stored group snapshot record (base or delta).
 struct CheckpointInfo {
   uint64_t version = 0;  ///< Monotone per group, assigned by the store.
   uint64_t seq = 0;      ///< Replay-log sequence the snapshot includes:
                          ///< state = snapshot + entries with seq >= this.
   uint64_t bytes = 0;    ///< Serialized state size.
+  bool is_delta = false;  ///< Delta record chained onto the previous one.
 };
 
 /// \brief Ingestion positions recorded with each checkpoint round:
@@ -42,21 +51,42 @@ struct CheckpointManifest {
 /// \brief Storage backend for group snapshots.
 ///
 /// Keyed by global KeyGroupId (which encodes the operator), versioned per
-/// group; a backend retains the most recent `retain_versions` snapshots of
-/// each group. All calls are made from the engine's driving thread.
+/// group; a backend retains the most recent `retain_versions` *chains* (a
+/// base and the deltas chained onto it count as one retained unit) of each
+/// group. All calls are made from the engine's driving thread.
 class CheckpointStore {
  public:
   virtual ~CheckpointStore() = default;
 
-  /// \brief Stores a new snapshot of \p group covering log sequence \p seq;
-  /// returns the assigned version.
+  /// \brief Stores a new base snapshot of \p group covering log sequence
+  /// \p seq; returns the assigned version.
   virtual Result<CheckpointInfo> Put(KeyGroupId group, uint64_t seq,
                                      const std::string& state) = 0;
 
-  /// \brief Fetches the newest snapshot of \p group; false when none.
-  /// Either output may be null when only the other is wanted.
+  /// \brief Stores a delta record chained onto \p group's newest snapshot
+  /// record (base or delta). Errors when the group has no base to chain on.
+  virtual Result<CheckpointInfo> PutDelta(KeyGroupId group, uint64_t seq,
+                                          const std::string& delta) = 0;
+
+  /// \brief Fetches the newest snapshot record of \p group (base or
+  /// delta — the raw payload, not materialized state); false when none.
+  /// Either output may be null when only the other is wanted. Restoration
+  /// wants LatestChain; this is the cheap metadata peek (seq, bytes).
   virtual bool Latest(KeyGroupId group, CheckpointInfo* info,
                       std::string* state) const = 0;
+
+  /// \brief Fetches the newest chain of \p group: the base payload plus
+  /// the delta payloads after it in application order. \p info describes
+  /// the newest record (its seq is where log replay resumes). Outputs may
+  /// be null. False when the group has no snapshot.
+  virtual bool LatestChain(KeyGroupId group, CheckpointInfo* info,
+                           std::string* base,
+                           std::vector<std::string>* deltas) const = 0;
+
+  /// \brief Sum of the delta bytes in \p group's newest chain — the
+  /// restore work a consumer pays on top of deserializing the base (the
+  /// cost model prices indirect migration with it).
+  virtual uint64_t ChainDeltaBytes(KeyGroupId group) const = 0;
 
   /// \brief Fetches a specific retained version; false when evicted/absent.
   virtual bool Get(KeyGroupId group, uint64_t version, CheckpointInfo* info,
@@ -68,8 +98,12 @@ class CheckpointStore {
   /// \brief Fetches the most recent manifest; false when none written.
   virtual bool LatestManifest(CheckpointManifest* out) const = 0;
 
-  /// \brief Snapshots written over the store's lifetime.
+  /// \brief Snapshot records written over the store's lifetime (bases and
+  /// deltas).
   virtual int64_t puts() const = 0;
+
+  /// \brief Of those, delta records (0 whenever delta checkpoints are off).
+  virtual int64_t delta_puts() const = 0;
 
   /// \brief Serialized bytes currently retained.
   virtual int64_t stored_bytes() const = 0;
@@ -82,13 +116,19 @@ class MemoryCheckpointStore final : public CheckpointStore {
 
   Result<CheckpointInfo> Put(KeyGroupId group, uint64_t seq,
                              const std::string& state) override;
+  Result<CheckpointInfo> PutDelta(KeyGroupId group, uint64_t seq,
+                                  const std::string& delta) override;
   bool Latest(KeyGroupId group, CheckpointInfo* info,
               std::string* state) const override;
+  bool LatestChain(KeyGroupId group, CheckpointInfo* info, std::string* base,
+                   std::vector<std::string>* deltas) const override;
+  uint64_t ChainDeltaBytes(KeyGroupId group) const override;
   bool Get(KeyGroupId group, uint64_t version, CheckpointInfo* info,
            std::string* state) const override;
   Status PutManifest(const CheckpointManifest& manifest) override;
   bool LatestManifest(CheckpointManifest* out) const override;
   int64_t puts() const override { return puts_; }
+  int64_t delta_puts() const override { return delta_puts_; }
   int64_t stored_bytes() const override { return stored_bytes_; }
 
  private:
@@ -97,11 +137,15 @@ class MemoryCheckpointStore final : public CheckpointStore {
     std::string state;
   };
 
+  Result<CheckpointInfo> PutRecord(KeyGroupId group, uint64_t seq,
+                                   const std::string& payload, bool is_delta);
+
   int retain_versions_;
   std::unordered_map<KeyGroupId, std::vector<Snapshot>> groups_;
   CheckpointManifest manifest_;
   bool has_manifest_ = false;
   int64_t puts_ = 0;
+  int64_t delta_puts_ = 0;
   int64_t stored_bytes_ = 0;
 };
 
@@ -116,13 +160,19 @@ class FileCheckpointStore final : public CheckpointStore {
 
   Result<CheckpointInfo> Put(KeyGroupId group, uint64_t seq,
                              const std::string& state) override;
+  Result<CheckpointInfo> PutDelta(KeyGroupId group, uint64_t seq,
+                                  const std::string& delta) override;
   bool Latest(KeyGroupId group, CheckpointInfo* info,
               std::string* state) const override;
+  bool LatestChain(KeyGroupId group, CheckpointInfo* info, std::string* base,
+                   std::vector<std::string>* deltas) const override;
+  uint64_t ChainDeltaBytes(KeyGroupId group) const override;
   bool Get(KeyGroupId group, uint64_t version, CheckpointInfo* info,
            std::string* state) const override;
   Status PutManifest(const CheckpointManifest& manifest) override;
   bool LatestManifest(CheckpointManifest* out) const override;
   int64_t puts() const override { return puts_; }
+  int64_t delta_puts() const override { return delta_puts_; }
   int64_t stored_bytes() const override { return stored_bytes_; }
 
   const std::string& dir() const { return dir_; }
@@ -132,12 +182,17 @@ class FileCheckpointStore final : public CheckpointStore {
       : dir_(std::move(dir)), retain_versions_(retain_versions) {}
 
   std::string PathFor(KeyGroupId group, uint64_t version) const;
+  Result<CheckpointInfo> PutRecord(KeyGroupId group, uint64_t seq,
+                                   const std::string& payload, bool is_delta);
 
   std::string dir_;
   int retain_versions_;
   /// Retained versions per group, oldest first (state stays on disk).
+  /// The first record of a group is always a base; deltas chain onto the
+  /// record before them, and eviction drops whole chains.
   std::unordered_map<KeyGroupId, std::vector<CheckpointInfo>> index_;
   int64_t puts_ = 0;
+  int64_t delta_puts_ = 0;
   int64_t stored_bytes_ = 0;
 };
 
@@ -153,14 +208,26 @@ struct CheckpointCoordinatorOptions {
   /// forced rounds interrupt the hot path, so the bound is sized to fire
   /// only when a group is far busier than its checkpoint cadence assumes.
   size_t max_log_entries = 65536;
+  /// Delta-encoded checkpoints: the maximum number of delta records
+  /// chained onto a base before the next round compacts the group into a
+  /// fresh base. 0 (the default) disables deltas entirely — every round
+  /// serializes full snapshots, bit-identical to the pre-delta behaviour.
+  /// With deltas on, a dirty group whose operator supports delta state is
+  /// serialized as only its dirtied keys (the engine's per-group
+  /// StateChangeTracker), cutting steady-state checkpoint bytes to
+  /// O(change); groups whose state was wholesale reset (window fires,
+  /// restores) and operators without delta support still write bases.
+  int max_delta_chain = 0;
 };
 
 /// \brief Counters of the coordinator's activity.
 struct CheckpointCoordinatorStats {
   int64_t rounds = 0;           ///< Checkpoint rounds taken.
   int64_t forced_rounds = 0;    ///< Rounds triggered by log overflow.
-  int64_t snapshots = 0;        ///< Group snapshots written.
-  int64_t snapshot_bytes = 0;   ///< Serialized bytes written.
+  int64_t snapshots = 0;        ///< Group snapshot records written.
+  int64_t snapshot_bytes = 0;   ///< Serialized bytes written (all records).
+  int64_t delta_snapshots = 0;  ///< Of the records, delta-encoded ones.
+  int64_t delta_snapshot_bytes = 0;  ///< Bytes of the delta records.
   double round_wall_us = 0.0;   ///< Wall-clock time spent in rounds.
 };
 

@@ -52,6 +52,11 @@ struct MeasuredSignals {
   /// indirect-migration cost driver); -1 when the group has no usable
   /// checkpoint. Empty when checkpointing is off.
   std::vector<double> replay_suffix_bytes;
+  /// Per-group delta bytes chained onto the latest base checkpoint — the
+  /// other part of an indirect restore's pause (the base transfers in the
+  /// background, the chained deltas are applied during the pause). All
+  /// zeros with delta checkpoints off; empty when checkpointing is off.
+  std::vector<double> delta_chain_bytes;
 };
 
 /// \brief Derives planning loads from measured telemetry, period by period.

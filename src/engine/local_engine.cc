@@ -1024,20 +1024,29 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
     bool indirect_done = false;
     if (mig.mode == MigrationMode::kIndirect) {
       // Indirect migration (§3): the target restores the group's latest
-      // checkpoint — transferred in the background, so it contributes no
-      // pause — and replays the logged suffix. Only the suffix is paused
-      // on: O(suffix) instead of O(state).
+      // checkpoint chain — the base is transferred in the background, so
+      // it contributes no pause — then applies the chained deltas and
+      // replays the logged suffix during the pause. O(change) instead of
+      // O(state); with deltas off the chain is just the base and this is
+      // the original O(suffix) pause.
       CheckpointInfo info;
-      std::string ckpt;
-      if (checkpointer_->store()->Latest(group, &info, &ckpt) &&
+      std::string base;
+      std::vector<std::string> deltas;
+      if (checkpointer_->store()->LatestChain(group, &info, &base, &deltas) &&
           group_logs_[group].base_seq() <= info.seq) {
         operators_[op]->ClearGroupState(local);
         ALBIC_RETURN_NOT_OK(
-            operators_[op]->DeserializeGroupState(local, ckpt));
+            operators_[op]->DeserializeGroupState(local, base));
+        double delta_bytes = 0.0;
+        for (const std::string& d : deltas) {
+          ALBIC_RETURN_NOT_OK(operators_[op]->ApplyGroupDelta(local, d));
+          delta_bytes += static_cast<double>(d.size());
+        }
         const int64_t replayed = ReplayLogSuffix(group, info.seq);
         period_.tuples_replayed += replayed;
         pause_us = kEnginePauseUsPerByte *
-                   static_cast<double>(replayed) * sizeof(Tuple);
+                   (static_cast<double>(replayed) * sizeof(Tuple) +
+                    delta_bytes);
         indirect_done = true;
       }
       // No usable checkpoint — fall back to the direct round-trip below.
@@ -1082,12 +1091,16 @@ MigrationPauseEstimate LocalEngine::EstimateMigrationPause(
     CheckpointInfo info;
     if (checkpointer_->store()->Latest(group, &info, /*state=*/nullptr) &&
         group_logs_[group].base_seq() <= info.seq) {
-      // FinishMigration replays exactly the events with seq >= info.seq,
-      // so at a quiescent point this prediction is exact.
+      // FinishMigration replays exactly the events with seq >= info.seq
+      // and applies exactly the chained delta records, so at a quiescent
+      // point this prediction is exact.
       const uint64_t suffix_events =
           group_logs_[group].next_seq() - info.seq;
-      est.indirect_us = kEnginePauseUsPerByte *
-                        static_cast<double>(suffix_events) * sizeof(Tuple);
+      est.indirect_us =
+          kEnginePauseUsPerByte *
+          (static_cast<double>(suffix_events) * sizeof(Tuple) +
+           static_cast<double>(
+               checkpointer_->store()->ChainDeltaBytes(group)));
       est.indirect_available = true;
     }
   }
@@ -1109,6 +1122,16 @@ std::vector<double> LocalEngine::ReplaySuffixBytes() const {
   return out;
 }
 
+std::vector<double> LocalEngine::DeltaChainBytes() const {
+  std::vector<double> out;
+  if (checkpointer_ == nullptr) return out;
+  out.assign(static_cast<size_t>(topology_->num_key_groups()), 0.0);
+  for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
+    out[g] = static_cast<double>(checkpointer_->store()->ChainDeltaBytes(g));
+  }
+  return out;
+}
+
 Status LocalEngine::EnableCheckpointing(CheckpointCoordinator* coordinator) {
   if (coordinator == nullptr) {
     return Status::InvalidArgument("null checkpoint coordinator");
@@ -1118,8 +1141,25 @@ Status LocalEngine::EnableCheckpointing(CheckpointCoordinator* coordinator) {
   }
   checkpointer_ = coordinator;
   max_log_entries_ = coordinator->options().max_log_entries;
+  max_delta_chain_ = coordinator->options().max_delta_chain;
   const size_t n = static_cast<size_t>(topology_->num_key_groups());
   group_logs_.assign(n, ReplayLog());
+  chain_len_.assign(n, -1);  // no base snapshot exists yet
+  if (max_delta_chain_ > 0) {
+    // Delta checkpoints: give every group of a delta-capable operator an
+    // engine-owned dirty-key tracker. Groups of other operators (and all
+    // groups when the option is off) keep no tracker and pay nothing.
+    group_trackers_.clear();
+    for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
+      group_trackers_.emplace_back();
+      const OperatorId op = topology_->group_operator(g);
+      if (operators_[op] != nullptr &&
+          operators_[op]->SupportsDeltaState()) {
+        operators_[op]->AttachChangeTracker(
+            topology_->group_index_in_operator(g), &group_trackers_.back());
+      }
+    }
+  }
   // Everything is dirty at attach: the initial round takes a full snapshot
   // of every operator group, establishing "latest checkpoint + logged
   // suffix = live state" before any log entry exists.
@@ -1127,6 +1167,14 @@ Status LocalEngine::EnableCheckpointing(CheckpointCoordinator* coordinator) {
   const Result<int> initial = coordinator->CheckpointNow(this);
   if (!initial.ok()) {
     checkpointer_ = nullptr;
+    for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
+      const OperatorId op = topology_->group_operator(g);
+      if (operators_[op] != nullptr) {
+        operators_[op]->AttachChangeTracker(
+            topology_->group_index_in_operator(g), nullptr);
+      }
+    }
+    group_trackers_.clear();
     return initial.status();
   }
   return Status::OK();
@@ -1150,11 +1198,31 @@ Result<CheckpointRoundResult> LocalEngine::CheckpointDirtyGroups() {
     // is snapshotted on the first round after recovery.
     if (migrating_[g].lost) continue;
     const int local = topology_->group_index_in_operator(g);
-    const std::string state = operators_[op]->SerializeGroupState(local);
+    // Delta or base? A delta needs: deltas enabled, a delta-capable
+    // operator, an un-reset tracker (a wholesale state replacement —
+    // window fire, restore, clear — can only be described by a base), an
+    // existing base to chain onto, and room left in the chain (compaction:
+    // a full chain rolls over into a fresh base).
+    StateChangeTracker* track =
+        max_delta_chain_ > 0 ? &group_trackers_[g] : nullptr;
+    const bool as_delta = track != nullptr &&
+                          operators_[op]->SupportsDeltaState() &&
+                          !track->reset() && chain_len_[g] >= 0 &&
+                          chain_len_[g] < max_delta_chain_;
+    const std::string state =
+        as_delta ? operators_[op]->SerializeGroupDelta(local)
+                 : operators_[op]->SerializeGroupState(local);
     const uint64_t seq = group_logs_[g].next_seq();
     ALBIC_ASSIGN_OR_RETURN(const CheckpointInfo info,
-                           store->Put(g, seq, state));
+                           as_delta ? store->PutDelta(g, seq, state)
+                                    : store->Put(g, seq, state));
     (void)info;
+    chain_len_[g] = as_delta ? chain_len_[g] + 1 : 0;
+    if (track != nullptr) track->Clear();  // this record covered the marks
+    if (as_delta) {
+      ++result.delta_groups;
+      result.delta_bytes += static_cast<int64_t>(state.size());
+    }
     // Truncate the covered prefix; fully consumed chunk vectors go back to
     // the coordinator's pool, closing the zero-copy loop (mailbox batch ->
     // log chunk -> pool -> mailbox batch).
@@ -1249,17 +1317,22 @@ Result<GroupRecovery> LocalEngine::RecoverGroup(KeyGroupId group, NodeId to) {
   const int local = topology_->group_index_in_operator(group);
   GroupRecovery out;
   if (operators_[op] != nullptr) {
-    // Reconstruct: latest checkpoint + logged suffix. The state was
+    // Reconstruct: latest checkpoint chain + logged suffix. The state was
     // cleared at failure time, so a group that was never checkpointed
     // replays its full log onto fresh state (EnableCheckpointing's initial
     // full round makes that case an error-path rarity, not the norm).
     CheckpointInfo info;
-    std::string state;
+    std::string base;
+    std::vector<std::string> deltas;
     uint64_t from_seq = 0;
-    if (checkpointer_->store()->Latest(group, &info, &state)) {
-      ALBIC_RETURN_NOT_OK(operators_[op]->DeserializeGroupState(local, state));
+    if (checkpointer_->store()->LatestChain(group, &info, &base, &deltas)) {
+      ALBIC_RETURN_NOT_OK(operators_[op]->DeserializeGroupState(local, base));
+      out.restored_bytes = base.size();
+      for (const std::string& d : deltas) {
+        ALBIC_RETURN_NOT_OK(operators_[op]->ApplyGroupDelta(local, d));
+        out.restored_bytes += d.size();
+      }
       from_seq = info.seq;
-      out.restored_bytes = state.size();
     }
     if (group_logs_[group].base_seq() > from_seq) {
       return Status::Internal(

@@ -96,8 +96,10 @@ struct EnginePeriodStats {
 
 /// \brief What one checkpoint round wrote (see CheckpointDirtyGroups).
 struct CheckpointRoundResult {
-  int groups = 0;      ///< Dirty groups snapshotted.
-  int64_t bytes = 0;   ///< Serialized bytes written to the store.
+  int groups = 0;          ///< Dirty groups snapshotted (bases and deltas).
+  int64_t bytes = 0;       ///< Serialized bytes written to the store.
+  int delta_groups = 0;    ///< Of the groups, ones written as delta records.
+  int64_t delta_bytes = 0; ///< Of the bytes, ones in delta records.
 };
 
 /// \brief Outcome of restoring one lost key group (see RecoverGroup).
@@ -220,6 +222,14 @@ class LocalEngine {
   /// checkpointing is disabled. Feeds the snapshot's indirect
   /// migration-cost estimates (MeasuredSignals::replay_suffix_bytes).
   std::vector<double> ReplaySuffixBytes() const;
+
+  /// \brief Per-group delta bytes in the latest checkpoint chain — the
+  /// restore work an indirect migration pays on top of the replayed suffix
+  /// (the base transfers in the background, the chained deltas are applied
+  /// during the pause). All zeros when delta checkpoints are off; empty
+  /// when checkpointing is disabled. Feeds
+  /// MeasuredSignals::delta_chain_bytes.
+  std::vector<double> DeltaChainBytes() const;
 
   /// \brief Accounts a modeled overload stall as latency: \p tuples tuples
   /// experienced \p pause_us of modeled queueing the single-process runtime
@@ -467,6 +477,13 @@ class LocalEngine {
   std::vector<ReplayLog> group_logs_;   ///< Per key group.
   std::vector<uint8_t> group_dirty_;    ///< Changed since last snapshot.
   size_t max_log_entries_ = 0;          ///< Cached coordinator soft bound.
+  /// Delta checkpoints (empty/0 unless the coordinator enables them).
+  /// Trackers are engine-owned and attached to the operators per group;
+  /// chain_len_[g] is the number of deltas chained onto g's newest base
+  /// in the store, -1 before the group has any base.
+  std::deque<StateChangeTracker> group_trackers_;
+  std::vector<int> chain_len_;
+  int max_delta_chain_ = 0;             ///< Cached coordinator option.
   /// Set by whichever worker overflows a log; cleared by the next round.
   std::atomic<bool> log_overflow_{false};
   std::vector<int64_t> shard_offsets_;  ///< Lifetime ingested per shard.

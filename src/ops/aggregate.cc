@@ -15,6 +15,7 @@ void SumByKeyOperator::Process(const engine::Tuple& tuple, int group_index,
   const uint64_t id = field_ == GroupField::kKey ? tuple.key : tuple.aux;
   double& sum = sums_[group_index][id];
   sum += tuple.num;
+  if (engine::StateChangeTracker* t = tracker(group_index)) t->MarkDirty(id);
   if (emit_updates_) {
     engine::Tuple t = tuple;
     t.num = sum;  // running aggregate
@@ -24,22 +25,36 @@ void SumByKeyOperator::Process(const engine::Tuple& tuple, int group_index,
 
 void SumByKeyOperator::ProcessBatch(const engine::TupleBatch& batch,
                                     int group_index, engine::Emitter* out) {
-  // Hoist the group-state lookup and the field/emit branches out of the loop.
+  // Hoist the group-state lookup and the field/emit/tracker branches out of
+  // the loop.
   auto& sums = sums_[group_index];
+  engine::StateChangeTracker* track = tracker(group_index);
   const bool by_key = field_ == GroupField::kKey;
   if (emit_updates_) {
     for (const engine::Tuple& tuple : batch) {
-      double& sum = sums[by_key ? tuple.key : tuple.aux];
+      const uint64_t id = by_key ? tuple.key : tuple.aux;
+      double& sum = sums[id];
       sum += tuple.num;
+      if (track != nullptr) track->MarkDirty(id);
       engine::Tuple t = tuple;
       t.num = sum;  // running aggregate
       out->Emit(t);
+    }
+  } else if (track != nullptr) {
+    for (const engine::Tuple& tuple : batch) {
+      const uint64_t id = by_key ? tuple.key : tuple.aux;
+      sums[id] += tuple.num;
+      track->MarkDirty(id);
     }
   } else {
     for (const engine::Tuple& tuple : batch) {
       sums[by_key ? tuple.key : tuple.aux] += tuple.num;
     }
   }
+}
+
+void SumByKeyOperator::SetIncrementalRehash(bool on) {
+  for (auto& m : sums_) m.SetIncrementalRehash(on);
 }
 
 double SumByKeyOperator::SumFor(int group_index, uint64_t id) const {
@@ -71,6 +86,7 @@ Status SumByKeyOperator::DeserializeGroupState(int group_index,
   ALBIC_RETURN_NOT_OK(r.GetU64(&n));
   auto& m = sums_[group_index];
   m.clear();
+  m.Reserve(n);  // land on the final capacity instead of growing through it
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t id = 0;
     double sum = 0.0;
@@ -78,11 +94,28 @@ Status SumByKeyOperator::DeserializeGroupState(int group_index,
     ALBIC_RETURN_NOT_OK(r.GetDouble(&sum));
     m[id] = sum;
   }
+  if (engine::StateChangeTracker* t = tracker(group_index)) t->MarkReset();
   return Status::OK();
 }
 
 void SumByKeyOperator::ClearGroupState(int group_index) {
   sums_[group_index].clear();
+  if (engine::StateChangeTracker* t = tracker(group_index)) t->MarkReset();
+}
+
+std::string SumByKeyOperator::SerializeGroupDelta(int group_index) const {
+  StateWriter w;
+  WriteMapDelta(w, *tracker(group_index), sums_[group_index],
+                [](StateWriter& out, double v) { out.PutDouble(v); });
+  return w.Take();
+}
+
+Status SumByKeyOperator::ApplyGroupDelta(int group_index,
+                                         const std::string& data) {
+  StateReader r(data);
+  return ReadMapDelta(r, sums_[group_index], [](StateReader& in, double* v) {
+    return in.GetDouble(v);
+  });
 }
 
 }  // namespace albic::ops

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief Keyed running-sum aggregation (SumByKey) for Real Jobs 2 and 3,
+/// with delta-state support proportional to the keys touched.
+
 #include <cstdint>
 #include <vector>
 
@@ -32,6 +36,13 @@ class SumByKeyOperator : public engine::StreamOperator {
   Status DeserializeGroupState(int group_index,
                                const std::string& data) override;
   void ClearGroupState(int group_index) override;
+
+  bool SupportsDeltaState() const override { return true; }
+  std::string SerializeGroupDelta(int group_index) const override;
+  Status ApplyGroupDelta(int group_index, const std::string& data) override;
+
+  /// \brief Switches every group's sum map to incremental rehashing.
+  void SetIncrementalRehash(bool on);
 
   /// \brief Current sum for a grouping key (0 when unseen), for tests.
   double SumFor(int group_index, uint64_t id) const;

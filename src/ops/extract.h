@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief Real Job 2 delay extraction: filters on-time flights and re-
+/// keys delayed ones by airplane.
+
 #include <cstdint>
 #include <vector>
 

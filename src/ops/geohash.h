@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief Real Job 1 GeoHash computation: re-keys the edit stream by a
+/// synthetic GeoHash cell.
+
 #include <cstdint>
 #include <vector>
 

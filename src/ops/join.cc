@@ -90,6 +90,7 @@ Status RouteRainJoinOperator::DeserializeGroupState(int group_index,
   ALBIC_RETURN_NOT_OK(r.GetU64(&n));
   auto& rd = route_decade_[group_index];
   rd.clear();
+  rd.Reserve(n);  // final capacity up front, not every power of two
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t route = 0;
     int64_t decade = 0;
@@ -100,6 +101,7 @@ Status RouteRainJoinOperator::DeserializeGroupState(int group_index,
   ALBIC_RETURN_NOT_OK(r.GetU64(&n));
   auto& dd = decade_delay_[group_index];
   dd.clear();
+  dd.Reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     int64_t decade = 0;
     double sum = 0.0;

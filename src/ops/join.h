@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief Real Job 4 rainscore-delay join: enriches route delay
+/// aggregates with the latest rainscore.
+
 #include <cstdint>
 #include <vector>
 

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief Real Job 4 rainscore: converts weather records into bucketed
+/// 0-100 precipitation scores.
+
 #include <cstdint>
 #include <unordered_map>
 #include <vector>

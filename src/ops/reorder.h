@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief SUnion-style reordering buffer: releases tuples in timestamp
+/// order behind a watermark.
+
 #include <cstdint>
 #include <functional>
 #include <queue>

@@ -1,10 +1,19 @@
 #pragma once
 
+/// \file
+/// \brief Binary (de)serialization helpers for operator state images, plus
+/// the shared map-delta record layout behind delta-encoded checkpoints.
+
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/flat_map64.h"
 #include "common/status.h"
+#include "engine/operator.h"
 
 namespace albic::ops {
 
@@ -52,5 +61,71 @@ class StateReader {
   const std::string& data_;
   size_t pos_ = 0;
 };
+
+/// Delta records start with a flags word; bit 0 says the tracked state was
+/// wholesale reset since the base (apply clears before upserting).
+inline constexpr uint64_t kDeltaResetFlag = 1;
+
+/// \brief Writes the map-backed portion of a delta record: flags, then the
+/// tracker's marked keys that are still present (sorted by key, with their
+/// live values — one PutVal(writer, value) call each), then the marked
+/// keys now absent (sorted). Canonical ordering keeps chain restoration
+/// byte-stable, exactly like the sorted full snapshots.
+template <typename V, typename PutVal>
+void WriteMapDelta(StateWriter& w, const engine::StateChangeTracker& tracker,
+                   const FlatMap64<V>& live, PutVal&& put_val) {
+  std::vector<std::pair<uint64_t, const V*>> upserts;
+  std::vector<uint64_t> erases;
+  upserts.reserve(tracker.dirty_keys());
+  // The live table decides: a marked key that is present gets upserted
+  // with its current value; a marked key that is absent gets erased
+  // (whatever order the mutations since the base happened in).
+  tracker.ForEach([&](uint64_t key, bool dirty) {
+    (void)dirty;
+    const V* v = live.find(key);
+    if (v != nullptr) {
+      upserts.emplace_back(key, v);
+    } else {
+      erases.push_back(key);
+    }
+  });
+  std::sort(upserts.begin(), upserts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(erases.begin(), erases.end());
+  w.PutU64(tracker.reset() ? kDeltaResetFlag : 0);
+  w.PutU64(upserts.size());
+  for (const auto& [key, value] : upserts) {
+    w.PutU64(key);
+    put_val(w, *value);
+  }
+  w.PutU64(erases.size());
+  for (uint64_t key : erases) w.PutU64(key);
+}
+
+/// \brief Applies the map-backed portion of a delta record onto \p live:
+/// clears it when the reset flag is set, then upserts and erases the
+/// recorded keys. GetVal(reader, &value) reads one value.
+template <typename V, typename GetVal>
+Status ReadMapDelta(StateReader& r, FlatMap64<V>& live, GetVal&& get_val) {
+  uint64_t flags = 0;
+  ALBIC_RETURN_NOT_OK(r.GetU64(&flags));
+  if ((flags & kDeltaResetFlag) != 0) live.clear();
+  uint64_t n = 0;
+  ALBIC_RETURN_NOT_OK(r.GetU64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    V value{};
+    ALBIC_RETURN_NOT_OK(r.GetU64(&key));
+    ALBIC_RETURN_NOT_OK(get_val(r, &value));
+    live[key] = value;
+  }
+  ALBIC_RETURN_NOT_OK(r.GetU64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    ALBIC_RETURN_NOT_OK(r.GetU64(&key));
+    live.erase(key);
+  }
+  return Status::OK();
+}
 
 }  // namespace albic::ops

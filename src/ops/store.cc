@@ -15,6 +15,13 @@ void StoreSinkOperator::Process(const engine::Tuple& tuple, int group_index,
                                 engine::Emitter* out) {
   (void)out;  // sink: no downstream
   table_[group_index][tuple.key] = tuple.num;
+  if (engine::StateChangeTracker* t = tracker(group_index)) {
+    t->MarkDirty(tuple.key);
+  }
+}
+
+void StoreSinkOperator::SetIncrementalRehash(bool on) {
+  for (auto& m : table_) m.SetIncrementalRehash(on);
 }
 
 void StoreSinkOperator::OnWindow(int group_index, engine::Emitter* out) {
@@ -54,6 +61,7 @@ Status StoreSinkOperator::DeserializeGroupState(int group_index,
   ALBIC_RETURN_NOT_OK(r.GetU64(&n));
   auto& m = table_[group_index];
   m.clear();
+  m.Reserve(n);  // land on the final capacity instead of growing through it
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t key = 0;
     double value = 0.0;
@@ -61,12 +69,33 @@ Status StoreSinkOperator::DeserializeGroupState(int group_index,
     ALBIC_RETURN_NOT_OK(r.GetDouble(&value));
     m[key] = value;
   }
+  if (engine::StateChangeTracker* t = tracker(group_index)) t->MarkReset();
   return r.GetI64(&flushes_[group_index]);
 }
 
 void StoreSinkOperator::ClearGroupState(int group_index) {
   table_[group_index].clear();
   flushes_[group_index] = 0;
+  if (engine::StateChangeTracker* t = tracker(group_index)) t->MarkReset();
+}
+
+std::string StoreSinkOperator::SerializeGroupDelta(int group_index) const {
+  StateWriter w;
+  const engine::StateChangeTracker* t = tracker(group_index);
+  WriteMapDelta(w, *t, table_[group_index],
+                [](StateWriter& out, double v) { out.PutDouble(v); });
+  // The flush counter is a few bytes; deltas always carry it whole.
+  w.PutI64(flushes_[group_index]);
+  return w.Take();
+}
+
+Status StoreSinkOperator::ApplyGroupDelta(int group_index,
+                                          const std::string& data) {
+  StateReader r(data);
+  ALBIC_RETURN_NOT_OK(ReadMapDelta(
+      r, table_[group_index],
+      [](StateReader& in, double* v) { return in.GetDouble(v); }));
+  return r.GetI64(&flushes_[group_index]);
 }
 
 }  // namespace albic::ops

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief StoreSink: upsert-per-tuple sink table over FlatMap64, with
+/// dirty-key delta checkpoints and incremental rehashing.
+
 #include <cstdint>
 #include <vector>
 
@@ -18,6 +22,9 @@ namespace albic::ops {
 /// Serialization is canonical (ascending key order), so any two tables
 /// with equal contents serialize identically regardless of insertion
 /// history — what keeps checkpoint + replay reconstruction byte-stable.
+/// Supports delta state: with a tracker attached, each upsert marks its
+/// key, and a delta record carries only the marked keys (plus the small
+/// flush counter), so checkpoint bytes track the change, not the table.
 class StoreSinkOperator : public engine::StreamOperator {
  public:
   explicit StoreSinkOperator(int num_groups);
@@ -31,11 +38,24 @@ class StoreSinkOperator : public engine::StreamOperator {
                                const std::string& data) override;
   void ClearGroupState(int group_index) override;
 
+  bool SupportsDeltaState() const override { return true; }
+  std::string SerializeGroupDelta(int group_index) const override;
+  Status ApplyGroupDelta(int group_index, const std::string& data) override;
+
+  /// \brief Switches every group's table to incremental (two-table)
+  /// rehashing — no wave absorbs a full-table Grow once state gets large.
+  void SetIncrementalRehash(bool on);
+
   int64_t rows(int group_index) const {
     return static_cast<int64_t>(table_[group_index].size());
   }
   int64_t flushes(int group_index) const { return flushes_[group_index]; }
   double ValueFor(int group_index, uint64_t key) const;
+
+  /// \brief A group's backing table (benches assert on its rehash stats).
+  const FlatMap64<double>& table(int group_index) const {
+    return table_[group_index];
+  }
 
  private:
   std::vector<FlatMap64<double>> table_;

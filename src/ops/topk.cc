@@ -24,6 +24,11 @@ void WindowedTopKOperator::Process(const engine::Tuple& tuple,
           ? std::max<int64_t>(1, static_cast<int64_t>(tuple.num))
           : 1;
   window_counts_[group_index][id] += weight;
+  if (engine::StateChangeTracker* t = tracker(group_index)) t->MarkDirty(id);
+}
+
+void WindowedTopKOperator::SetIncrementalRehash(bool on) {
+  for (auto& m : window_counts_) m.SetIncrementalRehash(on);
 }
 
 void WindowedTopKOperator::ProcessBatch(const engine::TupleBatch& batch,
@@ -34,6 +39,7 @@ void WindowedTopKOperator::ProcessBatch(const engine::TupleBatch& batch,
   // prefetch a few tuples ahead so count-slot probes overlap memory latency.
   constexpr size_t kLookahead = 24;
   auto& counts = window_counts_[group_index];
+  engine::StateChangeTracker* track = tracker(group_index);
   const size_t n = batch.size();
   if (mode_ == TopKCountMode::kOccurrences) {
     for (size_t i = 0; i < n; ++i) {
@@ -42,7 +48,9 @@ void WindowedTopKOperator::ProcessBatch(const engine::TupleBatch& batch,
         counts.prefetch(ahead.aux != 0 ? ahead.aux : ahead.key);
       }
       const engine::Tuple& tuple = batch[i];
-      counts[tuple.aux != 0 ? tuple.aux : tuple.key] += 1;
+      const uint64_t id = tuple.aux != 0 ? tuple.aux : tuple.key;
+      counts[id] += 1;
+      if (track != nullptr) track->MarkDirty(id);
     }
   } else {
     for (size_t i = 0; i < n; ++i) {
@@ -51,8 +59,9 @@ void WindowedTopKOperator::ProcessBatch(const engine::TupleBatch& batch,
         counts.prefetch(ahead.aux != 0 ? ahead.aux : ahead.key);
       }
       const engine::Tuple& tuple = batch[i];
-      counts[tuple.aux != 0 ? tuple.aux : tuple.key] +=
-          std::max<int64_t>(1, static_cast<int64_t>(tuple.num));
+      const uint64_t id = tuple.aux != 0 ? tuple.aux : tuple.key;
+      counts[id] += std::max<int64_t>(1, static_cast<int64_t>(tuple.num));
+      if (track != nullptr) track->MarkDirty(id);
     }
   }
 }
@@ -80,6 +89,10 @@ void WindowedTopKOperator::OnWindow(int group_index, engine::Emitter* out) {
   }
   last_top_[group_index] = std::move(entries);
   counts.clear();
+  // The window fire replaced the whole tracked state (counts emptied,
+  // last_top_ rewritten): only a base snapshot can describe it — and right
+  // after a fire the state is at its smallest, so the base is cheap.
+  if (engine::StateChangeTracker* t = tracker(group_index)) t->MarkReset();
 }
 
 std::string WindowedTopKOperator::SerializeGroupState(int group_index) const {
@@ -114,6 +127,7 @@ Status WindowedTopKOperator::DeserializeGroupState(int group_index,
   ALBIC_RETURN_NOT_OK(r.GetU64(&n));
   auto& counts = window_counts_[group_index];
   counts.clear();
+  counts.Reserve(n);  // final capacity up front, not every power of two
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t id = 0;
     int64_t count = 0;
@@ -131,12 +145,48 @@ Status WindowedTopKOperator::DeserializeGroupState(int group_index,
     ALBIC_RETURN_NOT_OK(r.GetI64(&count));
     top.emplace_back(id, count);
   }
+  if (engine::StateChangeTracker* t = tracker(group_index)) t->MarkReset();
   return Status::OK();
 }
 
 void WindowedTopKOperator::ClearGroupState(int group_index) {
   window_counts_[group_index].clear();
   last_top_[group_index].clear();
+  if (engine::StateChangeTracker* t = tracker(group_index)) t->MarkReset();
+}
+
+std::string WindowedTopKOperator::SerializeGroupDelta(int group_index) const {
+  StateWriter w;
+  WriteMapDelta(w, *tracker(group_index), window_counts_[group_index],
+                [](StateWriter& out, int64_t v) { out.PutI64(v); });
+  // last_top_ is at most k entries — deltas always carry it whole.
+  const auto& top = last_top_[group_index];
+  w.PutU64(top.size());
+  for (const auto& [id, count] : top) {
+    w.PutU64(id);
+    w.PutI64(count);
+  }
+  return w.Take();
+}
+
+Status WindowedTopKOperator::ApplyGroupDelta(int group_index,
+                                             const std::string& data) {
+  StateReader r(data);
+  ALBIC_RETURN_NOT_OK(ReadMapDelta(
+      r, window_counts_[group_index],
+      [](StateReader& in, int64_t* v) { return in.GetI64(v); }));
+  uint64_t n = 0;
+  ALBIC_RETURN_NOT_OK(r.GetU64(&n));
+  auto& top = last_top_[group_index];
+  top.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    int64_t count = 0;
+    ALBIC_RETURN_NOT_OK(r.GetU64(&id));
+    ALBIC_RETURN_NOT_OK(r.GetI64(&count));
+    top.emplace_back(id, count);
+  }
+  return Status::OK();
 }
 
 }  // namespace albic::ops

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file
+/// \brief WindowedTopK: per-window heaviest-ids operator for both TopK
+/// roles of Real Job 1, with delta-state support.
+
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +44,13 @@ class WindowedTopKOperator : public engine::StreamOperator {
   Status DeserializeGroupState(int group_index,
                                const std::string& data) override;
   void ClearGroupState(int group_index) override;
+
+  bool SupportsDeltaState() const override { return true; }
+  std::string SerializeGroupDelta(int group_index) const override;
+  Status ApplyGroupDelta(int group_index, const std::string& data) override;
+
+  /// \brief Switches every group's count map to incremental rehashing.
+  void SetIncrementalRehash(bool on);
 
   /// \brief Current (mid-window) counts of a group, for tests.
   const FlatMap64<int64_t>& counts(int group_index) const {

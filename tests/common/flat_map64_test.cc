@@ -144,5 +144,141 @@ TEST(FlatMap64Test, RandomizedDifferentialAgainstUnorderedMap) {
   EXPECT_EQ(visited, reference.size());
 }
 
+TEST(FlatMap64Test, IncrementalRehashBoundsPerOperationWork) {
+  // With incremental rehashing on from the start, no operation ever
+  // absorbs a one-shot rehash of live entries, and no single operation
+  // migrates more than kDrainBudget old slots — the bound that keeps a
+  // wave's pause flat while state grows through many doublings.
+  FlatMap64<int64_t> inc;
+  inc.SetIncrementalRehash(true);
+  FlatMap64<int64_t> legacy;
+  constexpr uint64_t kN = 60000;
+  for (uint64_t k = 1; k <= kN; ++k) {
+    const uint64_t key = k * 2654435761u + 17;
+    inc[key] = static_cast<int64_t>(k);
+    legacy[key] = static_cast<int64_t>(k);
+  }
+  EXPECT_EQ(inc.full_rehashes(), 0u);
+  EXPECT_LE(inc.max_drain_step(), FlatMap64<int64_t>::kDrainBudget);
+  // The one-shot scheme paid the stop-the-world rehashes instead.
+  EXPECT_GT(legacy.full_rehashes(), 0u);
+  EXPECT_EQ(inc.size(), legacy.size());
+  for (uint64_t k = 1; k <= kN; ++k) {
+    const uint64_t key = k * 2654435761u + 17;
+    const int64_t* v = inc.find(key);
+    ASSERT_NE(v, nullptr) << "key " << key << " lost across a drain";
+    EXPECT_EQ(*v, static_cast<int64_t>(k));
+  }
+}
+
+TEST(FlatMap64Test, RandomizedDifferentialIncrementalRehash) {
+  // Incremental map (with mid-stream mode toggles) vs the one-shot map vs
+  // std::unordered_map: inserts, erases and lookups that land mid-drain —
+  // in both tables, with backward shifts on either side — must be
+  // indistinguishable from the single-table behaviour.
+  std::mt19937_64 rng(0xD1FF5EEDull);
+  FlatMap64<int64_t> inc;
+  inc.SetIncrementalRehash(true);
+  FlatMap64<int64_t> legacy;
+  std::unordered_map<uint64_t, int64_t> reference;
+  // Key space sized to push through several doublings while keeping
+  // erase/re-insert hits frequent.
+  std::uniform_int_distribution<uint64_t> key_dist(0, 6000);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+  bool on = true;
+  for (int step = 0; step < 150000; ++step) {
+    const uint64_t key = key_dist(rng);
+    const int op = op_dist(rng);
+    if (op < 45) {
+      const int64_t value = static_cast<int64_t>(rng());
+      inc[key] = value;
+      legacy[key] = value;
+      reference[key] = value;
+    } else if (op < 65) {
+      const size_t erased = reference.erase(key);
+      EXPECT_EQ(inc.erase(key), erased) << "step " << step;
+      EXPECT_EQ(legacy.erase(key), erased) << "step " << step;
+    } else if (op < 90) {
+      const int64_t* v = inc.find(key);
+      const auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_EQ(v, nullptr) << "step " << step << " key " << key;
+      } else {
+        ASSERT_NE(v, nullptr) << "step " << step << " key " << key;
+        EXPECT_EQ(*v, it->second);
+      }
+    } else if (op < 92) {
+      inc.clear();
+      legacy.clear();
+      reference.clear();
+    } else {
+      // Toggling off mid-drain finishes the drain (single-table invariant);
+      // toggling back on re-arms incremental growth.
+      on = !on;
+      inc.SetIncrementalRehash(on);
+    }
+    EXPECT_EQ(inc.size(), reference.size()) << "step " << step;
+  }
+  EXPECT_LE(inc.max_drain_step(), FlatMap64<int64_t>::kDrainBudget);
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(inc.find(key), nullptr) << "key " << key;
+    EXPECT_EQ(inc.at(key), value);
+    ASSERT_NE(legacy.find(key), nullptr) << "key " << key;
+    EXPECT_EQ(legacy.at(key), value);
+  }
+  size_t visited = 0;
+  for (const auto& [key, value] : inc) {
+    ++visited;
+    const auto it = reference.find(key);
+    ASSERT_NE(it, reference.end()) << "phantom key " << key;
+    EXPECT_EQ(it->second, value);
+  }
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST(FlatMap64Test, ReserveEndsAtGrownCapacityWithoutRehashes) {
+  // Reserve(n) + n inserts must pay zero rehashes of live entries and land
+  // on exactly the capacity insertion-driven growth reaches — pinned
+  // observably: the NEXT doubling fires at the same insert count for the
+  // reserved map as for a grown one.
+  for (const size_t n : {1ul, 12ul, 1000ul, 5000ul}) {
+    FlatMap64<int64_t> grown;
+    FlatMap64<int64_t> reserved;
+    reserved.Reserve(n);
+    for (size_t k = 1; k <= n; ++k) {
+      const uint64_t key = k * 2654435761u + 3;
+      grown[key] = static_cast<int64_t>(k);
+      reserved[key] = static_cast<int64_t>(k);
+    }
+    EXPECT_EQ(reserved.full_rehashes(), 0u) << "n = " << n;
+    EXPECT_EQ(reserved.size(), grown.size());
+    for (size_t k = 1; k <= n; ++k) {
+      const uint64_t key = k * 2654435761u + 3;
+      ASSERT_NE(reserved.find(key), nullptr) << "n = " << n << " key " << key;
+      EXPECT_EQ(reserved.at(key), grown.at(key));
+    }
+    // Same final capacity: keep inserting and the two maps must cross the
+    // 3/4 growth threshold on exactly the same insert.
+    const size_t grown_base = grown.full_rehashes();
+    for (size_t extra = 1; extra <= n + 16; ++extra) {
+      const uint64_t key = (n + extra) * 2654435761u + 3;
+      grown[key] = 1;
+      reserved[key] = 1;
+      ASSERT_EQ(reserved.full_rehashes() > 0, grown.full_rehashes() > grown_base)
+          << "n = " << n << " extra = " << extra;
+      if (reserved.full_rehashes() > 0) break;
+    }
+    EXPECT_GT(reserved.full_rehashes(), 0u) << "n = " << n;
+  }
+  // Reserve(0) and a shrinking Reserve are no-ops.
+  FlatMap64<int64_t> map;
+  map.Reserve(0);
+  EXPECT_TRUE(map.empty());
+  for (uint64_t k = 1; k <= 100; ++k) map[k] = static_cast<int64_t>(k);
+  map.Reserve(1);
+  EXPECT_EQ(map.size(), 100u);
+  for (uint64_t k = 1; k <= 100; ++k) EXPECT_EQ(map.at(k), static_cast<int64_t>(k));
+}
+
 }  // namespace
 }  // namespace albic

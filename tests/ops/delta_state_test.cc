@@ -1,0 +1,192 @@
+// Delta-state contract of the stateful operators: a base snapshot plus the
+// deltas serialized from the dirty-key tracker must reconstruct exactly the
+// live state — including erased keys, the reset flag, and the non-map
+// sidecars (flush counters, last_top_) deltas always carry whole.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flat_map64.h"
+#include "engine/operator.h"
+#include "ops/aggregate.h"
+#include "ops/serde_util.h"
+#include "ops/store.h"
+#include "ops/topk.h"
+
+namespace albic::ops {
+namespace {
+
+engine::Tuple MakeTuple(uint64_t key, double num, uint64_t aux = 0) {
+  engine::Tuple t;
+  t.key = key;
+  t.num = num;
+  t.aux = aux;
+  return t;
+}
+
+class Capture : public engine::Emitter {
+ public:
+  void Emit(const engine::Tuple& t) override { tuples.push_back(t); }
+  std::vector<engine::Tuple> tuples;
+};
+
+TEST(DeltaStateTest, StoreDeltaChainReconstructsBitIdentically) {
+  StoreSinkOperator live(1);
+  engine::StateChangeTracker tracker;
+  live.AttachChangeTracker(0, &tracker);
+  for (uint64_t k = 1; k <= 200; ++k) {
+    live.Process(MakeTuple(k, static_cast<double>(k) * 0.25), 0, nullptr);
+  }
+  live.OnWindow(0, nullptr);  // flush counter rides along in base and delta
+  const std::string base = live.SerializeGroupState(0);
+  tracker.Clear();
+
+  // Touch a handful of keys; the delta must be tiny next to the base.
+  live.Process(MakeTuple(5, -1.0), 0, nullptr);
+  live.Process(MakeTuple(900, 3.5), 0, nullptr);
+  live.OnWindow(0, nullptr);
+  const std::string d1 = live.SerializeGroupDelta(0);
+  EXPECT_LT(d1.size(), base.size() / 8);
+  tracker.Clear();
+
+  live.Process(MakeTuple(900, 4.5), 0, nullptr);
+  const std::string d2 = live.SerializeGroupDelta(0);
+  tracker.Clear();
+
+  StoreSinkOperator restored(1);
+  ASSERT_TRUE(restored.DeserializeGroupState(0, base).ok());
+  ASSERT_TRUE(restored.ApplyGroupDelta(0, d1).ok());
+  ASSERT_TRUE(restored.ApplyGroupDelta(0, d2).ok());
+  EXPECT_EQ(restored.SerializeGroupState(0), live.SerializeGroupState(0));
+  EXPECT_DOUBLE_EQ(restored.ValueFor(0, 900), 4.5);
+  EXPECT_EQ(restored.flushes(0), live.flushes(0));
+}
+
+TEST(DeltaStateTest, TopKDeltaCarriesCountsAndLastTop) {
+  WindowedTopKOperator live(1, /*k=*/3);
+  engine::StateChangeTracker tracker;
+  live.AttachChangeTracker(0, &tracker);
+  Capture out;
+  for (uint64_t id = 1; id <= 40; ++id) {
+    for (uint64_t hits = 0; hits < id % 5 + 1; ++hits) {
+      live.Process(MakeTuple(/*key=*/7, 0.0, /*aux=*/id), 0, &out);
+    }
+  }
+  live.OnWindow(0, &out);  // closes the window: last_top_ set, counts reset
+  // The window fire reset the tracked state — a delta cannot describe it.
+  EXPECT_TRUE(tracker.reset());
+  const std::string base = live.SerializeGroupState(0);
+  tracker.Clear();
+
+  live.Process(MakeTuple(7, 0.0, /*aux=*/11), 0, &out);
+  live.Process(MakeTuple(7, 0.0, /*aux=*/12), 0, &out);
+  const std::string delta = live.SerializeGroupDelta(0);
+  tracker.Clear();
+
+  WindowedTopKOperator restored(1, /*k=*/3);
+  ASSERT_TRUE(restored.DeserializeGroupState(0, base).ok());
+  ASSERT_TRUE(restored.ApplyGroupDelta(0, delta).ok());
+  EXPECT_EQ(restored.SerializeGroupState(0), live.SerializeGroupState(0));
+  EXPECT_EQ(restored.last_window_top(0), live.last_window_top(0));
+}
+
+TEST(DeltaStateTest, AggregateDeltaMatchesLiveSums) {
+  SumByKeyOperator live(1, GroupField::kKey, /*emit_updates=*/false);
+  engine::StateChangeTracker tracker;
+  live.AttachChangeTracker(0, &tracker);
+  for (uint64_t k = 1; k <= 100; ++k) {
+    live.Process(MakeTuple(k, 1.5), 0, nullptr);
+  }
+  const std::string base = live.SerializeGroupState(0);
+  tracker.Clear();
+
+  live.Process(MakeTuple(17, 2.0), 0, nullptr);
+  live.Process(MakeTuple(500, 4.0), 0, nullptr);
+  const std::string delta = live.SerializeGroupDelta(0);
+  tracker.Clear();
+
+  SumByKeyOperator restored(1, GroupField::kKey, /*emit_updates=*/false);
+  ASSERT_TRUE(restored.DeserializeGroupState(0, base).ok());
+  ASSERT_TRUE(restored.ApplyGroupDelta(0, delta).ok());
+  // The sum map serializes in iteration order, so compare content, not
+  // bytes: every key of the live run and the totals must agree.
+  EXPECT_DOUBLE_EQ(restored.GroupTotal(0), live.GroupTotal(0));
+  for (uint64_t k = 1; k <= 100; ++k) {
+    EXPECT_DOUBLE_EQ(restored.SumFor(0, k), live.SumFor(0, k)) << "key " << k;
+  }
+  EXPECT_DOUBLE_EQ(restored.SumFor(0, 500), 4.0);
+}
+
+TEST(DeltaStateTest, MapDeltaEncodesErasesAndReset) {
+  // Serde-level pin of the wire format: a marked key absent from the live
+  // map becomes an erase, and the reset flag makes apply clear first.
+  FlatMap64<int64_t> live;
+  engine::StateChangeTracker tracker;
+  for (uint64_t k = 1; k <= 10; ++k) live[k] = static_cast<int64_t>(k);
+
+  FlatMap64<int64_t> target;
+  for (uint64_t k = 1; k <= 10; ++k) target[k] = static_cast<int64_t>(k);
+  target[99] = 99;  // divergence an erase-carrying delta must remove
+
+  live[3] = 33;
+  tracker.MarkDirty(3);
+  live.erase(7);
+  tracker.MarkErased(7);
+  tracker.MarkErased(99);  // erased here, never present in `live`
+
+  StateWriter w;
+  WriteMapDelta(w, tracker, live,
+                [](StateWriter& out, int64_t v) { out.PutI64(v); });
+  const std::string delta = w.Take();
+  StateReader r(delta);
+  ASSERT_TRUE(ReadMapDelta(r, target, [](StateReader& in, int64_t* v) {
+                return in.GetI64(v);
+              }).ok());
+  ASSERT_TRUE(r.AtEnd());
+  EXPECT_EQ(target.size(), live.size());
+  for (const auto& [key, value] : live) {
+    EXPECT_EQ(target.at(key), value) << "key " << key;
+  }
+  EXPECT_EQ(target.find(7), nullptr);
+  EXPECT_EQ(target.find(99), nullptr);
+
+  // Reset flag: apply clears the target before upserting.
+  tracker.Clear();
+  tracker.MarkReset();
+  EXPECT_TRUE(tracker.reset());
+  StateWriter w2;
+  WriteMapDelta(w2, tracker, live,
+                [](StateWriter& out, int64_t v) { out.PutI64(v); });
+  FlatMap64<int64_t> polluted;
+  polluted[1234] = 1;
+  const std::string reset_delta = w2.Take();
+  StateReader r2(reset_delta);
+  ASSERT_TRUE(ReadMapDelta(r2, polluted, [](StateReader& in, int64_t* v) {
+                return in.GetI64(v);
+              }).ok());
+  EXPECT_TRUE(polluted.empty());  // reset + no marked keys = cleared
+}
+
+TEST(DeltaStateTest, DetachedTrackerKeepsLegacyBehaviour) {
+  // Without a tracker the operator reports delta support but the engine
+  // never asks for deltas; mutation paths must behave exactly as before.
+  StoreSinkOperator op(1);
+  EXPECT_TRUE(op.SupportsDeltaState());
+  op.Process(MakeTuple(1, 2.0), 0, nullptr);
+  EXPECT_DOUBLE_EQ(op.ValueFor(0, 1), 2.0);
+  // Applying a delta produced elsewhere still works (indirect migration
+  // target has no tracker attached while restoring).
+  StoreSinkOperator src(1);
+  engine::StateChangeTracker tracker;
+  src.AttachChangeTracker(0, &tracker);
+  src.Process(MakeTuple(5, 7.0), 0, nullptr);
+  const std::string delta = src.SerializeGroupDelta(0);
+  ASSERT_TRUE(op.ApplyGroupDelta(0, delta).ok());
+  EXPECT_DOUBLE_EQ(op.ValueFor(0, 5), 7.0);
+}
+
+}  // namespace
+}  // namespace albic::ops
