@@ -3,9 +3,13 @@
 // paper's headline trade-off, directly: a DIRECT migration pauses the
 // group for O(state) while the serialized image travels, an INDIRECT
 // migration (checkpoint restored in the background + replay of the logged
-// suffix) pauses only for O(suffix). Tuples that arrive during the pause
-// buffer and account the modeled pause as latency, so the p99 timeline
-// shows the spike each mode causes and how quickly it subsides.
+// suffix) pauses only for O(suffix), and an EPOCH migration (boundary
+// stamped at a wave barrier, state shipped in the background, routing
+// flipped atomically) pauses for one wave — independent of both. Tuples
+// that arrive during a pause buffer and account the modeled pause as
+// latency, so the p99 timeline shows the spike each mode causes and how
+// quickly it subsides; the epoch timeline's self-check is that it shows
+// NO spike at all.
 //
 // The run is sliced into fixed-size windows; each slice's histograms are
 // harvested and reported as a BENCH_JSON series (one line per slice and
@@ -212,21 +216,35 @@ int main() {
   const albic::TimelineResult indirect = albic::RunTimeline(
       stream, slices, albic::engine::MigrationMode::kIndirect,
       /*checkpointed=*/true, sample_every);
-  if (!direct.ok || !indirect.ok) {
+  // Epoch: boundary stamped at a wave barrier, chain + suffix shipped in
+  // the background, routing flipped — the migration window should be
+  // indistinguishable from steady state.
+  const albic::TimelineResult epoch = albic::RunTimeline(
+      stream, slices, albic::engine::MigrationMode::kEpoch,
+      /*checkpointed=*/true, sample_every);
+  if (!direct.ok || !indirect.ok || !epoch.ok) {
     std::fprintf(stderr, "FAIL: a timeline run errored\n");
     return 1;
   }
-  if (direct.tuples_processed != indirect.tuples_processed) {
+  if (direct.tuples_processed != indirect.tuples_processed ||
+      direct.tuples_processed != epoch.tuples_processed) {
     std::fprintf(stderr,
                  "FAIL: modes processed different tuple counts "
-                 "(%lld vs %lld)\n",
+                 "(%lld vs %lld vs %lld)\n",
                  static_cast<long long>(direct.tuples_processed),
-                 static_cast<long long>(indirect.tuples_processed));
+                 static_cast<long long>(indirect.tuples_processed),
+                 static_cast<long long>(epoch.tuples_processed));
     return 1;
   }
   if (indirect.tuples_replayed == 0) {
     std::fprintf(stderr,
                  "FAIL: the indirect run never replayed a log suffix\n");
+    return 1;
+  }
+  if (epoch.tuples_replayed == 0) {
+    std::fprintf(stderr,
+                 "FAIL: the epoch run's background transfer never replayed "
+                 "a log suffix\n");
     return 1;
   }
 
@@ -235,18 +253,28 @@ int main() {
   const int mig_index = slices / 2;
   const int points = static_cast<int>(direct.slices.size());
   albic::TablePrinter table({"slice", "direct p50(us)", "direct p99(us)",
-                             "indirect p50(us)", "indirect p99(us)"});
+                             "indirect p50(us)", "indirect p99(us)",
+                             "epoch p50(us)", "epoch p99(us)"});
   int64_t direct_peak = 0;
   int64_t indirect_peak = 0;
+  int64_t epoch_peak = 0;
+  // Steady-state baseline for the epoch self-check: the worst p99 the
+  // epoch run shows OUTSIDE its migration window.
+  int64_t epoch_steady_max = 0;
   for (int s = 0; s < points; ++s) {
     const albic::SlicePoint& d = direct.slices[static_cast<size_t>(s)];
     const albic::SlicePoint& i = indirect.slices[static_cast<size_t>(s)];
+    const albic::SlicePoint& e = epoch.slices[static_cast<size_t>(s)];
     direct_peak = std::max(direct_peak, d.p99_us);
     indirect_peak = std::max(indirect_peak, i.p99_us);
+    epoch_peak = std::max(epoch_peak, e.p99_us);
+    if (s != mig_index) epoch_steady_max = std::max(epoch_steady_max, e.p99_us);
     table.AddDoubleRow({static_cast<double>(s), static_cast<double>(d.p50_us),
                         static_cast<double>(d.p99_us),
                         static_cast<double>(i.p50_us),
-                        static_cast<double>(i.p99_us)},
+                        static_cast<double>(i.p99_us),
+                        static_cast<double>(e.p50_us),
+                        static_cast<double>(e.p99_us)},
                        0);
     char metric[48];
     const char* tag = s == mig_index ? "mig" : "s";
@@ -261,29 +289,43 @@ int main() {
     std::snprintf(metric, sizeof(metric), "p99_us_indirect_%s%02d", tag,
                   label);
     BenchJson("latency", metric, static_cast<double>(i.p99_us), "us");
+    std::snprintf(metric, sizeof(metric), "p50_us_epoch_%s%02d", tag, label);
+    BenchJson("latency", metric, static_cast<double>(e.p50_us), "us");
+    std::snprintf(metric, sizeof(metric), "p99_us_epoch_%s%02d", tag, label);
+    BenchJson("latency", metric, static_cast<double>(e.p99_us), "us");
   }
   table.Print();
   const albic::SlicePoint& dmig = direct.slices[static_cast<size_t>(mig_index)];
   const albic::SlicePoint& imig =
       indirect.slices[static_cast<size_t>(mig_index)];
+  const albic::SlicePoint& emig =
+      epoch.slices[static_cast<size_t>(mig_index)];
   std::printf("(slice %d is the migration window: %lld latency samples, "
-              "max %lld us direct / %lld us indirect)\n",
+              "max %lld us direct / %lld us indirect / %lld us epoch)\n",
               mig_index, static_cast<long long>(dmig.samples),
               static_cast<long long>(dmig.max_us),
-              static_cast<long long>(imig.max_us));
+              static_cast<long long>(imig.max_us),
+              static_cast<long long>(emig.max_us));
 
   std::printf(
       "\nmigration pause: direct %.2f ms (O(state)), indirect %.2f ms "
-      "(O(suffix), %lld tuples replayed) -> %.1fx shorter\n"
-      "peak p99: direct %.2f ms, indirect %.2f ms\n",
+      "(O(suffix), %lld tuples replayed) -> %.1fx shorter, epoch %.2f ms "
+      "(one wave; %lld tuples replayed in the background)\n"
+      "peak p99: direct %.2f ms, indirect %.2f ms, epoch %.2f ms "
+      "(steady-state max %.2f ms)\n",
       direct.pause_us / 1000.0, indirect.pause_us / 1000.0,
       static_cast<long long>(indirect.tuples_replayed),
       indirect.pause_us > 0 ? direct.pause_us / indirect.pause_us : 0.0,
+      epoch.pause_us / 1000.0,
+      static_cast<long long>(epoch.tuples_replayed),
       static_cast<double>(direct_peak) / 1000.0,
-      static_cast<double>(indirect_peak) / 1000.0);
+      static_cast<double>(indirect_peak) / 1000.0,
+      static_cast<double>(epoch_peak) / 1000.0,
+      static_cast<double>(epoch_steady_max) / 1000.0);
 
   BenchJson("latency", "direct_pause_ms", direct.pause_us / 1000.0, "ms");
   BenchJson("latency", "indirect_pause_ms", indirect.pause_us / 1000.0, "ms");
+  BenchJson("latency", "epoch_pause_ms", epoch.pause_us / 1000.0, "ms");
   BenchJson("latency", "pause_ratio_direct_over_indirect",
             indirect.pause_us > 0 ? direct.pause_us / indirect.pause_us : 0.0,
             "x");
@@ -291,8 +333,14 @@ int main() {
             static_cast<double>(direct_peak) / 1000.0, "ms");
   BenchJson("latency", "peak_p99_indirect_ms",
             static_cast<double>(indirect_peak) / 1000.0, "ms");
+  BenchJson("latency", "peak_p99_epoch_ms",
+            static_cast<double>(epoch_peak) / 1000.0, "ms");
+  BenchJson("latency", "epoch_steady_p99_ms",
+            static_cast<double>(epoch_steady_max) / 1000.0, "ms");
   BenchJson("latency", "replayed_tuples",
             static_cast<double>(indirect.tuples_replayed), "tuples");
+  BenchJson("latency", "epoch_replayed_tuples",
+            static_cast<double>(epoch.tuples_replayed), "tuples");
 
   // The trade-off must point the right way: the indirect pause (and the
   // latency spike it causes) is bounded by the suffix, not the state.
@@ -308,6 +356,37 @@ int main() {
                  "FAIL: direct migration pause (%.0f us) did not surface in "
                  "the migration window's p99 (%lld us)\n",
                  direct.pause_us, static_cast<long long>(dmig.p99_us));
+    return 1;
+  }
+  // The epoch mode's whole point: zero modeled pause, and a migration
+  // window statistically indistinguishable from steady state — within
+  // noise of the worst non-migration slice (generous wall-clock headroom)
+  // and nowhere near the direct run's O(state) spike.
+  if (epoch.pause_us > 1e-6) {
+    std::fprintf(stderr,
+                 "FAIL: epoch migration reported a nonzero pause "
+                 "(%.3f us)\n",
+                 epoch.pause_us);
+    return 1;
+  }
+  const double epoch_noise_bound =
+      std::max(4.0 * static_cast<double>(epoch_steady_max),
+               static_cast<double>(epoch_steady_max) + 5000.0);
+  if (static_cast<double>(emig.p99_us) > epoch_noise_bound) {
+    std::fprintf(stderr,
+                 "FAIL: epoch migration window p99 (%lld us) is not within "
+                 "noise of steady state (max %lld us, bound %.0f us)\n",
+                 static_cast<long long>(emig.p99_us),
+                 static_cast<long long>(epoch_steady_max), epoch_noise_bound);
+    return 1;
+  }
+  if (static_cast<double>(emig.p99_us) >=
+      0.5 * static_cast<double>(dmig.p99_us)) {
+    std::fprintf(stderr,
+                 "FAIL: epoch migration window p99 (%lld us) should sit far "
+                 "below the direct spike (%lld us)\n",
+                 static_cast<long long>(emig.p99_us),
+                 static_cast<long long>(dmig.p99_us));
     return 1;
   }
 

@@ -3,7 +3,8 @@
 #   1. every relative markdown link in README.md and docs/*.md resolves to
 #      an existing file;
 #   2. every public header under src/engine/, src/core/, src/balance/,
-#      src/scaling/ and src/ops/ carries a file-level doxygen header
+#      src/scaling/ and src/ops/ — plus the shared test harness headers
+#      under tests/engine/ — carries a file-level doxygen header
 #      (\file + \brief), so the API docs cannot rot silently.
 #
 # Usage: scripts/check_docs.sh   (from anywhere; operates on the repo root)
@@ -34,7 +35,8 @@ done
 
 # --- 2. header-doc check ----------------------------------------------------
 for h in src/engine/*.h src/core/*.h src/balance/*.h src/scaling/*.h \
-         src/ops/*.h; do
+         src/ops/*.h tests/engine/*.h; do
+  [[ -f "$h" ]] || continue   # tests/engine may hold no headers
   if ! grep -q '\\file' "$h"; then
     echo "MISSING DOC: $h lacks a file-level \\file header"
     fail=1
@@ -49,4 +51,4 @@ if [[ $fail -ne 0 ]]; then
   echo "check_docs: FAILED"
   exit 1
 fi
-echo "check_docs: OK (links resolve, engine/core/balance/scaling/ops headers documented)"
+echo "check_docs: OK (links resolve, engine/core/balance/scaling/ops + test harness headers documented)"

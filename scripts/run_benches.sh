@@ -16,7 +16,9 @@ OUT_DIR="${2:-${BUILD_DIR}/bench_results}"
 # bench_recovery runs both its scenarios (wiki pipeline + large-state
 # delta/rehash) by default, so the snapshot includes the checkpoint
 # base-vs-delta bytes and wave-pause metrics; set ALBIC_BENCH_SCENARIO to
-# narrow it.
+# narrow it. bench_latency snapshots all three migration timelines —
+# direct, indirect and the epoch scenario (p*_us_epoch_*, epoch_pause_ms,
+# epoch_steady_p99_ms) — plus the skewed-cost planning comparison.
 BENCHES=(
   bench_engine_throughput
   bench_latency

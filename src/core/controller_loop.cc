@@ -184,6 +184,7 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
   // (cost_model.h: "replay_suffix_bytes is the caller's to fill").
   signals.replay_suffix_bytes = engine_->ReplaySuffixBytes();
   signals.delta_chain_bytes = engine_->DeltaChainBytes();
+  signals.epoch_transfer_bytes = engine_->EpochTransferBytes();
   const engine::MeasuredSignals* measured =
       cost_model_.measured() || !signals.replay_suffix_bytes.empty()
           ? &signals
@@ -300,18 +301,28 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
   // groups are skipped here (StartMigration rejects them) and restored
   // below at their planned placement. The mode is chosen PER GROUP from
   // the predicted pauses — indirect when the replay-log suffix undercuts
-  // the state size — unless use_indirect_migration forces indirect
-  // everywhere (the pre-measured-cost behaviour, kept as an override).
+  // the state size, epoch (zero-pause background transfer) when opted in
+  // and its prediction undercuts both — unless use_indirect_migration
+  // forces indirect everywhere (the pre-measured-cost behaviour, kept as
+  // an override that also wins over the epoch opt-in).
   const bool checkpointed = engine_->checkpointing_enabled();
   for (const engine::Migration& m : adaptation.plan.migrations) {
     ++round.migrations_planned;
     const engine::MigrationPauseEstimate est =
         engine_->EstimateMigrationPause(m.group);
     engine::MigrationMode mode = engine::MigrationMode::kDirect;
-    if (checkpointed &&
-        (options_.use_indirect_migration ||
-         (est.indirect_available && est.indirect_us < est.direct_us))) {
-      mode = engine::MigrationMode::kIndirect;
+    double predicted = est.direct_us;
+    if (checkpointed) {
+      if (options_.use_indirect_migration ||
+          (est.indirect_available && est.indirect_us < est.direct_us)) {
+        mode = engine::MigrationMode::kIndirect;
+        predicted = est.indirect_available ? est.indirect_us : est.direct_us;
+      }
+      if (!options_.use_indirect_migration && options_.use_epoch_migration &&
+          est.epoch_available && est.epoch_us < predicted) {
+        mode = engine::MigrationMode::kEpoch;
+        predicted = est.epoch_us;
+      }
     }
     if (!engine_->StartMigration(m.group, m.to, mode).ok()) continue;
     Result<double> pause = engine_->FinishMigration(m.group);
@@ -323,13 +334,12 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
       decision.from = m.from;
       decision.to = m.to;
       decision.mode = mode;
-      decision.predicted_pause_us =
-          mode == engine::MigrationMode::kIndirect && est.indirect_available
-              ? est.indirect_us
-              : est.direct_us;
+      decision.predicted_pause_us = predicted;
       decision.actual_pause_us = *pause;
       round.migration_decisions.push_back(decision);
-      if (mode == engine::MigrationMode::kIndirect) {
+      if (mode == engine::MigrationMode::kEpoch) {
+        ++round.migrations_epoch;
+      } else if (mode == engine::MigrationMode::kIndirect) {
         ++round.migrations_indirect;
       } else {
         ++round.migrations_direct;

@@ -64,7 +64,16 @@ struct ControllerLoopOptions {
   /// cheaper predicted mode PER MIGRATED GROUP: indirect for groups whose
   /// replay-log suffix undercuts their state size, direct for the rest
   /// (reported per migration in ControllerRound::migration_decisions).
+  /// Takes precedence over use_epoch_migration when both are set.
   bool use_indirect_migration = false;
+  /// Opt into epoch-marker migration (engine::MigrationMode::kEpoch) for
+  /// planned moves: with checkpointing on and use_indirect_migration off,
+  /// the per-group mode choice becomes three-way and picks epoch whenever
+  /// its predicted pause (one wave barrier, modeled zero) undercuts both
+  /// the direct and indirect predictions — in practice every group with a
+  /// usable checkpoint. Off by default so existing two-way deployments and
+  /// their pause accounting stay byte-identical.
+  bool use_epoch_migration = false;
   /// Latency-SLO trigger: fire an adaptation round as soon as the engine's
   /// observed end-to-end p99 breaches slo.p99_bound_us instead of waiting
   /// for the statistics boundary (with check pacing, cooldown and backoff;
@@ -101,6 +110,8 @@ struct ControllerRound {
   int migrations_applied = 0;
   int migrations_direct = 0;    ///< Applied with direct O(state) moves.
   int migrations_indirect = 0;  ///< Applied via checkpoint + replay.
+  /// Applied via epoch-marker stamping (background transfer, zero pause).
+  int migrations_epoch = 0;
   /// Per-migration record: chosen mode, predicted vs. actual pause.
   std::vector<MigrationDecision> migration_decisions;
   /// True when this round's planning loads came from measured service-time

@@ -88,6 +88,12 @@ class CheckpointStore {
   /// cost model prices indirect migration with it).
   virtual uint64_t ChainDeltaBytes(KeyGroupId group) const = 0;
 
+  /// \brief Total bytes of \p group's newest chain, base included — the
+  /// state unit an epoch migration ships in the background when it cuts
+  /// the chain at the stamped boundary (the log suffix up to the boundary
+  /// travels on top of this). 0 when the group has no snapshot.
+  virtual uint64_t ChainBytes(KeyGroupId group) const = 0;
+
   /// \brief Fetches a specific retained version; false when evicted/absent.
   virtual bool Get(KeyGroupId group, uint64_t version, CheckpointInfo* info,
                    std::string* state) const = 0;
@@ -123,6 +129,7 @@ class MemoryCheckpointStore final : public CheckpointStore {
   bool LatestChain(KeyGroupId group, CheckpointInfo* info, std::string* base,
                    std::vector<std::string>* deltas) const override;
   uint64_t ChainDeltaBytes(KeyGroupId group) const override;
+  uint64_t ChainBytes(KeyGroupId group) const override;
   bool Get(KeyGroupId group, uint64_t version, CheckpointInfo* info,
            std::string* state) const override;
   Status PutManifest(const CheckpointManifest& manifest) override;
@@ -167,6 +174,7 @@ class FileCheckpointStore final : public CheckpointStore {
   bool LatestChain(KeyGroupId group, CheckpointInfo* info, std::string* base,
                    std::vector<std::string>* deltas) const override;
   uint64_t ChainDeltaBytes(KeyGroupId group) const override;
+  uint64_t ChainBytes(KeyGroupId group) const override;
   bool Get(KeyGroupId group, uint64_t version, CheckpointInfo* info,
            std::string* state) const override;
   Status PutManifest(const CheckpointManifest& manifest) override;

@@ -313,7 +313,9 @@ Status LocalEngine::Inject(OperatorId source_op, const Tuple& tuple) {
                                 topology_->op(source_op).num_key_groups),
             tuple);
   }
-  // The cascade is complete — a safe point for an incremental checkpoint.
+  // The cascade is complete — a safe point for an incremental checkpoint
+  // and, equally, an epoch boundary for pending kEpoch migrations.
+  if (!epoch_pending_.empty()) StampEpochBoundaries();
   if (checkpointer_ != nullptr) checkpointer_->OnSafePoint(this);
   return Status::OK();
 }
@@ -436,6 +438,7 @@ Status LocalEngine::InjectRouted(OperatorId source_op, int shard,
       } else {
         Deliver(source_op, group_index, t);
       }
+      if (!epoch_pending_.empty()) StampEpochBoundaries();
       if (checkpointer_ != nullptr) checkpointer_->OnSafePoint(this);
     }
     return Status::OK();
@@ -485,9 +488,11 @@ Status LocalEngine::InjectRouted(OperatorId source_op, int shard,
 void LocalEngine::Deliver(OperatorId op, int group_index, const Tuple& tuple) {
   const KeyGroupId g = topology_->first_group(op) + group_index;
   MigrationState& mig = migrating_[g];
-  if (mig.active) {
+  if (mig.active && mig.mode != MigrationMode::kEpoch) {
     // Direct state migration: new tuples buffer at the target node until
-    // the state arrives (§3, "State Migration").
+    // the state arrives (§3, "State Migration"). Epoch migrations never
+    // buffer — the group keeps processing at whichever owner the routing
+    // currently names (old before the boundary stamp, new after).
     mig.buffer.push_back(tuple);
     ++period_.tuples_buffered;
     return;
@@ -738,9 +743,12 @@ void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
   if (batch.empty()) return;
   const KeyGroupId g = topology_->first_group(op) + group_index;
   MigrationState& mig = migrating_[g];
-  if (mig.active) {
+  if (mig.active && mig.mode != MigrationMode::kEpoch) {
     // Tuples that arrive while the group migrates buffer in order at the
-    // target (§3, "State Migration"); FinishMigration drains them.
+    // target (§3, "State Migration"); FinishMigration drains them. Epoch
+    // migrations skip the buffer entirely: the group processes live at the
+    // owner the routing currently names, and the stamp at the next wave
+    // barrier is what flips that name.
     std::lock_guard<std::mutex> lock(migration_buffer_mu_);
     for (const Tuple& t : batch) mig.buffer.push_back(t);
     ctx->stats->tuples_buffered += static_cast<int64_t>(batch.size());
@@ -875,7 +883,11 @@ void LocalEngine::DrainAll() {
     RunWave(&wave);
     // Between worker waves every operator is quiescent and each group's
     // log matches its state — the safe point for asynchronous incremental
-    // checkpoints (no global drain or alignment required).
+    // checkpoints (no global drain or alignment required). The same
+    // quiescence is the epoch boundary: pending kEpoch migrations stamp
+    // here, transfer in the background, and flip routing before the next
+    // wave resolves any owner.
+    if (!epoch_pending_.empty()) StampEpochBoundaries();
     if (checkpointer_ != nullptr) checkpointer_->OnSafePoint(this);
   }
   // Fold the workers' period contributions into the engine's stats.
@@ -916,6 +928,8 @@ void LocalEngine::MergeStats(EnginePeriodStats* into,
   into->checkpoint_bytes += from->checkpoint_bytes;
   into->tuples_replayed += from->tuples_replayed;
   into->groups_recovered += from->groups_recovered;
+  into->epoch_transfer_bytes += from->epoch_transfer_bytes;
+  from->epoch_transfer_bytes = 0;
   from->tuples_processed = 0;
   from->tuples_buffered = 0;
   from->migration_pause_us = 0.0;
@@ -974,6 +988,12 @@ Status LocalEngine::StartMigration(KeyGroupId group, NodeId to,
     return Status::InvalidArgument(
         "indirect migration requires checkpointing (EnableCheckpointing)");
   }
+  if (mode == MigrationMode::kEpoch && checkpointer_ == nullptr) {
+    // The caller asked for a move, not a mechanism: without the checkpoint
+    // subsystem there is no background chain to ship, so the move degrades
+    // to the always-available direct mode instead of failing.
+    mode = MigrationMode::kDirect;
+  }
   MigrationState& mig = migrating_[group];
   if (mig.active) {
     return Status::AlreadyExists("group is already migrating");
@@ -984,6 +1004,11 @@ Status LocalEngine::StartMigration(KeyGroupId group, NodeId to,
   mig.active = true;
   mig.target = to;
   mig.mode = mode;
+  if (mode == MigrationMode::kEpoch) {
+    mig.epoch_stamped = false;
+    mig.epoch_boundary_seq = 0;
+    epoch_pending_.push_back(group);
+  }
   return Status::OK();
 }
 
@@ -1008,6 +1033,71 @@ void LocalEngine::DrainMigrationBuffer(KeyGroupId group) {
   }
 }
 
+void LocalEngine::StampEpochBoundaries() {
+  if (epoch_pending_.empty()) return;
+  std::vector<KeyGroupId> pending;
+  pending.swap(epoch_pending_);
+  for (const KeyGroupId g : pending) {
+    MigrationState& mig = migrating_[g];
+    // Validate against the live migration record: FailNode may have
+    // cancelled the move or turned the group into a lost one since Start —
+    // stale entries drop out here.
+    if (!mig.active || mig.lost || mig.mode != MigrationMode::kEpoch ||
+        mig.epoch_stamped) {
+      continue;
+    }
+    // The boundary: every logged event below this seq was processed at the
+    // old owner and travels with the chain cut; everything at or above it
+    // runs at the new owner after the flip.
+    mig.epoch_boundary_seq = group_logs_[g].next_seq();
+    const OperatorId op = topology_->group_operator(g);
+    const int local = topology_->group_index_in_operator(g);
+    if (operators_[op] != nullptr) {
+      // Background transfer: rebuild the group "at the target" from the
+      // newest chain cut at the boundary — base, chained deltas, then the
+      // logged suffix below the stamped seq. At a quiescent instant the
+      // reconstruction is bit-identical to the live state (the checkpoint
+      // subsystem's core invariant), and none of these bytes are charged
+      // as pause: pre-boundary tuples kept processing while they moved.
+      CheckpointInfo info;
+      std::string base;
+      std::vector<std::string> deltas;
+      int64_t moved = 0;
+      if (checkpointer_->store()->LatestChain(g, &info, &base, &deltas) &&
+          group_logs_[g].base_seq() <= info.seq) {
+        operators_[op]->ClearGroupState(local);
+        Status s = operators_[op]->DeserializeGroupState(local, base);
+        moved += static_cast<int64_t>(base.size());
+        for (const std::string& d : deltas) {
+          if (s.ok()) s = operators_[op]->ApplyGroupDelta(local, d);
+          moved += static_cast<int64_t>(d.size());
+        }
+        if (s.ok()) {
+          const int64_t replayed = ReplayLogSuffix(g, info.seq);
+          period_.tuples_replayed += replayed;
+          moved += replayed * static_cast<int64_t>(sizeof(Tuple));
+        } else if (epoch_error_.ok()) {
+          epoch_error_ = s;  // surfaced by the group's FinishMigration
+        }
+      } else {
+        // No usable chain (e.g. the log was truncated past it): round-trip
+        // the live state instead — still in the background, still no
+        // pause, just the whole state's bytes on the wire.
+        const std::string state = operators_[op]->SerializeGroupState(local);
+        operators_[op]->ClearGroupState(local);
+        const Status s = operators_[op]->DeserializeGroupState(local, state);
+        if (!s.ok() && epoch_error_.ok()) epoch_error_ = s;
+        moved += static_cast<int64_t>(state.size());
+      }
+      period_.epoch_transfer_bytes += moved;
+    }
+    // The atomic routing flip: from here every delivery — in-flight mailbox
+    // batches included — resolves the new owner. Redirected, not stalled.
+    assignment_.set_node(g, mig.target);
+    mig.epoch_stamped = true;
+  }
+}
+
 Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
   MigrationState& mig = migrating_[group];
   if (!mig.active) {
@@ -1018,6 +1108,28 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
   }
   const OperatorId op = topology_->group_operator(group);
   const int local = topology_->group_index_in_operator(group);
+
+  if (mig.mode == MigrationMode::kEpoch) {
+    // The driving thread being here is itself a quiescent instant — if no
+    // wave barrier happened since Start (nothing was injected), stamp the
+    // boundary now.
+    if (!mig.epoch_stamped) StampEpochBoundaries();
+    if (!epoch_error_.ok()) {
+      const Status err = epoch_error_;
+      epoch_error_ = Status::OK();
+      return err;
+    }
+    // Routing flipped and the state travelled at the stamp; nothing
+    // buffered and nothing drained, so the observed pause is the single
+    // wave barrier — zero in the engine's byte-proportional model.
+    mig.active = false;
+    mig.target = kInvalidNode;
+    mig.mode = MigrationMode::kDirect;
+    mig.epoch_stamped = false;
+    mig.epoch_boundary_seq = 0;
+    DrainMigrationBuffer(group);  // empty by construction; keeps the invariant
+    return 0.0;
+  }
 
   double pause_us = 0.0;
   if (operators_[op] != nullptr) {
@@ -1088,6 +1200,11 @@ MigrationPauseEstimate LocalEngine::EstimateMigrationPause(
   est.direct_us =
       kEnginePauseUsPerByte * topology_->group_state_bytes(group);
   if (checkpointer_ != nullptr) {
+    // Epoch migration is available whenever checkpointing is: its pause is
+    // one wave barrier regardless of how much the background transfer
+    // ships, so the model charges it zero.
+    est.epoch_available = true;
+    est.epoch_us = 0.0;
     CheckpointInfo info;
     if (checkpointer_->store()->Latest(group, &info, /*state=*/nullptr) &&
         group_logs_[group].base_seq() <= info.seq) {
@@ -1102,6 +1219,13 @@ MigrationPauseEstimate LocalEngine::EstimateMigrationPause(
            static_cast<double>(
                checkpointer_->store()->ChainDeltaBytes(group)));
       est.indirect_available = true;
+      est.epoch_transfer_bytes =
+          static_cast<double>(checkpointer_->store()->ChainBytes(group)) +
+          static_cast<double>(suffix_events) * sizeof(Tuple);
+    } else {
+      // No usable chain: the stamp would round-trip the live state in the
+      // background instead — still zero pause, just more bytes shipped.
+      est.epoch_transfer_bytes = topology_->group_state_bytes(group);
     }
   }
   return est;
@@ -1128,6 +1252,24 @@ std::vector<double> LocalEngine::DeltaChainBytes() const {
   out.assign(static_cast<size_t>(topology_->num_key_groups()), 0.0);
   for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
     out[g] = static_cast<double>(checkpointer_->store()->ChainDeltaBytes(g));
+  }
+  return out;
+}
+
+std::vector<double> LocalEngine::EpochTransferBytes() const {
+  std::vector<double> out;
+  if (checkpointer_ == nullptr) return out;
+  out.assign(static_cast<size_t>(topology_->num_key_groups()), -1.0);
+  for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
+    CheckpointInfo info;
+    if (checkpointer_->store()->Latest(g, &info, /*state=*/nullptr) &&
+        group_logs_[g].base_seq() <= info.seq) {
+      // What the stamp would ship: the newest chain cut at the boundary
+      // plus the logged suffix replayed on top of it.
+      out[g] = static_cast<double>(checkpointer_->store()->ChainBytes(g)) +
+               static_cast<double>(group_logs_[g].next_seq() - info.seq) *
+                   sizeof(Tuple);
+    }
   }
   return out;
 }
@@ -1289,12 +1431,22 @@ Status LocalEngine::FailNode(NodeId node) {
       mig.lost = true;
       mig.target = kInvalidNode;
       mig.mode = MigrationMode::kDirect;
+      // A stamped epoch group lives on the dead node already (routing
+      // flipped at the stamp) and is handled right here as a lost group;
+      // an unstamped one self-cleans out of epoch_pending_ because its
+      // mode is no longer kEpoch.
+      mig.epoch_stamped = false;
+      mig.epoch_boundary_seq = 0;
     } else if (mig.active && mig.target == node) {
       // Migration toward the dead node: the state never left the source —
       // cancel the move and release the buffered tuples at the source.
+      // (For an unstamped epoch move nothing buffered; the pending entry
+      // self-cleans at the next stamp pass.)
       mig.active = false;
       mig.target = kInvalidNode;
       mig.mode = MigrationMode::kDirect;
+      mig.epoch_stamped = false;
+      mig.epoch_boundary_seq = 0;
       DrainMigrationBuffer(g);
     }
   }

@@ -3,8 +3,9 @@
 /// \file
 /// \brief LocalEngine, the single-process PSPE runtime: executes
 /// operator code over simulated nodes in tuple-at-a-time or batched mode,
-/// and implements direct and indirect (checkpoint + replay) state
-/// migration plus checkpoint-based failure recovery.
+/// and implements direct, indirect (checkpoint + replay) and epoch-marker
+/// (stamp at a wave barrier, background transfer, atomic routing flip)
+/// state migration plus checkpoint-based failure recovery.
 
 #include <atomic>
 #include <cstdint>
@@ -83,6 +84,10 @@ struct EnginePeriodStats {
   int64_t tuples_replayed = 0;      ///< Log entries reapplied (indirect
                                     ///< migration + recovery).
   int64_t groups_recovered = 0;     ///< Lost groups restored this period.
+  /// Bytes epoch migrations shipped in the background this period (chain
+  /// cut + replayed suffix, or the fallback round-trip's state bytes) —
+  /// transfer volume that, by design, contributed zero pause.
+  int64_t epoch_transfer_bytes = 0;
   /// Source tuples entering the engine per ingestion shard this period
   /// (index = shard id; Inject/InjectBatch count as shard 0, InjectRouted
   /// as its shard). Grown on demand; the sum is the true offered load, as
@@ -110,8 +115,8 @@ struct GroupRecovery {
 };
 
 /// \brief Predicted pause of migrating one key group in each mode (see
-/// EstimateMigrationPause). The controller compares the two to pick the
-/// cheaper mode per migrated group, and reports predicted vs. actual.
+/// EstimateMigrationPause). The controller compares the modes to pick the
+/// cheapest per migrated group, and reports predicted vs. actual.
 struct MigrationPauseEstimate {
   /// Direct O(state) pause, from the topology's modeled state bytes (the
   /// actual pause uses the real serialized size, so the delta measures the
@@ -125,6 +130,16 @@ struct MigrationPauseEstimate {
   /// replay log still reaches); without one an indirect migration would
   /// fall back to the direct round-trip.
   bool indirect_available = false;
+  /// Epoch-marker pause: one wave barrier, independent of state and suffix
+  /// size — modeled as zero. Meaningless unless epoch_available.
+  double epoch_us = 0.0;
+  /// Epoch migration is available (checkpointing enabled: the background
+  /// transfer rides the chain + replay-log machinery).
+  bool epoch_available = false;
+  /// Bytes an epoch migration would ship in the background: the newest
+  /// chain cut at the boundary plus the logged suffix (or the live state
+  /// for the round-trip fallback). Informational — none of it pauses.
+  double epoch_transfer_bytes = 0.0;
 };
 
 /// \brief A deterministic single-process PSPE runtime over simulated nodes.
@@ -193,9 +208,13 @@ class LocalEngine {
   /// tuple-at-a-time mode, where nothing is ever in flight).
   void Flush();
 
-  /// \brief Begins a state migration of a key group: subsequent tuples for
-  /// the group buffer at the target until Finish. kIndirect requires
-  /// checkpointing to be enabled (EnableCheckpointing).
+  /// \brief Begins a state migration of a key group. kDirect/kIndirect:
+  /// subsequent tuples for the group buffer at the target until Finish.
+  /// kEpoch: nothing buffers — the group keeps processing at the old owner
+  /// until an epoch boundary is stamped at the next wave barrier (see
+  /// FinishMigration). kIndirect requires checkpointing to be enabled
+  /// (EnableCheckpointing); kEpoch silently falls back to kDirect without
+  /// it (the caller asked for a move, not for a mechanism).
   Status StartMigration(KeyGroupId group, NodeId to,
                         MigrationMode mode = MigrationMode::kDirect);
 
@@ -204,7 +223,10 @@ class LocalEngine {
   /// the pause is O(state). Indirect: the target restores the group's
   /// latest checkpoint (background transfer, no pause) and replays the
   /// logged suffix, so the pause is O(suffix); falls back to the direct
-  /// pause when the group has no checkpoint yet.
+  /// pause when the group has no checkpoint yet. Epoch: the boundary was
+  /// stamped at a wave barrier (here, if none occurred since Start), the
+  /// state unit travelled in the background and routing already flipped —
+  /// nothing buffered, nothing drains, and the returned pause is zero.
   Result<double> FinishMigration(KeyGroupId group);
 
   /// \brief Convenience: start + finish in one step.
@@ -230,6 +252,13 @@ class LocalEngine {
   /// when checkpointing is disabled. Feeds
   /// MeasuredSignals::delta_chain_bytes.
   std::vector<double> DeltaChainBytes() const;
+
+  /// \brief Per-group bytes an epoch migration would ship in the
+  /// background (newest chain + logged suffix); -1 for groups without a
+  /// usable checkpoint, whose epoch stamp would instead round-trip the
+  /// live state off the pause path. Empty when checkpointing is disabled.
+  /// Feeds MeasuredSignals::epoch_transfer_bytes.
+  std::vector<double> EpochTransferBytes() const;
 
   /// \brief Accounts a modeled overload stall as latency: \p tuples tuples
   /// experienced \p pause_us of modeled queueing the single-process runtime
@@ -331,6 +360,13 @@ class LocalEngine {
     bool lost = false;  ///< Group died with its node; awaiting recovery.
     MigrationMode mode = MigrationMode::kDirect;
     NodeId target = kInvalidNode;
+    /// kEpoch only: the boundary was stamped at a wave barrier — the state
+    /// unit transferred and routing flipped; Finish is pure bookkeeping.
+    bool epoch_stamped = false;
+    /// kEpoch only: replay-log seq of the stamped boundary. Entries below
+    /// it travelled with the chain cut; entries at or above it were
+    /// processed at the new owner.
+    uint64_t epoch_boundary_seq = 0;
     std::deque<Tuple> buffer;
   };
 
@@ -404,6 +440,16 @@ class LocalEngine {
   int64_t ReplayLogSuffix(KeyGroupId g, uint64_t from_seq);
   /// Drains the tuples buffered for a group while it migrated/recovered.
   void DrainMigrationBuffer(KeyGroupId g);
+  /// Epoch migrations: called on the driving thread at quiescent instants
+  /// (wave barriers, between tuples, FinishMigration). For every group
+  /// with a pending kEpoch migration this instant IS the epoch boundary:
+  /// pins the boundary seq, performs the background state transfer (chain
+  /// cut + suffix replay, or a round-trip when no usable chain exists) and
+  /// atomically flips the group's routing to the target — batches already
+  /// in flight resolve the new owner at delivery, redirected rather than
+  /// stalled. A failed transfer is parked in epoch_error_ for
+  /// FinishMigration to surface (the callers here cannot return Status).
+  void StampEpochBoundaries();
 
   // --- latency telemetry helpers ---
   static int64_t NowNs();
@@ -470,6 +516,13 @@ class LocalEngine {
   LocalEngineOptions options_;
 
   std::vector<MigrationState> migrating_;  // per key group
+  /// Groups whose kEpoch migration awaits its boundary stamp; entries are
+  /// validated against migrating_ at the stamp, so cancelled or
+  /// failed-over migrations self-clean.
+  std::vector<KeyGroupId> epoch_pending_;
+  /// First background-transfer failure since the last FinishMigration of
+  /// an epoch group (stamping happens in void contexts).
+  Status epoch_error_ = Status::OK();
   EnginePeriodStats period_;
 
   // Checkpointing state (unused until EnableCheckpointing).

@@ -21,6 +21,15 @@ enum class MigrationMode {
   /// the group's latest checkpoint (transferred in the background) and
   /// replays the logged suffix — the pause is O(suffix), not O(state).
   kIndirect,
+  /// Epoch-marker migration (Fries-style): an epoch boundary is stamped at
+  /// the next wave barrier, the whole state unit (checkpoint chain + log
+  /// suffix up to the boundary) transfers in the background while
+  /// pre-boundary tuples keep processing at the old owner, then routing
+  /// flips atomically so post-boundary tuples deliver to the new owner.
+  /// Nothing buffers and nothing drains — the observed pause is one wave,
+  /// independent of both state size and suffix length. Requires
+  /// checkpointing; falls back to kDirect without it.
+  kEpoch,
 };
 
 /// \brief Cost model for state migration (§3, "State Migration").

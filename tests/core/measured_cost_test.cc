@@ -322,5 +322,71 @@ TEST(MeasuredCostPlanningTest, MigrationModeChosenPerGroupFromCostModel) {
   }
 }
 
+TEST(MeasuredCostPlanningTest, EpochModeWinsWhenOptedIn) {
+  engine::Topology topo;
+  topo.AddOperator("big", 2, /*state_bytes_per_group=*/8 << 20);
+  topo.AddOperator("small", 2, /*state_bytes_per_group=*/64);
+  engine::Cluster cluster(2);
+  engine::Assignment assign(topo.num_key_groups());
+  for (KeyGroupId g = 0; g < topo.num_key_groups(); ++g) {
+    assign.set_node(g, g % 2);
+  }
+  ops::SumByKeyOperator big(2, ops::GroupField::kKey, false);
+  ops::SumByKeyOperator small(2, ops::GroupField::kKey, false);
+  engine::LocalEngineOptions eopts;
+  eopts.mode = engine::ExecutionMode::kBatched;
+  eopts.window_every_us = 0;
+  engine::LocalEngine engine(&topo, &cluster, assign,
+                             std::vector<engine::StreamOperator*>{&big,
+                                                                  &small},
+                             eopts);
+  engine::MemoryCheckpointStore store;
+  engine::CheckpointCoordinatorOptions ccopts;
+  ccopts.interval_us = int64_t{1} << 60;
+  engine::CheckpointCoordinator coordinator(&store, ccopts);
+  ASSERT_TRUE(engine.EnableCheckpointing(&coordinator).ok());
+
+  const KeyGroupId big_group = topo.first_group(0);
+  const KeyGroupId small_group = topo.first_group(1);
+  FixedPlanRebalancer rebalancer({big_group, small_group});
+  core::AdaptationFramework framework(&rebalancer, /*policy=*/nullptr, {});
+  engine::LoadModel load_model{engine::CostModel{}};
+  core::ControllerLoopOptions copts;
+  copts.period_every_us = 0;
+  // Opting into epoch migration makes it win whenever checkpointing offers
+  // it: its predicted pause is zero regardless of state or suffix size, so
+  // BOTH groups — the one direct would win and the one indirect would win —
+  // move at an epoch boundary instead.
+  copts.use_epoch_migration = true;
+  core::ControllerLoop controller(&engine, &framework, &load_model, &topo,
+                                  &cluster, copts);
+
+  for (int i = 0; i < 4000; ++i) {
+    Tuple t;
+    t.key = static_cast<uint64_t>(i);
+    t.ts = i;
+    t.num = 1.0;
+    ASSERT_TRUE(controller.Ingest(1, t).ok());
+    if (i < 8) {
+      ASSERT_TRUE(controller.Ingest(0, t).ok());
+    }
+  }
+
+  const Result<core::ControllerRound> round = controller.RunRoundNow();
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round->migrations_applied, 2);
+  EXPECT_EQ(round->migrations_epoch, 2);
+  EXPECT_EQ(round->migrations_indirect, 0);
+  EXPECT_EQ(round->migrations_direct, 0);
+  ASSERT_EQ(round->migration_decisions.size(), 2u);
+  for (const core::MigrationDecision& d : round->migration_decisions) {
+    EXPECT_EQ(d.mode, engine::MigrationMode::kEpoch);
+    EXPECT_EQ(d.predicted_pause_us, 0.0);
+    // The observed pause is zero too: the boundary stamp happens in the
+    // background between waves, never in the tuple path.
+    EXPECT_EQ(d.actual_pause_us, 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace albic
