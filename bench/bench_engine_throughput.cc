@@ -265,6 +265,22 @@ int main() {
   albic::RunResult r_telemetry =
       best_of([&] { return albic::RunOne(telemetry, stream); });
 
+  // Batched run with the full observability layer on: registry publishing,
+  // latency telemetry at the same sampling rate, and the event tracer
+  // recording every wave and batch span. The delta against r_batched1 is
+  // the fully-enabled observability cost (budget: <= 2%).
+  albic::engine::LocalEngineOptions observed = telemetry;
+  albic::MetricsRegistry obs_registry;
+  observed.metrics = &obs_registry;
+  albic::RunResult r_observed = best_of([&] {
+    albic::Tracer::Global().Clear();
+    albic::Tracer::Global().Enable();
+    albic::RunResult result = albic::RunOne(observed, stream);
+    albic::Tracer::Global().Disable();
+    return result;
+  });
+  albic::Tracer::Global().Clear();
+
   albic::TablePrinter table({"mode", "tuples/s", "speedup"});
   const double base = r_legacy.tuples_per_sec;
   table.AddRow({"tuple-at-a-time", albic::FormatDouble(base, 0), "1.0"});
@@ -289,6 +305,9 @@ int main() {
                 telemetry.latency_sample_every);
   table.AddRow({label, albic::FormatDouble(r_telemetry.tuples_per_sec, 0),
                 albic::FormatDouble(r_telemetry.tuples_per_sec / base, 2)});
+  table.AddRow({"batched + full observability",
+                albic::FormatDouble(r_observed.tuples_per_sec, 0),
+                albic::FormatDouble(r_observed.tuples_per_sec / base, 2)});
   table.Print();
 
   const double telemetry_overhead_pct =
@@ -298,6 +317,15 @@ int main() {
           : 0.0;
   std::printf("\nlatency telemetry: %.1f%% overhead vs batched (1 worker)\n",
               telemetry_overhead_pct);
+
+  const double observability_overhead_pct =
+      r_batched1.tuples_per_sec > 0
+          ? 100.0 *
+                (1.0 - r_observed.tuples_per_sec / r_batched1.tuples_per_sec)
+          : 0.0;
+  std::printf("full observability (registry + telemetry + tracer): %.1f%% "
+              "overhead vs batched (1 worker)\n",
+              observability_overhead_pct);
 
   const double ckpt_overhead_pct =
       r_batched1.tuples_per_sec > 0
@@ -328,6 +356,7 @@ int main() {
       r_legacy.tuples_processed != r_batchedN.tuples_processed ||
       r_legacy.tuples_processed != r_ckpt.tuples_processed ||
       r_legacy.tuples_processed != r_telemetry.tuples_processed ||
+      r_legacy.tuples_processed != r_observed.tuples_processed ||
       r_legacy.tuples_processed != r_shardedN.tuples_processed) {
     std::fprintf(stderr, "FAIL: modes processed different tuple counts\n");
     return 1;
@@ -370,5 +399,12 @@ int main() {
             r_telemetry.tuples_per_sec, "tuples/s");
   BenchJson("engine_throughput", "latency_telemetry_overhead_pct",
             telemetry_overhead_pct, "%");
+  BenchJson("engine_throughput", "batched_observed",
+            r_observed.tuples_per_sec, "tuples/s");
+  BenchJson("engine_throughput", "observability_overhead_pct",
+            observability_overhead_pct, "%");
+  // Engine-level counters of the fully-observed run ride along in
+  // BENCH_engine_throughput.json (collected by scripts/run_benches.sh).
+  std::printf("BENCH_METRICS %s\n", obs_registry.JsonSnapshot().c_str());
   return 0;
 }

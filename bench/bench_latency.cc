@@ -86,6 +86,7 @@ TimelineResult RunTimeline(const std::vector<engine::Tuple>& stream,
   eopts.mode = engine::ExecutionMode::kBatched;
   eopts.window_every_us = 0;  // state accumulates across the whole run
   eopts.latency_sample_every = sample_every;
+  eopts.metrics = &bench::BenchRegistry();
   engine::LocalEngine engine(&topo, &cluster, assign, {&geohash, &topk},
                              eopts);
 
@@ -184,6 +185,7 @@ std::vector<engine::Tuple> MakeStream(int tuples, int articles) {
 int main() {
   using albic::bench::BenchJson;
   using albic::bench::EnvInt;
+  albic::bench::BenchObservabilityBegin();
   const int tuples = std::max(100000, EnvInt("ALBIC_BENCH_TUPLES", 1200000));
   // More distinct articles than the throughput bench: the migrated group's
   // state must dwarf the replay-log suffix for the O(state)-vs-O(suffix)
@@ -481,5 +483,6 @@ int main() {
                  static_cast<long long>(tuple_count.max_late_p99_us));
     return 1;
   }
+  albic::bench::BenchObservabilityFinish();
   return 0;
 }

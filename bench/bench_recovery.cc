@@ -93,6 +93,7 @@ BenchRun RunJob(const std::vector<engine::Tuple>& stream, bool checkpoint,
   ops::WindowedTopKOperator global(kGroups, 32, ops::TopKCountMode::kSumNum);
   engine::LocalEngineOptions eopts;
   eopts.mode = engine::ExecutionMode::kBatched;
+  eopts.metrics = &bench::BenchRegistry();
   engine::LocalEngine engine(&topo, &cluster, assign,
                              {&geohash, &topk, &global}, eopts);
 
@@ -323,6 +324,7 @@ LargeStats RunLargeState(int large_keys, int hot_keys, int rounds, int chain,
   engine::LocalEngineOptions eopts;
   eopts.mode = engine::ExecutionMode::kBatched;
   eopts.window_every_us = 0;  // no windows: steady state is pure upserts
+  eopts.metrics = &bench::BenchRegistry();
   engine::LocalEngine engine(&topo, &cluster, assign, {&store_op}, eopts);
 
   engine::MemoryCheckpointStore ckpt_store(/*retain_versions=*/2);
@@ -545,6 +547,7 @@ int RunLargeScenario() {
 }  // namespace albic
 
 int main() {
+  albic::bench::BenchObservabilityBegin();
   const char* env = std::getenv("ALBIC_BENCH_SCENARIO");
   const std::string scenario = env != nullptr ? env : "all";
   const bool run_wiki = scenario == "all" || scenario == "wiki";
@@ -574,5 +577,6 @@ int main() {
     const int rc = albic::RunLargeScenario();
     if (rc != 0) return rc;
   }
+  albic::bench::BenchObservabilityFinish();
   return 0;
 }

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 #include "engine/assignment.h"
 #include "engine/load_model.h"
 #include "engine/migration.h"
@@ -47,6 +49,37 @@ inline void BenchMetaInt(const char* key, long long value) {
 /// String-valued metadata member (e.g. the active telemetry mode).
 inline void BenchMetaStr(const char* key, const char* value) {
   std::printf("BENCH_META \"%s\":\"%s\"\n", key, value);
+}
+
+/// Process-wide registry a bench's pipelines publish into (attach it via
+/// LocalEngineOptions::metrics / ShardedSourceOptions::metrics); its final
+/// snapshot rides along in BENCH_<name>.json via BenchObservabilityFinish.
+inline MetricsRegistry& BenchRegistry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+/// Call first thing in main: when ALBIC_TRACE_OUT names a file, the whole
+/// bench run records Chrome trace spans (scripts/run_benches.sh points it
+/// at TRACE_<bench>.json next to the BENCH_ snapshots, so the migration
+/// and recovery windows are inspectable in Perfetto).
+inline void BenchObservabilityBegin() {
+  const char* path = std::getenv("ALBIC_TRACE_OUT");
+  if (path != nullptr && path[0] != '\0') Tracer::Global().Enable();
+}
+
+/// Call last (success path): emits the registry snapshot as one
+/// BENCH_METRICS line — run_benches.sh merges it into BENCH_<name>.json as
+/// the "metrics" member — and writes the ALBIC_TRACE_OUT trace if tracing
+/// was on.
+inline void BenchObservabilityFinish() {
+  std::printf("BENCH_METRICS %s\n", BenchRegistry().JsonSnapshot().c_str());
+  const char* path = std::getenv("ALBIC_TRACE_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  Tracer::Global().Disable();
+  if (!Tracer::Global().WriteChromeTrace(path)) {
+    std::fprintf(stderr, "trace write failed: %s\n", path);
+  }
 }
 
 /// Records the effective sharded-ingestion knobs (the ALBIC_BENCH_SHARD_*

@@ -10,9 +10,15 @@
 // failure-free run produces.
 //
 //   fault_tolerant_job [num_shards] [kill_node]
+//                      [--metrics-dump=M.json] [--trace=T.json]
+//                      [--journal=J.jsonl]
 //
 // num_shards defaults to 1; kill_node defaults to 2 (pass -1 to disable the
-// failure injection and compare outputs).
+// failure injection and compare outputs). The observability flags
+// (examples/observability_flags.h) dump the final metrics snapshot, a
+// Chrome trace (checkpoint rounds, the recovery window and the replayed
+// suffix all appear as spans) and the controller's decision journal;
+// printed output is identical with or without them.
 
 #include <algorithm>
 #include <cstdio>
@@ -24,11 +30,13 @@
 #include "balance/milp_rebalancer.h"
 #include "common/table_printer.h"
 #include "core/controller_loop.h"
+#include "core/round_journal.h"
 #include "engine/checkpoint.h"
 #include "engine/load_model.h"
 #include "engine/local_engine.h"
 #include "engine/sharded_source.h"
 #include "engine/source.h"
+#include "examples/observability_flags.h"
 #include "ops/geohash.h"
 #include "ops/topk.h"
 #include "workload/streams.h"
@@ -85,9 +93,35 @@ class KillMidStreamSink final : public engine::ShardSink {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int num_shards = argc > 1 ? std::max(1, std::atoi(argv[1])) : 1;
-  const engine::NodeId kill_node =
-      argc > 2 ? static_cast<engine::NodeId>(std::atoi(argv[2])) : 2;
+  examples::ObservabilityFlags obs;
+  int num_shards = 1;
+  engine::NodeId kill_node = 2;
+  int positionals = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (examples::ParseObservabilityFlag(argv[i], &obs)) continue;
+    switch (++positionals) {
+      case 1:
+        num_shards = std::max(1, std::atoi(argv[i]));
+        break;
+      case 2:
+        kill_node = static_cast<engine::NodeId>(std::atoi(argv[i]));
+        break;
+      default:
+        std::fprintf(stderr,
+                     "usage: %s [num_shards] [kill_node] "
+                     "[--metrics-dump=PATH] [--trace=PATH] "
+                     "[--journal=PATH]\n",
+                     argv[0]);
+        return 2;
+    }
+  }
+  MetricsRegistry registry;
+  core::RoundJournal journal;
+  if (!obs.journal.empty() && !journal.Open(obs.journal).ok()) {
+    std::fprintf(stderr, "cannot open journal: %s\n", obs.journal.c_str());
+    return 1;
+  }
+  examples::StartObservability(obs);
 
   engine::Topology topology;
   topology.AddOperator("geohash", kGroups, 1 << 16);
@@ -115,6 +149,7 @@ int main(int argc, char** argv) {
   eopts.serde_cost = 0.3;
   eopts.window_every_us = kPeriodUs;
   eopts.mode = engine::ExecutionMode::kBatched;
+  eopts.metrics = &registry;
   engine::LocalEngine engine(&topology, &cluster, assignment,
                              {&geohash, &topk, &global_topk}, eopts);
 
@@ -147,6 +182,8 @@ int main(int argc, char** argv) {
   copts.period_every_us = kPeriodUs;
   copts.node_capacity_work_units = 2.0 * kTuplesPerPeriod / kNodes / 0.5;
   copts.use_indirect_migration = true;  // pause O(log suffix), not O(state)
+  copts.metrics = &registry;
+  if (journal.is_open()) copts.journal = &journal;
   core::ControllerLoop controller(&engine, &framework, &load_model, &topology,
                                   &cluster, copts);
 
@@ -168,7 +205,9 @@ int main(int argc, char** argv) {
     shards.push_back(sources.back().get());
   }
   KillMidStreamSink sink(&controller, kill_node, total / 2);
-  engine::ShardedSourceRunner runner;
+  engine::ShardedSourceOptions sopts;
+  sopts.metrics = &registry;
+  engine::ShardedSourceRunner runner(sopts);
   const auto report = runner.Run(shards, 0, kGroups, &sink);
   if (!report.ok()) {
     std::fprintf(stderr, "ingestion failed: %s\n",
@@ -222,5 +261,5 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(merged[i].second),
                 static_cast<long long>(merged[i].first));
   }
-  return 0;
+  return examples::FinishObservability(obs, &registry);
 }

@@ -1,0 +1,76 @@
+#pragma once
+
+// Shared observability flag handling for the example jobs:
+//
+//   --metrics-dump=<path>  write the registry's JSON snapshot at exit
+//   --trace=<path>         record Chrome trace-event spans, write at exit
+//   --journal=<path>       controller decision journal (JSONL)
+//
+// All three are off by default and none of them touches stdout, so a job's
+// printed output is identical with or without the flags (the observability
+// layer observes, never steers).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/metrics_registry.h"
+#include "common/trace.h"
+
+namespace albic::examples {
+
+struct ObservabilityFlags {
+  std::string metrics_dump;
+  std::string trace;
+  std::string journal;
+};
+
+/// Consumes `--metrics-dump=`, `--trace=` and `--journal=` arguments;
+/// returns true when \p arg was one of them (the caller skips it).
+inline bool ParseObservabilityFlag(const char* arg, ObservabilityFlags* out) {
+  const auto match = [&](const char* prefix, std::string* value) {
+    const size_t n = std::strlen(prefix);
+    if (std::strncmp(arg, prefix, n) != 0) return false;
+    *value = arg + n;
+    return true;
+  };
+  return match("--metrics-dump=", &out->metrics_dump) ||
+         match("--trace=", &out->trace) || match("--journal=", &out->journal);
+}
+
+/// Call once, before ingestion: turns the tracer on when --trace was given.
+inline void StartObservability(const ObservabilityFlags& flags) {
+  if (!flags.trace.empty()) Tracer::Global().Enable();
+}
+
+/// Call once, after the job finished: writes the trace and the final
+/// registry snapshot. Failures go to stderr and the exit code, never
+/// stdout.
+inline int FinishObservability(const ObservabilityFlags& flags,
+                               MetricsRegistry* registry) {
+  int rc = 0;
+  if (!flags.trace.empty()) {
+    Tracer::Global().Disable();
+    registry->Gauge("trace_spans_dropped")
+        ->Set(static_cast<int64_t>(Tracer::Global().Dropped()));
+    if (!Tracer::Global().WriteChromeTrace(flags.trace)) {
+      std::fprintf(stderr, "trace write failed: %s\n", flags.trace.c_str());
+      rc = 1;
+    }
+  }
+  if (!flags.metrics_dump.empty()) {
+    const std::string snapshot = registry->JsonSnapshot();
+    FILE* f = std::fopen(flags.metrics_dump.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(snapshot.data(), 1, snapshot.size(), f) !=
+            snapshot.size()) {
+      std::fprintf(stderr, "metrics dump failed: %s\n",
+                   flags.metrics_dump.c_str());
+      rc = 1;
+    }
+    if (f != nullptr) std::fclose(f);
+  }
+  return rc;
+}
+
+}  // namespace albic::examples

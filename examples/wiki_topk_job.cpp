@@ -8,7 +8,14 @@
 // thread and fed in through bounded staging queues. Run with a shard count
 // argument (default 1, which is bit-identical to per-tuple ingestion):
 //
-//   wiki_topk_job [num_shards]
+//   wiki_topk_job [num_shards] [--metrics-dump=M.json] [--trace=T.json]
+//                 [--journal=J.jsonl]
+//
+// The observability flags (examples/observability_flags.h) dump the final
+// metrics-registry snapshot, a Chrome trace (the run ends with a
+// three-mode migration showcase, so the trace shows the direct, indirect
+// and epoch pause signatures side by side) and the controller's decision
+// journal. Printed output is identical with or without them.
 
 #include <algorithm>
 #include <cstdio>
@@ -19,10 +26,13 @@
 #include "balance/milp_rebalancer.h"
 #include "common/table_printer.h"
 #include "core/controller_loop.h"
+#include "core/round_journal.h"
+#include "engine/checkpoint.h"
 #include "engine/load_model.h"
 #include "engine/local_engine.h"
 #include "engine/sharded_source.h"
 #include "engine/source.h"
+#include "examples/observability_flags.h"
 #include "ops/geohash.h"
 #include "ops/topk.h"
 #include "workload/streams.h"
@@ -39,24 +49,37 @@ constexpr int64_t kPeriodUs = 60LL * 1000 * 1000;  // SPL = window = 1 min
 
 int main(int argc, char** argv) {
   int num_shards = 1;
-  if (argc > 2) {
-    std::fprintf(stderr, "usage: %s [num_shards]\n", argv[0]);
-    return 2;
-  }
-  if (argc > 1) {
+  examples::ObservabilityFlags obs;
+  int positionals = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (examples::ParseObservabilityFlag(argv[i], &obs)) continue;
+    if (++positionals > 1) {
+      std::fprintf(stderr,
+                   "usage: %s [num_shards] [--metrics-dump=PATH] "
+                   "[--trace=PATH] [--journal=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
     // Reject non-numeric or out-of-range shard counts instead of silently
     // clamping what atoi made of them.
     char* end = nullptr;
-    const long parsed = std::strtol(argv[1], &end, 10);
-    if (end == argv[1] || *end != '\0' || parsed <= 0 || parsed > 1024) {
+    const long parsed = std::strtol(argv[i], &end, 10);
+    if (end == argv[i] || *end != '\0' || parsed <= 0 || parsed > 1024) {
       std::fprintf(stderr,
                    "error: num_shards must be an integer in [1, 1024], "
                    "got \"%s\"\nusage: %s [num_shards]\n",
-                   argv[1], argv[0]);
+                   argv[i], argv[0]);
       return 2;
     }
     num_shards = static_cast<int>(parsed);
   }
+  MetricsRegistry registry;
+  core::RoundJournal journal;
+  if (!obs.journal.empty() && !journal.Open(obs.journal).ok()) {
+    std::fprintf(stderr, "cannot open journal: %s\n", obs.journal.c_str());
+    return 1;
+  }
+  examples::StartObservability(obs);
   engine::Topology topology;
   topology.AddOperator("geohash", kGroups, 1 << 16);
   topology.AddOperator("topk-1min", kGroups, 1 << 18);
@@ -86,6 +109,7 @@ int main(int argc, char** argv) {
   // Latency telemetry: one sampled ingestion stamp per 32 tuples feeds the
   // per-period p50/p99 columns below (and would drive an SLO trigger).
   eopts.latency_sample_every = 32;
+  eopts.metrics = &registry;
   engine::LocalEngine engine(&topology, &cluster, assignment,
                              {&geohash, &topk, &global_topk}, eopts);
 
@@ -104,6 +128,8 @@ int main(int argc, char** argv) {
   // near 50% mean load at 6000 edits/minute.
   copts.node_capacity_work_units = 2.0 * kTuplesPerPeriod / kNodes / 0.5;
   copts.use_comm = true;
+  copts.metrics = &registry;
+  if (journal.is_open()) copts.journal = &journal;
   core::ControllerLoop controller(&engine, &framework, &load_model, &topology,
                                   &cluster, copts);
 
@@ -129,7 +155,9 @@ int main(int argc, char** argv) {
     shards.push_back(sources.back().get());
   }
   core::ControllerShardSink sink(&controller);
-  engine::ShardedSourceRunner runner;
+  engine::ShardedSourceOptions sopts;
+  sopts.metrics = &registry;
+  engine::ShardedSourceRunner runner(sopts);
   const auto report = runner.Run(shards, 0, kGroups, &sink);
   if (!report.ok()) {
     std::fprintf(stderr, "ingestion failed: %s\n",
@@ -137,6 +165,35 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!controller.RunRoundNow().ok()) return 1;
+
+  // Migration-mode showcase: with the stream fully drained the engine is
+  // quiescent, so moving a group is output-neutral (serialize -> restore is
+  // bit-identical) — but each mode leaves its distinct pause signature in
+  // the trace and bumps its engine_migrations_total{mode} counter. Direct
+  // first (no checkpoint needed), then checkpointing is attached for the
+  // indirect and epoch moves. Prints nothing: stdout stays identical with
+  // observability off.
+  {
+    engine::MemoryCheckpointStore showcase_store;
+    engine::CheckpointCoordinator showcase_coordinator(&showcase_store);
+    const auto move = [&](engine::KeyGroupId g,
+                          engine::MigrationMode mode) -> Status {
+      const engine::NodeId from = engine.assignment().node_of(g);
+      for (const engine::NodeId to : cluster.active_nodes()) {
+        if (to != from) return engine.MigrateGroup(g, to, mode);
+      }
+      return Status::OK();  // single-node cluster: nothing to move
+    };
+    if (!move(0, engine::MigrationMode::kDirect).ok() ||
+        !engine.EnableCheckpointing(&showcase_coordinator).ok() ||
+        !showcase_coordinator.CheckpointNow(&engine).ok() ||
+        !move(1, engine::MigrationMode::kIndirect).ok() ||
+        !move(2, engine::MigrationMode::kEpoch).ok()) {
+      std::fprintf(stderr, "migration showcase failed\n");
+      return 1;
+    }
+    engine.HarvestPeriod();  // publish the showcase period into the registry
+  }
 
   TablePrinter table({"period", "offered", "tuples", "mean-load(%)",
                       "load-distance(%)", "migrations", "pause(ms)",
@@ -178,5 +235,5 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(merged[i].second),
                 static_cast<long long>(merged[i].first));
   }
-  return 0;
+  return examples::FinishObservability(obs, &registry);
 }

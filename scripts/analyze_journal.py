@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Summarize a controller decision journal (JSONL, core/round_journal.h).
+
+Usage: analyze_journal.py JOURNAL.jsonl
+
+Reads one ControllerRound record per line and reports:
+  - round counts (total, SLO-triggered, recovery rounds)
+  - migration mode shares and the reasons the controller recorded
+  - predicted-vs-actual pause error per mode (the cost model's accuracy)
+  - checkpoint volume and recovery totals
+  - peak overload backlog
+
+Exits non-zero on malformed input, so CI can use it as a schema check.
+"""
+
+import json
+import sys
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us:.1f}us"
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+
+    rounds = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                print(f"{path}:{lineno}: invalid JSON: {exc}", file=sys.stderr)
+                return 1
+            for key in ("round", "migrations", "decisions", "recovery"):
+                if key not in rec:
+                    print(f"{path}:{lineno}: missing key '{key}'",
+                          file=sys.stderr)
+                    return 1
+            rounds.append(rec)
+
+    if not rounds:
+        print(f"{path}: empty journal", file=sys.stderr)
+        return 1
+
+    slo = sum(1 for r in rounds if r.get("slo_triggered"))
+    recovery_rounds = sum(
+        1 for r in rounds if r["recovery"]["groups_recovered"] > 0)
+    planned = sum(r["migrations"]["planned"] for r in rounds)
+    applied = sum(r["migrations"]["applied"] for r in rounds)
+
+    print(f"journal: {path}")
+    print(f"rounds: {len(rounds)} "
+          f"(slo-triggered: {slo}, with recovery: {recovery_rounds})")
+    print(f"migrations: {applied} applied of {planned} planned")
+
+    # Mode shares, reasons and prediction error, from the decision records.
+    by_mode = {}
+    reasons = {}
+    for r in rounds:
+        for d in r["decisions"]:
+            mode = d["mode"]
+            stats = by_mode.setdefault(
+                mode, {"n": 0, "pred": 0.0, "actual": 0.0, "abs_err": 0.0})
+            stats["n"] += 1
+            stats["pred"] += d["predicted_pause_us"]
+            stats["actual"] += d["actual_pause_us"]
+            stats["abs_err"] += abs(
+                d["predicted_pause_us"] - d["actual_pause_us"])
+            reasons[d["reason"]] = reasons.get(d["reason"], 0) + 1
+
+    if by_mode:
+        print("\nper-mode pause prediction (from decision records):")
+        print(f"  {'mode':10} {'count':>6} {'predicted':>12} "
+              f"{'actual':>12} {'mean |err|':>12}")
+        for mode in sorted(by_mode):
+            s = by_mode[mode]
+            print(f"  {mode:10} {s['n']:>6} {fmt_us(s['pred']):>12} "
+                  f"{fmt_us(s['actual']):>12} "
+                  f"{fmt_us(s['abs_err'] / s['n']):>12}")
+        print("\ndecision reasons:")
+        for reason in sorted(reasons, key=reasons.get, reverse=True):
+            print(f"  {reason}: {reasons[reason]}")
+    else:
+        print("no migration decisions recorded")
+
+    ckpt_taken = sum(r["checkpoint"]["taken"] for r in rounds)
+    ckpt_bytes = sum(r["checkpoint"]["bytes"] for r in rounds)
+    print(f"\ncheckpoints: {ckpt_taken} snapshots, {ckpt_bytes} bytes")
+
+    failed = sum(r["recovery"]["nodes_failed"] for r in rounds)
+    recovered = sum(r["recovery"]["groups_recovered"] for r in rounds)
+    if failed or recovered:
+        pause = sum(r["recovery"]["pause_us"] for r in rounds)
+        wall = sum(r["recovery"]["wall_us"] for r in rounds)
+        print(f"recovery: {failed} node failures, {recovered} groups "
+              f"restored, modeled pause {fmt_us(pause)}, wall {fmt_us(wall)}")
+
+    peak_backlog = max(
+        (max(r.get("backlog_us", []) or [0.0]) for r in rounds), default=0.0)
+    if peak_backlog > 0:
+        print(f"peak overload backlog: {fmt_us(peak_backlog)}")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,10 +2,11 @@
 # Documentation guard, run by the CI docs job and locally:
 #   1. every relative markdown link in README.md and docs/*.md resolves to
 #      an existing file;
-#   2. every public header under src/engine/, src/core/, src/balance/,
-#      src/scaling/ and src/ops/ — plus the shared test harness headers
-#      under tests/engine/ — carries a file-level doxygen header
-#      (\file + \brief), so the API docs cannot rot silently.
+#   2. every public header under src/common/, src/engine/, src/core/,
+#      src/balance/, src/scaling/ and src/ops/ — plus the shared test
+#      harness headers under tests/engine/ — carries a file-level doxygen
+#      header (\file + \brief), so the API docs cannot rot silently;
+#   3. the journal analyzer parses the checked-in sample decision journal.
 #
 # Usage: scripts/check_docs.sh   (from anywhere; operates on the repo root)
 
@@ -34,8 +35,8 @@ for md in README.md docs/*.md; do
 done
 
 # --- 2. header-doc check ----------------------------------------------------
-for h in src/engine/*.h src/core/*.h src/balance/*.h src/scaling/*.h \
-         src/ops/*.h tests/engine/*.h; do
+for h in src/common/*.h src/engine/*.h src/core/*.h src/balance/*.h \
+         src/scaling/*.h src/ops/*.h tests/engine/*.h; do
   [[ -f "$h" ]] || continue   # tests/engine may hold no headers
   if ! grep -q '\\file' "$h"; then
     echo "MISSING DOC: $h lacks a file-level \\file header"
@@ -47,8 +48,14 @@ for h in src/engine/*.h src/core/*.h src/balance/*.h src/scaling/*.h \
   fi
 done
 
+# --- 3. journal analyzer vs. the checked-in sample --------------------------
+if ! python3 scripts/analyze_journal.py docs/sample_journal.jsonl >/dev/null; then
+  echo "ANALYZER: scripts/analyze_journal.py rejected docs/sample_journal.jsonl"
+  fail=1
+fi
+
 if [[ $fail -ne 0 ]]; then
   echo "check_docs: FAILED"
   exit 1
 fi
-echo "check_docs: OK (links resolve, engine/core/balance/scaling/ops + test harness headers documented)"
+echo "check_docs: OK (links resolve, common/engine/core/balance/scaling/ops + test harness headers documented, sample journal parses)"

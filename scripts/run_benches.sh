@@ -41,7 +41,11 @@ for bench in "${BENCHES[@]}"; do
   fi
   echo "=== ${bench}"
   log="${OUT_DIR}/${bench}.log"
-  "${bin}" | tee "${log}"
+  # Benches that call BenchObservabilityBegin record a Chrome trace of the
+  # run (migration pauses, checkpoint rounds, recovery windows) next to the
+  # snapshots; load it in Perfetto / chrome://tracing.
+  ALBIC_TRACE_OUT="${OUT_DIR}/TRACE_${bench#bench_}.json" \
+    "${bin}" | tee "${log}"
   out="${OUT_DIR}/BENCH_${bench#bench_}.json"
   # sed -n exits 0 even with no matches (grep would trip pipefail when a
   # bench emits no BENCH_JSON lines yet).
@@ -51,7 +55,10 @@ for bench in "${BENCHES[@]}"; do
   # object next to the results. Duplicate keys keep the last occurrence
   # downstream — benches emit each key once.
   meta="$(sed -n 's/^BENCH_META //p' "${log}" | sort -u | paste -sd "," -)"
-  printf '{\n"meta":{%s},\n"results":[\n%s\n]\n}\n' "${meta}" "${lines}" \
-    >"${out}"
+  # The final metrics-registry snapshot (engine counters of the run), one
+  # JSON object per BENCH_METRICS line; keep the last.
+  metrics="$(sed -n 's/^BENCH_METRICS //p' "${log}" | tail -n 1)"
+  printf '{\n"meta":{%s},\n"engine_metrics":%s,\n"results":[\n%s\n]\n}\n' \
+    "${meta}" "${metrics:-null}" "${lines}" >"${out}"
   echo "wrote ${out}"
 done

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file
+/// \brief FlatMap64: open-addressing uint64 hash map with optional
+/// incremental (two-table) rehashing, plus process-wide rehash/drain
+/// telemetry the metrics registry publishes.
+
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -8,6 +14,32 @@
 #include "common/hash.h"
 
 namespace albic {
+
+/// \brief Process-wide FlatMap64 rehash/drain telemetry. Operators own
+/// their maps privately, so the engine cannot reach per-instance counters;
+/// these relaxed atomics aggregate across every instance and are bumped
+/// only on growth events (a doubling, a drain payment) — never on plain
+/// lookups or inserts — so the hot path stays untouched. Snapshot them
+/// into a MetricsRegistry via PublishFlatMap64Stats (metrics_registry.h
+/// consumers) or read directly in tests.
+struct FlatMap64Telemetry {
+  /// One-shot rehashes that moved live entries (stop-the-world stalls).
+  static inline std::atomic<int64_t> full_rehashes{0};
+  /// Bounded drain payments made by mutating operations mid-rehash.
+  static inline std::atomic<int64_t> drain_steps{0};
+  /// Old-table entries migrated by those payments.
+  static inline std::atomic<int64_t> drained_entries{0};
+  /// Largest single payment any operation made (≤ kDrainBudget while
+  /// incremental mode holds its bound).
+  static inline std::atomic<int64_t> max_drain_step{0};
+
+  static void NoteMaxDrainStep(int64_t moved) {
+    int64_t cur = max_drain_step.load(std::memory_order_relaxed);
+    while (moved > cur && !max_drain_step.compare_exchange_weak(
+                              cur, moved, std::memory_order_relaxed)) {
+    }
+  }
+};
 
 /// \brief Open-addressing hash map from uint64 keys to a small value type,
 /// tuned for the per-key-group state of hot stream operators (counts, sums,
@@ -318,7 +350,11 @@ class FlatMap64 {
   }
 
   void Grow() {
-    if (size_ > (zero_used_ ? size_t{1} : size_t{0})) ++full_rehashes_;
+    if (size_ > (zero_used_ ? size_t{1} : size_t{0})) {
+      ++full_rehashes_;
+      FlatMap64Telemetry::full_rehashes.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
     Rehash(slots_.empty() ? 16 : slots_.size() * 2);
   }
 
@@ -363,6 +399,12 @@ class FlatMap64 {
     }
     if (drain_pos_ >= old_slots_.size()) ReleaseOld();
     if (moved > max_drain_step_) max_drain_step_ = moved;
+    // Global drain accounting: only while a drain is in flight (bounded
+    // by the doubling cadence), never on steady-state operations.
+    FlatMap64Telemetry::drain_steps.fetch_add(1, std::memory_order_relaxed);
+    FlatMap64Telemetry::drained_entries.fetch_add(
+        static_cast<int64_t>(moved), std::memory_order_relaxed);
+    FlatMap64Telemetry::NoteMaxDrainStep(static_cast<int64_t>(moved));
   }
 
   /// Retires a drain in one go (Reserve, mode switch, forced doubling).
@@ -370,7 +412,13 @@ class FlatMap64 {
     if (old_slots_.empty()) return;
     size_t moved = 0;
     while (drain_pos_ < old_slots_.size()) moved += DrainOneSlot();
-    if (moved > kDrainBudget) ++full_rehashes_;  // an op absorbed bulk work
+    if (moved > kDrainBudget) {
+      ++full_rehashes_;  // an op absorbed bulk work
+      FlatMap64Telemetry::full_rehashes.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+    FlatMap64Telemetry::drained_entries.fetch_add(
+        static_cast<int64_t>(moved), std::memory_order_relaxed);
     ReleaseOld();
   }
 

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// \brief Stable FNV-1a 64-bit hashing for key routing and sharding.
+
 #include <cstdint>
 #include <string_view>
 

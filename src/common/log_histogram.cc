@@ -1,0 +1,100 @@
+#include "common/log_histogram.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace albic {
+
+int LogHistogram::BucketIndex(int64_t value_us) {
+  if (value_us < 0) value_us = 0;  // underflow clamps into the zero bucket
+  if (value_us < kSubBuckets) return static_cast<int>(value_us);
+  const int msb = 63 - __builtin_clzll(static_cast<uint64_t>(value_us));
+  if (msb > kMaxExponent) return kOverflowBucket;
+  // Octave msb holds kSubBuckets sub-buckets of width 2^(msb - kSubBits):
+  // the kSubBits bits below the leading bit select the sub-bucket.
+  const int sub = static_cast<int>(value_us >> (msb - kSubBits)) - kSubBuckets;
+  return (msb - kSubBits + 1) * kSubBuckets + sub;
+}
+
+int64_t LogHistogram::BucketLowerBound(int idx) {
+  if (idx <= 0) return 0;
+  if (idx >= kOverflowBucket) return kMaxTrackable;
+  if (idx < kSubBuckets) return idx;
+  const int block = idx / kSubBuckets;  // = msb - kSubBits + 1
+  const int sub = idx % kSubBuckets;
+  return static_cast<int64_t>(kSubBuckets + sub) << (block - 1);
+}
+
+int64_t LogHistogram::BucketUpperBound(int idx) {
+  if (idx < 0) return 0;
+  if (idx >= kOverflowBucket) return kMaxTrackable;
+  if (idx < kSubBuckets) return idx + 1;
+  const int block = idx / kSubBuckets;
+  return BucketLowerBound(idx) + (int64_t{1} << (block - 1));
+}
+
+void LogHistogram::RecordN(int64_t value_us, int64_t n) {
+  if (n <= 0) return;
+  const int64_t clamped =
+      std::min(std::max<int64_t>(value_us, 0), kMaxTrackable);
+  buckets_[BucketIndex(value_us)] += n;
+  if (count_ == 0) {
+    min_ = clamped;
+    max_ = clamped;
+  } else {
+    min_ = std::min(min_, clamped);
+    max_ = std::max(max_, clamped);
+  }
+  count_ += n;
+  sum_ += static_cast<double>(clamped) * static_cast<double>(n);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i <= kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::Clear() {
+  std::memset(buckets_, 0, sizeof(buckets_));
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+int64_t LogHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::min(std::max(p, 0.0), 100.0);
+  // Rank of the target observation (1-based, nearest-rank).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(p / 100.0 * static_cast<double>(count_) + 0.5));
+  int64_t seen = 0;
+  for (int i = 0; i <= kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    if (seen < rank) continue;
+    // Interpolate linearly inside the bucket, then clamp to the exact
+    // extrema so single-value histograms report that value exactly.
+    const int64_t lo = BucketLowerBound(i);
+    const int64_t hi = BucketUpperBound(i);
+    const int64_t before = seen - buckets_[i];
+    const double frac = static_cast<double>(rank - before) /
+                        static_cast<double>(buckets_[i]);
+    int64_t v = lo + static_cast<int64_t>(
+                         static_cast<double>(hi - lo) * frac);
+    v = std::min(std::max(v, min_), max_);
+    return v;
+  }
+  return max_;
+}
+
+}  // namespace albic

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// \brief Leveled process-wide logging with a pluggable sink.
+
 #include <sstream>
 #include <string>
 

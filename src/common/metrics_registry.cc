@@ -1,0 +1,188 @@
+#include "common/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace albic {
+
+namespace {
+
+/// Escapes a label value for both exposition and JSON (the characters that
+/// need quoting are the same: backslash, quote, newline).
+std::string EscapeValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string LabelBlock(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + EscapeValue(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string JsonLabels(const MetricLabels& labels) {
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + labels[i].first + "\":\"" + EscapeValue(labels[i].second) +
+           "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string I64(int64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(const std::string& name,
+                                                     const MetricLabels& labels,
+                                                     Kind kind) {
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  key += '\0';
+  for (const auto& [k, v] : sorted) {
+    key += k;
+    key += '\1';
+    key += v;
+    key += '\1';
+  }
+  Shard& shard = shards_[Fnv1a64(name) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) return it->second;
+  shard.entries.emplace_back();
+  Entry* e = &shard.entries.back();
+  e->name = name;
+  e->labels = std::move(sorted);
+  e->kind = kind;
+  shard.index.emplace(std::move(key), e);
+  return e;
+}
+
+CounterMetric* MetricsRegistry::Counter(const std::string& name,
+                                        const MetricLabels& labels) {
+  return &GetOrCreate(name, labels, Kind::kCounter)->counter;
+}
+
+GaugeMetric* MetricsRegistry::Gauge(const std::string& name,
+                                    const MetricLabels& labels) {
+  return &GetOrCreate(name, labels, Kind::kGauge)->gauge;
+}
+
+HistogramMetric* MetricsRegistry::Histogram(const std::string& name,
+                                            const MetricLabels& labels) {
+  return &GetOrCreate(name, labels, Kind::kHistogram)->histogram;
+}
+
+size_t MetricsRegistry::NumSeries() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.entries.size();
+  }
+  return n;
+}
+
+std::vector<const MetricsRegistry::Entry*> MetricsRegistry::SortedEntries()
+    const {
+  std::vector<const Entry*> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Entry& e : shard.entries) out.push_back(&e);
+  }
+  std::sort(out.begin(), out.end(), [](const Entry* a, const Entry* b) {
+    if (a->name != b->name) return a->name < b->name;
+    return a->labels < b->labels;
+  });
+  return out;
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::string out;
+  for (const Entry* e : SortedEntries()) {
+    switch (e->kind) {
+      case Kind::kCounter:
+        out += e->name + LabelBlock(e->labels) + " " +
+               I64(e->counter.value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += e->name + LabelBlock(e->labels) + " " + I64(e->gauge.value()) +
+               "\n";
+        break;
+      case Kind::kHistogram: {
+        const LogHistogram h = e->histogram.Snapshot();
+        // Summary-style exposition: quantiles join the metric's own labels.
+        for (const auto& [q, p] :
+             {std::pair<const char*, double>{"0.5", 50.0},
+              std::pair<const char*, double>{"0.99", 99.0}}) {
+          MetricLabels with_q = e->labels;
+          with_q.emplace_back("quantile", q);
+          out += e->name + LabelBlock(with_q) + " " + I64(h.Percentile(p)) +
+                 "\n";
+        }
+        out += e->name + "_count" + LabelBlock(e->labels) + " " +
+               I64(h.count()) + "\n";
+        char sum[64];
+        std::snprintf(sum, sizeof(sum), "%.6g",
+                      h.Mean() * static_cast<double>(h.count()));
+        out += e->name + "_sum" + LabelBlock(e->labels) + " " + sum + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const Entry* e : SortedEntries()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + e->name + "\",\"labels\":" + JsonLabels(e->labels);
+    switch (e->kind) {
+      case Kind::kCounter:
+        out += ",\"type\":\"counter\",\"value\":" + I64(e->counter.value());
+        break;
+      case Kind::kGauge:
+        out += ",\"type\":\"gauge\",\"value\":" + I64(e->gauge.value());
+        break;
+      case Kind::kHistogram: {
+        const LogHistogram h = e->histogram.Snapshot();
+        out += ",\"type\":\"histogram\",\"count\":" + I64(h.count()) +
+               ",\"p50\":" + I64(h.Percentile(50.0)) +
+               ",\"p99\":" + I64(h.Percentile(99.0)) +
+               ",\"max\":" + I64(h.max());
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace albic

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// \brief Result<T> — a value or a Status, the Arrow idiom for fallible returns.
+
 #include <cassert>
 #include <optional>
 #include <utility>

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// \brief Seeded xoshiro256** PRNG and distributions; all library randomness is reproducible.
+
 #include <cmath>
 #include <cstdint>
 #include <vector>

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// \brief Simulated microsecond wall clock the engine advances explicitly.
+
 #include <cassert>
 #include <cstdint>
 

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// \brief Small statistics helpers (mean, variance, percentiles) over double vectors.
+
 #include <cstddef>
 #include <vector>
 

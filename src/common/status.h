@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// \brief Status — error code + message returned by every fallible API (no exceptions).
+
 #include <string>
 #include <string_view>
 #include <utility>

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// \brief String splitting/joining/formatting helpers shared across the library.
+
 #include <string>
 #include <string_view>
 #include <vector>

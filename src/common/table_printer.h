@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// \brief Fixed-width text table writer for paper-figure output on stdout.
+
 #include <cstdio>
 #include <string>
 #include <vector>

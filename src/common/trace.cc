@@ -1,0 +1,123 @@
+#include "common/trace.h"
+
+#include <cstdio>
+
+namespace albic {
+
+Tracer& Tracer::Global() {
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  // One registration per thread lifetime; the pointer stays valid because
+  // buffers_ holds unique_ptrs and never erases.
+  thread_local ThreadBuffer* tls = nullptr;
+  if (tls == nullptr) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->spans.resize(kSpansPerThread);
+    tls = buffer.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = static_cast<uint32_t>(buffers_.size() + 1);
+    buffers_.push_back(std::move(buffer));
+  }
+  return tls;
+}
+
+void Tracer::Record(const TraceSpan& span) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  const size_t n = buffer->size.load(std::memory_order_relaxed);
+  if (n >= kSpansPerThread) {
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer->spans[n] = span;
+  // Release-publish: a collector that acquires size >= n+1 sees the slot.
+  buffer->size.store(n + 1, std::memory_order_release);
+}
+
+size_t Tracer::CollectedSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& b : buffers_) {
+    total += b->size.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+int64_t Tracer::Dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& b : buffers_) {
+    total += b->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& b : buffers_) {
+    b->size.store(0, std::memory_order_release);
+    b->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::string out = "{\"traceEvents\":[";
+  std::lock_guard<std::mutex> lock(mu_);
+  bool first = true;
+  char line[512];
+  for (const auto& b : buffers_) {
+    const size_t n = b->size.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      const TraceSpan& s = b->spans[i];
+      if (!first) out += ",";
+      first = false;
+      // Chrome trace events use microsecond timestamps; keep ns precision
+      // with a fractional part.
+      const double ts_us = static_cast<double>(s.start_ns) / 1000.0;
+      if (s.dur_ns < 0) {
+        std::snprintf(line, sizeof(line),
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                      "\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%u",
+                      s.name, s.cat, ts_us, b->tid);
+      } else {
+        const double dur_us = static_cast<double>(s.dur_ns) / 1000.0;
+        std::snprintf(line, sizeof(line),
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                      "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u",
+                      s.name, s.cat, ts_us, dur_us, b->tid);
+      }
+      out += line;
+      if (s.arg1_name != nullptr || s.arg2_name != nullptr) {
+        out += ",\"args\":{";
+        if (s.arg1_name != nullptr) {
+          std::snprintf(line, sizeof(line), "\"%s\":%lld", s.arg1_name,
+                        static_cast<long long>(s.arg1));
+          out += line;
+        }
+        if (s.arg2_name != nullptr) {
+          if (s.arg1_name != nullptr) out += ",";
+          std::snprintf(line, sizeof(line), "\"%s\":%lld", s.arg2_name,
+                        static_cast<long long>(s.arg2));
+          out += line;
+        }
+        out += "}";
+      }
+      out += "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ChromeTraceJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace albic

@@ -1,0 +1,182 @@
+#pragma once
+
+/// \file
+/// \brief Event tracer: per-thread lock-free span buffers and scoped
+/// TRACE_SPAN RAII macros emitting Chrome trace-event JSON (loadable in
+/// Perfetto / chrome://tracing). Instruments wave drains, per-operator
+/// batch service, checkpoint rounds, replay, all three migration modes and
+/// recovery — so a live migration's pause signature is visually
+/// inspectable per mode.
+///
+/// Cost contract, mirroring the engine's latency telemetry:
+///  - Compile-time off (-DALBIC_DISABLE_TRACING): the macros expand to
+///    nothing — zero code, zero clock reads.
+///  - Runtime off (default): one relaxed atomic load per scope; no clock
+///    reads, no allocation, outputs bit-identical to compile-time off.
+///  - Runtime on: two clock reads per span plus one slot write into a
+///    preallocated per-thread buffer (no locks, no allocation on the hot
+///    path). A full buffer drops spans and counts the drops rather than
+///    blocking or reallocating.
+///
+/// Span names are `const char*` and MUST be string literals (the tracer
+/// stores the pointer, not a copy); dynamic identity goes in the integer
+/// args (e.g. TRACE_SPAN2("engine", "op.batch", "op", op, "group", g)).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace albic {
+
+/// \brief One completed span (or instant event when dur_ns < 0).
+struct TraceSpan {
+  const char* name = nullptr;  ///< Static string literal.
+  const char* cat = nullptr;   ///< Category (static literal): engine, ...
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;  ///< -1 marks an instant event (ph "i").
+  const char* arg1_name = nullptr;
+  int64_t arg1 = 0;
+  const char* arg2_name = nullptr;
+  int64_t arg2 = 0;
+};
+
+/// \brief Process-wide tracer holding one preallocated span buffer per
+/// publishing thread. Threads register their buffer on first use (the only
+/// locked path); recording is a plain slot write published with a release
+/// store of the buffer size, so the writer never blocks and the collector
+/// (WriteChromeTrace) reads only committed spans.
+class Tracer {
+ public:
+  /// Spans a thread can hold before dropping (~3.5 MiB per thread).
+  static constexpr size_t kSpansPerThread = 1 << 16;
+
+  static Tracer& Global();
+
+  /// \brief The tracer's wall clock (steady_clock ns — the same epoch for
+  /// every span, so Perfetto renders threads on one timeline).
+  static int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// \brief Appends \p span to the calling thread's buffer (drops and
+  /// counts when full). Callers check enabled() first — TraceScope does.
+  void Record(const TraceSpan& span);
+
+  /// \brief Total committed spans across all thread buffers.
+  size_t CollectedSpans() const;
+  /// \brief Spans dropped to full buffers since the last Clear().
+  int64_t Dropped() const;
+  /// \brief Resets every buffer to empty (buffers stay allocated and
+  /// registered — live threads keep appending into the same storage).
+  void Clear();
+
+  /// \brief Writes all committed spans as Chrome trace-event JSON
+  /// (`{"traceEvents":[...]}`); returns false if the file can't be opened.
+  bool WriteChromeTrace(const std::string& path) const;
+  /// \brief The same document as a string (for tests).
+  std::string ChromeTraceJson() const;
+
+ private:
+  struct ThreadBuffer {
+    std::vector<TraceSpan> spans;  // sized once; slots overwritten in place
+    std::atomic<size_t> size{0};
+    std::atomic<int64_t> dropped{0};
+    uint32_t tid = 0;
+  };
+
+  Tracer() = default;
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards buffers_ (registration + collection)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// \brief RAII span: samples the clock at construction and records on
+/// destruction. Inert (no clock reads) when the tracer is disabled at
+/// construction time.
+class TraceScope {
+ public:
+  TraceScope(const char* cat, const char* name, const char* arg1_name = nullptr,
+             int64_t arg1 = 0, const char* arg2_name = nullptr,
+             int64_t arg2 = 0)
+      : active_(Tracer::Global().enabled()) {
+    if (!active_) return;
+    span_.name = name;
+    span_.cat = cat;
+    span_.arg1_name = arg1_name;
+    span_.arg1 = arg1;
+    span_.arg2_name = arg2_name;
+    span_.arg2 = arg2;
+    span_.start_ns = Tracer::NowNs();
+  }
+  ~TraceScope() {
+    if (!active_) return;
+    span_.dur_ns = Tracer::NowNs() - span_.start_ns;
+    Tracer::Global().Record(span_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool active_;
+  TraceSpan span_;
+};
+
+/// \brief Records an instant event (vertical tick in the trace viewer).
+inline void TraceInstant(const char* cat, const char* name,
+                         const char* arg1_name = nullptr, int64_t arg1 = 0) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  TraceSpan span;
+  span.name = name;
+  span.cat = cat;
+  span.start_ns = Tracer::NowNs();
+  span.dur_ns = -1;
+  span.arg1_name = arg1_name;
+  span.arg1 = arg1;
+  tracer.Record(span);
+}
+
+}  // namespace albic
+
+// Scoped span macros. ALBIC_DISABLE_TRACING compiles them out entirely
+// (the zero-overhead floor); by default they compile in and cost one
+// relaxed atomic load when tracing is off at runtime.
+#if defined(ALBIC_DISABLE_TRACING)
+#define ALBIC_TRACE_SPAN(cat, name) \
+  do {                              \
+  } while (0)
+#define ALBIC_TRACE_SPAN1(cat, name, k1, v1) \
+  do {                                       \
+  } while (0)
+#define ALBIC_TRACE_SPAN2(cat, name, k1, v1, k2, v2) \
+  do {                                               \
+  } while (0)
+#define ALBIC_TRACE_INSTANT(cat, name) \
+  do {                                 \
+  } while (0)
+#else
+#define ALBIC_TRACE_CONCAT_(a, b) a##b
+#define ALBIC_TRACE_CONCAT(a, b) ALBIC_TRACE_CONCAT_(a, b)
+#define ALBIC_TRACE_SPAN(cat, name) \
+  ::albic::TraceScope ALBIC_TRACE_CONCAT(albic_trace_, __LINE__)(cat, name)
+#define ALBIC_TRACE_SPAN1(cat, name, k1, v1)                          \
+  ::albic::TraceScope ALBIC_TRACE_CONCAT(albic_trace_, __LINE__)(     \
+      cat, name, k1, static_cast<int64_t>(v1))
+#define ALBIC_TRACE_SPAN2(cat, name, k1, v1, k2, v2)                  \
+  ::albic::TraceScope ALBIC_TRACE_CONCAT(albic_trace_, __LINE__)(     \
+      cat, name, k1, static_cast<int64_t>(v1), k2,                    \
+      static_cast<int64_t>(v2))
+#define ALBIC_TRACE_INSTANT(cat, name) ::albic::TraceInstant(cat, name)
+#endif

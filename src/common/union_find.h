@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// \brief Disjoint-set forest (union by rank, path compression) for partition merging.
+
 #include <cstddef>
 #include <cstdint>
 #include <numeric>

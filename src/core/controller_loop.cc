@@ -4,6 +4,8 @@
 #include <chrono>
 #include <limits>
 
+#include "common/trace.h"
+#include "core/round_journal.h"
 #include "engine/load_model.h"
 
 namespace albic::core {
@@ -147,6 +149,8 @@ Status ControllerLoop::KillNode(engine::NodeId node) {
 }
 
 Result<ControllerRound> ControllerLoop::RunRoundNow() {
+  ALBIC_TRACE_SPAN1("controller", "controller.round", "round",
+                    static_cast<int64_t>(history_.size()));
   // Measure: complete in-flight work and harvest the period.
   engine_->Flush();
   engine::EnginePeriodStats stats = engine_->HarvestPeriod();
@@ -312,16 +316,20 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
         engine_->EstimateMigrationPause(m.group);
     engine::MigrationMode mode = engine::MigrationMode::kDirect;
     double predicted = est.direct_us;
+    const char* reason = checkpointed ? "direct-cheapest" : "no-checkpointing";
     if (checkpointed) {
       if (options_.use_indirect_migration ||
           (est.indirect_available && est.indirect_us < est.direct_us)) {
         mode = engine::MigrationMode::kIndirect;
         predicted = est.indirect_available ? est.indirect_us : est.direct_us;
+        reason = options_.use_indirect_migration ? "forced-indirect"
+                                                 : "indirect-cheaper";
       }
       if (!options_.use_indirect_migration && options_.use_epoch_migration &&
           est.epoch_available && est.epoch_us < predicted) {
         mode = engine::MigrationMode::kEpoch;
         predicted = est.epoch_us;
+        reason = "epoch-zero-pause";
       }
     }
     if (!engine_->StartMigration(m.group, m.to, mode).ok()) continue;
@@ -336,6 +344,10 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
       decision.mode = mode;
       decision.predicted_pause_us = predicted;
       decision.actual_pause_us = *pause;
+      decision.est_direct_us = est.direct_us;
+      decision.est_indirect_us = est.indirect_available ? est.indirect_us : -1;
+      decision.est_epoch_us = est.epoch_available ? est.epoch_us : -1;
+      decision.reason = reason;
       round.migration_decisions.push_back(decision);
       if (mode == engine::MigrationMode::kEpoch) {
         ++round.migrations_epoch;
@@ -396,6 +408,40 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
   round.mean_load = engine::MeanLoad(loads.bottleneck_loads(), *cluster_);
   round.load_distance =
       engine::LoadDistance(loads.bottleneck_loads(), *cluster_);
+
+  // Observe: publish the round into the decision journal and the registry.
+  // Both are attached sinks — neither can fail the round or steer the next
+  // one (a journal write error is counted by the journal itself).
+  if (options_.journal != nullptr) {
+    (void)options_.journal->Append(round);
+  }
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* reg = options_.metrics;
+    reg->Counter("controller_rounds_total")->Increment();
+    if (round.slo_triggered) {
+      reg->Counter("controller_rounds_slo_triggered_total")->Increment();
+    }
+    reg->Counter("controller_migrations_planned_total")
+        ->Add(round.migrations_planned);
+    reg->Counter("controller_migrations_applied_total")
+        ->Add(round.migrations_applied);
+    reg->Counter("controller_nodes_added_total")->Add(round.nodes_added);
+    reg->Counter("controller_nodes_terminated_total")
+        ->Add(round.nodes_terminated);
+    reg->Counter("controller_nodes_failed_total")->Add(round.nodes_failed);
+    reg->Counter("controller_groups_recovered_total")
+        ->Add(round.groups_recovered);
+    reg->Counter("controller_overloaded_node_periods_total")
+        ->Add(round.overloaded_nodes);
+    reg->Gauge("controller_active_nodes")->Set(round.active_nodes);
+    reg->Gauge("controller_marked_nodes")->Set(round.marked_nodes);
+    if (options_.journal != nullptr) {
+      reg->Gauge("controller_journal_records")
+          ->Set(options_.journal->records());
+      reg->Gauge("controller_journal_write_errors")
+          ->Set(options_.journal->write_errors());
+    }
+  }
 
   history_.push_back(round);
   return round;

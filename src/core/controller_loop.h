@@ -24,6 +24,8 @@
 
 namespace albic::core {
 
+class RoundJournal;
+
 /// \brief Configuration of the online control loop.
 struct ControllerLoopOptions {
   /// Statistics-period length (SPL) in event-time microseconds; every
@@ -81,6 +83,15 @@ struct ControllerLoopOptions {
   /// telemetry (LocalEngineOptions::latency_sample_every > 0) — without
   /// measurements the trigger never sees a breach. Disabled by default.
   SloTriggerOptions slo;
+  /// Registry the loop publishes per-round controller counters into
+  /// (controller_* series: rounds, migrations planned/applied, scaling
+  /// actions, recovery, load view). nullptr (default) = off. Observability
+  /// only — never steers a decision.
+  MetricsRegistry* metrics = nullptr;
+  /// Decision journal appended to after every round (core/round_journal.h).
+  /// Not owned; must outlive the loop's use. nullptr (default) = off. A
+  /// failed append never fails the round (the journal counts its errors).
+  RoundJournal* journal = nullptr;
 };
 
 /// \brief One applied migration with the mode the controller chose for it
@@ -94,6 +105,16 @@ struct MigrationDecision {
   /// bytes; indirect: exact replay-log suffix).
   double predicted_pause_us = 0.0;
   double actual_pause_us = 0.0;  ///< Pause the engine reported.
+  /// The full prediction the choice was made from: every mode's estimated
+  /// pause (-1 when the mode was unavailable for this group), journaled so
+  /// the rejected alternatives are auditable alongside the winner.
+  double est_direct_us = 0.0;
+  double est_indirect_us = -1.0;
+  double est_epoch_us = -1.0;
+  /// Why this mode won: "no-checkpointing" (direct is all there is),
+  /// "forced-indirect" (use_indirect_migration), "indirect-cheaper",
+  /// "epoch-zero-pause", or "direct-cheapest".
+  const char* reason = "direct-cheapest";
 };
 
 /// \brief Compact record of one adaptation round driven by the controller.

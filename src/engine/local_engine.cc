@@ -7,7 +7,9 @@
 #include <string>
 #include <utility>
 
+#include "common/flat_map64.h"
 #include "common/hash.h"
+#include "common/trace.h"
 #include "engine/checkpoint.h"
 
 namespace albic::engine {
@@ -146,6 +148,98 @@ LocalEngine::LocalEngine(const Topology* topology, const Cluster* cluster,
       }
     }
   }
+  WireMetrics();
+}
+
+void LocalEngine::WireMetrics() {
+  MetricsRegistry* reg = options_.metrics;
+  if (reg == nullptr) return;
+  metrics_.tuples_processed = reg->Counter("engine_tuples_processed_total");
+  metrics_.tuples_buffered = reg->Counter("engine_tuples_buffered_total");
+  metrics_.waves = reg->Counter("engine_waves_total");
+  metrics_.migration_pause_us =
+      reg->Counter("engine_migration_pause_us_total");
+  metrics_.checkpoints = reg->Counter("engine_checkpoints_total");
+  metrics_.checkpoint_bytes = reg->Counter("engine_checkpoint_bytes_total");
+  metrics_.checkpoint_delta_groups =
+      reg->Counter("engine_checkpoint_delta_groups_total");
+  metrics_.checkpoint_delta_bytes =
+      reg->Counter("engine_checkpoint_delta_bytes_total");
+  metrics_.tuples_replayed = reg->Counter("engine_tuples_replayed_total");
+  metrics_.groups_recovered = reg->Counter("engine_groups_recovered_total");
+  metrics_.epoch_transfer_bytes =
+      reg->Counter("engine_epoch_transfer_bytes_total");
+  metrics_.migrations_direct =
+      reg->Counter("engine_migrations_total", {{"mode", "direct"}});
+  metrics_.migrations_indirect =
+      reg->Counter("engine_migrations_total", {{"mode", "indirect"}});
+  metrics_.migrations_epoch =
+      reg->Counter("engine_migrations_total", {{"mode", "epoch"}});
+  metrics_.mailbox_highwater = reg->Gauge("engine_mailbox_highwater");
+  metrics_.chain_len_highwater =
+      reg->Gauge("engine_checkpoint_chain_len_highwater");
+  metrics_.worker_pool_runs = reg->Gauge("engine_worker_pool_runs");
+  if (telemetry_) {
+    metrics_.e2e_latency_us = reg->Histogram("engine_e2e_latency_us");
+    metrics_.queue_delay_us = reg->Histogram("engine_queue_delay_us");
+    metrics_.stall_e2e_us = reg->Histogram("engine_stall_e2e_us");
+  }
+}
+
+void LocalEngine::PublishPeriodMetrics(const EnginePeriodStats& stats) {
+  if (options_.metrics == nullptr) return;
+  metrics_.tuples_processed->Add(stats.tuples_processed);
+  metrics_.tuples_buffered->Add(stats.tuples_buffered);
+  metrics_.waves->Add(stats.waves);
+  metrics_.migration_pause_us->Add(
+      static_cast<int64_t>(stats.migration_pause_us));
+  metrics_.checkpoints->Add(stats.checkpoints_taken);
+  metrics_.checkpoint_bytes->Add(stats.checkpoint_bytes);
+  metrics_.tuples_replayed->Add(stats.tuples_replayed);
+  metrics_.groups_recovered->Add(stats.groups_recovered);
+  metrics_.epoch_transfer_bytes->Add(stats.epoch_transfer_bytes);
+  metrics_.mailbox_highwater->SetMax(stats.mailbox_highwater);
+  if (pool_ != nullptr) metrics_.worker_pool_runs->Set(pool_->runs());
+  int64_t max_chain = 0;
+  for (const int len : chain_len_) {
+    if (len > max_chain) max_chain = len;
+  }
+  metrics_.chain_len_highwater->SetMax(max_chain);
+  // Per-shard offered load, labelled by shard (resolved lazily: the shard
+  // count is only known once ingestion ran; HarvestPeriod is cold).
+  for (size_t s = 0; s < stats.shard_ingested.size(); ++s) {
+    if (stats.shard_ingested[s] == 0) continue;
+    options_.metrics
+        ->Counter("engine_shard_ingested_total",
+                  {{"shard", std::to_string(s)}})
+        ->Add(stats.shard_ingested[s]);
+  }
+  if (telemetry_) {
+    metrics_.e2e_latency_us->Merge(stats.latency.e2e_us);
+    metrics_.queue_delay_us->Merge(stats.latency.queue_us);
+    metrics_.stall_e2e_us->Merge(stats.latency.stall_e2e_us);
+  }
+  // Coordinator-level and hash-table counters are cumulative (not per
+  // period); surfaced as gauges set to the live totals. Resolved by name —
+  // the coordinator attaches after construction and the harvest is cold.
+  MetricsRegistry* reg = options_.metrics;
+  if (checkpointer_ != nullptr) {
+    const CheckpointCoordinatorStats& cs = checkpointer_->stats();
+    reg->Gauge("checkpoint_rounds")->Set(cs.rounds);
+    reg->Gauge("checkpoint_forced_rounds")->Set(cs.forced_rounds);
+    reg->Gauge("checkpoint_round_wall_us")
+        ->Set(static_cast<int64_t>(cs.round_wall_us));
+  }
+  reg->Gauge("flatmap64_full_rehashes")
+      ->Set(FlatMap64Telemetry::full_rehashes.load(std::memory_order_relaxed));
+  reg->Gauge("flatmap64_drain_steps")
+      ->Set(FlatMap64Telemetry::drain_steps.load(std::memory_order_relaxed));
+  reg->Gauge("flatmap64_drained_entries")
+      ->Set(
+          FlatMap64Telemetry::drained_entries.load(std::memory_order_relaxed));
+  reg->Gauge("flatmap64_max_drain_step")
+      ->SetMax(
+          FlatMap64Telemetry::max_drain_step.load(std::memory_order_relaxed));
 }
 
 // ---------------------------------------------------------------------------
@@ -754,6 +848,8 @@ void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
     ctx->stats->tuples_buffered += static_cast<int64_t>(batch.size());
     return;
   }
+  ALBIC_TRACE_SPAN2("engine", "op.batch", "op", op, "tuples",
+                    static_cast<int64_t>(batch.size()));
   // Telemetry: one clock read covers both the mailbox queueing delay
   // (enqueue stamp -> here) and the start of the service-time window.
   int64_t t0_ns = 0;
@@ -816,6 +912,7 @@ void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
 }
 
 void LocalEngine::RunWave(std::vector<std::vector<PendingBatch>>* wave) {
+  ALBIC_TRACE_SPAN1("engine", "wave", "workers", options_.num_workers);
   if (options_.num_workers == 1) {
     for (std::vector<PendingBatch>& box : *wave) {
       for (PendingBatch& pb : box) {
@@ -869,10 +966,14 @@ void LocalEngine::DrainAll() {
     for (const std::vector<PendingBatch>& box : mailboxes_) {
       if (!box.empty()) {
         any = true;
-        break;
+        const int64_t depth = static_cast<int64_t>(box.size());
+        if (depth > period_.mailbox_highwater) {
+          period_.mailbox_highwater = depth;
+        }
       }
     }
     if (!any) break;
+    ++period_.waves;
     // Per-node swap so the mailbox vectors' capacity circulates between the
     // wave buffer and the live mailboxes instead of being reallocated.
     if (wave.size() < mailboxes_.size()) wave.resize(mailboxes_.size());
@@ -929,7 +1030,13 @@ void LocalEngine::MergeStats(EnginePeriodStats* into,
   into->tuples_replayed += from->tuples_replayed;
   into->groups_recovered += from->groups_recovered;
   into->epoch_transfer_bytes += from->epoch_transfer_bytes;
+  into->waves += from->waves;
+  if (from->mailbox_highwater > into->mailbox_highwater) {
+    into->mailbox_highwater = from->mailbox_highwater;
+  }
   from->epoch_transfer_bytes = 0;
+  from->waves = 0;
+  from->mailbox_highwater = 0;
   from->tuples_processed = 0;
   from->tuples_buffered = 0;
   from->migration_pause_us = 0.0;
@@ -1016,6 +1123,8 @@ void LocalEngine::DrainMigrationBuffer(KeyGroupId group) {
   MigrationState& mig = migrating_[group];
   std::deque<Tuple> buffered;
   buffered.swap(mig.buffer);
+  ALBIC_TRACE_SPAN2("migration", "migration.drain", "group", group, "buffered",
+                    static_cast<int64_t>(buffered.size()));
   const OperatorId op = topology_->group_operator(group);
   const int local = topology_->group_index_in_operator(group);
   if (options_.mode == ExecutionMode::kBatched) {
@@ -1046,6 +1155,8 @@ void LocalEngine::StampEpochBoundaries() {
         mig.epoch_stamped) {
       continue;
     }
+    ALBIC_TRACE_SPAN2("migration", "migration.epoch.stamp", "group", g, "to",
+                      mig.target);
     // The boundary: every logged event below this seq was processed at the
     // old owner and travels with the chain cut; everything at or above it
     // runs at the new owner after the flip.
@@ -1110,6 +1221,7 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
   const int local = topology_->group_index_in_operator(group);
 
   if (mig.mode == MigrationMode::kEpoch) {
+    ALBIC_TRACE_SPAN1("migration", "migration.epoch.finish", "group", group);
     // The driving thread being here is itself a quiescent instant — if no
     // wave barrier happened since Start (nothing was injected), stamp the
     // boundary now.
@@ -1128,12 +1240,15 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
     mig.epoch_stamped = false;
     mig.epoch_boundary_seq = 0;
     DrainMigrationBuffer(group);  // empty by construction; keeps the invariant
+    if (metrics_.migrations_epoch != nullptr) {
+      metrics_.migrations_epoch->Increment();
+    }
     return 0.0;
   }
 
   double pause_us = 0.0;
+  bool indirect_done = false;
   if (operators_[op] != nullptr) {
-    bool indirect_done = false;
     if (mig.mode == MigrationMode::kIndirect) {
       // Indirect migration (§3): the target restores the group's latest
       // checkpoint chain — the base is transferred in the background, so
@@ -1146,6 +1261,8 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
       std::vector<std::string> deltas;
       if (checkpointer_->store()->LatestChain(group, &info, &base, &deltas) &&
           group_logs_[group].base_seq() <= info.seq) {
+        ALBIC_TRACE_SPAN2("migration", "migration.indirect", "group", group,
+                          "to", mig.target);
         operators_[op]->ClearGroupState(local);
         ALBIC_RETURN_NOT_OK(
             operators_[op]->DeserializeGroupState(local, base));
@@ -1168,6 +1285,8 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
       // deserialize at the target. In this single-process runtime the
       // round-trip is real; the inter-node transfer is modeled as pause
       // time proportional to the serialized size (2.5 s/MiB, §5.2.2).
+      ALBIC_TRACE_SPAN2("migration", "migration.direct", "group", group, "to",
+                        mig.target);
       const std::string state = operators_[op]->SerializeGroupState(local);
       operators_[op]->ClearGroupState(local);
       ALBIC_RETURN_NOT_OK(operators_[op]->DeserializeGroupState(local, state));
@@ -1175,6 +1294,10 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
     }
   }
   period_.migration_pause_us += pause_us;
+  if (options_.metrics != nullptr) {
+    (indirect_done ? metrics_.migrations_indirect : metrics_.migrations_direct)
+        ->Increment();
+  }
   // Tuples that buffered while the group was unavailable experienced the
   // pause as latency; account it before the drain re-delivers them.
   RecordBufferedPause(pause_us, mig.buffer.size());
@@ -1328,6 +1451,7 @@ Result<CheckpointRoundResult> LocalEngine::CheckpointDirtyGroups() {
   }
   CheckpointStore* store = checkpointer_->store();
   CheckpointRoundResult result;
+  ALBIC_TRACE_SPAN("checkpoint", "checkpoint.round");
   for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
     if (group_dirty_[g] == 0) continue;
     const OperatorId op = topology_->group_operator(g);
@@ -1385,6 +1509,12 @@ Result<CheckpointRoundResult> LocalEngine::CheckpointDirtyGroups() {
   ALBIC_RETURN_NOT_OK(store->PutManifest(manifest));
   period_.checkpoints_taken += result.groups;
   period_.checkpoint_bytes += result.bytes;
+  // Delta-vs-base split is not in the period stats; publish it here (cold
+  // path, one round per checkpoint interval).
+  if (metrics_.checkpoint_delta_groups != nullptr) {
+    metrics_.checkpoint_delta_groups->Add(result.delta_groups);
+    metrics_.checkpoint_delta_bytes->Add(result.delta_bytes);
+  }
   return result;
 }
 
@@ -1397,6 +1527,7 @@ void LocalEngine::LogWindowFire(KeyGroupId g) {
 }
 
 int64_t LocalEngine::ReplayLogSuffix(KeyGroupId g, uint64_t from_seq) {
+  ALBIC_TRACE_SPAN1("checkpoint", "replay", "group", g);
   StreamOperator* op = operators_[topology_->group_operator(g)];
   const int local = topology_->group_index_in_operator(g);
   NullEmitter discard;
@@ -1415,6 +1546,7 @@ Status LocalEngine::FailNode(NodeId node) {
         "failure injection requires checkpointing: lost state would be "
         "unrecoverable");
   }
+  ALBIC_TRACE_INSTANT("recovery", "node.failed");
   for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
     MigrationState& mig = migrating_[g];
     if (assignment_.node_of(g) == node) {
@@ -1468,6 +1600,7 @@ Result<GroupRecovery> LocalEngine::RecoverGroup(KeyGroupId group, NodeId to) {
   const OperatorId op = topology_->group_operator(group);
   const int local = topology_->group_index_in_operator(group);
   GroupRecovery out;
+  ALBIC_TRACE_SPAN2("recovery", "recovery.group", "group", group, "to", to);
   if (operators_[op] != nullptr) {
     // Reconstruct: latest checkpoint chain + logged suffix. The state was
     // cleared at failure time, so a group that was never checkpointed
@@ -1523,6 +1656,7 @@ EnginePeriodStats LocalEngine::HarvestPeriod() {
     period_.latency.EnableFor(topology_->num_operators(),
                               topology_->num_key_groups());
   }
+  PublishPeriodMetrics(out);
   return out;
 }
 

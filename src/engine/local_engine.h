@@ -14,6 +14,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "engine/assignment.h"
@@ -68,6 +69,14 @@ struct LocalEngineOptions {
   /// clock reads, no histograms, no change to any hot path. Telemetry never
   /// touches tuple flow, so outputs are bit-identical either way.
   int latency_sample_every = 0;
+  /// Metrics registry the engine publishes into: per-period counters at
+  /// HarvestPeriod (tuples, waves, checkpoint/replay/recovery totals,
+  /// mailbox high-water marks, latency histograms when telemetry is on)
+  /// plus per-mode migration counts as they complete. nullptr (the
+  /// default) disables publishing entirely — no registry lookups, no
+  /// atomics, outputs bit-identical either way (publishing, like latency
+  /// telemetry, observes and never steers).
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Per-period measurements produced by the runtime; feeds the same
@@ -93,6 +102,14 @@ struct EnginePeriodStats {
   /// as its shard). Grown on demand; the sum is the true offered load, as
   /// opposed to tuples_processed which also counts downstream hops.
   std::vector<int64_t> shard_ingested;
+  /// Drain waves executed this period (batched mode; a wave = one pass
+  /// over the node mailboxes, the engine's unit of quiescence).
+  int64_t waves = 0;
+  /// Largest number of batches pending in any single node mailbox when a
+  /// wave collected it — the formerly invisible staging depth between
+  /// ingestion and service (the in-engine analogue of the SPSC occupancy
+  /// high-water mark).
+  int64_t mailbox_highwater = 0;
   /// Latency telemetry of the period (empty unless the engine runs with
   /// latency_sample_every > 0): end-to-end, queueing-delay and per-operator
   /// service-time histograms, merged across workers at wave boundaries.
@@ -509,6 +526,36 @@ class LocalEngine {
   }
   static void MergeStats(EnginePeriodStats* into, EnginePeriodStats* from);
 
+  // --- metrics publishing (inert when options_.metrics is null) ---
+  /// Registry series the engine publishes, resolved once at construction so
+  /// the periodic publish path does no name lookups.
+  struct EngineMetricSet {
+    CounterMetric* tuples_processed = nullptr;
+    CounterMetric* tuples_buffered = nullptr;
+    CounterMetric* waves = nullptr;
+    CounterMetric* migration_pause_us = nullptr;
+    CounterMetric* checkpoints = nullptr;
+    CounterMetric* checkpoint_bytes = nullptr;
+    CounterMetric* checkpoint_delta_groups = nullptr;
+    CounterMetric* checkpoint_delta_bytes = nullptr;
+    CounterMetric* tuples_replayed = nullptr;
+    CounterMetric* groups_recovered = nullptr;
+    CounterMetric* epoch_transfer_bytes = nullptr;
+    CounterMetric* migrations_direct = nullptr;
+    CounterMetric* migrations_indirect = nullptr;
+    CounterMetric* migrations_epoch = nullptr;
+    GaugeMetric* mailbox_highwater = nullptr;
+    GaugeMetric* chain_len_highwater = nullptr;
+    GaugeMetric* worker_pool_runs = nullptr;
+    HistogramMetric* e2e_latency_us = nullptr;
+    HistogramMetric* queue_delay_us = nullptr;
+    HistogramMetric* stall_e2e_us = nullptr;
+  };
+  /// Resolves metrics_ from options_.metrics (constructor).
+  void WireMetrics();
+  /// Publishes one harvested period into the registry (HarvestPeriod).
+  void PublishPeriodMetrics(const EnginePeriodStats& stats);
+
   const Topology* topology_;
   const Cluster* cluster_;
   Assignment assignment_;
@@ -575,6 +622,7 @@ class LocalEngine {
   std::vector<WorkerContext> worker_ctx_;  ///< Pool workers (multi-worker).
   std::unique_ptr<WorkerPool> pool_;
   std::mutex migration_buffer_mu_;  ///< Guards MigrationState::buffer pushes.
+  EngineMetricSet metrics_;  ///< All null unless options_.metrics is set.
 };
 
 }  // namespace albic::engine

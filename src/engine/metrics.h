@@ -1,17 +1,22 @@
 #pragma once
 
 /// \file
-/// \brief Latency telemetry: LogHistogram (a mergeable, fixed-memory
-/// log-bucketed histogram), the per-period latency stats the engine
+/// \brief Latency telemetry: the per-period latency stats the engine
 /// accumulates (queueing delay, per-operator service time, end-to-end
 /// latency) and the compact percentile summary the controller exposes.
+/// LogHistogram itself lives in common/log_histogram.h (shared with the
+/// metrics registry) and is re-exported here for engine code.
 
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/log_histogram.h"
+
 namespace albic::engine {
+
+using ::albic::LogHistogram;
 
 /// \brief The telemetry wall clock, nanoseconds on steady_clock. Ingestion
 /// stamps and sink/dequeue readings are subtracted from each other, so
@@ -22,75 +27,6 @@ inline int64_t TelemetryNowNs() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
-
-/// \brief A mergeable, fixed-memory log-bucketed histogram of microsecond
-/// latencies.
-///
-/// Values are bucketed log-linearly (HdrHistogram-style): values below
-/// 2^kSubBits land in exact unit-wide buckets, and every octave above is
-/// split into 2^kSubBits sub-buckets, bounding the relative quantile error
-/// at 2^-kSubBits (6.25%) while the whole histogram stays a few KiB of
-/// plain counters. Negative values clamp into the underflow (zero) bucket;
-/// values at or above kMaxTrackable clamp into the overflow bucket and
-/// report kMaxTrackable. Recording is branch-light and allocation-free, so
-/// per-batch recording sits on the hot path; merging is element-wise
-/// addition, which is what lets per-worker histograms combine
-/// deterministically at wave boundaries (merge order = worker order).
-class LogHistogram {
- public:
-  static constexpr int kSubBits = 4;
-  static constexpr int kSubBuckets = 1 << kSubBits;  // 16 per octave
-  /// Largest exponent tracked: values in [2^kMaxExponent, 2^(kMaxExponent+1))
-  /// still land in real buckets; >= 2^(kMaxExponent+1) overflows. 2^31 us is
-  /// ~36 minutes — far past any latency this engine can produce.
-  static constexpr int kMaxExponent = 30;
-  static constexpr int kNumBuckets =
-      (kMaxExponent - kSubBits + 1) * kSubBuckets + kSubBuckets;
-  static constexpr int kOverflowBucket = kNumBuckets;
-  static constexpr int64_t kMaxTrackable = (int64_t{1} << (kMaxExponent + 1));
-
-  LogHistogram() { Clear(); }
-
-  /// \brief Records one value (microseconds; negatives clamp to 0).
-  void Record(int64_t value_us) { RecordN(value_us, 1); }
-
-  /// \brief Records \p n occurrences of the same value.
-  void RecordN(int64_t value_us, int64_t n);
-
-  /// \brief Element-wise accumulation of \p other into this histogram.
-  void Merge(const LogHistogram& other);
-
-  void Clear();
-
-  int64_t count() const { return count_; }
-  bool empty() const { return count_ == 0; }
-  /// \brief Exact extrema and mean of the recorded values (not bucketed).
-  int64_t min() const { return count_ > 0 ? min_ : 0; }
-  int64_t max() const { return count_ > 0 ? max_ : 0; }
-  double Mean() const {
-    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
-  }
-
-  /// \brief Value at percentile \p p in [0, 100], interpolated within its
-  /// bucket and clamped to the exact recorded extrema; 0 when empty.
-  int64_t Percentile(double p) const;
-
-  /// \brief Bucket index a value lands in (exposed for edge-case tests).
-  static int BucketIndex(int64_t value_us);
-  /// \brief Smallest value mapping to bucket \p idx.
-  static int64_t BucketLowerBound(int idx);
-  /// \brief First value past bucket \p idx (exclusive upper bound).
-  static int64_t BucketUpperBound(int idx);
-
-  int64_t bucket_count(int idx) const { return buckets_[idx]; }
-
- private:
-  int64_t buckets_[kNumBuckets + 1];  // + overflow
-  int64_t count_ = 0;
-  int64_t min_ = 0;
-  int64_t max_ = 0;
-  double sum_ = 0.0;
-};
 
 /// \brief One sampled ingestion timestamp: the wall-clock instant a tuple
 /// with event time \p event_ts_us entered the system (stamped at the

@@ -130,6 +130,8 @@ Result<ShardedIngestReport> ShardedSourceRunner::Run(
         touched.clear();
       }
       stats.blocked_pushes = queue.blocked_pushes();
+      stats.blocked_wait_ns = queue.blocked_wait_ns();
+      stats.queue_highwater = static_cast<int64_t>(queue.max_occupancy());
       queue.Close();
     });
   }
@@ -168,7 +170,26 @@ Result<ShardedIngestReport> ShardedSourceRunner::Run(
   for (const ShardIngestStats& s : report.shards) {
     report.total_tuples += s.tuples;
   }
+  PublishShardStats(report);
   return report;
+}
+
+void ShardedSourceRunner::PublishShardStats(
+    const ShardedIngestReport& report) const {
+  MetricsRegistry* metrics = options_.metrics;
+  if (metrics == nullptr) return;
+  for (size_t s = 0; s < report.shards.size(); ++s) {
+    const ShardIngestStats& stats = report.shards[s];
+    const MetricLabels labels = {{"shard", std::to_string(s)}};
+    metrics->Counter("source_shard_tuples_total", labels)->Add(stats.tuples);
+    metrics->Counter("source_shard_chunks_total", labels)->Add(stats.chunks);
+    metrics->Counter("source_shard_blocked_pushes_total", labels)
+        ->Add(stats.blocked_pushes);
+    metrics->Counter("source_shard_blocked_wait_ns_total", labels)
+        ->Add(stats.blocked_wait_ns);
+    metrics->Gauge("source_shard_queue_highwater", labels)
+        ->SetMax(stats.queue_highwater);
+  }
 }
 
 }  // namespace albic::engine

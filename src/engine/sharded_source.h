@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "engine/source.h"
@@ -69,6 +70,9 @@ struct ShardedSourceOptions {
   /// shard blocks once it is this many batches ahead of the coordinator, so
   /// ingestion memory stays O(num_shards * queue_capacity * chunk_tuples).
   int queue_capacity = 4;
+  /// Registry the runner publishes per-shard ingestion counters into after
+  /// each Run (source_shard_* series, labelled by shard). nullptr = off.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Per-shard counters of one Run (offered load and backpressure).
@@ -76,6 +80,8 @@ struct ShardIngestStats {
   int64_t tuples = 0;          ///< Tuples pulled from the shard's source.
   int64_t chunks = 0;          ///< Non-empty FillChunk calls.
   int64_t blocked_pushes = 0;  ///< Queue-full backpressure stalls.
+  int64_t blocked_wait_ns = 0; ///< Wall time spent in those stalls.
+  int64_t queue_highwater = 0; ///< Peak SPSC queue occupancy (batches).
 };
 
 /// \brief Result of one Run over all shards.
@@ -118,6 +124,9 @@ class ShardedSourceRunner {
                                   ShardSink* sink);
 
  private:
+  /// Publishes \p report into options_.metrics (no-op when unset).
+  void PublishShardStats(const ShardedIngestReport& report) const;
+
   ShardedSourceOptions options_;
 };
 

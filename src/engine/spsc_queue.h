@@ -6,6 +6,7 @@
 /// produce routed batches, the coordinator consumes them).
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <thread>
@@ -41,17 +42,33 @@ class SpscQueue {
   bool Push(T&& item) {
     const size_t tail = tail_.load(std::memory_order_relaxed);
     bool stalled = false;
-    while (tail - head_.load(std::memory_order_acquire) >= capacity_) {
+    int64_t stall_start_ns = 0;
+    size_t head = head_.load(std::memory_order_acquire);
+    while (tail - head >= capacity_) {
       if (closed_.load(std::memory_order_acquire)) return false;
       if (!stalled) {
         stalled = true;
         blocked_pushes_.fetch_add(1, std::memory_order_relaxed);
+        // Clock reads only on the (rare) blocked path: the unblocked Push
+        // stays clock-free, the blocked one measures the backpressure wait.
+        stall_start_ns = NowNs();
       }
       std::this_thread::yield();
+      head = head_.load(std::memory_order_acquire);
+    }
+    if (stalled) {
+      blocked_wait_ns_.fetch_add(NowNs() - stall_start_ns,
+                                 std::memory_order_relaxed);
     }
     if (closed_.load(std::memory_order_acquire)) return false;
     slots_[tail % capacity_] = std::move(item);
     tail_.store(tail + 1, std::memory_order_release);
+    // Producer-side occupancy high-water mark (upper bound from the head
+    // value last observed; the consumer may have drained further since).
+    const size_t occupancy = tail + 1 - head;
+    if (occupancy > max_occupancy_.load(std::memory_order_relaxed)) {
+      max_occupancy_.store(occupancy, std::memory_order_relaxed);
+    }
     return true;
   }
 
@@ -94,7 +111,26 @@ class SpscQueue {
     return blocked_pushes_.load(std::memory_order_relaxed);
   }
 
+  /// \brief Total wall time Push calls spent blocked on a full queue. With
+  /// blocked_pushes this turns the formerly silent backpressure stall into
+  /// a measurable signal (how often AND how long the shard was throttled).
+  int64_t blocked_wait_ns() const {
+    return blocked_wait_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Highest occupancy (staged items) the producer ever observed —
+  /// how close the queue came to its backpressure bound.
+  size_t max_occupancy() const {
+    return max_occupancy_.load(std::memory_order_relaxed);
+  }
+
  private:
+  static int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
   const size_t capacity_;
   std::vector<T> slots_;
   // Producer and consumer indices on separate cache lines so the two
@@ -103,6 +139,8 @@ class SpscQueue {
   alignas(64) std::atomic<size_t> head_{0};   ///< Next slot to consume.
   alignas(64) std::atomic<bool> closed_{false};
   std::atomic<int64_t> blocked_pushes_{0};
+  std::atomic<int64_t> blocked_wait_ns_{0};
+  std::atomic<size_t> max_occupancy_{0};
 };
 
 }  // namespace albic::engine

@@ -41,6 +41,7 @@ void WorkerPool::ThreadLoop(int worker_index) {
 }
 
 void WorkerPool::Run(const std::function<void(int)>& fn) {
+  ++runs_;
   if (num_workers_ == 1) {
     fn(0);
     return;

@@ -34,10 +34,15 @@ class WorkerPool {
   /// Not reentrant.
   void Run(const std::function<void(int)>& fn);
 
+  /// \brief Fork-join rounds executed so far (one per drain wave in the
+  /// batched runtime) — published as a worker-pool utilization signal.
+  int64_t runs() const { return runs_; }
+
  private:
   void ThreadLoop(int worker_index);
 
   const int num_workers_;
+  int64_t runs_ = 0;  ///< Incremented on the calling thread in Run.
   std::vector<std::thread> threads_;
 
   std::mutex mu_;

@@ -1,0 +1,153 @@
+// MetricsRegistry: series identity under labels, concurrent publishing
+// (exercised under TSan in CI), and the exposition formats downstream
+// tooling parses — Prometheus text and the JSON snapshot.
+
+#include "common/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace albic {
+namespace {
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStableTypedPointers) {
+  MetricsRegistry reg;
+  CounterMetric* c = reg.Counter("requests_total");
+  c->Increment();
+  c->Add(2);
+  EXPECT_EQ(c->value(), 3);
+  // Same name resolves to the same series — totals accumulate.
+  EXPECT_EQ(reg.Counter("requests_total"), c);
+  EXPECT_EQ(reg.NumSeries(), 1u);
+
+  GaugeMetric* g = reg.Gauge("depth");
+  g->Set(7);
+  g->SetMax(3);  // lower than current: no-op
+  EXPECT_EQ(g->value(), 7);
+  g->SetMax(9);
+  EXPECT_EQ(g->value(), 9);
+  EXPECT_EQ(reg.NumSeries(), 2u);
+}
+
+TEST(MetricsRegistryTest, LabelsDistinguishSeriesAndOrderDoesNot) {
+  MetricsRegistry reg;
+  CounterMetric* ab = reg.Counter("m", {{"a", "1"}, {"b", "2"}});
+  CounterMetric* ba = reg.Counter("m", {{"b", "2"}, {"a", "1"}});
+  // Labels are sorted at registration: the same set in any order is the
+  // same series.
+  EXPECT_EQ(ab, ba);
+  // A different value, a different key, or no labels at all are each their
+  // own series.
+  EXPECT_NE(ab, reg.Counter("m", {{"a", "1"}, {"b", "3"}}));
+  EXPECT_NE(ab, reg.Counter("m", {{"a", "1"}}));
+  EXPECT_NE(ab, reg.Counter("m"));
+  EXPECT_EQ(reg.NumSeries(), 4u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentPublishAndRegistration) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  CounterMetric* shared = reg.Counter("shared_total");
+  GaugeMetric* highwater = reg.Gauge("highwater");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread hammers the shared counter, races SetMax on the shared
+      // gauge, and registers its own labeled series mid-flight (the
+      // lock-sharded get-or-create path).
+      CounterMetric* own =
+          reg.Counter("per_thread_total", {{"thread", std::to_string(t)}});
+      for (int i = 0; i < kIncrements; ++i) {
+        shared->Increment();
+        own->Increment();
+        highwater->SetMax(t * kIncrements + i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(shared->value(), int64_t{kThreads} * kIncrements);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(
+        reg.Counter("per_thread_total", {{"thread", std::to_string(t)}})
+            ->value(),
+        kIncrements);
+  }
+  EXPECT_EQ(highwater->value(), (kThreads - 1) * kIncrements + kIncrements - 1);
+  EXPECT_EQ(reg.NumSeries(), 2u + kThreads);
+}
+
+TEST(MetricsRegistryTest, TextExpositionGolden) {
+  MetricsRegistry reg;
+  reg.Counter("requests_total", {{"method", "get"}})->Add(3);
+  reg.Counter("requests_total", {{"method", "put"}})->Add(1);
+  reg.Gauge("depth")->Set(7);
+  // Sorted by name, then labels; one `name{labels} value` line per series.
+  EXPECT_EQ(reg.TextExposition(),
+            "depth 7\n"
+            "requests_total{method=\"get\"} 3\n"
+            "requests_total{method=\"put\"} 1\n");
+}
+
+TEST(MetricsRegistryTest, HistogramExposition) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.Histogram("latency_us", {{"op", "topk"}});
+  for (int i = 0; i < 100; ++i) h->Record(1000);
+  const std::string text = reg.TextExposition();
+  // Summary-style lines: quantiles join the series labels; _count and _sum
+  // ride alongside.
+  EXPECT_NE(text.find("latency_us{op=\"topk\",quantile=\"0.5\"} "),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_us{op=\"topk\",quantile=\"0.99\"} "),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_us_count{op=\"topk\"} 100\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_us_sum{op=\"topk\"} "), std::string::npos)
+      << text;
+  // The quantile values come straight from the histogram snapshot.
+  const LogHistogram snap = h->Snapshot();
+  EXPECT_EQ(snap.count(), 100);
+  EXPECT_NE(text.find("latency_us{op=\"topk\",quantile=\"0.5\"} " +
+                      std::to_string(snap.Percentile(50.0))),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotRoundTrips) {
+  MetricsRegistry reg;
+  reg.Counter("c_total", {{"k", "v"}})->Add(42);
+  reg.Gauge("g")->Set(-5);
+  reg.Histogram("h_us")->Record(10);
+  EXPECT_EQ(
+      reg.JsonSnapshot(),
+      "{\"metrics\":["
+      "{\"name\":\"c_total\",\"labels\":{\"k\":\"v\"},\"type\":\"counter\","
+      "\"value\":42},"
+      "{\"name\":\"g\",\"labels\":{},\"type\":\"gauge\",\"value\":-5},"
+      "{\"name\":\"h_us\",\"labels\":{},\"type\":\"histogram\",\"count\":1,"
+      "\"p50\":" +
+          std::to_string(reg.Histogram("h_us")->Snapshot().Percentile(50.0)) +
+          ",\"p99\":" +
+          std::to_string(reg.Histogram("h_us")->Snapshot().Percentile(99.0)) +
+          ",\"max\":10}]}");
+}
+
+TEST(MetricsRegistryTest, LabelValuesEscape) {
+  MetricsRegistry reg;
+  reg.Counter("weird", {{"v", "a\"b\\c\nd"}})->Increment();
+  EXPECT_EQ(reg.TextExposition(), "weird{v=\"a\\\"b\\\\c\\nd\"} 1\n");
+  EXPECT_EQ(reg.JsonSnapshot(),
+            "{\"metrics\":[{\"name\":\"weird\",\"labels\":"
+            "{\"v\":\"a\\\"b\\\\c\\nd\"},\"type\":\"counter\","
+            "\"value\":1}]}");
+}
+
+}  // namespace
+}  // namespace albic

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "engine/checkpoint.h"
 #include "engine/local_engine.h"
 #include "ops/geohash.h"
@@ -31,6 +32,9 @@ struct ReconfigOptions {
   int64_t window_every_us = 500LL * 1000;
   int num_workers = 1;
   engine::ExecutionMode mode = engine::ExecutionMode::kBatched;
+  /// Optional registry the engine publishes into (soak test: counters must
+  /// be live when traffic flowed).
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// The wiki pipeline over the batched runtime with optional checkpointing.
@@ -70,6 +74,7 @@ struct ReconfigPipeline {
     eopts.mode = opts.mode;
     eopts.window_every_us = opts.window_every_us;
     eopts.num_workers = opts.num_workers;
+    eopts.metrics = opts.metrics;
     engine = std::make_unique<engine::LocalEngine>(
         &topo, &cluster, assign,
         std::vector<engine::StreamOperator*>{&geohash, &topk, &global},

@@ -121,11 +121,16 @@ void RunSoak(uint64_t seed) {
   oracle.engine->Flush();
 
   // Fuzzed run: wide cluster, two workers, checkpointing with delta chains.
+  // The registry rides along so the run double-checks the observability
+  // blind-spot contract: every counter a run with traffic must move is
+  // asserted nonzero below (a zero means publishing silently broke).
+  MetricsRegistry registry;
   ReconfigOptions fuzz_opts;
   fuzz_opts.nodes = kNodes;
   fuzz_opts.groups = kGroupsPerOp;
   fuzz_opts.window_every_us = kWindowUs;
   fuzz_opts.num_workers = 2;
+  fuzz_opts.metrics = &registry;
   ReconfigPipeline fuzz(fuzz_opts);
   engine::CheckpointCoordinatorOptions copts;
   copts.interval_us = 700LL * 1000;
@@ -212,6 +217,29 @@ void RunSoak(uint64_t seed) {
   const int64_t oracle_processed =
       oracle.engine->HarvestPeriod().tuples_processed;
   EXPECT_EQ(fuzz_processed, oracle_processed) << label;
+
+  // Blind-spot guard: traffic flowed and reconfiguration happened, so the
+  // engine's registry counters must all be live. A zero here means a
+  // publishing path silently dropped out.
+  EXPECT_EQ(registry.Counter("engine_tuples_processed_total")->value(),
+            fuzz_processed)
+      << label;
+  EXPECT_GT(registry.Counter("engine_waves_total")->value(), 0) << label;
+  EXPECT_GT(registry.Gauge("engine_mailbox_highwater")->value(), 0) << label;
+  EXPECT_GT(registry.Counter("engine_checkpoints_total")->value(), 0)
+      << label;
+  const int64_t migrations_published =
+      registry.Counter("engine_migrations_total", {{"mode", "direct"}})
+          ->value() +
+      registry.Counter("engine_migrations_total", {{"mode", "indirect"}})
+          ->value() +
+      registry.Counter("engine_migrations_total", {{"mode", "epoch"}})
+          ->value();
+  EXPECT_EQ(migrations_published, migrations) << label;
+  if (kills > 0) {
+    EXPECT_GT(registry.Counter("engine_groups_recovered_total")->value(), 0)
+        << label;
+  }
 }
 
 TEST(ReconfigSoakTest, RandomScheduleMatchesOracleBitForBit) {
