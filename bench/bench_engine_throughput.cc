@@ -281,6 +281,17 @@ int main() {
   });
   albic::Tracer::Global().Clear();
 
+  // Batched run with causal attribution on top of telemetry: wave-phase
+  // profiling (one clock read per phase switch, per-group service
+  // attribution) plus sampled per-tuple journeys. The delta against
+  // r_batched1 is the attribution cost (budget: <= 2%).
+  albic::engine::LocalEngineOptions attributed = telemetry;
+  attributed.profile_wave_phases = true;
+  attributed.journey_sample_every =
+      std::max(1, EnvInt("ALBIC_BENCH_JOURNEY_EVERY", 4096));
+  albic::RunResult r_attributed =
+      best_of([&] { return albic::RunOne(attributed, stream); });
+
   albic::TablePrinter table({"mode", "tuples/s", "speedup"});
   const double base = r_legacy.tuples_per_sec;
   table.AddRow({"tuple-at-a-time", albic::FormatDouble(base, 0), "1.0"});
@@ -308,6 +319,11 @@ int main() {
   table.AddRow({"batched + full observability",
                 albic::FormatDouble(r_observed.tuples_per_sec, 0),
                 albic::FormatDouble(r_observed.tuples_per_sec / base, 2)});
+  std::snprintf(label, sizeof(label),
+                "batched + attribution (journeys 1/%d)",
+                attributed.journey_sample_every);
+  table.AddRow({label, albic::FormatDouble(r_attributed.tuples_per_sec, 0),
+                albic::FormatDouble(r_attributed.tuples_per_sec / base, 2)});
   table.Print();
 
   const double telemetry_overhead_pct =
@@ -326,6 +342,15 @@ int main() {
   std::printf("full observability (registry + telemetry + tracer): %.1f%% "
               "overhead vs batched (1 worker)\n",
               observability_overhead_pct);
+
+  const double attribution_overhead_pct =
+      r_batched1.tuples_per_sec > 0
+          ? 100.0 *
+                (1.0 - r_attributed.tuples_per_sec / r_batched1.tuples_per_sec)
+          : 0.0;
+  std::printf("causal attribution (telemetry + wave phases + journeys): "
+              "%.1f%% overhead vs batched (1 worker)\n",
+              attribution_overhead_pct);
 
   const double ckpt_overhead_pct =
       r_batched1.tuples_per_sec > 0
@@ -357,6 +382,7 @@ int main() {
       r_legacy.tuples_processed != r_ckpt.tuples_processed ||
       r_legacy.tuples_processed != r_telemetry.tuples_processed ||
       r_legacy.tuples_processed != r_observed.tuples_processed ||
+      r_legacy.tuples_processed != r_attributed.tuples_processed ||
       r_legacy.tuples_processed != r_shardedN.tuples_processed) {
     std::fprintf(stderr, "FAIL: modes processed different tuple counts\n");
     return 1;
@@ -403,6 +429,10 @@ int main() {
             r_observed.tuples_per_sec, "tuples/s");
   BenchJson("engine_throughput", "observability_overhead_pct",
             observability_overhead_pct, "%");
+  BenchJson("engine_throughput", "batched_attributed",
+            r_attributed.tuples_per_sec, "tuples/s");
+  BenchJson("engine_throughput", "attribution_overhead_pct",
+            attribution_overhead_pct, "%");
   // Engine-level counters of the fully-observed run ride along in
   // BENCH_engine_throughput.json (collected by scripts/run_benches.sh).
   std::printf("BENCH_METRICS %s\n", obs_registry.JsonSnapshot().c_str());

@@ -121,7 +121,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open journal: %s\n", obs.journal.c_str());
     return 1;
   }
-  examples::StartObservability(obs);
+  MetricsHttpServer metrics_server;  // serves only if --metrics-port given
+  examples::StartObservability(obs, &registry, &metrics_server);
 
   engine::Topology topology;
   topology.AddOperator("geohash", kGroups, 1 << 16);

@@ -5,15 +5,20 @@
 //   --metrics-dump=<path>  write the registry's JSON snapshot at exit
 //   --trace=<path>         record Chrome trace-event spans, write at exit
 //   --journal=<path>       controller decision journal (JSONL)
+//   --metrics-port=<port>  serve live /metrics + /metrics.json on loopback
+//                          for the duration of the run (0 = ephemeral; the
+//                          chosen port is announced on stderr)
 //
-// All three are off by default and none of them touches stdout, so a job's
+// All are off by default and none of them touches stdout, so a job's
 // printed output is identical with or without the flags (the observability
 // layer observes, never steers).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/metrics_http.h"
 #include "common/metrics_registry.h"
 #include "common/trace.h"
 
@@ -23,10 +28,12 @@ struct ObservabilityFlags {
   std::string metrics_dump;
   std::string trace;
   std::string journal;
+  int metrics_port = -1;  // -1 = endpoint off, 0 = bind an ephemeral port
 };
 
-/// Consumes `--metrics-dump=`, `--trace=` and `--journal=` arguments;
-/// returns true when \p arg was one of them (the caller skips it).
+/// Consumes `--metrics-dump=`, `--trace=`, `--journal=` and
+/// `--metrics-port=` arguments; returns true when \p arg was one of them
+/// (the caller skips it).
 inline bool ParseObservabilityFlag(const char* arg, ObservabilityFlags* out) {
   const auto match = [&](const char* prefix, std::string* value) {
     const size_t n = std::strlen(prefix);
@@ -34,13 +41,40 @@ inline bool ParseObservabilityFlag(const char* arg, ObservabilityFlags* out) {
     *value = arg + n;
     return true;
   };
+  std::string port;
+  if (match("--metrics-port=", &port)) {
+    char* end = nullptr;
+    const long parsed = std::strtol(port.c_str(), &end, 10);
+    if (end == port.c_str() || *end != '\0' || parsed < 0 || parsed > 65535) {
+      std::fprintf(stderr, "ignoring bad --metrics-port=%s\n", port.c_str());
+      return true;
+    }
+    out->metrics_port = static_cast<int>(parsed);
+    return true;
+  }
   return match("--metrics-dump=", &out->metrics_dump) ||
          match("--trace=", &out->trace) || match("--journal=", &out->journal);
 }
 
-/// Call once, before ingestion: turns the tracer on when --trace was given.
-inline void StartObservability(const ObservabilityFlags& flags) {
+/// Call once, before ingestion: turns the tracer on when --trace was given
+/// and starts the loopback metrics endpoint when --metrics-port was given.
+/// \p server is caller-owned (its destructor stops serving at exit); it is
+/// left untouched unless the flag was set. The bound port goes to stderr so
+/// stdout stays byte-identical.
+inline void StartObservability(const ObservabilityFlags& flags,
+                               MetricsRegistry* registry,
+                               MetricsHttpServer* server) {
   if (!flags.trace.empty()) Tracer::Global().Enable();
+  if (flags.metrics_port >= 0) {
+    const Status s = server->Start(registry, flags.metrics_port);
+    if (s.ok()) {
+      std::fprintf(stderr, "serving metrics on http://127.0.0.1:%d/metrics\n",
+                   server->port());
+    } else {
+      std::fprintf(stderr, "metrics endpoint failed: %s\n",
+                   s.ToString().c_str());
+    }
+  }
 }
 
 /// Call once, after the job finished: writes the trace and the final

@@ -79,7 +79,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open journal: %s\n", obs.journal.c_str());
     return 1;
   }
-  examples::StartObservability(obs);
+  MetricsHttpServer metrics_server;  // serves only if --metrics-port given
+  examples::StartObservability(obs, &registry, &metrics_server);
   engine::Topology topology;
   topology.AddOperator("geohash", kGroups, 1 << 16);
   topology.AddOperator("topk-1min", kGroups, 1 << 18);
@@ -109,6 +110,12 @@ int main(int argc, char** argv) {
   // Latency telemetry: one sampled ingestion stamp per 32 tuples feeds the
   // per-period p50/p99 columns below (and would drive an SLO trigger).
   eopts.latency_sample_every = 32;
+  // Causal attribution: decompose wall time into wave phases (journaled as
+  // each round's dominant_phase + top attributed operator costs) and trace
+  // one sampled tuple journey per 4096 ingested tuples. Both observe and
+  // never steer, so the printed output stays identical.
+  eopts.profile_wave_phases = true;
+  eopts.journey_sample_every = 4096;
   eopts.metrics = &registry;
   engine::LocalEngine engine(&topology, &cluster, assignment,
                              {&geohash, &topk, &global_topk}, eopts);

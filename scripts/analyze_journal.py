@@ -2,6 +2,7 @@
 """Summarize a controller decision journal (JSONL, core/round_journal.h).
 
 Usage: analyze_journal.py JOURNAL.jsonl
+       analyze_journal.py --self-test
 
 Reads one ControllerRound record per line and reports:
   - round counts (total, SLO-triggered, recovery rounds)
@@ -9,12 +10,24 @@ Reads one ControllerRound record per line and reports:
   - predicted-vs-actual pause error per mode (the cost model's accuracy)
   - checkpoint volume and recovery totals
   - peak overload backlog
+  - causal attribution: the dominant wave-phase histogram across rounds
+    and the top attributed (operator, group) service costs
 
-Exits non-zero on malformed input, so CI can use it as a schema check.
+Exits non-zero on malformed input — every record must carry a valid
+"attribution" object (dominant_phase is "off" when the engine ran without
+wave-phase profiling) — so CI can use it as a schema check. --self-test
+validates the checks themselves against inline pass/fail fixtures.
 """
 
 import json
 import sys
+
+# WavePhaseName's fixed vocabulary (src/common/profiler.h), plus "off" for
+# rounds journaled without profiling.
+VALID_PHASES = frozenset([
+    "off", "idle", "ingest", "service", "wave_barrier", "window",
+    "checkpoint", "migration", "recovery",
+])
 
 
 def fmt_us(us):
@@ -42,11 +55,17 @@ def main(argv):
             except json.JSONDecodeError as exc:
                 print(f"{path}:{lineno}: invalid JSON: {exc}", file=sys.stderr)
                 return 1
-            for key in ("round", "migrations", "decisions", "recovery"):
+            for key in ("round", "migrations", "decisions", "recovery",
+                        "attribution"):
                 if key not in rec:
                     print(f"{path}:{lineno}: missing key '{key}'",
                           file=sys.stderr)
                     return 1
+            phase = rec["attribution"].get("dominant_phase")
+            if phase not in VALID_PHASES:
+                print(f"{path}:{lineno}: invalid dominant_phase {phase!r}",
+                      file=sys.stderr)
+                return 1
             rounds.append(rec)
 
     if not rounds:
@@ -111,8 +130,99 @@ def main(argv):
     if peak_backlog > 0:
         print(f"peak overload backlog: {fmt_us(peak_backlog)}")
 
+    # Causal attribution: where did each round's wall time dominantly go,
+    # and which (operator, group) pairs carried the service load.
+    phase_hist = {}
+    share_sum = {}
+    for r in rounds:
+        att = r["attribution"]
+        phase = att["dominant_phase"]
+        phase_hist[phase] = phase_hist.get(phase, 0) + 1
+        share_sum[phase] = share_sum.get(phase, 0.0) + att.get(
+            "dominant_share", 0.0)
+    print("\ndominant wave phase per round:")
+    for phase in sorted(phase_hist, key=phase_hist.get, reverse=True):
+        n = phase_hist[phase]
+        if phase == "off":
+            print(f"  off (profiling disabled): {n} round(s)")
+        else:
+            print(f"  {phase}: {n} round(s), "
+                  f"mean share {share_sum[phase] / n:.0%}")
+
+    op_cost = {}
+    for r in rounds:
+        for c in r["attribution"].get("top_costs", []):
+            key = (c["op"], c["group"])
+            op_cost[key] = op_cost.get(key, 0) + c["service_ns"]
+    if op_cost:
+        total = sum(op_cost.values())
+        print("top attributed service costs (operator, group):")
+        ranked = sorted(op_cost, key=op_cost.get, reverse=True)[:5]
+        for op, group in ranked:
+            ns = op_cost[(op, group)]
+            print(f"  op {op} group {group}: {fmt_us(ns / 1000.0)} "
+                  f"({ns / total:.0%} of attributed)")
+
+    return 0
+
+
+def self_test():
+    """Inline fixtures: the schema checks must accept a valid record and
+    reject attribution-less or mis-phased ones."""
+    import io
+    import os
+    import tempfile
+
+    valid = {
+        "round": 0, "slo_triggered": False,
+        "migrations": {"planned": 0, "applied": 0},
+        "decisions": [],
+        "checkpoint": {"taken": 0, "bytes": 0},
+        "recovery": {"nodes_failed": 0, "groups_recovered": 0,
+                     "pause_us": 0.0, "wall_us": 0.0},
+        "backlog_us": [],
+        "attribution": {"dominant_phase": "service", "dominant_share": 0.8,
+                        "wall_ns": 1000,
+                        "top_costs": [{"group": 1, "op": 0,
+                                       "service_ns": 800, "share": 1.0}]},
+    }
+    off = dict(valid, attribution={"dominant_phase": "off",
+                                   "dominant_share": 0.0, "wall_ns": 0,
+                                   "top_costs": []})
+    missing = {k: v for k, v in valid.items() if k != "attribution"}
+    bad_phase = dict(valid, attribution={"dominant_phase": "banana"})
+
+    failures = []
+
+    def run_on(records):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".jsonl", delete=False) as fh:
+            for rec in records:
+                fh.write(json.dumps(rec) + "\n")
+            name = fh.name
+        old_stdout, sys.stdout = sys.stdout, io.StringIO()
+        try:
+            rc = main(["analyze_journal.py", name])
+        finally:
+            sys.stdout = old_stdout
+            os.unlink(name)
+        return rc
+
+    if run_on([valid, off]) != 0:
+        failures.append("valid-journal-accepted")
+    if run_on([missing]) == 0:
+        failures.append("missing-attribution-rejected")
+    if run_on([bad_phase]) == 0:
+        failures.append("invalid-phase-rejected")
+
+    if failures:
+        print("analyze_journal self-test FAILED:", ", ".join(failures))
+        return 1
+    print("analyze_journal self-test: all fixtures passed")
     return 0
 
 
 if __name__ == "__main__":
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        sys.exit(self_test())
     sys.exit(main(sys.argv))

@@ -54,8 +54,18 @@ if ! python3 scripts/analyze_journal.py docs/sample_journal.jsonl >/dev/null; th
   fail=1
 fi
 
+# --- 4. tooling self-tests (schema checks + bench gate policy) --------------
+if ! python3 scripts/analyze_journal.py --self-test >/dev/null 2>&1; then
+  echo "SELF-TEST: scripts/analyze_journal.py --self-test failed"
+  fail=1
+fi
+if ! python3 scripts/bench_compare.py --self-test >/dev/null; then
+  echo "SELF-TEST: scripts/bench_compare.py --self-test failed"
+  fail=1
+fi
+
 if [[ $fail -ne 0 ]]; then
   echo "check_docs: FAILED"
   exit 1
 fi
-echo "check_docs: OK (links resolve, common/engine/core/balance/scaling/ops + test harness headers documented, sample journal parses)"
+echo "check_docs: OK (links resolve, common/engine/core/balance/scaling/ops + test harness headers documented, sample journal parses, tooling self-tests pass)"

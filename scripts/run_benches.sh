@@ -58,7 +58,11 @@ for bench in "${BENCHES[@]}"; do
   # The final metrics-registry snapshot (engine counters of the run), one
   # JSON object per BENCH_METRICS line; keep the last.
   metrics="$(sed -n 's/^BENCH_METRICS //p' "${log}" | tail -n 1)"
-  printf '{\n"meta":{%s},\n"engine_metrics":%s,\n"results":[\n%s\n]\n}\n' \
-    "${meta}" "${metrics:-null}" "${lines}" >"${out}"
+  # Capture environment, so a snapshot records the machine it measured —
+  # bench_compare.py warns when baselines and candidates disagree here.
+  env_json="$(printf '{"nproc":%s,"uname":"%s"}' \
+    "$(nproc 2>/dev/null || echo 0)" "$(uname -srm 2>/dev/null || echo unknown)")"
+  printf '{\n"meta":{%s},\n"capture_env":%s,\n"engine_metrics":%s,\n"results":[\n%s\n]\n}\n' \
+    "${meta}" "${env_json}" "${metrics:-null}" "${lines}" >"${out}"
   echo "wrote ${out}"
 done

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file
+/// \brief Minimal opt-in metrics HTTP endpoint: a tiny blocking TCP server
+/// on 127.0.0.1 serving the metrics registry's Prometheus text exposition
+/// at `/metrics` and its JSON snapshot at `/metrics.json` — enough for
+/// `curl` or a local Prometheus scrape during an experiment run, and
+/// nothing more (one connection at a time, HTTP/1.0-style close-after-
+/// response, no TLS, loopback only). Off unless started explicitly
+/// (examples: `--metrics-port=`); serving observes and never steers.
+
+#include <cstdint>
+#include <thread>
+
+#include "common/status.h"
+
+namespace albic {
+
+class MetricsRegistry;
+
+/// \brief Loopback HTTP server exposing one MetricsRegistry. Start binds
+/// and spawns the accept thread; Stop (or destruction) joins it.
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { Stop(); }
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// \brief Binds 127.0.0.1:\p port (0 = ephemeral, see port()) and starts
+  /// serving \p registry. \p registry is not owned and must outlive the
+  /// server. Fails if already running or the bind fails.
+  Status Start(MetricsRegistry* registry, int port);
+
+  /// \brief The bound port (the ephemeral choice when Start got 0); 0 when
+  /// not running.
+  int port() const { return port_; }
+
+  bool running() const { return listen_fd_ >= 0; }
+
+  /// \brief Shuts the listener down and joins the accept thread. Safe to
+  /// call when not running.
+  void Stop();
+
+ private:
+  void Serve();
+
+  MetricsRegistry* registry_ = nullptr;
+  int listen_fd_ = -1;
+  int wake_fd_[2] = {-1, -1};  ///< Pipe that unblocks the accept poll.
+  int port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace albic

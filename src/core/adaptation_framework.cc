@@ -36,6 +36,9 @@ engine::SystemSnapshot AdaptationFramework::BuildSnapshot(
     snap.group_service_share = measured->group_service_share;
     snap.group_queue_delay_us = measured->group_queue_delay_us;
     snap.queue_trend = measured->queue_trend;
+    snap.dominant_phase = measured->dominant_phase;
+    snap.dominant_phase_share = measured->dominant_phase_share;
+    snap.top_service_costs = measured->top_service_costs;
     if (!measured->replay_suffix_bytes.empty()) {
       // Indirect mck: O(replay suffix + chained delta records) at the same
       // per-byte rate; groups without a usable checkpoint fall back to the

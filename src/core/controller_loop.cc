@@ -189,8 +189,52 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
   signals.replay_suffix_bytes = engine_->ReplaySuffixBytes();
   signals.delta_chain_bytes = engine_->DeltaChainBytes();
   signals.epoch_transfer_bytes = engine_->EpochTransferBytes();
+
+  // Causal attribution: with wave-phase profiling on, name the phase that
+  // dominated the period's wall time and rank the (operator, key group)
+  // pairs by measured service time — the data every journal `reason` can
+  // be explained from. Carried on the round, the journal line and (via
+  // the signals) the snapshot planners see.
+  if (stats.phases.enabled) {
+    round.dominant_phase = albic::WavePhaseName(stats.phases.DominantPhase());
+    round.dominant_phase_share = stats.phases.DominantShare();
+    for (int p = 0; p < albic::kNumWavePhases; ++p) {
+      round.phase_ns[p] = stats.phases.ns[p];
+    }
+    round.phase_wall_ns = stats.phases.wall_ns;
+    const std::vector<int64_t>& per_group = stats.phases.group_service_ns;
+    int64_t total_service = 0;
+    for (const int64_t ns : per_group) total_service += ns;
+    constexpr int kTopK = 3;
+    std::vector<size_t> order(per_group.size());
+    for (size_t g = 0; g < order.size(); ++g) order[g] = g;
+    std::partial_sort(order.begin(),
+                      order.begin() +
+                          std::min<size_t>(kTopK, order.size()),
+                      order.end(), [&per_group](size_t a, size_t b) {
+                        return per_group[a] > per_group[b];
+                      });
+    for (size_t i = 0; i < order.size() && i < kTopK; ++i) {
+      const size_t g = order[i];
+      if (per_group[g] <= 0) break;
+      engine::AttributedCost cost;
+      cost.group = static_cast<engine::KeyGroupId>(g);
+      cost.op = topology_->group_operator(static_cast<int>(g));
+      cost.service_ns = per_group[g];
+      cost.share = total_service > 0
+                       ? static_cast<double>(per_group[g]) /
+                             static_cast<double>(total_service)
+                       : 0.0;
+      round.top_costs.push_back(cost);
+    }
+    signals.dominant_phase = round.dominant_phase;
+    signals.dominant_phase_share = round.dominant_phase_share;
+    signals.top_service_costs = round.top_costs;
+  }
+
   const engine::MeasuredSignals* measured =
-      cost_model_.measured() || !signals.replay_suffix_bytes.empty()
+      cost_model_.measured() || !signals.replay_suffix_bytes.empty() ||
+              stats.phases.enabled
           ? &signals
           : nullptr;
 

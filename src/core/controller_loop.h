@@ -169,6 +169,17 @@ struct ControllerRound {
   /// True when this round fired early on an SLO p99 breach rather than at
   /// the statistics-period boundary.
   bool slo_triggered = false;
+  // Causal attribution (engine profile_wave_phases; "off"/empty without).
+  /// Stable name of the phase that dominated the period's measured wall
+  /// time ("service", "wave_barrier", "checkpoint", ...).
+  const char* dominant_phase = "off";
+  double dominant_phase_share = 0.0;  ///< Dominant phase's time share.
+  /// Per-phase nanoseconds of the period (indexed by albic::WavePhase).
+  int64_t phase_ns[albic::kNumWavePhases] = {};
+  /// Measured wall time the phase sums are checked against.
+  int64_t phase_wall_ns = 0;
+  /// Top-k (operator, key group) pairs by measured wall service time.
+  std::vector<engine::AttributedCost> top_costs;
 };
 
 /// \brief The online control loop (§3, "Controller"): turns Algorithm 1

@@ -163,7 +163,43 @@ std::string RoundJournal::ToJson(const ControllerRound& round) {
   AppendInt(&out, round.latency.e2e_max_us);
   out += ",\"queue_p99_us\":";
   AppendInt(&out, round.latency.queue_p99_us);
-  out += "}}";
+  // Causal attribution (wave-phase profiler). dominant_phase is "off"
+  // when the engine runs without profiling, so the key is always present
+  // and the analyzer can validate it unconditionally. Phase names and the
+  // dominant phase come from WavePhaseName's fixed vocabulary — no
+  // escaping needed, like the decisions' reason strings.
+  out += "},\"attribution\":{\"dominant_phase\":\"";
+  out += round.dominant_phase;
+  out += "\",\"dominant_share\":";
+  AppendDouble(&out, round.dominant_phase_share);
+  out += ",\"wall_ns\":";
+  AppendInt(&out, round.phase_wall_ns);
+  out += ",\"phase_ns\":{";
+  bool first_phase = true;
+  for (int p = 0; p < albic::kNumWavePhases; ++p) {
+    if (round.phase_ns[p] == 0) continue;
+    if (!first_phase) out += ',';
+    first_phase = false;
+    out += '"';
+    out += albic::WavePhaseName(static_cast<albic::WavePhase>(p));
+    out += "\":";
+    AppendInt(&out, round.phase_ns[p]);
+  }
+  out += "},\"top_costs\":[";
+  for (size_t i = 0; i < round.top_costs.size(); ++i) {
+    const engine::AttributedCost& c = round.top_costs[i];
+    if (i > 0) out += ',';
+    out += "{\"group\":";
+    AppendInt(&out, c.group);
+    out += ",\"op\":";
+    AppendInt(&out, c.op);
+    out += ",\"service_ns\":";
+    AppendInt(&out, c.service_ns);
+    out += ",\"share\":";
+    AppendDouble(&out, c.share);
+    out += '}';
+  }
+  out += "]}}";
   return out;
 }
 

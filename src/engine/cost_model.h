@@ -11,8 +11,19 @@
 #include <vector>
 
 #include "engine/metrics.h"
+#include "engine/types.h"
 
 namespace albic::engine {
+
+/// \brief One entry of the profiler's top-k service attribution: the
+/// (operator, key group) pairs whose measured service time dominated the
+/// period, ranked so every controller decision is explainable from data.
+struct AttributedCost {
+  KeyGroupId group = -1;
+  OperatorId op = -1;
+  int64_t service_ns = 0;  ///< Measured wall service time of the group.
+  double share = 0.0;      ///< Fraction of the period's total service.
+};
 
 /// \brief Knobs of the measured-cost model.
 struct MeasuredCostOptions {
@@ -63,6 +74,15 @@ struct MeasuredSignals {
   /// for groups without a usable checkpoint (their stamp would round-trip
   /// the live state instead). Empty when checkpointing is off.
   std::vector<double> epoch_transfer_bytes;
+  /// Wave-phase attribution of the period (the caller's to fill from
+  /// EnginePeriodStats::phases; the model has no engine access). "off"
+  /// when the engine runs without profile_wave_phases — the stable name of
+  /// the phase that dominated the period's wall time otherwise.
+  const char* dominant_phase = "off";
+  double dominant_phase_share = 0.0;   ///< Dominant phase's time share.
+  /// Top-k (operator, key group) pairs by measured service time; empty
+  /// when profiling is off.
+  std::vector<AttributedCost> top_service_costs;
 };
 
 /// \brief Derives planning loads from measured telemetry, period by period.

@@ -104,7 +104,10 @@ LocalEngine::LocalEngine(const Topology* topology, const Cluster* cluster,
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.max_batch_tuples < 1) options_.max_batch_tuples = 1;
   if (options_.latency_sample_every < 0) options_.latency_sample_every = 0;
+  if (options_.journey_sample_every < 0) options_.journey_sample_every = 0;
   telemetry_ = options_.latency_sample_every > 0;
+  prof_enabled_ = options_.profile_wave_phases &&
+                  options_.mode == ExecutionMode::kBatched;
   period_.group_work.assign(
       static_cast<size_t>(topology_->num_key_groups()), 0.0);
   period_.node_work.assign(
@@ -118,6 +121,18 @@ LocalEngine::LocalEngine(const Topology* topology, const Cluster* cluster,
       is_sink_[op] = topology_->downstream(op).empty() ? 1 : 0;
     }
     ingest_samples_.reserve(2 * kMaxIngestSamples);
+  }
+  if (prof_enabled_) {
+    period_.phases.EnableFor(
+        static_cast<size_t>(topology_->num_key_groups()));
+    period_start_wall_ns_ = ProfilerNowNs();
+    prof_acc_.Reset(period_start_wall_ns_);
+    coordinator_.prof = &prof_acc_;
+  }
+  if (options_.journey_sample_every > 0 && telemetry_ &&
+      options_.mode == ExecutionMode::kBatched) {
+    journeys_.Enable(options_.journey_sample_every,
+                     topology_->num_operators(), is_sink_);
   }
   if (options_.mode == ExecutionMode::kBatched) {
     downstream_.reserve(static_cast<size_t>(topology_->num_operators()));
@@ -133,13 +148,28 @@ LocalEngine::LocalEngine(const Topology* topology, const Cluster* cluster,
     if (options_.num_workers > 1) {
       pool_ = std::make_unique<WorkerPool>(options_.num_workers);
       worker_ctx_.resize(static_cast<size_t>(options_.num_workers));
-      for (WorkerContext& ctx : worker_ctx_) {
+      if (prof_enabled_) {
+        worker_prof_.resize(static_cast<size_t>(options_.num_workers));
+        for (PhaseAccumulator& acc : worker_prof_) {
+          acc.Reset(period_start_wall_ns_);
+        }
+      }
+      for (size_t w = 0; w < worker_ctx_.size(); ++w) {
+        WorkerContext& ctx = worker_ctx_[w];
         ctx.local.group_work.assign(
             static_cast<size_t>(topology_->num_key_groups()), 0.0);
         ctx.local.comm = CommMatrix(topology_->num_key_groups());
         if (telemetry_) {
           ctx.local.latency.EnableFor(topology_->num_operators(),
                                       topology_->num_key_groups());
+        }
+        if (prof_enabled_) {
+          ctx.local.phases.EnableFor(
+              static_cast<size_t>(topology_->num_key_groups()));
+          // Worker 0 runs on the calling thread: its service time carves
+          // out of the driving accumulator's wave-barrier phase. Workers
+          // > 0 own an accumulator, flushed at the drain's merge point.
+          ctx.prof = w == 0 ? &prof_acc_ : &worker_prof_[w];
         }
         ctx.stats = &ctx.local;
         ctx.direct = false;
@@ -184,6 +214,13 @@ void LocalEngine::WireMetrics() {
     metrics_.queue_delay_us = reg->Histogram("engine_queue_delay_us");
     metrics_.stall_e2e_us = reg->Histogram("engine_stall_e2e_us");
   }
+  if (prof_enabled_) {
+    for (int p = 0; p < kNumWavePhases; ++p) {
+      metrics_.phase_ns[p] =
+          reg->Counter("engine_phase_ns_total",
+                       {{"phase", WavePhaseName(static_cast<WavePhase>(p))}});
+    }
+  }
 }
 
 void LocalEngine::PublishPeriodMetrics(const EnginePeriodStats& stats) {
@@ -218,6 +255,11 @@ void LocalEngine::PublishPeriodMetrics(const EnginePeriodStats& stats) {
     metrics_.e2e_latency_us->Merge(stats.latency.e2e_us);
     metrics_.queue_delay_us->Merge(stats.latency.queue_us);
     metrics_.stall_e2e_us->Merge(stats.latency.stall_e2e_us);
+  }
+  if (prof_enabled_ && stats.phases.enabled) {
+    for (int p = 0; p < kNumWavePhases; ++p) {
+      metrics_.phase_ns[p]->Add(stats.phases.ns[p]);
+    }
   }
   // Coordinator-level and hash-table counters are cumulative (not per
   // period); surfaced as gauges set to the live totals. Resolved by name —
@@ -289,9 +331,9 @@ bool LocalEngine::LookupIngestSample(int64_t ts, IngestSample* out) const {
   return false;
 }
 
-void LocalEngine::RecordBatchLatency(WorkerContext* ctx, OperatorId op,
-                                     KeyGroupId g, size_t tuples,
-                                     int64_t last_ts, int64_t t0_ns) {
+int64_t LocalEngine::RecordBatchLatency(WorkerContext* ctx, OperatorId op,
+                                        KeyGroupId g, size_t tuples,
+                                        int64_t last_ts, int64_t t0_ns) {
   LatencyPeriodStats& lat = ctx->stats->latency;
   const int64_t t1 = NowNs();
   const int64_t service_us = (t1 - t0_ns) / 1000;
@@ -315,6 +357,7 @@ void LocalEngine::RecordBatchLatency(WorkerContext* ctx, OperatorId op,
                          static_cast<int64_t>(tuples));
     }
   }
+  return t1;
 }
 
 void LocalEngine::RecordBufferedPause(double pause_us, size_t buffered) {
@@ -371,7 +414,9 @@ Status LocalEngine::Inject(OperatorId source_op, const Tuple& tuple) {
   }
   CountIngested(/*shard=*/0, 1);
   if (telemetry_) MaybeSampleIngest(tuple.ts, 1, 0);
+  if (journeys_.enabled()) journeys_.MaybeStart(tuple.ts, 0, 1);
   if (options_.mode == ExecutionMode::kBatched) {
+    PhaseScope prof_scope(coordinator_.prof, WavePhase::kIngest);
     if (tuple.ts >= event_time_us_) {
       if (WindowBoundaryCrossed(tuple.ts)) MaybeFireWindowsBatched(tuple.ts);
       event_time_us_ = tuple.ts;
@@ -457,7 +502,11 @@ Status LocalEngine::InjectBatch(OperatorId source_op, const Tuple* tuples,
     // event-time frontier, or window-fire aggregates emitted mid-run could
     // never find a covering sample.
     MaybeSampleIngest(tuples[0].ts, count, now);
+    if (journeys_.enabled()) {
+      journeys_.MaybeStart(tuples[0].ts, now, count);
+    }
   }
+  PhaseScope prof_scope(coordinator_.prof, WavePhase::kIngest);
   const int src_groups = topology_->op(source_op).num_key_groups;
   const bool null_source = operators_[source_op] == nullptr;
   if (static_cast<int>(inject_buckets_.size()) < src_groups) {
@@ -516,7 +565,12 @@ Status LocalEngine::InjectRouted(OperatorId source_op, int shard,
     // back to the read we just paid for.
     MaybeSampleIngest(tuples[0].ts, count,
                       ingest_wall_ns != 0 ? ingest_wall_ns : now);
+    if (journeys_.enabled()) {
+      journeys_.MaybeStart(tuples[0].ts,
+                           ingest_wall_ns != 0 ? ingest_wall_ns : now, count);
+    }
   }
+  PhaseScope prof_scope(coordinator_.prof, WavePhase::kIngest);
 
   if (options_.mode != ExecutionMode::kBatched) {
     // Reference path: deliver each tuple exactly as Inject would, with the
@@ -850,6 +904,17 @@ void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
   }
   ALBIC_TRACE_SPAN2("engine", "op.batch", "op", op, "tuples",
                     static_cast<int64_t>(batch.size()));
+  // Profiling: open the service phase exclusively — elapsed time charges
+  // here instead of the enclosing phase (wave barrier, ingest, ...), and
+  // the per-group attribution gets the same window. Manual switch rather
+  // than PhaseScope so the elapsed value feeds group_service_ns.
+  const bool prof = ctx->prof != nullptr;
+  int64_t p0_ns = 0;
+  WavePhase prof_prev = WavePhase::kIdle;
+  if (prof) {
+    p0_ns = ProfilerNowNs();
+    prof_prev = ctx->prof->SwitchTo(WavePhase::kService, p0_ns);
+  }
   // Telemetry: one clock read covers both the mailbox queueing delay
   // (enqueue stamp -> here) and the start of the service-time window.
   int64_t t0_ns = 0;
@@ -890,24 +955,51 @@ void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
       ScatterEmitter emitter(ctx, down_groups);
       operators_[op]->ProcessBatch(batch, group_index, &emitter);
       if (telemetry_) {
-        RecordBatchLatency(ctx, op, g, batch_tuples, batch_last_ts, t0_ns);
+        const int64_t t1_ns =
+            RecordBatchLatency(ctx, op, g, batch_tuples, batch_last_ts, t0_ns);
+        if (journeys_.enabled()) {
+          // Window-fire aggregates carry ts = 0; claim against the
+          // event-time frontier instead (same fallback RecordBatchLatency
+          // uses for the e2e match — the aggregate reflects everything up
+          // to the frontier).
+          journeys_.OnBatchDelivered(
+              op, g, batch_last_ts != 0 ? batch_last_ts : event_time_us_,
+              enqueue_ns, t0_ns, t1_ns);
+        }
       }
       // Steal the consumed batch into the replay log (zero-copy logging);
       // after this the batch is empty and must not be read again.
       if (checkpointer_ != nullptr) LogDeliveredBatch(g, batch_ptr);
       FlushBuckets(ctx, down[0].to, g, node);
+      if (prof) {
+        const int64_t p1_ns = ProfilerNowNs();
+        ctx->prof->SwitchTo(prof_prev, p1_ns);
+        ctx->stats->phases.group_service_ns[g] += p1_ns - p0_ns;
+      }
       return;
     }
     ctx->emitted.clear();
     BatchEmitter emitter(&ctx->emitted);
     operators_[op]->ProcessBatch(batch, group_index, &emitter);
     if (telemetry_) {
-      RecordBatchLatency(ctx, op, g, batch_tuples, batch_last_ts, t0_ns);
+      const int64_t t1_ns =
+          RecordBatchLatency(ctx, op, g, batch_tuples, batch_last_ts, t0_ns);
+      if (journeys_.enabled()) {
+        // ts = 0 window aggregates: see the scatter path above.
+        journeys_.OnBatchDelivered(
+            op, g, batch_last_ts != 0 ? batch_last_ts : event_time_us_,
+            enqueue_ns, t0_ns, t1_ns);
+      }
     }
     if (checkpointer_ != nullptr) LogDeliveredBatch(g, batch_ptr);
     RouteBatch(ctx, op, group_index, ctx->emitted);
   } else {
     RouteBatch(ctx, op, group_index, batch);
+  }
+  if (prof) {
+    const int64_t p1_ns = ProfilerNowNs();
+    ctx->prof->SwitchTo(prof_prev, p1_ns);
+    ctx->stats->phases.group_service_ns[g] += p1_ns - p0_ns;
   }
 }
 
@@ -947,6 +1039,10 @@ void LocalEngine::RunWave(std::vector<std::vector<PendingBatch>>* wave) {
 }
 
 void LocalEngine::DrainAll() {
+  // Drain time that is not operator service (mailbox collection, the pool
+  // barrier, outbox merges) charges to the wave-barrier phase; DeliverBatch
+  // carves its service time out of it.
+  PhaseScope prof_scope(coordinator_.prof, WavePhase::kWaveBarrier);
   std::vector<std::vector<PendingBatch>> wave;
   for (;;) {
     staged_tuples_ = 0;
@@ -993,6 +1089,19 @@ void LocalEngine::DrainAll() {
   }
   // Fold the workers' period contributions into the engine's stats.
   for (WorkerContext& ctx : worker_ctx_) MergeStats(&period_, &ctx.local);
+  if (prof_enabled_ && !worker_prof_.empty()) {
+    // Fold the pool workers' phase charges (their idle is pool wait, not
+    // engine time — dropped). Worker 0 shares the driving accumulator and
+    // needs no flush. Safe here: the pool joined, so no accumulator is
+    // concurrently written.
+    const int64_t now = ProfilerNowNs();
+    for (size_t w = 1; w < worker_prof_.size(); ++w) {
+      worker_prof_[w].FlushNonIdleInto(&period_.phases, now);
+    }
+  }
+  // Between waves the driving thread is the only mutator: sweep completed
+  // journeys into the period's worst-N.
+  if (journeys_.enabled()) journeys_.Sweep(&period_.journeys);
 }
 
 void LocalEngine::MergeStats(EnginePeriodStats* into,
@@ -1022,6 +1131,13 @@ void LocalEngine::MergeStats(EnginePeriodStats* into,
     from->shard_ingested[s] = 0;
   }
   into->latency.MergeFrom(&from->latency);
+  into->phases.MergeFrom(&from->phases);
+  if (!from->journeys.empty()) {
+    for (CompletedJourney& j : from->journeys) {
+      into->journeys.push_back(std::move(j));
+    }
+    from->journeys.clear();
+  }
   into->tuples_processed += from->tuples_processed;
   into->tuples_buffered += from->tuples_buffered;
   into->migration_pause_us += from->migration_pause_us;
@@ -1054,6 +1170,7 @@ void LocalEngine::MaybeFireWindowsBatched(int64_t new_time) {
     return;
   }
   if (new_time - last_window_us_ < options_.window_every_us) return;
+  PhaseScope prof_scope(coordinator_.prof, WavePhase::kWindow);
   // Complete all in-flight work before closing the window, so its contents
   // match what the synchronous path would have processed by now.
   DrainAll();
@@ -1144,6 +1261,7 @@ void LocalEngine::DrainMigrationBuffer(KeyGroupId group) {
 
 void LocalEngine::StampEpochBoundaries() {
   if (epoch_pending_.empty()) return;
+  PhaseScope prof_scope(coordinator_.prof, WavePhase::kMigration);
   std::vector<KeyGroupId> pending;
   pending.swap(epoch_pending_);
   for (const KeyGroupId g : pending) {
@@ -1210,6 +1328,7 @@ void LocalEngine::StampEpochBoundaries() {
 }
 
 Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
+  PhaseScope prof_scope(coordinator_.prof, WavePhase::kMigration);
   MigrationState& mig = migrating_[group];
   if (!mig.active) {
     return Status::InvalidArgument("group is not migrating");
@@ -1452,6 +1571,7 @@ Result<CheckpointRoundResult> LocalEngine::CheckpointDirtyGroups() {
   CheckpointStore* store = checkpointer_->store();
   CheckpointRoundResult result;
   ALBIC_TRACE_SPAN("checkpoint", "checkpoint.round");
+  PhaseScope prof_scope(coordinator_.prof, WavePhase::kCheckpoint);
   for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
     if (group_dirty_[g] == 0) continue;
     const OperatorId op = topology_->group_operator(g);
@@ -1547,6 +1667,7 @@ Status LocalEngine::FailNode(NodeId node) {
         "unrecoverable");
   }
   ALBIC_TRACE_INSTANT("recovery", "node.failed");
+  PhaseScope prof_scope(coordinator_.prof, WavePhase::kRecovery);
   for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
     MigrationState& mig = migrating_[g];
     if (assignment_.node_of(g) == node) {
@@ -1601,6 +1722,7 @@ Result<GroupRecovery> LocalEngine::RecoverGroup(KeyGroupId group, NodeId to) {
   const int local = topology_->group_index_in_operator(group);
   GroupRecovery out;
   ALBIC_TRACE_SPAN2("recovery", "recovery.group", "group", group, "to", to);
+  PhaseScope prof_scope(coordinator_.prof, WavePhase::kRecovery);
   if (operators_[op] != nullptr) {
     // Reconstruct: latest checkpoint chain + logged suffix. The state was
     // cleared at failure time, so a group that was never checkpointed
@@ -1645,6 +1767,21 @@ Result<GroupRecovery> LocalEngine::RecoverGroup(KeyGroupId group, NodeId to) {
 
 EnginePeriodStats LocalEngine::HarvestPeriod() {
   if (options_.mode == ExecutionMode::kBatched) DrainAll();
+  if (prof_enabled_) {
+    // Close the period's phase accounting: charge the driving thread's
+    // open phase up to now and stamp the measured wall time the breakdown
+    // is checked against. Worker accumulators were already folded at the
+    // drain barrier above.
+    const int64_t now = ProfilerNowNs();
+    prof_acc_.FlushInto(&period_.phases, now);
+    period_.phases.wall_ns = now - period_start_wall_ns_;
+    period_start_wall_ns_ = now;
+  }
+  // Journeys still in flight survive the harvest: a sampled tuple waiting
+  // for its window to close legitimately spans controller periods, and its
+  // completion lands in whichever period's worst-N sweep sees the sink
+  // claim. Dropping here would kill every journey in a windowed job whose
+  // window outlives a period.
   EnginePeriodStats out = std::move(period_);
   period_ = EnginePeriodStats();
   period_.group_work.assign(
@@ -1655,6 +1792,10 @@ EnginePeriodStats LocalEngine::HarvestPeriod() {
   if (telemetry_) {
     period_.latency.EnableFor(topology_->num_operators(),
                               topology_->num_key_groups());
+  }
+  if (prof_enabled_) {
+    period_.phases.EnableFor(
+        static_cast<size_t>(topology_->num_key_groups()));
   }
   PublishPeriodMetrics(out);
   return out;

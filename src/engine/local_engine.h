@@ -15,12 +15,14 @@
 #include <vector>
 
 #include "common/metrics_registry.h"
+#include "common/profiler.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "engine/assignment.h"
 #include "engine/batch.h"
 #include "engine/cluster.h"
 #include "engine/comm_matrix.h"
+#include "engine/journey.h"
 #include "engine/metrics.h"
 #include "engine/migration.h"
 #include "engine/operator.h"
@@ -69,6 +71,22 @@ struct LocalEngineOptions {
   /// clock reads, no histograms, no change to any hot path. Telemetry never
   /// touches tuple flow, so outputs are bit-identical either way.
   int latency_sample_every = 0;
+  /// Wave-phase profiling (batched mode): decompose the driving thread's
+  /// wall time into phases — ingest routing, per-(operator, key-group)
+  /// service, wave-barrier coordination, window fires, checkpoint rounds,
+  /// migration stalls, recovery, idle — folded across workers at wave
+  /// barriers and harvested as EnginePeriodStats::phases. Like latency
+  /// telemetry, profiling observes and never steers: outputs are
+  /// bit-identical on or off, and off costs one predictable branch per
+  /// instrumented site (no clock reads).
+  bool profile_wave_phases = false;
+  /// Sampled per-tuple journeys (batched mode; requires
+  /// latency_sample_every > 0, whose ingest stamps the journeys extend):
+  /// start one causal journey record every this many ingested tuples and
+  /// surface the worst few per period in EnginePeriodStats::journeys,
+  /// with per-hop queue/service breakdown. 0 disables journeys. Journeys
+  /// observe, never steer — outputs bit-identical either way.
+  int journey_sample_every = 0;
   /// Metrics registry the engine publishes into: per-period counters at
   /// HarvestPeriod (tuples, waves, checkpoint/replay/recovery totals,
   /// mailbox high-water marks, latency histograms when telemetry is on)
@@ -114,6 +132,15 @@ struct EnginePeriodStats {
   /// latency_sample_every > 0): end-to-end, queueing-delay and per-operator
   /// service-time histograms, merged across workers at wave boundaries.
   LatencyPeriodStats latency;
+  /// Wave-phase wall-time decomposition of the period (empty unless the
+  /// engine runs with profile_wave_phases): per-phase nanoseconds, the
+  /// measured wall time they are checked against, and per-group service
+  /// attribution. Merged across workers at wave boundaries.
+  PhaseBreakdown phases;
+  /// Worst-N sampled journeys completed this period (empty unless the
+  /// engine runs with journey_sample_every > 0): per-hop queue/service
+  /// breakdown of tail-latency exemplars.
+  std::vector<CompletedJourney> journeys;
 };
 
 /// \brief What one checkpoint round wrote (see CheckpointDirtyGroups).
@@ -349,6 +376,13 @@ class LocalEngine {
   /// \brief Latency telemetry active (latency_sample_every > 0)?
   bool latency_telemetry_enabled() const { return telemetry_; }
 
+  /// \brief Wave-phase profiling active (profile_wave_phases, batched)?
+  bool phase_profiling_enabled() const { return prof_enabled_; }
+
+  /// \brief Journey sampling active (journey_sample_every > 0, batched,
+  /// telemetry on)?
+  bool journey_sampling_enabled() const { return journeys_.enabled(); }
+
   /// \brief Percentile summary of the running (not yet harvested) period's
   /// latency — what the controller's SLO trigger polls between ingest calls
   /// without disturbing the period. Tuples still staged (not yet drained)
@@ -422,6 +456,12 @@ class LocalEngine {
     /// are at most one delivery stale — far below the queueing delays they
     /// measure — at a third of the clock reads.
     int64_t wall_cache_ns = 0;
+    /// Wave-phase profiling: the accumulator this context charges service
+    /// time to. Worker 0 (the calling thread) shares the engine's driving
+    /// accumulator so its service carves out of the wave-barrier phase;
+    /// workers > 0 own one each, flushed at the drain's merge point. Null
+    /// when profiling is off (PhaseScope is inert on null).
+    PhaseAccumulator* prof = nullptr;
   };
 
   // --- legacy tuple-at-a-time path (unchanged behaviour) ---
@@ -479,9 +519,10 @@ class LocalEngine {
   /// Read-only during waves, so workers may call it concurrently.
   bool LookupIngestSample(int64_t ts, IngestSample* out) const;
   /// Records service time (and, for sink operators, end-to-end latency)
-  /// of a batch that started processing at \p t0_ns.
-  void RecordBatchLatency(WorkerContext* ctx, OperatorId op, KeyGroupId g,
-                          size_t tuples, int64_t last_ts, int64_t t0_ns);
+  /// of a batch that started processing at \p t0_ns. Returns the service
+  /// end wall stamp, so journey hops reuse the clock read.
+  int64_t RecordBatchLatency(WorkerContext* ctx, OperatorId op, KeyGroupId g,
+                             size_t tuples, int64_t last_ts, int64_t t0_ns);
   /// Tuples held in a migration/recovery buffer sat out the modeled pause;
   /// account it as their end-to-end latency (the single-process runtime
   /// cannot make the inter-node transfer take real wall time).
@@ -550,6 +591,9 @@ class LocalEngine {
     HistogramMetric* e2e_latency_us = nullptr;
     HistogramMetric* queue_delay_us = nullptr;
     HistogramMetric* stall_e2e_us = nullptr;
+    /// Per-phase wall-time counters (`engine_phase_ns_total{phase=...}`);
+    /// wired only when profile_wave_phases is on.
+    CounterMetric* phase_ns[kNumWavePhases] = {};
   };
   /// Resolves metrics_ from options_.metrics (constructor).
   void WireMetrics();
@@ -606,6 +650,19 @@ class LocalEngine {
   int64_t sample_countdown_ = 1;     ///< Tuples until the next sample.
   int64_t last_sample_ts_us_ = INT64_MIN;
   int64_t legacy_sink_countdown_ = 1;  ///< Tuple-at-a-time sink sampling.
+
+  // Wave-phase profiling state (inert when prof_enabled_ is false).
+  bool prof_enabled_ = false;
+  /// The driving thread's exclusive phase clock (also worker 0's during
+  /// waves — worker 0 IS the calling thread).
+  PhaseAccumulator prof_acc_;
+  /// One accumulator per pool worker > 0 (index 0 unused); touched only
+  /// inside pool runs (workers) and between waves (driving thread flush),
+  /// so access never overlaps.
+  std::vector<PhaseAccumulator> worker_prof_;
+  int64_t period_start_wall_ns_ = 0;  ///< Wall stamp of the period start.
+  /// Sampled journey tracking (inert unless journey_sample_every > 0).
+  JourneyTracker journeys_;
 
   // Batched-mode state.
   std::vector<std::vector<StreamEdge>> downstream_;  ///< Edges per operator.

@@ -67,6 +67,16 @@ struct SystemSnapshot {
   /// breach; the scaling policy can scale out on sustained growth before
   /// the SLO trigger ever fires.
   QueueDelayTrend queue_trend;
+  /// Wave-phase attribution (profile_wave_phases): the stable name of the
+  /// phase that dominated the period's measured wall time ("service",
+  /// "wave_barrier", "checkpoint", ...), "off" when profiling is off.
+  /// Explains *why* the loads look the way they do — a service-dominated
+  /// period calls for rebalancing, a checkpoint-dominated one does not.
+  const char* dominant_phase = "off";
+  double dominant_phase_share = 0.0;  ///< Dominant phase's time share.
+  /// Top-k (operator, key group) pairs by measured wall service time;
+  /// empty when profiling is off.
+  std::vector<AttributedCost> top_service_costs;
 };
 
 }  // namespace albic::engine

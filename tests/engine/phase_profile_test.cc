@@ -1,0 +1,222 @@
+// Engine wave-phase profiling: off by default and inert; when on, the
+// phase decomposition must cover >=95% of the period's measured wall time
+// (the causal-attribution acceptance bar), per-group service attribution
+// must sum to the service phase, reconfiguration work must land in its
+// own phases, outputs must stay bit-identical, and the per-phase counters
+// must reach the metrics registry.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/profiler.h"
+#include "engine/local_engine.h"
+#include "engine/migration.h"
+#include "ops/geohash.h"
+#include "ops/topk.h"
+#include "workload/streams.h"
+
+namespace albic {
+namespace {
+
+using engine::KeyGroupId;
+using engine::Tuple;
+
+constexpr int kNodes = 4;
+constexpr int kGroups = 8;
+constexpr int64_t kWindowUs = 60LL * 1000 * 1000;
+
+int P(WavePhase p) { return static_cast<int>(p); }
+
+/// The wiki pipeline with configurable profiling/telemetry switches.
+struct Pipeline {
+  engine::Topology topo;
+  engine::Cluster cluster{kNodes};
+  ops::GeoHashOperator geohash{kGroups, 256};
+  ops::WindowedTopKOperator topk{kGroups, 16};
+  ops::WindowedTopKOperator global{kGroups, 16, ops::TopKCountMode::kSumNum};
+  std::unique_ptr<engine::LocalEngine> engine;
+
+  explicit Pipeline(bool profile, int latency_sample_every = 0,
+                    int journey_sample_every = 0, int num_workers = 1,
+                    MetricsRegistry* metrics = nullptr) {
+    topo.AddOperator("geohash", kGroups, 1 << 14);
+    topo.AddOperator("topk", kGroups, 1 << 14);
+    topo.AddOperator("global", kGroups, 1 << 14);
+    EXPECT_TRUE(
+        topo.AddStream(0, 1, engine::PartitioningPattern::kFullPartitioning)
+            .ok());
+    EXPECT_TRUE(
+        topo.AddStream(1, 2, engine::PartitioningPattern::kFullPartitioning)
+            .ok());
+    engine::Assignment assign(topo.num_key_groups());
+    for (KeyGroupId g = 0; g < topo.num_key_groups(); ++g) {
+      assign.set_node(g, g % kNodes);
+    }
+    engine::LocalEngineOptions opts;
+    opts.window_every_us = kWindowUs;
+    opts.mode = engine::ExecutionMode::kBatched;
+    opts.num_workers = num_workers;
+    opts.profile_wave_phases = profile;
+    opts.latency_sample_every = latency_sample_every;
+    opts.journey_sample_every = journey_sample_every;
+    opts.metrics = metrics;
+    engine = std::make_unique<engine::LocalEngine>(
+        &topo, &cluster, assign,
+        std::vector<engine::StreamOperator*>{&geohash, &topk, &global}, opts);
+  }
+
+  std::string StateOf(KeyGroupId g) {
+    engine::StreamOperator* ops[] = {&geohash, &topk, &global};
+    return ops[topo.group_operator(g)]->SerializeGroupState(
+        topo.group_index_in_operator(g));
+  }
+
+  std::map<uint64_t, int64_t> GlobalCounts() const {
+    std::map<uint64_t, int64_t> out;
+    for (int g = 0; g < kGroups; ++g) {
+      for (const auto& [article, count] : global.last_window_top(g)) {
+        out[article] += count;
+      }
+    }
+    return out;
+  }
+};
+
+std::vector<Tuple> MakeStream(int tuples) {
+  workload::WikipediaEditStream edits(/*articles=*/300, /*seed=*/5,
+                                      /*rate_per_second=*/400.0);
+  std::vector<Tuple> out;
+  out.reserve(static_cast<size_t>(tuples));
+  for (int i = 0; i < tuples; ++i) out.push_back(edits.Next());
+  return out;
+}
+
+int64_t ServiceAttributionSum(const engine::EnginePeriodStats& stats) {
+  int64_t sum = 0;
+  for (const int64_t v : stats.phases.group_service_ns) sum += v;
+  return sum;
+}
+
+TEST(PhaseProfileTest, DisabledByDefaultAndInert) {
+  Pipeline p(/*profile=*/false);
+  EXPECT_FALSE(p.engine->phase_profiling_enabled());
+  const std::vector<Tuple> stream = MakeStream(5000);
+  ASSERT_TRUE(p.engine->InjectBatch(0, stream.data(), stream.size()).ok());
+  p.engine->Flush();
+  engine::EnginePeriodStats stats = p.engine->HarvestPeriod();
+  EXPECT_FALSE(stats.phases.enabled);
+  EXPECT_EQ(stats.phases.TotalNs(), 0);
+  EXPECT_EQ(stats.phases.wall_ns, 0);
+}
+
+TEST(PhaseProfileTest, BreakdownCoversWallTimeSingleWorker) {
+  Pipeline p(/*profile=*/true);
+  const std::vector<Tuple> stream = MakeStream(60000);
+  ASSERT_TRUE(p.engine->phase_profiling_enabled());
+  ASSERT_TRUE(p.engine->InjectBatch(0, stream.data(), stream.size()).ok());
+  p.engine->Flush();
+  engine::EnginePeriodStats stats = p.engine->HarvestPeriod();
+  ASSERT_TRUE(stats.phases.enabled);
+  ASSERT_GT(stats.phases.wall_ns, 0);
+  // The acceptance invariant: phases explain >=95% of measured wall time.
+  // On the driving thread the accounting is exclusive, so coverage is in
+  // fact ~100%; 95% leaves room for the clock reads themselves.
+  EXPECT_GE(stats.phases.Coverage(), 0.95);
+  // A real run did real work in the pipeline phases.
+  EXPECT_GT(stats.phases.ns[P(WavePhase::kIngest)], 0);
+  EXPECT_GT(stats.phases.ns[P(WavePhase::kService)], 0);
+  EXPECT_GT(stats.phases.ns[P(WavePhase::kWaveBarrier)], 0);
+  // Per-group attribution is exact: it is carved from the same interval
+  // stamps that charge the service phase.
+  EXPECT_EQ(ServiceAttributionSum(stats), stats.phases.ns[P(WavePhase::kService)]);
+  EXPECT_EQ(stats.phases.group_service_ns.size(),
+            static_cast<size_t>(p.topo.num_key_groups()));
+
+  // Harvest resets: the next period starts from zero but stays enabled.
+  engine::EnginePeriodStats next = p.engine->HarvestPeriod();
+  EXPECT_TRUE(next.phases.enabled);
+  EXPECT_EQ(next.phases.ns[P(WavePhase::kService)], 0);
+}
+
+TEST(PhaseProfileTest, BreakdownCoversWallTimeMultiWorker) {
+  Pipeline p(/*profile=*/true, /*latency_sample_every=*/0,
+             /*journey_sample_every=*/0, /*num_workers=*/3);
+  const std::vector<Tuple> stream = MakeStream(60000);
+  ASSERT_TRUE(p.engine->InjectBatch(0, stream.data(), stream.size()).ok());
+  p.engine->Flush();
+  engine::EnginePeriodStats stats = p.engine->HarvestPeriod();
+  ASSERT_TRUE(stats.phases.enabled);
+  ASSERT_GT(stats.phases.wall_ns, 0);
+  // Pool workers fold their (non-idle) thread time on top of the driving
+  // thread's exclusive decomposition, so coverage can only grow past the
+  // single-worker ~100%.
+  EXPECT_GE(stats.phases.Coverage(), 0.95);
+  EXPECT_GT(stats.phases.ns[P(WavePhase::kService)], 0);
+  EXPECT_EQ(ServiceAttributionSum(stats), stats.phases.ns[P(WavePhase::kService)]);
+}
+
+TEST(PhaseProfileTest, ReconfigurationWorkLandsInItsOwnPhases) {
+  Pipeline p(/*profile=*/true);
+  const std::vector<Tuple> stream = MakeStream(30000);
+  ASSERT_TRUE(p.engine->InjectBatch(0, stream.data(), stream.size()).ok());
+  p.engine->Flush();
+  (void)p.engine->HarvestPeriod();
+
+  // A direct migration in the next period: its stamps must be charged to
+  // the migration phase, not blur into service or idle.
+  const engine::NodeId from = p.engine->assignment().node_of(0);
+  const engine::NodeId to = (from + 1) % kNodes;
+  ASSERT_TRUE(
+      p.engine->MigrateGroup(0, to, engine::MigrationMode::kDirect).ok());
+  engine::EnginePeriodStats stats = p.engine->HarvestPeriod();
+  ASSERT_TRUE(stats.phases.enabled);
+  EXPECT_GT(stats.phases.ns[P(WavePhase::kMigration)], 0);
+  EXPECT_GE(stats.phases.Coverage(), 0.95);
+}
+
+TEST(PhaseProfileTest, OutputsBitIdenticalWithFullAttributionEnabled) {
+  const std::vector<Tuple> stream = MakeStream(60000);
+  Pipeline off(/*profile=*/false);
+  // The full observability stack: latency telemetry, phase profiling and
+  // journey sampling all on at once.
+  Pipeline on(/*profile=*/true, /*latency_sample_every=*/32,
+              /*journey_sample_every=*/512);
+  ASSERT_TRUE(on.engine->journey_sampling_enabled());
+  ASSERT_TRUE(off.engine->InjectBatch(0, stream.data(), stream.size()).ok());
+  ASSERT_TRUE(on.engine->InjectBatch(0, stream.data(), stream.size()).ok());
+  off.engine->Flush();
+  on.engine->Flush();
+  for (KeyGroupId g = 0; g < off.topo.num_key_groups(); ++g) {
+    EXPECT_EQ(off.StateOf(g), on.StateOf(g)) << "group " << g;
+  }
+  ASSERT_FALSE(off.GlobalCounts().empty());
+  EXPECT_EQ(off.GlobalCounts(), on.GlobalCounts());
+}
+
+TEST(PhaseProfileTest, PublishesPerPhaseCountersToTheRegistry) {
+  MetricsRegistry reg;
+  Pipeline p(/*profile=*/true, /*latency_sample_every=*/0,
+             /*journey_sample_every=*/0, /*num_workers=*/1, &reg);
+  const std::vector<Tuple> stream = MakeStream(30000);
+  ASSERT_TRUE(p.engine->InjectBatch(0, stream.data(), stream.size()).ok());
+  p.engine->Flush();
+  engine::EnginePeriodStats stats = p.engine->HarvestPeriod();
+  ASSERT_TRUE(stats.phases.enabled);
+  // The published series mirror the harvested breakdown, phase by phase.
+  for (int ph = 0; ph < kNumWavePhases; ++ph) {
+    CounterMetric* c = reg.Counter(
+        "engine_phase_ns_total",
+        {{"phase", WavePhaseName(static_cast<WavePhase>(ph))}});
+    EXPECT_EQ(c->value(), stats.phases.ns[ph])
+        << WavePhaseName(static_cast<WavePhase>(ph));
+  }
+}
+
+}  // namespace
+}  // namespace albic
