@@ -13,9 +13,12 @@
 //
 // The observability flags (examples/observability_flags.h) dump the final
 // metrics-registry snapshot, a Chrome trace (the run ends with a
-// three-mode migration showcase, so the trace shows the direct, indirect
-// and epoch pause signatures side by side) and the controller's decision
-// journal. Printed output is identical with or without them.
+// four-mode migration showcase, so the trace shows the direct, indirect,
+// epoch and lease signatures side by side) and the controller's decision
+// journal. The controller itself runs with the lease opt-in, so every
+// round-applied migration is a zero-cost arena lease flip (journal reason
+// "lease-zero-cost"). Printed output is identical with or without the
+// observability flags.
 
 #include <algorithm>
 #include <cstdio>
@@ -135,6 +138,10 @@ int main(int argc, char** argv) {
   // near 50% mean load at 6000 edits/minute.
   copts.node_capacity_work_units = 2.0 * kTuplesPerPeriod / kNodes / 0.5;
   copts.use_comm = true;
+  // Zero-copy reconfiguration: round-applied moves flip arena leases (no
+  // state serialized, no pause) — works without checkpointing, which this
+  // job only attaches later for the migration showcase.
+  copts.use_lease_migration = true;
   copts.metrics = &registry;
   if (journal.is_open()) copts.journal = &journal;
   core::ControllerLoop controller(&engine, &framework, &load_model, &topology,
@@ -178,8 +185,9 @@ int main(int argc, char** argv) {
   // bit-identical) — but each mode leaves its distinct pause signature in
   // the trace and bumps its engine_migrations_total{mode} counter. Direct
   // first (no checkpoint needed), then checkpointing is attached for the
-  // indirect and epoch moves. Prints nothing: stdout stays identical with
-  // observability off.
+  // indirect and epoch moves, and a lease flip closes the set (its trace
+  // shows only the wave-barrier flip span — nothing travels). Prints
+  // nothing: stdout stays identical with observability off.
   {
     engine::MemoryCheckpointStore showcase_store;
     engine::CheckpointCoordinator showcase_coordinator(&showcase_store);
@@ -195,7 +203,8 @@ int main(int argc, char** argv) {
         !engine.EnableCheckpointing(&showcase_coordinator).ok() ||
         !showcase_coordinator.CheckpointNow(&engine).ok() ||
         !move(1, engine::MigrationMode::kIndirect).ok() ||
-        !move(2, engine::MigrationMode::kEpoch).ok()) {
+        !move(2, engine::MigrationMode::kEpoch).ok() ||
+        !move(3, engine::MigrationMode::kLease).ok()) {
       std::fprintf(stderr, "migration showcase failed\n");
       return 1;
     }

@@ -29,6 +29,13 @@ VALID_PHASES = frozenset([
     "checkpoint", "migration", "recovery",
 ])
 
+# The controller's fixed decision-reason vocabulary (core/controller_loop.cc).
+# A reason outside this set means the journal and the controller drifted.
+VALID_REASONS = frozenset([
+    "no-checkpointing", "forced-indirect", "indirect-cheaper",
+    "epoch-zero-pause", "lease-zero-cost", "direct-cheapest",
+])
+
 
 def fmt_us(us):
     if us >= 1e6:
@@ -66,6 +73,11 @@ def main(argv):
                 print(f"{path}:{lineno}: invalid dominant_phase {phase!r}",
                       file=sys.stderr)
                 return 1
+            for d in rec["decisions"]:
+                if d.get("reason") not in VALID_REASONS:
+                    print(f"{path}:{lineno}: invalid decision reason "
+                          f"{d.get('reason')!r}", file=sys.stderr)
+                    return 1
             rounds.append(rec)
 
     if not rounds:
@@ -189,8 +201,19 @@ def self_test():
     off = dict(valid, attribution={"dominant_phase": "off",
                                    "dominant_share": 0.0, "wall_ns": 0,
                                    "top_costs": []})
+    lease_decision = {
+        "group": 3, "from": 0, "to": 1, "mode": "lease",
+        "reason": "lease-zero-cost",
+        "predicted_pause_us": 0.0, "actual_pause_us": 0.0,
+        "est": {"direct_us": 512.0, "indirect_us": -1.0, "epoch_us": -1.0,
+                "lease_us": 0.0},
+    }
+    lease = dict(valid, migrations={"planned": 1, "applied": 1},
+                 decisions=[lease_decision])
     missing = {k: v for k, v in valid.items() if k != "attribution"}
     bad_phase = dict(valid, attribution={"dominant_phase": "banana"})
+    bad_reason = dict(valid,
+                      decisions=[dict(lease_decision, reason="vibes")])
 
     failures = []
 
@@ -208,12 +231,14 @@ def self_test():
             os.unlink(name)
         return rc
 
-    if run_on([valid, off]) != 0:
+    if run_on([valid, off, lease]) != 0:
         failures.append("valid-journal-accepted")
     if run_on([missing]) == 0:
         failures.append("missing-attribution-rejected")
     if run_on([bad_phase]) == 0:
         failures.append("invalid-phase-rejected")
+    if run_on([bad_reason]) == 0:
+        failures.append("invalid-reason-rejected")
 
     if failures:
         print("analyze_journal self-test FAILED:", ", ".join(failures))

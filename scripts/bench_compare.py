@@ -220,6 +220,20 @@ def self_test():
            one("checkpoint_bytes_total", "bytes", 1e6, 1.5e6) is True)
     expect("bytes-abs-floor",
            one("delta_bytes", "bytes", 1000, 2000) is False)
+    # Lease metrics have zero baselines by construction (a lease flip ships
+    # no bytes and pauses nothing), so the relative tolerance is moot and
+    # the absolute floors carry the gate: staying at zero passes, any real
+    # bytes or a milliseconds-scale pause appearing fails.
+    expect("lease-bytes-zero-ok",
+           one("lease_migration_bytes", "bytes", 0, 0) is False)
+    expect("lease-bytes-appear-fails",
+           one("lease_migration_bytes", "bytes", 0, 10000) is True)
+    expect("lease-pause-zero-ok",
+           one("lease_pause_ms", "ms", 0.0, 0.0) is False)
+    expect("lease-pause-appear-fails",
+           one("lease_pause_ms", "ms", 0.0, 3.0) is True)
+    expect("scaleout-pause-gated",
+           one("scaleout_lease_pause_ms", "ms", 0.0, 3.0) is True)
     # Pauses: 50% jitter passes, 3x fails; ms-unit metrics gate too, but a
     # millisecond-scale p99 doubling stays under the absolute floor.
     expect("pause-noise-ok", one("p99_pause_us", "us", 400, 600) is False)

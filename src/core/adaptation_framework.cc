@@ -59,6 +59,23 @@ engine::SystemSnapshot AdaptationFramework::BuildSnapshot(
         }
       }
     }
+    if (!measured->lease_available.empty()) {
+      // Lease-available groups migrate by flipping an arena lease — zero
+      // bytes move, so their mck is genuinely zero. Zeroing both cost
+      // vectors keeps the rebalancer's max_migration_cost budget from
+      // throttling moves that cost nothing: a load spike whose epoch-mode
+      // absorption would be spread over several rounds by the budget is
+      // absorbed in one round with leases.
+      const size_t n = std::min(snap.migration_costs.size(),
+                                measured->lease_available.size());
+      for (size_t g = 0; g < n; ++g) {
+        if (measured->lease_available[g] == 0) continue;
+        snap.migration_costs[g] = 0.0;
+        if (g < snap.migration_costs_indirect.size()) {
+          snap.migration_costs_indirect[g] = 0.0;
+        }
+      }
+    }
   }
   return snap;
 }

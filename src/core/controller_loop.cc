@@ -189,6 +189,13 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
   signals.replay_suffix_bytes = engine_->ReplaySuffixBytes();
   signals.delta_chain_bytes = engine_->DeltaChainBytes();
   signals.epoch_transfer_bytes = engine_->EpochTransferBytes();
+  // Lease availability is arena-derived, not telemetry-derived, and only
+  // meaningful when the controller may actually choose leases: with the
+  // opt-in off the vector stays empty and the snapshot's migration-cost
+  // terms are untouched, keeping legacy planning bit-identical.
+  if (options_.use_lease_migration) {
+    signals.lease_available = engine_->LeaseAvailability();
+  }
 
   // Causal attribution: with wave-phase profiling on, name the phase that
   // dominated the period's wall time and rank the (operator, key group)
@@ -234,7 +241,7 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
 
   const engine::MeasuredSignals* measured =
       cost_model_.measured() || !signals.replay_suffix_bytes.empty() ||
-              stats.phases.enabled
+              !signals.lease_available.empty() || stats.phases.enabled
           ? &signals
           : nullptr;
 
@@ -376,6 +383,17 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
         reason = "epoch-zero-pause";
       }
     }
+    // Lease flips sit OUTSIDE the checkpointed gate: the arena flip needs
+    // no checkpoint subsystem at all. `<=` (not `<`) so a lease's zero
+    // prediction beats epoch's zero — when both cost nothing, the mode
+    // that also moves zero bytes wins. The forced-indirect override still
+    // takes precedence via the use_indirect_migration guard.
+    if (!options_.use_indirect_migration && options_.use_lease_migration &&
+        est.lease_available && est.lease_us <= predicted) {
+      mode = engine::MigrationMode::kLease;
+      predicted = est.lease_us;
+      reason = "lease-zero-cost";
+    }
     if (!engine_->StartMigration(m.group, m.to, mode).ok()) continue;
     Result<double> pause = engine_->FinishMigration(m.group);
     if (pause.ok()) {
@@ -391,9 +409,17 @@ Result<ControllerRound> ControllerLoop::RunRoundNow() {
       decision.est_direct_us = est.direct_us;
       decision.est_indirect_us = est.indirect_available ? est.indirect_us : -1;
       decision.est_epoch_us = est.epoch_available ? est.epoch_us : -1;
+      // Without the opt-in the lease estimate never entered the choice, so
+      // it is journaled as unavailable — an est of 0 beside a non-lease
+      // winner would read as the controller ignoring the cheapest mode.
+      decision.est_lease_us =
+          options_.use_lease_migration && est.lease_available ? est.lease_us
+                                                              : -1;
       decision.reason = reason;
       round.migration_decisions.push_back(decision);
-      if (mode == engine::MigrationMode::kEpoch) {
+      if (mode == engine::MigrationMode::kLease) {
+        ++round.migrations_lease;
+      } else if (mode == engine::MigrationMode::kEpoch) {
         ++round.migrations_epoch;
       } else if (mode == engine::MigrationMode::kIndirect) {
         ++round.migrations_indirect;

@@ -76,6 +76,21 @@ struct ControllerLoopOptions {
   /// usable checkpoint. Off by default so existing two-way deployments and
   /// their pause accounting stay byte-identical.
   bool use_epoch_migration = false;
+  /// Opt into lease migration (engine::MigrationMode::kLease) for planned
+  /// moves: reassign groups by flipping lease ownership over the shared
+  /// state arena — zero bytes serialized, zero background transfer, pause
+  /// bounded by one wave barrier. Unlike epoch mode this needs no
+  /// checkpointing, so with it on the mode choice is four-way and lease
+  /// wins for every group whose state is live in the arena (journal
+  /// reason "lease-zero-cost"); only groups lost across a FailNode
+  /// boundary fall back to the byte-moving modes and checkpoint recovery.
+  /// Also zeroes the planner's per-group migration-cost budget terms for
+  /// lease-eligible groups (MeasuredSignals::lease_available), so a
+  /// constrained migration budget no longer throttles zero-cost moves.
+  /// use_indirect_migration still takes precedence when both are set.
+  /// Off by default so existing deployments, their pause accounting and
+  /// their planner budgets stay byte-identical.
+  bool use_lease_migration = false;
   /// Latency-SLO trigger: fire an adaptation round as soon as the engine's
   /// observed end-to-end p99 breaches slo.p99_bound_us instead of waiting
   /// for the statistics boundary (with check pacing, cooldown and backoff;
@@ -111,9 +126,10 @@ struct MigrationDecision {
   double est_direct_us = 0.0;
   double est_indirect_us = -1.0;
   double est_epoch_us = -1.0;
+  double est_lease_us = -1.0;
   /// Why this mode won: "no-checkpointing" (direct is all there is),
   /// "forced-indirect" (use_indirect_migration), "indirect-cheaper",
-  /// "epoch-zero-pause", or "direct-cheapest".
+  /// "epoch-zero-pause", "lease-zero-cost", or "direct-cheapest".
   const char* reason = "direct-cheapest";
 };
 
@@ -133,6 +149,8 @@ struct ControllerRound {
   int migrations_indirect = 0;  ///< Applied via checkpoint + replay.
   /// Applied via epoch-marker stamping (background transfer, zero pause).
   int migrations_epoch = 0;
+  /// Applied via lease flips over the state arena (zero bytes, zero pause).
+  int migrations_lease = 0;
   /// Per-migration record: chosen mode, predicted vs. actual pause.
   std::vector<MigrationDecision> migration_decisions;
   /// True when this round's planning loads came from measured service-time

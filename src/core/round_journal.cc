@@ -28,6 +28,8 @@ const char* ModeName(engine::MigrationMode mode) {
       return "indirect";
     case engine::MigrationMode::kEpoch:
       return "epoch";
+    case engine::MigrationMode::kLease:
+      return "lease";
     default:
       return "direct";
   }
@@ -92,6 +94,8 @@ std::string RoundJournal::ToJson(const ControllerRound& round) {
   AppendInt(&out, round.migrations_indirect);
   out += ",\"epoch\":";
   AppendInt(&out, round.migrations_epoch);
+  out += ",\"lease\":";
+  AppendInt(&out, round.migrations_lease);
   out += ",\"pause_us\":";
   AppendDouble(&out, round.migration_pause_us);
   out += "},\"decisions\":[";
@@ -118,6 +122,8 @@ std::string RoundJournal::ToJson(const ControllerRound& round) {
     AppendDouble(&out, d.est_indirect_us);
     out += ",\"epoch_us\":";
     AppendDouble(&out, d.est_epoch_us);
+    out += ",\"lease_us\":";
+    AppendDouble(&out, d.est_lease_us);
     out += "}}";
   }
   out += "],\"checkpoint\":{\"taken\":";

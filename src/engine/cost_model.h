@@ -74,6 +74,14 @@ struct MeasuredSignals {
   /// for groups without a usable checkpoint (their stamp would round-trip
   /// the live state instead). Empty when checkpointing is off.
   std::vector<double> epoch_transfer_bytes;
+  /// Per-group flag (1/0): a lease flip over the shared state arena can
+  /// migrate the group at zero transfer cost (state_arena.h). Filled by
+  /// the controller from the engine when lease migration is opted in —
+  /// empty otherwise, so legacy planning never sees it. The snapshot
+  /// builder zeroes the migration-cost terms of lease-available groups,
+  /// letting the rebalancer's migration budget ignore moves that are
+  /// actually free.
+  std::vector<uint8_t> lease_available;
   /// Wave-phase attribution of the period (the caller's to fill from
   /// EnginePeriodStats::phases; the model has no engine access). "off"
   /// when the engine runs without profile_wave_phases — the stable name of

@@ -96,8 +96,8 @@ LocalEngine::LocalEngine(const Topology* topology, const Cluster* cluster,
                          LocalEngineOptions options)
     : topology_(topology),
       cluster_(cluster),
-      assignment_(std::move(initial)),
-      operators_(std::move(operators)),
+      arena_(topology, std::move(operators), std::move(initial)),
+      operators_(arena_.operators()),
       options_(options),
       migrating_(static_cast<size_t>(topology->num_key_groups())) {
   assert(static_cast<int>(operators_.size()) == topology_->num_operators());
@@ -205,6 +205,19 @@ void LocalEngine::WireMetrics() {
       reg->Counter("engine_migrations_total", {{"mode", "indirect"}});
   metrics_.migrations_epoch =
       reg->Counter("engine_migrations_total", {{"mode", "epoch"}});
+  metrics_.migrations_lease =
+      reg->Counter("engine_migrations_total", {{"mode", "lease"}});
+  // All four byte series are wired eagerly so the lease series exists (at
+  // zero, forever — leases ship no bytes) for dashboards and the bench
+  // self-checks to read.
+  metrics_.migration_bytes_direct =
+      reg->Counter("engine_migration_bytes_total", {{"mode", "direct"}});
+  metrics_.migration_bytes_indirect =
+      reg->Counter("engine_migration_bytes_total", {{"mode", "indirect"}});
+  metrics_.migration_bytes_epoch =
+      reg->Counter("engine_migration_bytes_total", {{"mode", "epoch"}});
+  metrics_.migration_bytes_lease =
+      reg->Counter("engine_migration_bytes_total", {{"mode", "lease"}});
   metrics_.mailbox_highwater = reg->Gauge("engine_mailbox_highwater");
   metrics_.chain_len_highwater =
       reg->Gauge("engine_checkpoint_chain_len_highwater");
@@ -431,7 +444,7 @@ Status LocalEngine::Inject(OperatorId source_op, const Tuple& tuple) {
       // Real source operators deliver like any other hop: append straight
       // into the open batch in the owning node's mailbox.
       const KeyGroupId g = topology_->first_group(source_op) + group;
-      AppendRouted(&coordinator_, assignment_.node_of(g), source_op, group, g,
+      AppendRouted(&coordinator_, arena_.owner_of(g), source_op, group, g,
                    &tuple, 1);
       ++staged_tuples_;
     }
@@ -608,7 +621,7 @@ Status LocalEngine::InjectRouted(OperatorId source_op, int shard,
         StageIngress(source_op, group_index, t);
       } else {
         const KeyGroupId g = topology_->first_group(source_op) + group_index;
-        AppendRouted(&coordinator_, assignment_.node_of(g), source_op,
+        AppendRouted(&coordinator_, arena_.owner_of(g), source_op,
                      group_index, g, &t, 1);
         ++staged_tuples_;
       }
@@ -625,7 +638,7 @@ Status LocalEngine::InjectRouted(OperatorId source_op, int shard,
     }
   } else {
     const KeyGroupId g = topology_->first_group(source_op) + group_index;
-    AppendRouted(&coordinator_, assignment_.node_of(g), source_op, group_index,
+    AppendRouted(&coordinator_, arena_.owner_of(g), source_op, group_index,
                  g, tuples, count);
     staged_tuples_ += static_cast<int64_t>(count);
   }
@@ -636,16 +649,17 @@ Status LocalEngine::InjectRouted(OperatorId source_op, int shard,
 void LocalEngine::Deliver(OperatorId op, int group_index, const Tuple& tuple) {
   const KeyGroupId g = topology_->first_group(op) + group_index;
   MigrationState& mig = migrating_[g];
-  if (mig.active && mig.mode != MigrationMode::kEpoch) {
+  if (mig.active && MigrationBuffers(mig.mode)) {
     // Direct state migration: new tuples buffer at the target node until
-    // the state arrives (§3, "State Migration"). Epoch migrations never
-    // buffer — the group keeps processing at whichever owner the routing
-    // currently names (old before the boundary stamp, new after).
+    // the state arrives (§3, "State Migration"). Epoch and lease
+    // migrations never buffer — the group keeps processing at whichever
+    // owner the routing currently names (old before the boundary
+    // stamp/lease flip, new after).
     mig.buffer.push_back(tuple);
     ++period_.tuples_buffered;
     return;
   }
-  const NodeId node = assignment_.node_of(g);
+  const NodeId node = arena_.owner_of(g);
   const double cost = topology_->op(op).cost_per_tuple;
   period_.group_work[g] += cost;
   EnsureNodeSlot(&period_.node_work, node);
@@ -675,7 +689,7 @@ void LocalEngine::Deliver(OperatorId op, int group_index, const Tuple& tuple) {
 void LocalEngine::Route(OperatorId from_op, int from_group,
                         const Tuple& tuple) {
   const KeyGroupId src_global = topology_->first_group(from_op) + from_group;
-  const NodeId src_node = assignment_.node_of(src_global);
+  const NodeId src_node = arena_.owner_of(src_global);
   for (const StreamEdge& e : topology_->edges()) {
     if (e.from != from_op) continue;
     const int down_groups = topology_->op(e.to).num_key_groups;
@@ -694,7 +708,7 @@ void LocalEngine::Route(OperatorId from_op, int from_group,
     }
     const KeyGroupId dst_global = topology_->first_group(e.to) + target;
     period_.comm.Add(src_global, dst_global, 1.0);
-    const NodeId dst_node = assignment_.node_of(dst_global);
+    const NodeId dst_node = arena_.owner_of(dst_global);
     if (src_node != dst_node && src_node != kInvalidNode &&
         dst_node != kInvalidNode) {
       // Serialization at the sender, deserialization at the receiver.
@@ -825,7 +839,7 @@ void LocalEngine::SendRouted(WorkerContext* ctx, OperatorId to_op,
   const KeyGroupId dst_global = topology_->first_group(to_op) + target_group;
   const double n = static_cast<double>(count);
   ctx->stats->comm.Add(src_global, dst_global, n);
-  const NodeId dst_node = assignment_.node_of(dst_global);
+  const NodeId dst_node = arena_.owner_of(dst_global);
   if (src_node != dst_node && src_node != kInvalidNode &&
       dst_node != kInvalidNode) {
     EnsureNodeSlot(&ctx->stats->node_work, src_node);
@@ -851,7 +865,7 @@ void LocalEngine::RouteBatch(WorkerContext* ctx, OperatorId from_op,
                              int from_group, const TupleBatch& batch) {
   if (batch.empty()) return;
   const KeyGroupId src_global = topology_->first_group(from_op) + from_group;
-  const NodeId src_node = assignment_.node_of(src_global);
+  const NodeId src_node = arena_.owner_of(src_global);
   for (const StreamEdge& e : downstream_[from_op]) {
     const int down_groups = topology_->op(e.to).num_key_groups;
     switch (e.pattern) {
@@ -891,12 +905,12 @@ void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
   if (batch.empty()) return;
   const KeyGroupId g = topology_->first_group(op) + group_index;
   MigrationState& mig = migrating_[g];
-  if (mig.active && mig.mode != MigrationMode::kEpoch) {
+  if (mig.active && MigrationBuffers(mig.mode)) {
     // Tuples that arrive while the group migrates buffer in order at the
     // target (§3, "State Migration"); FinishMigration drains them. Epoch
-    // migrations skip the buffer entirely: the group processes live at the
-    // owner the routing currently names, and the stamp at the next wave
-    // barrier is what flips that name.
+    // and lease migrations skip the buffer entirely: the group processes
+    // live at the owner the routing currently names, and the stamp/flip at
+    // the next wave barrier is what changes that name.
     std::lock_guard<std::mutex> lock(migration_buffer_mu_);
     for (const Tuple& t : batch) mig.buffer.push_back(t);
     ctx->stats->tuples_buffered += static_cast<int64_t>(batch.size());
@@ -934,7 +948,7 @@ void LocalEngine::DeliverBatch(WorkerContext* ctx, OperatorId op,
     batch_tuples = batch.size();
     batch_last_ts = batch.tuples().back().ts;
   }
-  const NodeId node = assignment_.node_of(g);
+  const NodeId node = arena_.owner_of(g);
   const double cost = topology_->op(op).cost_per_tuple;
   const double n = static_cast<double>(batch.size());
   ctx->stats->group_work[g] += cost * n;
@@ -1222,13 +1236,18 @@ Status LocalEngine::StartMigration(KeyGroupId group, NodeId to,
   if (mig.active) {
     return Status::AlreadyExists("group is already migrating");
   }
-  if (assignment_.node_of(group) == to) {
+  if (arena_.owner_of(group) == to) {
     return Status::InvalidArgument("group already on target node");
   }
   mig.active = true;
   mig.target = to;
   mig.mode = mode;
-  if (mode == MigrationMode::kEpoch) {
+  if (mode == MigrationMode::kEpoch || mode == MigrationMode::kLease) {
+    // Both modes resolve at the next quiescent instant. Note kLease never
+    // degraded above: the lease flip needs no checkpoint chain to ship —
+    // the state stays put in the arena — so it works without
+    // checkpointing, and without weakening it (dirty tracking and replay
+    // logging are untouched by the flip).
     mig.epoch_stamped = false;
     mig.epoch_boundary_seq = 0;
     epoch_pending_.push_back(group);
@@ -1269,8 +1288,26 @@ void LocalEngine::StampEpochBoundaries() {
     // Validate against the live migration record: FailNode may have
     // cancelled the move or turned the group into a lost one since Start —
     // stale entries drop out here.
-    if (!mig.active || mig.lost || mig.mode != MigrationMode::kEpoch ||
+    if (!mig.active || mig.lost ||
+        (mig.mode != MigrationMode::kEpoch &&
+         mig.mode != MigrationMode::kLease) ||
         mig.epoch_stamped) {
+      continue;
+    }
+    if (mig.mode == MigrationMode::kLease) {
+      // Zero-copy reassignment: the group's state slot lives in the
+      // process-wide arena and never moves — flipping the lease at this
+      // quiescent instant IS the whole migration. No bytes serialized, no
+      // background transfer, and none of the checkpoint machinery is
+      // touched (the group's dirty flags, replay log and chain stay
+      // exactly as they are, so the failure path is unaffected).
+      ALBIC_TRACE_SPAN2("migration", "migration.lease.flip", "group", g, "to",
+                        mig.target);
+      if (!group_logs_.empty()) {
+        mig.epoch_boundary_seq = group_logs_[g].next_seq();
+      }
+      arena_.Flip(g, mig.target);
+      mig.epoch_stamped = true;
       continue;
     }
     ALBIC_TRACE_SPAN2("migration", "migration.epoch.stamp", "group", g, "to",
@@ -1319,10 +1356,13 @@ void LocalEngine::StampEpochBoundaries() {
         moved += static_cast<int64_t>(state.size());
       }
       period_.epoch_transfer_bytes += moved;
+      if (metrics_.migration_bytes_epoch != nullptr) {
+        metrics_.migration_bytes_epoch->Add(moved);
+      }
     }
     // The atomic routing flip: from here every delivery — in-flight mailbox
     // batches included — resolves the new owner. Redirected, not stalled.
-    assignment_.set_node(g, mig.target);
+    arena_.Flip(g, mig.target);
     mig.epoch_stamped = true;
   }
 }
@@ -1338,6 +1378,26 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
   }
   const OperatorId op = topology_->group_operator(group);
   const int local = topology_->group_index_in_operator(group);
+
+  if (mig.mode == MigrationMode::kLease) {
+    ALBIC_TRACE_SPAN1("migration", "migration.lease.finish", "group", group);
+    // The driving thread being here is itself a quiescent instant — if no
+    // wave barrier happened since Start, flip the lease now.
+    if (!mig.epoch_stamped) StampEpochBoundaries();
+    // Ownership changed hands at the flip; no bytes moved, nothing
+    // buffered, nothing can have failed. The pause is the single wave
+    // barrier — zero in the engine's byte-proportional model.
+    mig.active = false;
+    mig.target = kInvalidNode;
+    mig.mode = MigrationMode::kDirect;
+    mig.epoch_stamped = false;
+    mig.epoch_boundary_seq = 0;
+    DrainMigrationBuffer(group);  // empty by construction; keeps the invariant
+    if (metrics_.migrations_lease != nullptr) {
+      metrics_.migrations_lease->Increment();
+    }
+    return 0.0;
+  }
 
   if (mig.mode == MigrationMode::kEpoch) {
     ALBIC_TRACE_SPAN1("migration", "migration.epoch.finish", "group", group);
@@ -1382,6 +1442,7 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
           group_logs_[group].base_seq() <= info.seq) {
         ALBIC_TRACE_SPAN2("migration", "migration.indirect", "group", group,
                           "to", mig.target);
+        const int64_t restore_t0_ns = NowNs();
         operators_[op]->ClearGroupState(local);
         ALBIC_RETURN_NOT_OK(
             operators_[op]->DeserializeGroupState(local, base));
@@ -1390,11 +1451,20 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
           ALBIC_RETURN_NOT_OK(operators_[op]->ApplyGroupDelta(local, d));
           delta_bytes += static_cast<double>(d.size());
         }
+        // The wall time of this chain restore, per byte, is the observed
+        // restore rate the delta-aware compaction budget prices chains at.
+        ObserveRestoreRate(
+            static_cast<double>(NowNs() - restore_t0_ns) / 1000.0,
+            static_cast<double>(base.size()) + delta_bytes);
         const int64_t replayed = ReplayLogSuffix(group, info.seq);
         period_.tuples_replayed += replayed;
         pause_us = kEnginePauseUsPerByte *
                    (static_cast<double>(replayed) * sizeof(Tuple) +
                     delta_bytes);
+        if (metrics_.migration_bytes_indirect != nullptr) {
+          metrics_.migration_bytes_indirect->Add(static_cast<int64_t>(
+              static_cast<double>(replayed) * sizeof(Tuple) + delta_bytes));
+        }
         indirect_done = true;
       }
       // No usable checkpoint — fall back to the direct round-trip below.
@@ -1410,6 +1480,10 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
       operators_[op]->ClearGroupState(local);
       ALBIC_RETURN_NOT_OK(operators_[op]->DeserializeGroupState(local, state));
       pause_us = kEnginePauseUsPerByte * static_cast<double>(state.size());
+      if (metrics_.migration_bytes_direct != nullptr) {
+        metrics_.migration_bytes_direct->Add(
+            static_cast<int64_t>(state.size()));
+      }
     }
   }
   period_.migration_pause_us += pause_us;
@@ -1421,7 +1495,7 @@ Result<double> LocalEngine::FinishMigration(KeyGroupId group) {
   // pause as latency; account it before the drain re-delivers them.
   RecordBufferedPause(pause_us, mig.buffer.size());
 
-  assignment_.set_node(group, mig.target);
+  arena_.Flip(group, mig.target);
   mig.active = false;
   mig.target = kInvalidNode;
   mig.mode = MigrationMode::kDirect;
@@ -1441,6 +1515,12 @@ MigrationPauseEstimate LocalEngine::EstimateMigrationPause(
   MigrationPauseEstimate est;
   est.direct_us =
       kEnginePauseUsPerByte * topology_->group_state_bytes(group);
+  // A lease flip needs nothing but the live slot in the arena — no
+  // checkpoint chain, no suffix, no bytes. Only a group lost to a node
+  // failure (its slot cleared) cannot be leased; checkpoint + replay
+  // recovers it instead.
+  est.lease_available = !migrating_[group].lost;
+  est.lease_us = 0.0;
   if (checkpointer_ != nullptr) {
     // Epoch migration is available whenever checkpointing is: its pause is
     // one wave barrier regardless of how much the background transfer
@@ -1498,6 +1578,15 @@ std::vector<double> LocalEngine::DeltaChainBytes() const {
   return out;
 }
 
+std::vector<uint8_t> LocalEngine::LeaseAvailability() const {
+  std::vector<uint8_t> out(static_cast<size_t>(topology_->num_key_groups()),
+                           1);
+  for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
+    if (migrating_[g].lost) out[static_cast<size_t>(g)] = 0;
+  }
+  return out;
+}
+
 std::vector<double> LocalEngine::EpochTransferBytes() const {
   std::vector<double> out;
   if (checkpointer_ == nullptr) return out;
@@ -1526,6 +1615,7 @@ Status LocalEngine::EnableCheckpointing(CheckpointCoordinator* coordinator) {
   checkpointer_ = coordinator;
   max_log_entries_ = coordinator->options().max_log_entries;
   max_delta_chain_ = coordinator->options().max_delta_chain;
+  chain_restore_budget_us_ = coordinator->options().max_chain_restore_us;
   const size_t n = static_cast<size_t>(topology_->num_key_groups());
   group_logs_.assign(n, ReplayLog());
   chain_len_.assign(n, -1);  // no base snapshot exists yet
@@ -1591,10 +1681,22 @@ Result<CheckpointRoundResult> LocalEngine::CheckpointDirtyGroups() {
     // a full chain rolls over into a fresh base).
     StateChangeTracker* track =
         max_delta_chain_ > 0 ? &group_trackers_[g] : nullptr;
-    const bool as_delta = track != nullptr &&
-                          operators_[op]->SupportsDeltaState() &&
-                          !track->reset() && chain_len_[g] >= 0 &&
-                          chain_len_[g] < max_delta_chain_;
+    bool as_delta = track != nullptr &&
+                    operators_[op]->SupportsDeltaState() &&
+                    !track->reset() && chain_len_[g] >= 0 &&
+                    chain_len_[g] < max_delta_chain_;
+    if (as_delta && chain_restore_budget_us_ > 0.0) {
+      // Delta-aware compaction: chaining another delta is only worth it
+      // while the chain's measured restore cost — its delta bytes priced
+      // at the observed restore rate — stays under the coordinator's
+      // budget. A long chain of tiny deltas keeps chaining; a short chain
+      // of fat ones compacts into a fresh base even with room left in
+      // max_delta_chain.
+      const double restore_us =
+          RestoreRateUsPerByte() *
+          static_cast<double>(store->ChainDeltaBytes(g));
+      if (restore_us > chain_restore_budget_us_) as_delta = false;
+    }
     const std::string state =
         as_delta ? operators_[op]->SerializeGroupDelta(local)
                  : operators_[op]->SerializeGroupState(local);
@@ -1670,7 +1772,7 @@ Status LocalEngine::FailNode(NodeId node) {
   PhaseScope prof_scope(coordinator_.prof, WavePhase::kRecovery);
   for (KeyGroupId g = 0; g < topology_->num_key_groups(); ++g) {
     MigrationState& mig = migrating_[g];
-    if (assignment_.node_of(g) == node) {
+    if (arena_.owner_of(g) == node) {
       // The group dies with its node: its live state is lost, and new
       // input buffers exactly as during a migration until RecoverGroup
       // restores it elsewhere — recovery is just another reconfiguration.
@@ -1684,17 +1786,19 @@ Status LocalEngine::FailNode(NodeId node) {
       mig.lost = true;
       mig.target = kInvalidNode;
       mig.mode = MigrationMode::kDirect;
-      // A stamped epoch group lives on the dead node already (routing
-      // flipped at the stamp) and is handled right here as a lost group;
-      // an unstamped one self-cleans out of epoch_pending_ because its
-      // mode is no longer kEpoch.
+      // A stamped epoch/lease group lives on the dead node already
+      // (routing flipped at the stamp) and is handled right here as a
+      // lost group; an unstamped one self-cleans out of epoch_pending_
+      // because its mode is no longer kEpoch/kLease. Either way the lease
+      // is dead with the node: recovery goes through checkpoint + replay
+      // (RecoverGroup), never through another flip.
       mig.epoch_stamped = false;
       mig.epoch_boundary_seq = 0;
     } else if (mig.active && mig.target == node) {
       // Migration toward the dead node: the state never left the source —
       // cancel the move and release the buffered tuples at the source.
-      // (For an unstamped epoch move nothing buffered; the pending entry
-      // self-cleans at the next stamp pass.)
+      // (For an unstamped epoch or lease move nothing buffered; the
+      // pending entry self-cleans at the next stamp pass.)
       mig.active = false;
       mig.target = kInvalidNode;
       mig.mode = MigrationMode::kDirect;
@@ -1733,12 +1837,18 @@ Result<GroupRecovery> LocalEngine::RecoverGroup(KeyGroupId group, NodeId to) {
     std::vector<std::string> deltas;
     uint64_t from_seq = 0;
     if (checkpointer_->store()->LatestChain(group, &info, &base, &deltas)) {
+      const int64_t restore_t0_ns = NowNs();
       ALBIC_RETURN_NOT_OK(operators_[op]->DeserializeGroupState(local, base));
       out.restored_bytes = base.size();
       for (const std::string& d : deltas) {
         ALBIC_RETURN_NOT_OK(operators_[op]->ApplyGroupDelta(local, d));
         out.restored_bytes += d.size();
       }
+      // Fold this restore's wall time into the observed restore rate the
+      // delta-aware compaction budget uses.
+      ObserveRestoreRate(
+          static_cast<double>(NowNs() - restore_t0_ns) / 1000.0,
+          static_cast<double>(out.restored_bytes));
       from_seq = info.seq;
     }
     if (group_logs_[group].base_seq() > from_seq) {
@@ -1754,7 +1864,7 @@ Result<GroupRecovery> LocalEngine::RecoverGroup(KeyGroupId group, NodeId to) {
   }
   ++period_.groups_recovered;
   RecordBufferedPause(out.pause_us, mig.buffer.size());
-  assignment_.set_node(group, to);
+  arena_.Flip(group, to);
   mig.active = false;
   mig.lost = false;
   mig.target = kInvalidNode;

@@ -3,9 +3,10 @@
 /// \file
 /// \brief LocalEngine, the single-process PSPE runtime: executes
 /// operator code over simulated nodes in tuple-at-a-time or batched mode,
-/// and implements direct, indirect (checkpoint + replay) and epoch-marker
+/// and implements direct, indirect (checkpoint + replay), epoch-marker
 /// (stamp at a wave barrier, background transfer, atomic routing flip)
-/// state migration plus checkpoint-based failure recovery.
+/// and lease (zero-copy ownership flip over the shared state arena) state
+/// migration plus checkpoint-based failure recovery.
 
 #include <atomic>
 #include <cstdint>
@@ -27,6 +28,7 @@
 #include "engine/migration.h"
 #include "engine/operator.h"
 #include "engine/replay_log.h"
+#include "engine/state_arena.h"
 #include "engine/topology.h"
 #include "engine/tuple.h"
 #include "engine/worker_pool.h"
@@ -184,6 +186,14 @@ struct MigrationPauseEstimate {
   /// chain cut at the boundary plus the logged suffix (or the live state
   /// for the round-trip fallback). Informational — none of it pauses.
   double epoch_transfer_bytes = 0.0;
+  /// Lease flip: reassign the group's slot in the shared state arena —
+  /// zero bytes serialized, zero background transfer, pause bounded by one
+  /// wave barrier. Modeled as zero. Meaningless unless lease_available.
+  double lease_us = 0.0;
+  /// A lease flip is possible: the group's state sits live in the arena.
+  /// False only for groups lost across a FailNode boundary, where the
+  /// slot's state is gone and checkpoint + replay is the recovery path.
+  bool lease_available = false;
 };
 
 /// \brief A deterministic single-process PSPE runtime over simulated nodes.
@@ -254,11 +264,13 @@ class LocalEngine {
 
   /// \brief Begins a state migration of a key group. kDirect/kIndirect:
   /// subsequent tuples for the group buffer at the target until Finish.
-  /// kEpoch: nothing buffers — the group keeps processing at the old owner
-  /// until an epoch boundary is stamped at the next wave barrier (see
-  /// FinishMigration). kIndirect requires checkpointing to be enabled
-  /// (EnableCheckpointing); kEpoch silently falls back to kDirect without
-  /// it (the caller asked for a move, not for a mechanism).
+  /// kEpoch/kLease: nothing buffers — the group keeps processing at the
+  /// old owner until the boundary stamp (epoch) or lease flip at the next
+  /// wave barrier (see FinishMigration). kIndirect requires checkpointing
+  /// to be enabled (EnableCheckpointing); kEpoch silently falls back to
+  /// kDirect without it (the caller asked for a move, not for a
+  /// mechanism). kLease needs no checkpointing at all — the state never
+  /// leaves the arena.
   Status StartMigration(KeyGroupId group, NodeId to,
                         MigrationMode mode = MigrationMode::kDirect);
 
@@ -303,6 +315,13 @@ class LocalEngine {
   /// live state off the pause path. Empty when checkpointing is disabled.
   /// Feeds MeasuredSignals::epoch_transfer_bytes.
   std::vector<double> EpochTransferBytes() const;
+
+  /// \brief Per-group lease availability: 1 when the group's slot holds
+  /// live state in the arena (ownership can flip by lease, zero bytes),
+  /// 0 for groups lost to a node failure and awaiting checkpoint recovery.
+  /// Feeds MeasuredSignals::lease_available, which zeroes the planner's
+  /// migration-cost budget terms for lease-eligible groups.
+  std::vector<uint8_t> LeaseAvailability() const;
 
   /// \brief Accounts a modeled overload stall as latency: \p tuples tuples
   /// experienced \p pause_us of modeled queueing the single-process runtime
@@ -395,7 +414,12 @@ class LocalEngine {
                                       /*include_stalls=*/false);
   }
 
-  const Assignment& assignment() const { return assignment_; }
+  const Assignment& assignment() const { return arena_.assignment(); }
+
+  /// \brief The arena owning every operator's state slots and the lease
+  /// table mapping groups to their current owners (tests, observability).
+  const StateArena& arena() const { return arena_; }
+
   int64_t event_time() const { return event_time_us_; }
   const LocalEngineOptions& options() const { return options_; }
 
@@ -411,12 +435,14 @@ class LocalEngine {
     bool lost = false;  ///< Group died with its node; awaiting recovery.
     MigrationMode mode = MigrationMode::kDirect;
     NodeId target = kInvalidNode;
-    /// kEpoch only: the boundary was stamped at a wave barrier — the state
-    /// unit transferred and routing flipped; Finish is pure bookkeeping.
+    /// kEpoch/kLease only: the boundary was stamped at a wave barrier —
+    /// the state unit transferred (epoch) or the lease flipped (lease) and
+    /// routing changed hands; Finish is pure bookkeeping.
     bool epoch_stamped = false;
-    /// kEpoch only: replay-log seq of the stamped boundary. Entries below
-    /// it travelled with the chain cut; entries at or above it were
-    /// processed at the new owner.
+    /// kEpoch/kLease only: replay-log seq of the stamped boundary. For
+    /// epoch, entries below it travelled with the chain cut; entries at or
+    /// above it were processed at the new owner. For lease, informational
+    /// (nothing travels).
     uint64_t epoch_boundary_seq = 0;
     std::deque<Tuple> buffer;
   };
@@ -495,17 +521,35 @@ class LocalEngine {
   /// Reapplies logged entries with seq >= \p from_seq to the group's
   /// operator state, discarding emissions; returns the entry count.
   int64_t ReplayLogSuffix(KeyGroupId g, uint64_t from_seq);
+  /// The restore rate the compaction budget prices chains at: the observed
+  /// EWMA when one exists, the modeled engine rate until then.
+  double RestoreRateUsPerByte() const {
+    return observed_restore_us_per_byte_ > 0.0 ? observed_restore_us_per_byte_
+                                               : kEnginePauseUsPerByte;
+  }
+  /// Folds one measured restore (wall \p wall_us over \p bytes of chain
+  /// data) into the observed restore-rate EWMA.
+  void ObserveRestoreRate(double wall_us, double bytes) {
+    if (bytes <= 0.0 || wall_us < 0.0) return;
+    const double rate = wall_us / bytes;
+    observed_restore_us_per_byte_ =
+        observed_restore_us_per_byte_ > 0.0
+            ? 0.5 * observed_restore_us_per_byte_ + 0.5 * rate
+            : rate;
+  }
   /// Drains the tuples buffered for a group while it migrated/recovered.
   void DrainMigrationBuffer(KeyGroupId g);
-  /// Epoch migrations: called on the driving thread at quiescent instants
-  /// (wave barriers, between tuples, FinishMigration). For every group
-  /// with a pending kEpoch migration this instant IS the epoch boundary:
-  /// pins the boundary seq, performs the background state transfer (chain
-  /// cut + suffix replay, or a round-trip when no usable chain exists) and
-  /// atomically flips the group's routing to the target — batches already
-  /// in flight resolve the new owner at delivery, redirected rather than
-  /// stalled. A failed transfer is parked in epoch_error_ for
-  /// FinishMigration to surface (the callers here cannot return Status).
+  /// Epoch and lease migrations: called on the driving thread at quiescent
+  /// instants (wave barriers, between tuples, FinishMigration). For every
+  /// group with a pending kEpoch/kLease migration this instant IS the
+  /// boundary. kEpoch: pins the boundary seq, performs the background
+  /// state transfer (chain cut + suffix replay, or a round-trip when no
+  /// usable chain exists) and atomically flips the group's routing to the
+  /// target — batches already in flight resolve the new owner at delivery,
+  /// redirected rather than stalled. kLease: the state slot never moves —
+  /// the lease flip IS the whole migration, zero bytes. A failed epoch
+  /// transfer is parked in epoch_error_ for FinishMigration to surface
+  /// (the callers here cannot return Status); lease flips cannot fail.
   void StampEpochBoundaries();
 
   // --- latency telemetry helpers ---
@@ -585,6 +629,16 @@ class LocalEngine {
     CounterMetric* migrations_direct = nullptr;
     CounterMetric* migrations_indirect = nullptr;
     CounterMetric* migrations_epoch = nullptr;
+    CounterMetric* migrations_lease = nullptr;
+    /// Bytes each migration mode moved or replayed
+    /// (`engine_migration_bytes_total{mode=...}`): direct = serialized
+    /// state round-trips, indirect = chained deltas + replayed suffix,
+    /// epoch = background transfer volume, lease = always zero (the
+    /// series exists so dashboards and benches can assert the zero).
+    CounterMetric* migration_bytes_direct = nullptr;
+    CounterMetric* migration_bytes_indirect = nullptr;
+    CounterMetric* migration_bytes_epoch = nullptr;
+    CounterMetric* migration_bytes_lease = nullptr;
     GaugeMetric* mailbox_highwater = nullptr;
     GaugeMetric* chain_len_highwater = nullptr;
     GaugeMetric* worker_pool_runs = nullptr;
@@ -602,14 +656,19 @@ class LocalEngine {
 
   const Topology* topology_;
   const Cluster* cluster_;
-  Assignment assignment_;
-  std::vector<StreamOperator*> operators_;
+  /// Owns every operator's state slots and the lease table mapping groups
+  /// to owners; all ownership changes (migrations, lease flips, recovery)
+  /// go through arena_.Flip so lease epochs stay accurate.
+  StateArena arena_;
+  /// View into arena_'s slot table (the arena owns the instances; this
+  /// reference keeps the dozens of per-delivery use sites untouched).
+  const std::vector<StreamOperator*>& operators_;
   LocalEngineOptions options_;
 
   std::vector<MigrationState> migrating_;  // per key group
-  /// Groups whose kEpoch migration awaits its boundary stamp; entries are
-  /// validated against migrating_ at the stamp, so cancelled or
-  /// failed-over migrations self-clean.
+  /// Groups whose kEpoch/kLease migration awaits its boundary stamp or
+  /// lease flip; entries are validated against migrating_ at the stamp,
+  /// so cancelled or failed-over migrations self-clean.
   std::vector<KeyGroupId> epoch_pending_;
   /// First background-transfer failure since the last FinishMigration of
   /// an epoch group (stamping happens in void contexts).
@@ -628,6 +687,15 @@ class LocalEngine {
   std::deque<StateChangeTracker> group_trackers_;
   std::vector<int> chain_len_;
   int max_delta_chain_ = 0;             ///< Cached coordinator option.
+  /// Cached CheckpointCoordinatorOptions::max_chain_restore_us (0 = off):
+  /// delta-aware compaction forces a fresh base once the chain's measured
+  /// restore cost exceeds this budget, independent of chain length.
+  double chain_restore_budget_us_ = 0.0;
+  /// Observed restore rate (us per chain byte), EWMA over actual restores
+  /// (indirect migrations, recovery); 0 until the first observation, when
+  /// the modeled kEnginePauseUsPerByte stands in. Feeds the compaction
+  /// budget's "bytes × observed restore rate" cost estimate.
+  double observed_restore_us_per_byte_ = 0.0;
   /// Set by whichever worker overflows a log; cleared by the next round.
   std::atomic<bool> log_overflow_{false};
   std::vector<int64_t> shard_offsets_;  ///< Lifetime ingested per shard.

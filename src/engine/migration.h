@@ -30,7 +30,26 @@ enum class MigrationMode {
   /// independent of both state size and suffix length. Requires
   /// checkpointing; falls back to kDirect without it.
   kEpoch,
+  /// Lease flip over the shared state arena (see engine/state_arena.h):
+  /// the group's state slot never moves — at the next wave barrier the
+  /// LeaseTable entry flips to the new owner, exactly where an epoch
+  /// boundary would be stamped, and that is the entire migration. Zero
+  /// bytes serialized, zero background transfer, pause bounded by one
+  /// wave. Works with or without checkpointing (the flip does not touch
+  /// the dirty-tracking/replay-log machinery, so the failure path stays
+  /// intact); unavailable only for groups lost across a FailNode
+  /// boundary, where checkpoint + replay remains the recovery mechanism.
+  kLease,
 };
+
+/// \brief True for the modes that buffer new input at the target while the
+/// state travels (direct/indirect). Epoch and lease migrations never
+/// buffer: the group keeps processing at whichever owner the routing
+/// currently names, and the wave-barrier stamp/flip is what changes that
+/// name.
+inline bool MigrationBuffers(MigrationMode mode) {
+  return mode == MigrationMode::kDirect || mode == MigrationMode::kIndirect;
+}
 
 /// \brief Cost model for state migration (§3, "State Migration").
 ///

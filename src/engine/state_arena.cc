@@ -1,0 +1,18 @@
+#include "engine/state_arena.h"
+
+#include <cassert>
+#include <utility>
+
+namespace albic::engine {
+
+StateArena::StateArena(const Topology* topology,
+                       std::vector<StreamOperator*> operators,
+                       Assignment initial)
+    : operators_(std::move(operators)), leases_(std::move(initial)) {
+  assert(topology != nullptr);
+  assert(static_cast<int>(operators_.size()) == topology->num_operators());
+  assert(leases_.assignment().num_groups() == topology->num_key_groups());
+  (void)topology;
+}
+
+}  // namespace albic::engine

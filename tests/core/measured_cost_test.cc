@@ -388,5 +388,137 @@ TEST(MeasuredCostPlanningTest, EpochModeWinsWhenOptedIn) {
   }
 }
 
+TEST(MeasuredCostPlanningTest, LeaseModeWinsWhenOptedIn) {
+  engine::Topology topo;
+  topo.AddOperator("big", 2, /*state_bytes_per_group=*/8 << 20);
+  topo.AddOperator("small", 2, /*state_bytes_per_group=*/64);
+  engine::Cluster cluster(2);
+  engine::Assignment assign(topo.num_key_groups());
+  for (KeyGroupId g = 0; g < topo.num_key_groups(); ++g) {
+    assign.set_node(g, g % 2);
+  }
+  ops::SumByKeyOperator big(2, ops::GroupField::kKey, false);
+  ops::SumByKeyOperator small(2, ops::GroupField::kKey, false);
+  engine::LocalEngineOptions eopts;
+  eopts.mode = engine::ExecutionMode::kBatched;
+  eopts.window_every_us = 0;
+  engine::LocalEngine engine(&topo, &cluster, assign,
+                             std::vector<engine::StreamOperator*>{&big,
+                                                                  &small},
+                             eopts);
+  // Deliberately NO checkpointing: a lease flip needs only the arena, so
+  // the opt-in must beat direct even where epoch/indirect are unavailable.
+
+  const KeyGroupId big_group = topo.first_group(0);
+  const KeyGroupId small_group = topo.first_group(1);
+  FixedPlanRebalancer rebalancer({big_group, small_group});
+  core::AdaptationFramework framework(&rebalancer, /*policy=*/nullptr, {});
+  engine::LoadModel load_model{engine::CostModel{}};
+  core::ControllerLoopOptions copts;
+  copts.period_every_us = 0;
+  copts.use_lease_migration = true;
+  core::ControllerLoop controller(&engine, &framework, &load_model, &topo,
+                                  &cluster, copts);
+
+  for (int i = 0; i < 4000; ++i) {
+    Tuple t;
+    t.key = static_cast<uint64_t>(i);
+    t.ts = i;
+    t.num = 1.0;
+    ASSERT_TRUE(controller.Ingest(1, t).ok());
+    if (i < 8) {
+      ASSERT_TRUE(controller.Ingest(0, t).ok());
+    }
+  }
+
+  const Result<core::ControllerRound> round = controller.RunRoundNow();
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round->migrations_applied, 2);
+  EXPECT_EQ(round->migrations_lease, 2);
+  EXPECT_EQ(round->migrations_epoch, 0);
+  EXPECT_EQ(round->migrations_indirect, 0);
+  EXPECT_EQ(round->migrations_direct, 0);
+  ASSERT_EQ(round->migration_decisions.size(), 2u);
+  for (const core::MigrationDecision& d : round->migration_decisions) {
+    EXPECT_EQ(d.mode, engine::MigrationMode::kLease);
+    EXPECT_STREQ(d.reason, "lease-zero-cost");
+    // The full prediction is auditable: the lease's zero beat the direct
+    // estimate, and the checkpoint-dependent modes were unavailable.
+    EXPECT_EQ(d.est_lease_us, 0.0);
+    EXPECT_GT(d.est_direct_us, 0.0);
+    EXPECT_EQ(d.est_indirect_us, -1.0);
+    EXPECT_EQ(d.est_epoch_us, -1.0);
+    EXPECT_EQ(d.predicted_pause_us, 0.0);
+    // And the engine delivered on it: nothing travelled, nothing paused.
+    EXPECT_EQ(d.actual_pause_us, 0.0);
+  }
+  // The round's accounted migration pause is zero end to end.
+  EXPECT_EQ(round->migration_pause_us, 0.0);
+}
+
+TEST(MeasuredCostPlanningTest, LeaseOffLeavesDecisionsUnchanged) {
+  // Default-off pin: without the opt-in the four-way choice never
+  // considers leases — est_lease_us stays at its "unavailable" sentinel
+  // and the chosen modes match the pre-lease controller exactly (the
+  // per-group direct/indirect split of MigrationModeChosenPerGroup).
+  engine::Topology topo;
+  topo.AddOperator("big", 2, /*state_bytes_per_group=*/8 << 20);
+  topo.AddOperator("small", 2, /*state_bytes_per_group=*/64);
+  engine::Cluster cluster(2);
+  engine::Assignment assign(topo.num_key_groups());
+  for (KeyGroupId g = 0; g < topo.num_key_groups(); ++g) {
+    assign.set_node(g, g % 2);
+  }
+  ops::SumByKeyOperator big(2, ops::GroupField::kKey, false);
+  ops::SumByKeyOperator small(2, ops::GroupField::kKey, false);
+  engine::LocalEngineOptions eopts;
+  eopts.mode = engine::ExecutionMode::kBatched;
+  eopts.window_every_us = 0;
+  engine::LocalEngine engine(&topo, &cluster, assign,
+                             std::vector<engine::StreamOperator*>{&big,
+                                                                  &small},
+                             eopts);
+  engine::MemoryCheckpointStore store;
+  engine::CheckpointCoordinatorOptions ccopts;
+  ccopts.interval_us = int64_t{1} << 60;
+  engine::CheckpointCoordinator coordinator(&store, ccopts);
+  ASSERT_TRUE(engine.EnableCheckpointing(&coordinator).ok());
+
+  const KeyGroupId big_group = topo.first_group(0);
+  const KeyGroupId small_group = topo.first_group(1);
+  FixedPlanRebalancer rebalancer({big_group, small_group});
+  core::AdaptationFramework framework(&rebalancer, /*policy=*/nullptr, {});
+  engine::LoadModel load_model{engine::CostModel{}};
+  core::ControllerLoopOptions copts;
+  copts.period_every_us = 0;  // use_lease_migration stays default-false
+  core::ControllerLoop controller(&engine, &framework, &load_model, &topo,
+                                  &cluster, copts);
+
+  for (int i = 0; i < 4000; ++i) {
+    Tuple t;
+    t.key = static_cast<uint64_t>(i);
+    t.ts = i;
+    t.num = 1.0;
+    ASSERT_TRUE(controller.Ingest(1, t).ok());
+    if (i < 8) {
+      ASSERT_TRUE(controller.Ingest(0, t).ok());
+    }
+  }
+
+  const Result<core::ControllerRound> round = controller.RunRoundNow();
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round->migrations_applied, 2);
+  EXPECT_EQ(round->migrations_lease, 0);
+  EXPECT_EQ(round->migrations_indirect, 1);
+  EXPECT_EQ(round->migrations_direct, 1);
+  for (const core::MigrationDecision& d : round->migration_decisions) {
+    EXPECT_EQ(d.est_lease_us, -1.0);  // lease never entered the choice
+    EXPECT_EQ(d.mode, d.group == big_group
+                          ? engine::MigrationMode::kIndirect
+                          : engine::MigrationMode::kDirect);
+  }
+  (void)small_group;
+}
+
 }  // namespace
 }  // namespace albic

@@ -1,13 +1,16 @@
 // Migration-mode equivalence matrix: one parameterized suite asserting
-// that direct, indirect and epoch migrations produce identical final
-// outputs (canonical state, windowed results, tuple counts — and all of
-// them identical to a no-migration baseline) across state sizes (empty
+// that direct, indirect, epoch and lease migrations produce identical
+// final outputs (canonical state, windowed results, tuple counts — and all
+// of them identical to a no-migration baseline) across state sizes (empty
 // group, single key, large FlatMap64 mid-incremental-rehash) and edge
 // timings (migration started mid-window with in-flight traffic,
 // back-to-back migrations of the same group, target equal to source).
 // Plus the mode-request contracts: kEpoch without checkpointing falls back
-// to direct, kIndirect without checkpointing is rejected, and a group
-// already mid-migration rejects a second StartMigration.
+// to direct, kLease without checkpointing still flips (the arena lease
+// needs no checkpoint subsystem), kIndirect without checkpointing is
+// rejected, a group already mid-migration rejects a second StartMigration,
+// and a lease flip racing a node kill loses no tuples on either side of
+// the stamp.
 
 #include <gtest/gtest.h>
 
@@ -162,7 +165,7 @@ TEST_P(MigrationMatrixTest, AllModesMatchTheUnmigratedBaseline) {
       RunStoreScenario(scenario, /*migrate=*/false, MigrationMode::kDirect);
   for (const MigrationMode mode :
        {MigrationMode::kDirect, MigrationMode::kIndirect,
-        MigrationMode::kEpoch}) {
+        MigrationMode::kEpoch, MigrationMode::kLease}) {
     const StoreRunResult run = RunStoreScenario(scenario, /*migrate=*/true,
                                                 mode);
     EXPECT_EQ(run.states, baseline.states)
@@ -171,9 +174,9 @@ TEST_P(MigrationMatrixTest, AllModesMatchTheUnmigratedBaseline) {
     EXPECT_EQ(run.processed, baseline.processed)
         << scenario.name << ": mode " << static_cast<int>(mode)
         << " lost or duplicated tuples";
-    if (mode == MigrationMode::kEpoch) {
+    if (!engine::MigrationBuffers(mode)) {
       EXPECT_EQ(run.buffered, 0)
-          << scenario.name << ": an epoch migration buffered tuples";
+          << scenario.name << ": an epoch/lease migration buffered tuples";
     }
   }
 }
@@ -286,7 +289,7 @@ TEST_P(MigrationTimingTest, AllModesMatchTheUnmigratedBaseline) {
       RunWikiScenario(Timing::kNone, MigrationMode::kDirect);
   for (const MigrationMode mode :
        {MigrationMode::kDirect, MigrationMode::kIndirect,
-        MigrationMode::kEpoch}) {
+        MigrationMode::kEpoch, MigrationMode::kLease}) {
     const WikiRunResult run = RunWikiScenario(timing, mode);
     EXPECT_EQ(run.states, baseline.states)
         << "mode " << static_cast<int>(mode) << " diverged";
@@ -371,20 +374,137 @@ TEST(MigrationModeContractTest, EpochWithoutCheckpointingFallsBackToDirect) {
   EXPECT_EQ(stats.tuples_buffered, 1);
 }
 
+TEST(MigrationModeContractTest, LeaseWithoutCheckpointingStillFlips) {
+  // Unlike kEpoch (degrades to direct) and kIndirect (rejected), a kLease
+  // request needs no checkpoint subsystem at all: the state slot never
+  // moves, so there is nothing to transfer and nothing to replay. The
+  // in-flight tuple processes LIVE at whichever owner the routing names,
+  // and the accounted pause is exactly zero.
+  engine::Topology topo;
+  topo.AddOperator("src", 1);
+  topo.AddOperator("store", kStoreGroups, 1 << 14);
+  ASSERT_TRUE(
+      topo.AddStream(0, 1, engine::PartitioningPattern::kFullPartitioning)
+          .ok());
+  engine::Cluster cluster(kStoreNodes);
+  engine::Assignment assign(topo.num_key_groups());
+  for (KeyGroupId g = 0; g < topo.num_key_groups(); ++g) {
+    assign.set_node(g, g % kStoreNodes);
+  }
+  ops::StoreSinkOperator sink(kStoreGroups);
+  engine::LocalEngineOptions opts;
+  opts.mode = engine::ExecutionMode::kBatched;
+  opts.window_every_us = 0;
+  engine::LocalEngine engine(
+      &topo, &cluster, assign,
+      std::vector<engine::StreamOperator*>{nullptr, &sink}, opts);
+
+  const std::vector<Tuple> keys = KeysFor(0, 33);
+  ASSERT_TRUE(engine.InjectBatch(0, keys.data(), 32).ok());
+  engine.Flush();
+  const KeyGroupId group = topo.first_group(1);
+  const NodeId to = (engine.assignment().node_of(group) + 1) % kStoreNodes;
+
+  ASSERT_TRUE(engine.StartMigration(group, to, MigrationMode::kLease).ok());
+  ASSERT_TRUE(engine.InjectBatch(0, &keys[32], 1).ok());
+  engine.Flush();
+  EXPECT_EQ(sink.ValueFor(0, keys[32].key), keys[32].num)
+      << "a lease move must process in-flight tuples live, not buffer them";
+  const auto pause = engine.FinishMigration(group);
+  ASSERT_TRUE(pause.ok()) << pause.status().ToString();
+  EXPECT_EQ(*pause, 0.0) << "a lease flip moves nothing, pauses for nothing";
+  EXPECT_EQ(engine.assignment().node_of(group), to);
+  const engine::EnginePeriodStats stats = engine.HarvestPeriod();
+  EXPECT_EQ(stats.tuples_buffered, 0);
+  EXPECT_EQ(stats.tuples_processed, 33);
+}
+
+TEST(MigrationModeContractTest, LeaseTowardDyingNodeIsCancelledLossFree) {
+  // A lease flip racing a kill of its TARGET: the stamp never happened, so
+  // the lease table still names the source — FailNode cancels the pending
+  // move and the group keeps processing where it is, losing nothing.
+  const StoreScenario scenario{"single_owner", 48, false};
+  const StoreRunResult baseline =
+      RunStoreScenario(scenario, /*migrate=*/false, MigrationMode::kDirect);
+
+  StorePipeline p;
+  const KeyGroupId group = p.topo.first_group(1);  // store group 0
+  const std::vector<Tuple> keys = KeysFor(0, scenario.distinct_keys);
+  const size_t half = keys.size() / 2;
+  ASSERT_TRUE(p.engine->InjectBatch(0, keys.data(), half).ok());
+  p.engine->Flush();
+  ASSERT_TRUE(p.coordinator->CheckpointNow(p.engine.get()).ok());
+
+  const NodeId from = p.engine->assignment().node_of(group);
+  const NodeId to = (from + 1) % kStoreNodes;
+  ASSERT_TRUE(p.engine->StartMigration(group, to, MigrationMode::kLease).ok());
+  // No wave barrier between Start and the kill: the flip is still pending.
+  ASSERT_TRUE(p.engine->FailNode(to).ok());
+  EXPECT_EQ(p.engine->assignment().node_of(group), from)
+      << "a cancelled lease flip must leave ownership untouched";
+  ASSERT_TRUE(
+      p.engine->InjectBatch(0, keys.data() + half, keys.size() - half).ok());
+  p.engine->Flush();
+  // Groups that died WITH the node recover normally (checkpoint + replay);
+  // the leased group is not among them.
+  for (const KeyGroupId lost : p.engine->lost_groups()) {
+    EXPECT_NE(lost, group);
+    ASSERT_TRUE(p.engine->RecoverGroup(lost, from).ok());
+  }
+  p.engine->Flush();
+  EXPECT_EQ(p.SinkStates(), baseline.states);
+  EXPECT_EQ(p.engine->HarvestPeriod().tuples_processed, baseline.processed);
+}
+
+TEST(MigrationModeContractTest, LeasedGroupDyingWithNodeRecoversLossFree) {
+  // A lease flip whose stamp ALREADY happened, followed by a kill of the
+  // new owner: the lease dies with the node, and recovery goes through
+  // checkpoint + replay like any other lost group — zero tuple loss, and
+  // never another flip of a dead lease.
+  const StoreScenario scenario{"single_owner", 48, false};
+  const StoreRunResult baseline =
+      RunStoreScenario(scenario, /*migrate=*/false, MigrationMode::kDirect);
+
+  StorePipeline p;
+  const KeyGroupId group = p.topo.first_group(1);
+  const std::vector<Tuple> keys = KeysFor(0, scenario.distinct_keys);
+  const size_t half = keys.size() / 2;
+  ASSERT_TRUE(p.engine->InjectBatch(0, keys.data(), half).ok());
+  p.engine->Flush();
+  ASSERT_TRUE(p.coordinator->CheckpointNow(p.engine.get()).ok());
+
+  const NodeId from = p.engine->assignment().node_of(group);
+  const NodeId to = (from + 1) % kStoreNodes;
+  ASSERT_TRUE(p.engine->MigrateGroup(group, to, MigrationMode::kLease).ok());
+  ASSERT_EQ(p.engine->assignment().node_of(group), to);
+
+  ASSERT_TRUE(p.engine->FailNode(to).ok());
+  // Input offered during the outage buffers and drains at recovery.
+  ASSERT_TRUE(
+      p.engine->InjectBatch(0, keys.data() + half, keys.size() - half).ok());
+  p.engine->Flush();
+  for (const KeyGroupId lost : p.engine->lost_groups()) {
+    ASSERT_TRUE(p.engine->RecoverGroup(lost, from).ok());
+  }
+  p.engine->Flush();
+  EXPECT_EQ(p.SinkStates(), baseline.states);
+  EXPECT_EQ(p.engine->HarvestPeriod().tuples_processed, baseline.processed);
+}
+
 TEST(MigrationModeContractTest, SecondStartOnMigratingGroupIsRejected) {
   StorePipeline p;
   const KeyGroupId group = p.topo.first_group(1);
   const NodeId from = p.engine->assignment().node_of(group);
   for (const MigrationMode mode :
        {MigrationMode::kDirect, MigrationMode::kIndirect,
-        MigrationMode::kEpoch}) {
+        MigrationMode::kEpoch, MigrationMode::kLease}) {
     ASSERT_TRUE(
         p.engine->StartMigration(group, (from + 1) % kStoreNodes, mode).ok());
     // Every re-Start on the open migration is rejected, whatever mode the
     // second request asks for.
     for (const MigrationMode second :
          {MigrationMode::kDirect, MigrationMode::kIndirect,
-          MigrationMode::kEpoch}) {
+          MigrationMode::kEpoch, MigrationMode::kLease}) {
       const Status s =
           p.engine->StartMigration(group, (from + 2) % kStoreNodes, second);
       EXPECT_EQ(s.code(), StatusCode::kAlreadyExists) << s.ToString();

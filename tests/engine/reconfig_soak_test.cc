@@ -1,9 +1,13 @@
 // Randomized reconfiguration soak: a seeded fuzz schedule of direct,
-// indirect and epoch migrations plus node failures, interleaved with
-// sharded ingestion on a multi-worker pipeline, differentially checked
-// against a single-node no-reconfiguration oracle. Every seed must produce
-// bit-identical canonical state and windowed output — reconfiguration is
-// supposed to be invisible to the computation, whatever the schedule.
+// indirect, epoch and lease migrations plus node failures, interleaved
+// with sharded ingestion on a multi-worker pipeline, differentially
+// checked against a single-node no-reconfiguration oracle. Node kills can
+// land while a migration is still open (including a pending or
+// just-stamped lease flip), so the schedule exercises the
+// cancelled-toward-victim, lost-with-victim and survived-the-kill paths of
+// every mode. Every seed must produce bit-identical canonical state and
+// windowed output — reconfiguration is supposed to be invisible to the
+// computation, whatever the schedule.
 //
 // Seed count defaults to 24 and can be raised via ALBIC_SOAK_SEEDS; every
 // assertion prints the failing seed so a counterexample replays directly.
@@ -139,15 +143,21 @@ void RunSoak(uint64_t seed) {
 
   Rng rng(seed * 7919 + 17);
   KeyGroupId open_group = -1;  // migration started, Finish pending
+  NodeId open_to = -1;         // its target node
   int migrations = 0;
   int kills = 0;
   for (size_t c = 0; c < chunks.size(); ++c) {
-    if (open_group >= 0) {
+    const uint64_t action = rng.NextU64() % 100;
+    const bool kill_action = action >= 35 && action < 45 &&
+                             fuzz.cluster.num_active() > 3;
+    // A kill deliberately races any still-open migration (the branch below
+    // resolves what the failure did to it); every other action first closes
+    // the previous chunk's open move.
+    if (open_group >= 0 && !kill_action) {
       const auto pause = fuzz.engine->FinishMigration(open_group);
       ASSERT_TRUE(pause.ok()) << label << ": " << pause.status().ToString();
       open_group = -1;
     }
-    const uint64_t action = rng.NextU64() % 100;
     if (action < 35) {
       // Random migration of a random group in a random mode; half the time
       // it stays open across the next chunk's ingestion (the in-flight
@@ -162,15 +172,16 @@ void RunSoak(uint64_t seed) {
         to = (to + 1) % kNodes;
       }
       const MigrationMode mode =
-          static_cast<MigrationMode>(rng.NextU64() % 3);
+          static_cast<MigrationMode>(rng.NextU64() % 4);
       ASSERT_TRUE(fuzz.engine->StartMigration(g, to, mode).ok()) << label;
       ++migrations;
       // An open migration must not span a window boundary: a direct or
       // indirect move buffers the group's tuples, and a window firing over
-      // that hole would close without them. Epoch moves do not buffer, but
-      // the schedule keeps one rule for all three modes. The migration may
-      // stay open across this chunk's ingestion only if the chunk cannot
-      // fire a window, i.e. it continues the window of the tuple before it.
+      // that hole would close without them. Epoch and lease moves do not
+      // buffer, but the schedule keeps one rule for all four modes. The
+      // migration may stay open across this chunk's ingestion only if the
+      // chunk cannot fire a window, i.e. it continues the window of the
+      // tuple before it.
       const size_t begin = chunks[c].first;
       const bool fires_window =
           begin > 0 &&
@@ -178,19 +189,44 @@ void RunSoak(uint64_t seed) {
               WindowIndex(stream[begin - 1].ts, stream[0].ts);
       if (!fires_window && rng.NextU64() % 2 == 0) {
         open_group = g;
+        open_to = to;
       } else {
         const auto pause = fuzz.engine->FinishMigration(g);
         ASSERT_TRUE(pause.ok()) << label << ": " << pause.status().ToString();
       }
-    } else if (action < 45 && fuzz.cluster.num_active() > 3) {
+    } else if (kill_action) {
       // Abrupt node failure followed by eager recovery of every lost group
-      // onto the lowest-numbered survivor — deterministic for the seed.
+      // onto the lowest-numbered survivor — deterministic for the seed. If
+      // a migration is still open the kill races it: a move toward the
+      // victim is cancelled by FailNode, a group whose owner died is lost
+      // (and recovered below), and a move the failure didn't touch stays
+      // finishable. For an open lease move the "owner" depends on whether a
+      // wave barrier already stamped the flip during the previous chunk.
       NodeId victim = static_cast<NodeId>(rng.NextU64() %
                                           static_cast<uint64_t>(kNodes));
       while (!fuzz.cluster.is_active(victim)) victim = (victim + 1) % kNodes;
+      const bool open_survives =
+          open_group >= 0 && open_to != victim &&
+          fuzz.engine->assignment().node_of(open_group) != victim;
       ASSERT_TRUE(fuzz.engine->FailNode(victim).ok()) << label;
       ASSERT_TRUE(fuzz.cluster.Fail(victim).ok()) << label;
       ++kills;
+      if (open_group >= 0) {
+        if (open_survives) {
+          // Neither endpoint died: the move must still complete normally
+          // (before this chunk ingests, to keep the window rule).
+          const auto pause = fuzz.engine->FinishMigration(open_group);
+          ASSERT_TRUE(pause.ok())
+              << label << ": " << pause.status().ToString();
+        } else {
+          // Cancelled (target died) or lost (owner died): the move never
+          // completes, so it never publishes to engine_migrations_total —
+          // keep the published-vs-completed invariant below exact.
+          --migrations;
+        }
+        open_group = -1;
+        open_to = -1;
+      }
       NodeId target = 0;
       while (!fuzz.cluster.is_active(target)) ++target;
       // Copy: RecoverGroup prunes the engine's lost list as it succeeds.
@@ -234,6 +270,8 @@ void RunSoak(uint64_t seed) {
       registry.Counter("engine_migrations_total", {{"mode", "indirect"}})
           ->value() +
       registry.Counter("engine_migrations_total", {{"mode", "epoch"}})
+          ->value() +
+      registry.Counter("engine_migrations_total", {{"mode", "lease"}})
           ->value();
   EXPECT_EQ(migrations_published, migrations) << label;
   if (kills > 0) {
